@@ -1,0 +1,70 @@
+// Figure 3 reproduction: keypoint-aware vs traditional prompting.
+// Shows both prompt templates, the captions each produces for the same
+// aerial scene, and the information-coverage statistics over many
+// scenes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "scene/generator.hpp"
+#include "text/llm.hpp"
+
+int main() {
+    using namespace aero;
+
+    util::Rng scene_rng(77);
+    const scene::Scene example = scene::generate_scene(
+        scene::ScenarioKind::kHighway, scene::TimeOfDay::kDay, scene_rng, 0);
+
+    const auto keypoint_prompt = text::PromptTemplate::keypoint_aware();
+    const auto traditional_prompt = text::PromptTemplate::traditional();
+    const auto keypoint_llm = text::SimulatedLlm::keypoint_aware();
+    const auto generic_llm = text::SimulatedLlm::blip_captioner();
+
+    std::printf("=== Figure 3: keypoint-aware text generation ===\n\n");
+    std::printf("Traditional prompt:\n  %s\n\n",
+                traditional_prompt.render().c_str());
+    util::Rng rng(5);
+    const text::Caption plain =
+        generic_llm.describe(example, traditional_prompt, rng);
+    std::printf("Output:\n  %s\n\n", plain.text.c_str());
+
+    std::printf("Keypoint-aware prompt:\n  %s\n\n",
+                keypoint_prompt.render().c_str());
+    const text::Caption rich =
+        keypoint_llm.describe(example, keypoint_prompt, rng);
+    std::printf("Keypoint-aware output:\n  %s\n\n", rich.text.c_str());
+
+    // Coverage statistics over many scenes.
+    const int scenes = util::scaled(32, 200, 400);
+    double cov_keypoint = 0.0;
+    double cov_traditional = 0.0;
+    double mentions_keypoint = 0.0;
+    double mentions_traditional = 0.0;
+    util::Rng stat_rng(9);
+    for (int i = 0; i < scenes; ++i) {
+        const scene::Scene s = scene::generate_random_scene(stat_rng, i);
+        const text::Caption a =
+            keypoint_llm.describe(s, keypoint_prompt, stat_rng);
+        const text::Caption b =
+            generic_llm.describe(s, traditional_prompt, stat_rng);
+        cov_keypoint += text::keypoint_coverage(a);
+        cov_traditional += text::keypoint_coverage(b);
+        mentions_keypoint += static_cast<double>(a.mentions.size());
+        mentions_traditional += static_cast<double>(b.mentions.size());
+    }
+
+    bench::print_table(
+        {"Prompting", "keypoint coverage", "object classes mentioned"},
+        {{"Traditional", bench::fmt(cov_traditional / scenes),
+          bench::fmt(mentions_traditional / scenes)},
+         {"Keypoint-aware (ours)", bench::fmt(cov_keypoint / scenes),
+          bench::fmt(mentions_keypoint / scenes)}});
+
+    const bool shape_holds =
+        cov_keypoint > cov_traditional &&
+        mentions_keypoint > mentions_traditional;
+    std::printf("\nPaper shape (keypoint prompting covers more keypoints): %s\n",
+                shape_holds ? "HOLDS" : "VIOLATED");
+    return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+// Evaluation-floor diagnostics. Not a paper table, but the calibration
+// run that anchors every other bench: it measures
+//   * the FID/KID/PSNR of REAL held-out images (sampling-noise floor),
+//   * the autoencoder reconstruction floor (no generative model can
+//     decode better through the same decoder),
+//   * a conditioned vs an unconditional latent diffusion model under
+//     identical budgets, at several guidance scales.
+// If the conditioned model does not clearly beat the unconditional one
+// here, no Table I/IV comparison is meaningful.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "diffusion/trainer.hpp"
+
+int main() {
+    using namespace aero;
+    std::printf("=== Evaluation floors & conditioning gain (scale %d) ===\n",
+                util::bench_scale());
+    bench::Harness harness = bench::build_harness(2025);
+    const core::Substrate& s = harness.substrate;
+    util::JsonValue results = util::JsonValue::object();
+
+    // Condition tokens: CLIP text embed + global image feature per sample.
+    std::vector<tensor::Tensor> conds;
+    std::vector<tensor::Tensor> empty;
+    for (std::size_t i = 0; i < s.dataset->train().size(); ++i) {
+        const auto& sample = s.dataset->train()[i];
+        const tensor::Tensor text =
+            s.clip->embed_text_eval(s.keypoint_train[i].text);
+        const tensor::Tensor img = s.clip->embed_image_eval(sample.image);
+        conds.push_back(tensor::concat({text, img}, 0));
+        empty.emplace_back();
+    }
+
+    const diffusion::NoiseSchedule schedule(
+        {s.budget.schedule_steps, 0.001f, 0.012f});
+    diffusion::UNetConfig ucfg;
+    ucfg.in_channels = s.autoencoder->config().latent_channels;
+    ucfg.base_channels = 24;
+    ucfg.cond_dim = s.embed_config.dim;
+    const int ls = s.autoencoder->config().latent_size();
+    const std::vector<int> latent_shape{ucfg.in_channels, ls, ls};
+
+    diffusion::DiffusionTrainConfig tcfg;
+    tcfg.steps = s.budget.diffusion_steps * 2 / 3;  // diagnostics budget
+    tcfg.batch_size = s.budget.batch_size;
+    tcfg.parameterization = diffusion::Parameterization::kV;
+
+    auto sample_and_score = [&](const diffusion::UNet& unet, float guidance,
+                                bool conditioned) {
+        diffusion::DdimConfig dc;
+        dc.inference_steps = s.budget.ddim_steps;
+        dc.guidance_scale = guidance;
+        dc.parameterization = diffusion::Parameterization::kV;
+        const diffusion::DdimSampler sampler(unet, schedule, dc);
+        std::vector<image::Image> generated;
+        util::Rng rng(9);
+        for (std::size_t i = 0; i < harness.references.size(); ++i) {
+            tensor::Tensor c;
+            if (conditioned) {
+                const auto& test_sample = s.dataset->test()[i];
+                c = tensor::concat(
+                    {s.clip->embed_text_eval(s.keypoint_test[i].text),
+                     s.clip->embed_image_eval(test_sample.image)},
+                    0);
+            }
+            tensor::Tensor z = sampler.sample(latent_shape, c, rng);
+            z = tensor::scale(z, 1.0f / s.latent_scale);
+            generated.push_back(s.autoencoder->decode_latent(z));
+        }
+        return bench::score_eval_set(harness, generated);
+    };
+
+    // Conditioned model across guidance scales.
+    {
+        util::Rng rng(1);
+        diffusion::UNet unet(ucfg, rng);
+        tcfg.condition_dropout = 0.1f;
+        const auto stats = diffusion::train_diffusion(
+            unet, schedule, s.train_latents, conds, tcfg, rng);
+        std::printf("conditioned   : loss %.4f -> tail %.4f\n",
+                    stats.first_loss, stats.tail_loss);
+        util::JsonValue sweeps = util::JsonValue::array();
+        for (float g : {1.0f, 2.0f, 4.0f}) {
+            const auto scores = sample_and_score(unet, g, true);
+            std::printf("  guidance %.1f: FID %.3f PSNR %.2f KID %.4f\n", g,
+                        scores.fid, scores.psnr, scores.kid);
+            util::JsonValue row = util::JsonValue::object();
+            row.set("guidance", g)
+                .set("fid", scores.fid)
+                .set("psnr", scores.psnr)
+                .set("kid", scores.kid);
+            sweeps.push(std::move(row));
+        }
+        results.set("conditioned", std::move(sweeps));
+    }
+
+    // Unconditional model with the same budget.
+    {
+        util::Rng rng(1);
+        diffusion::UNet unet(ucfg, rng);
+        tcfg.condition_dropout = 1.0f;
+        const auto stats = diffusion::train_diffusion(
+            unet, schedule, s.train_latents, empty, tcfg, rng);
+        std::printf("unconditional : loss %.4f -> tail %.4f\n",
+                    stats.first_loss, stats.tail_loss);
+        const auto scores = sample_and_score(unet, 1.0f, false);
+        std::printf("  uncond      : FID %.3f PSNR %.2f KID %.4f\n",
+                    scores.fid, scores.psnr, scores.kid);
+        util::JsonValue row = util::JsonValue::object();
+        row.set("fid", scores.fid)
+            .set("psnr", scores.psnr)
+            .set("kid", scores.kid);
+        results.set("unconditional", std::move(row));
+    }
+
+    // Floors.
+    {
+        std::vector<image::Image> recon;
+        for (const auto& ref : harness.references) {
+            recon.push_back(
+                s.autoencoder->decode_latent(s.autoencoder->encode_image(ref)));
+        }
+        const auto r = bench::score_eval_set(harness, recon);
+        std::printf("AE recon floor: FID %.3f PSNR %.2f KID %.4f\n", r.fid,
+                    r.psnr, r.kid);
+        const auto real = bench::score_eval_set(harness, harness.references);
+        std::printf("real refs     : FID %.3f PSNR %.2f KID %.4f\n", real.fid,
+                    real.psnr, real.kid);
+        util::JsonValue floors = util::JsonValue::object();
+        floors.set("ae_recon_fid", r.fid).set("real_fid", real.fid);
+        results.set("floors", std::move(floors));
+    }
+
+    bench::record_results("floor_diagnostics", results);
+    std::printf("\nresults recorded to out/results/floor_diagnostics.json\n");
+    return 0;
+}

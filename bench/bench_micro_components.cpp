@@ -1,0 +1,139 @@
+// Component microbenchmarks (google-benchmark): the cost centres of the
+// pipeline -- tensor kernels, UNet denoising steps, the scene renderer,
+// the samplers and the evaluation metrics.
+
+#include <benchmark/benchmark.h>
+
+#include "diffusion/sampler.hpp"
+#include "diffusion/trainer.hpp"
+#include "metrics/metrics.hpp"
+#include "nn/attention.hpp"
+#include "scene/dataset.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace aero;
+using aero::autograd::Var;
+using aero::tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    util::Rng rng(1);
+    const Tensor a = Tensor::randn({n, n}, rng);
+    const Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::matmul(a, b));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2d(benchmark::State& state) {
+    const int size = static_cast<int>(state.range(0));
+    util::Rng rng(2);
+    const Tensor x = Tensor::randn({1, 16, size, size}, rng);
+    const Tensor w = Tensor::randn({16, 16, 3, 3}, rng);
+    const Tensor bias = Tensor::randn({16}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::conv2d(x, w, bias, {1, 1}));
+    }
+}
+BENCHMARK(BM_Conv2d)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MultiHeadAttention(benchmark::State& state) {
+    const int tokens = static_cast<int>(state.range(0));
+    util::Rng rng(3);
+    nn::MultiHeadAttention attn(32, 4, rng);
+    const Var x = Var::constant(Tensor::randn({tokens, 32}, rng));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(attn.forward(x).value());
+    }
+}
+BENCHMARK(BM_MultiHeadAttention)->Arg(16)->Arg(64);
+
+void BM_SceneRender(benchmark::State& state) {
+    const int size = static_cast<int>(state.range(0));
+    util::Rng rng(4);
+    const scene::Scene sc = scene::generate_random_scene(rng, 0);
+    scene::RenderOptions options;
+    options.image_size = size;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scene::render(sc, options));
+    }
+}
+BENCHMARK(BM_SceneRender)->Arg(32)->Arg(64);
+
+diffusion::UNetConfig micro_unet_config() {
+    diffusion::UNetConfig config;
+    config.in_channels = 4;
+    config.base_channels = 24;
+    config.cond_dim = 32;
+    return config;
+}
+
+void BM_UNetDenoiseStep(benchmark::State& state) {
+    util::Rng rng(5);
+    diffusion::UNet unet(micro_unet_config(), rng);
+    const Tensor z = Tensor::randn({4, 8, 8}, rng);
+    const Tensor cond = Tensor::randn({3, 32}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unet.denoise(z, 10, 64, cond));
+    }
+}
+BENCHMARK(BM_UNetDenoiseStep);
+
+void BM_UNetTrainStep(benchmark::State& state) {
+    util::Rng rng(6);
+    diffusion::UNet unet(micro_unet_config(), rng);
+    const diffusion::NoiseSchedule schedule({64, 0.001f, 0.012f});
+    std::vector<Tensor> latents{Tensor::randn({4, 8, 8}, rng)};
+    std::vector<Tensor> conds{Tensor::randn({3, 32}, rng)};
+    diffusion::DiffusionTrainConfig config;
+    config.steps = 1;
+    config.batch_size = 4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            diffusion::train_diffusion(unet, schedule, latents, conds,
+                                       config, rng));
+    }
+}
+BENCHMARK(BM_UNetTrainStep);
+
+void BM_DdimSample(benchmark::State& state) {
+    util::Rng rng(7);
+    diffusion::UNet unet(micro_unet_config(), rng);
+    const diffusion::NoiseSchedule schedule({64, 0.001f, 0.012f});
+    diffusion::DdimConfig config;
+    config.inference_steps = static_cast<int>(state.range(0));
+    const diffusion::DdimSampler sampler(unet, schedule, config);
+    const Tensor cond = Tensor::randn({3, 32}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sampler.sample({4, 8, 8}, cond, rng));
+    }
+}
+BENCHMARK(BM_DdimSample)->Arg(4)->Arg(10);
+
+void BM_FidComputation(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    util::Rng rng(8);
+    const metrics::FeatureNet net;
+    std::vector<image::Image> real;
+    std::vector<image::Image> fake;
+    for (int i = 0; i < n; ++i) {
+        image::Image a(32, 32, {0.4f, 0.5f, 0.3f});
+        image::Image b(32, 32, {0.45f, 0.45f, 0.35f});
+        image::add_gaussian_noise(a, rng, 0.1f);
+        image::add_gaussian_noise(b, rng, 0.1f);
+        real.push_back(std::move(a));
+        fake.push_back(std::move(b));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(metrics::fid(net, real, fake));
+    }
+}
+BENCHMARK(BM_FidComputation)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// Table I reproduction: FID / PSNR / KID of DDPM, Stable Diffusion,
+// ARLDM, Versatile Diffusion, Make-a-Scene and AeroDiffusion on the
+// synthetic aerial dataset. All conditional models share the same
+// pretrained substrate and training budget, so differences isolate what
+// conditioning information reaches the denoiser -- the axis the paper's
+// comparison varies. Absolute values differ from the paper (different
+// substrate and scale); the reported shape is who wins and by how much.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/log.hpp"
+
+int main() {
+    using namespace aero;
+
+    std::printf("=== Table I: SOTA comparison (scale %d) ===\n",
+                util::bench_scale());
+    util::Stopwatch total;
+
+    bench::Harness harness = bench::build_harness(2025);
+    util::Rng rng(31337);
+    auto models = baselines::make_table1_models(harness.substrate, rng);
+
+    struct Row {
+        std::string name;
+        metrics::SynthesisScores scores;
+    };
+    std::vector<Row> rows;
+
+    for (auto& model : models) {
+        util::Stopwatch timer;
+        util::Rng fit_rng = rng.fork(std::hash<std::string>{}(model->name()));
+        model->fit(fit_rng);
+        util::Rng gen_rng = fit_rng.fork(99);
+        const auto generated =
+            bench::generate_eval_set(*model, harness, gen_rng);
+        rows.push_back({model->name(),
+                        bench::score_eval_set(harness, generated)});
+        std::printf("  [%s] done in %.1fs  (FID %.2f, PSNR %.2f, KID %.4f)\n",
+                    model->name().c_str(), timer.seconds(),
+                    rows.back().scores.fid, rows.back().scores.psnr,
+                    rows.back().scores.kid);
+
+        // Keep a few sample images for qualitative inspection.
+        const std::string dir = bench::output_dir("table1");
+        util::Rng img_rng = fit_rng.fork(7);
+        const auto sample = model->generate(harness.dataset->test()[0], 0,
+                                            img_rng);
+        image::write_ppm(sample, dir + "/" + model->name() + ".ppm");
+    }
+
+    // Baseline average row (paper reports it over the five baselines).
+    metrics::SynthesisScores average;
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        average.fid += rows[i].scores.fid;
+        average.psnr += rows[i].scores.psnr;
+        average.kid += rows[i].scores.kid;
+    }
+    const double n_baselines = static_cast<double>(rows.size() - 1);
+    average.fid /= n_baselines;
+    average.psnr /= n_baselines;
+    average.kid /= n_baselines;
+
+    std::printf("\n");
+    std::vector<std::vector<std::string>> table;
+    for (const Row& row : rows) {
+        if (row.name == "AeroDiffusion") {
+            table.push_back({"Average (baselines)", bench::fmt(average.fid),
+                             bench::fmt(average.psnr),
+                             bench::fmt(average.kid, 4)});
+        }
+        table.push_back({row.name, bench::fmt(row.scores.fid),
+                         bench::fmt(row.scores.psnr),
+                         bench::fmt(row.scores.kid, 4)});
+    }
+    bench::print_table({"Models", "FID (down)", "PSNR (up)", "KID (down)"},
+                       table);
+
+    // Shape checks against the paper's Table I.
+    const auto find = [&](const std::string& name) -> const Row& {
+        for (const Row& row : rows) {
+            if (row.name == name) return row;
+        }
+        return rows.front();
+    };
+    const Row& aero = find("AeroDiffusion");
+    const Row& ddpm = find("DDPM");
+    bool best_fid = true;
+    bool best_kid = true;
+    for (const Row& row : rows) {
+        if (row.name == "AeroDiffusion") continue;
+        best_fid = best_fid && aero.scores.fid < row.scores.fid;
+        best_kid = best_kid && aero.scores.kid <= row.scores.kid + 1e-6;
+    }
+    const bool ddpm_worst_fid =
+        ddpm.scores.fid >= aero.scores.fid &&
+        ddpm.scores.fid > average.fid * 0.99;
+    const double fid_reduction =
+        100.0 * (1.0 - aero.scores.fid / average.fid);
+    // Robust variant of the headline: with single-seed training and
+    // small-n FID, per-model ordering carries noise; beating the
+    // baseline average is the stable form of the paper's claim.
+    const bool beats_average = aero.scores.fid < average.fid;
+
+    std::printf("\nShape vs paper:\n");
+    std::printf("  AeroDiffusion best FID:            %s (paper: 78.15 best)\n",
+                best_fid ? "HOLDS" : "VIOLATED");
+    std::printf("  AeroDiffusion best/tied KID:       %s (paper: 0.04 best)\n",
+                best_kid ? "HOLDS" : "VIOLATED");
+    std::printf("  DDPM worst-tier FID:               %s (paper: 217.95 worst)\n",
+                ddpm_worst_fid ? "HOLDS" : "VIOLATED");
+    std::printf("  AeroDiffusion beats baseline avg:  %s "
+                "(robust form of the headline claim)\n",
+                beats_average ? "HOLDS" : "VIOLATED");
+    std::printf("  FID reduction vs baseline average: %.1f%% (paper: 43.2%%)\n",
+                fid_reduction);
+    std::printf("  DDPM PSNR vs AeroDiffusion:        %.2f vs %.2f "
+                "(paper: 10.38 vs 5.98)\n",
+                ddpm.scores.psnr, aero.scores.psnr);
+    std::printf(
+        "    note: at 512x512 no model aligns pixel-wise with the\n"
+        "    reference, so the paper's PSNR column rewards DDPM's smooth\n"
+        "    pixel-space output; at our 32x32 scale the image-conditioned\n"
+        "    models DO align with their reference, so the PSNR ordering\n"
+        "    inverts (documented deviation, see EXPERIMENTS.md).\n");
+    // Machine-readable record.
+    util::JsonValue payload = util::JsonValue::object();
+    util::JsonValue json_rows = util::JsonValue::array();
+    for (const Row& row : rows) {
+        util::JsonValue r = util::JsonValue::object();
+        r.set("model", row.name)
+            .set("fid", row.scores.fid)
+            .set("psnr", row.scores.psnr)
+            .set("kid", row.scores.kid);
+        json_rows.push(std::move(r));
+    }
+    payload.set("table", "I").set("rows", std::move(json_rows));
+    payload.set("fid_reduction_vs_average_pct", fid_reduction);
+    payload.set("aero_best_fid", best_fid);
+    payload.set("ddpm_worst_fid", ddpm_worst_fid);
+    bench::record_results("table1_sota", payload);
+
+    std::printf("\nTotal time: %.1fs\n", total.seconds());
+    return (beats_average && ddpm_worst_fid) ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Nighttime synthesis (Fig. 5 workflow): take a daytime scene and
+// generate its nighttime counterpart purely by conditioning on a
+// nighttime caption -- lighting keypoints in the text drive the
+// high-noise rendering conditions.
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "core/substrate.hpp"
+#include "text/llm.hpp"
+
+int main() {
+    using namespace aero;
+
+    const core::Budget budget = core::Budget::from_scale();
+    scene::DatasetConfig dataset_config;
+    dataset_config.train_size = budget.train_images;
+    dataset_config.test_size = budget.test_images;
+    dataset_config.image_size = budget.image_size;
+    // Train on a half-night mixture so the model knows the conditions.
+    dataset_config.generator.night_fraction = 0.5;
+    const scene::AerialDataset dataset(dataset_config);
+
+    util::Rng rng(404);
+    const core::Substrate substrate =
+        core::build_substrate(dataset, budget, rng);
+    core::AeroDiffusionPipeline pipeline(
+        core::PipelineConfig::aero_diffusion(), substrate, rng);
+    pipeline.fit(rng);
+
+    // Find a daytime test scene.
+    int day_index = 0;
+    for (std::size_t i = 0; i < dataset.test().size(); ++i) {
+        if (dataset.test()[i].scene.time == scene::TimeOfDay::kDay) {
+            day_index = static_cast<int>(i);
+            break;
+        }
+    }
+    const auto& reference =
+        dataset.test()[static_cast<std::size_t>(day_index)];
+    const std::string day_caption =
+        substrate.keypoint_test[static_cast<std::size_t>(day_index)].text;
+
+    // Caption for the same scene at night.
+    const scene::AerialSample night_gt =
+        scene::relight_sample(reference, scene::TimeOfDay::kNight);
+    util::Rng cap_rng(17);
+    const std::string night_caption =
+        text::SimulatedLlm::keypoint_aware()
+            .describe(night_gt.scene, text::PromptTemplate::keypoint_aware(),
+                      cap_rng)
+            .text;
+
+    std::printf("day caption:\n  %s\n\n", day_caption.c_str());
+    std::printf("night caption:\n  %s\n\n", night_caption.c_str());
+
+    const image::Image generated = pipeline.generate(
+        reference, day_caption, night_caption, rng, day_index);
+
+    image::write_ppm(reference.image, "night_day_reference.ppm");
+    image::write_ppm(night_gt.image, "night_groundtruth.ppm");
+    image::write_ppm(generated, "night_generated.ppm");
+
+    std::printf("luminance: day reference %.3f, night ground truth %.3f, "
+                "generated %.3f\n",
+                reference.image.mean_luminance(),
+                night_gt.image.mean_luminance(),
+                generated.mean_luminance());
+    std::printf("wrote night_day_reference.ppm, night_groundtruth.ppm, "
+                "night_generated.ppm\n");
+    return 0;
+}

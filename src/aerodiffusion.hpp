@@ -1,0 +1,27 @@
+#pragma once
+// Umbrella header: the public API of the AeroDiffusion library.
+//
+//   #include "aerodiffusion.hpp"
+//
+// pulls in everything an application needs: the synthetic paired
+// text-aerial dataset, the shared substrate (CLIP / detector /
+// autoencoder), the AeroDiffusion pipeline and its baseline variants,
+// and the evaluation metrics. Individual subsystem headers remain
+// available for finer-grained inclusion.
+
+#include "baselines/models.hpp"       // Table-I baselines + model interface
+#include "core/condition.hpp"         // condition network (Eq. 5)
+#include "core/config.hpp"            // experiment budgets
+#include "core/pipeline.hpp"          // AeroDiffusionPipeline
+#include "core/substrate.hpp"         // shared pretrained substrate
+#include "detect/detector.hpp"        // grid detector + ROI extraction
+#include "detect/evaluation.hpp"      // detection AP / mAP
+#include "diffusion/sampler.hpp"      // DDPM / DDIM(+CFG, Heun, edit, inpaint)
+#include "embed/clip.hpp"             // contrastive dual encoder + CLIP score
+#include "embed/fusion.hpp"           // BLIP fusion + region augmenter
+#include "image/image.hpp"            // float RGB images + PPM I/O
+#include "metrics/metrics.hpp"        // FID / KID / PSNR
+#include "metrics/prd.hpp"            // generative precision / recall
+#include "scene/dataset.hpp"          // synthetic aerial dataset
+#include "text/llm.hpp"               // simulated LLM captioners
+#include "text/parser.hpp"            // caption -> structure parser

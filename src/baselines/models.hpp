@@ -1,0 +1,70 @@
+#pragma once
+// The five SOTA baselines of Table I behind a uniform interface.
+// DDPM is a genuinely separate model (unconditional, pixel-space);
+// the four conditional baselines are conditioning variants of the shared
+// latent-diffusion substrate (see core::ModelVariant), mirroring how the
+// paper's comparison isolates what information reaches the denoiser.
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace aero::baselines {
+
+/// A trainable image-synthesis model evaluated by the benchmark harness.
+class SynthesisModel {
+public:
+    virtual ~SynthesisModel() = default;
+
+    virtual const std::string& name() const = 0;
+    /// Trains the model on the substrate's training split.
+    virtual void fit(util::Rng& rng) = 0;
+    /// Generates an image for the `index`-th test sample.
+    virtual image::Image generate(const scene::AerialSample& reference,
+                                  int index, util::Rng& rng) const = 0;
+};
+
+/// Adapter exposing a core pipeline (AeroDiffusion or a conditional
+/// baseline variant) through the harness interface. Uses the test-split
+/// caption of the model's captioner as both G and G'.
+class PipelineModel : public SynthesisModel {
+public:
+    PipelineModel(const core::PipelineConfig& config,
+                  const core::Substrate& substrate, util::Rng& rng);
+
+    const std::string& name() const override { return pipeline_.name(); }
+    void fit(util::Rng& rng) override;
+    image::Image generate(const scene::AerialSample& reference, int index,
+                          util::Rng& rng) const override;
+
+    const core::AeroDiffusionPipeline& pipeline() const { return pipeline_; }
+
+private:
+    core::AeroDiffusionPipeline pipeline_;
+};
+
+/// Unconditional pixel-space DDPM (the probabilistic baseline): trains
+/// an epsilon-UNet directly on RGB tensors and samples with full-length
+/// ancestral DDPM.
+class DdpmBaseline : public SynthesisModel {
+public:
+    DdpmBaseline(const core::Substrate& substrate, util::Rng& rng);
+
+    const std::string& name() const override { return name_; }
+    void fit(util::Rng& rng) override;
+    image::Image generate(const scene::AerialSample& reference, int index,
+                          util::Rng& rng) const override;
+
+private:
+    std::string name_ = "DDPM";
+    const core::Substrate* substrate_;
+    diffusion::NoiseSchedule schedule_;
+    diffusion::UNet unet_;
+};
+
+/// All six Table-I models (five baselines + AeroDiffusion), ready to fit.
+std::vector<std::unique_ptr<SynthesisModel>> make_table1_models(
+    const core::Substrate& substrate, util::Rng& rng);
+
+}  // namespace aero::baselines

@@ -1,0 +1,66 @@
+#include "core/config.hpp"
+
+#include "util/env.hpp"
+
+namespace aero::core {
+
+Budget Budget::smoke() {
+    Budget b;
+    b.train_images = 10;
+    b.test_images = 6;
+    b.image_size = 32;
+    b.ae_steps = 25;
+    b.clip_steps = 25;
+    b.detector_steps = 25;
+    b.diffusion_steps = 30;
+    b.batch_size = 4;
+    b.schedule_steps = 16;
+    b.ddim_steps = 4;
+    b.eval_samples = 6;
+    return b;
+}
+
+namespace {
+
+/// Per-field environment overrides for experimentation, e.g.
+/// AERO_DIFFUSION_STEPS=800 ./bench_table4_ablation.
+Budget apply_env_overrides(Budget b) {
+    b.train_images = util::env_int("AERO_TRAIN_IMAGES", b.train_images);
+    b.test_images = util::env_int("AERO_TEST_IMAGES", b.test_images);
+    b.ae_steps = util::env_int("AERO_AE_STEPS", b.ae_steps);
+    b.clip_steps = util::env_int("AERO_CLIP_STEPS", b.clip_steps);
+    b.detector_steps = util::env_int("AERO_DETECTOR_STEPS", b.detector_steps);
+    b.diffusion_steps =
+        util::env_int("AERO_DIFFUSION_STEPS", b.diffusion_steps);
+    b.schedule_steps = util::env_int("AERO_SCHEDULE_STEPS", b.schedule_steps);
+    b.ddim_steps = util::env_int("AERO_DDIM_STEPS", b.ddim_steps);
+    b.guidance_scale = static_cast<float>(
+        util::env_double("AERO_GUIDANCE", b.guidance_scale));
+    b.eval_samples = util::env_int("AERO_EVAL_SAMPLES", b.eval_samples);
+    return b;
+}
+
+}  // namespace
+
+Budget Budget::from_scale() {
+    switch (util::bench_scale()) {
+        case 0: return apply_env_overrides(smoke());
+        case 2: {
+            Budget b;
+            b.train_images = 256;
+            b.test_images = 64;
+            b.ae_steps = 500;
+            b.clip_steps = 400;
+            b.detector_steps = 500;
+            b.diffusion_steps = 1200;
+            b.batch_size = 8;
+            b.schedule_steps = 128;
+            b.ddim_steps = 20;
+            b.eval_samples = 48;
+            return apply_env_overrides(b);
+        }
+        default: return apply_env_overrides(Budget{});
+    }
+}
+
+}  // namespace aero::core

@@ -1,0 +1,39 @@
+#pragma once
+// Experiment budgets. The paper trains 50 epochs on 6,471 images of
+// 512x512 on 8xA100; this library runs the same pipeline shapes at
+// CPU-tractable sizes, scaled by AERO_BENCH_SCALE (0 = smoke for tests,
+// 1 = default bench, 2 = paper-shaped overnight run).
+
+namespace aero::core {
+
+struct Budget {
+    int train_images = 128;
+    int test_images = 48;
+    int image_size = 32;
+
+    int ae_steps = 180;
+    int clip_steps = 180;
+    int detector_steps = 220;
+    int diffusion_steps = 650;
+    int batch_size = 6;
+
+    int schedule_steps = 64;   ///< T (paper: 1000)
+    int ddim_steps = 10;       ///< DDIM inference steps (paper: 250)
+    /// Classifier-free guidance. The paper uses 7.0; at CPU scale the
+    /// denoiser is far smaller, so strong guidance pushes latents off
+    /// manifold -- 2.0 keeps the conditioning benefit without artifacts
+    /// (deviation documented in DESIGN.md).
+    float guidance_scale = 2.0f;
+
+    /// Generated images per model for metrics. Each eval sample is a
+    /// DISTINCT test scene: repeating scenes shrinks the generated
+    /// covariance and biases FID against well-conditioned models.
+    int eval_samples = 48;
+
+    /// Budget for the current AERO_BENCH_SCALE.
+    static Budget from_scale();
+    /// Seconds-fast budget used by unit tests.
+    static Budget smoke();
+};
+
+}  // namespace aero::core

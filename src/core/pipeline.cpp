@@ -1,0 +1,375 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/ema.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+
+namespace aero::core {
+
+namespace ag = aero::autograd;
+
+PipelineConfig PipelineConfig::aero_diffusion() { return PipelineConfig{}; }
+
+PipelineConfig PipelineConfig::stable_diffusion() {
+    PipelineConfig config;
+    config.variant = ModelVariant::kStableDiffusion;
+    config.name = "Stable Diffusion";
+    config.use_keypoint_captions = false;
+    config.use_blip_fusion = true;  // Table I SD == ablation row 2 (+BLIP)
+    config.use_image_feature = false;
+    config.use_object_detection = false;
+    return config;
+}
+
+PipelineConfig PipelineConfig::arldm() {
+    PipelineConfig config;
+    config.variant = ModelVariant::kArldm;
+    config.name = "ARLDM";
+    config.use_keypoint_captions = false;
+    config.use_blip_fusion = true;
+    config.use_image_feature = false;
+    config.use_object_detection = false;
+    return config;
+}
+
+PipelineConfig PipelineConfig::versatile_diffusion() {
+    PipelineConfig config;
+    config.variant = ModelVariant::kVersatile;
+    config.name = "Versatile Diffusion";
+    config.use_keypoint_captions = false;
+    config.use_blip_fusion = false;
+    config.use_image_feature = false;
+    config.use_object_detection = false;
+    return config;
+}
+
+PipelineConfig PipelineConfig::make_a_scene() {
+    PipelineConfig config;
+    config.variant = ModelVariant::kMakeAScene;
+    config.name = "Make-a-Scene";
+    config.use_keypoint_captions = false;
+    config.use_blip_fusion = false;
+    config.use_image_feature = false;
+    config.use_object_detection = false;
+    return config;
+}
+
+PipelineConfig PipelineConfig::ablation(bool with_blip,
+                                        bool with_keypoint_llm,
+                                        bool with_object_detection) {
+    PipelineConfig config;
+    config.variant = ModelVariant::kAeroDiffusion;
+    config.use_blip_fusion = with_blip;
+    config.use_keypoint_captions = with_keypoint_llm;
+    config.use_object_detection = with_object_detection;
+    // The f̂_X row only enters once object detection enables it, matching
+    // the ablation's "OD" column; earlier rows are text(+fusion)-only.
+    config.use_image_feature = with_object_detection;
+    config.name = "ablation";
+    return config;
+}
+
+namespace {
+
+diffusion::UNetConfig unet_config_for(const PipelineConfig& config,
+                                      const Substrate& substrate) {
+    diffusion::UNetConfig unet;
+    unet.in_channels = substrate.autoencoder->config().latent_channels;
+    unet.base_channels = config.unet_base_channels;
+    unet.cond_dim = substrate.embed_config.dim;
+    unet.time_dim = 32;
+    return unet;
+}
+
+/// Deterministic random projection used for Make-a-Scene layout tokens.
+tensor::Tensor layout_projection(int rows, int cols) {
+    util::Rng rng(0x5ce9e);
+    return tensor::Tensor::randn({rows, cols}, rng, 0.0f, 0.5f);
+}
+
+}  // namespace
+
+AeroDiffusionPipeline::AeroDiffusionPipeline(const PipelineConfig& config,
+                                             const Substrate& substrate,
+                                             util::Rng& rng)
+    : config_(config),
+      substrate_(&substrate),
+      schedule_({substrate.budget.schedule_steps, 0.001f, 0.012f}),
+      unet_(unet_config_for(config, substrate), rng),
+      condition_encoder_(substrate.embed_config, config.use_blip_fusion,
+                         config.use_image_feature,
+                         config.use_object_detection, rng) {}
+
+const std::vector<text::Caption>& AeroDiffusionPipeline::train_captions()
+    const {
+    if (config_.custom_train_captions) return *config_.custom_train_captions;
+    return config_.use_keypoint_captions ? substrate_->keypoint_train
+                                         : substrate_->generic_train;
+}
+
+const std::vector<text::Caption>& AeroDiffusionPipeline::test_captions()
+    const {
+    if (config_.custom_test_captions) return *config_.custom_test_captions;
+    return config_.use_keypoint_captions ? substrate_->keypoint_test
+                                         : substrate_->generic_test;
+}
+
+int AeroDiffusionPipeline::parameter_count() const {
+    return unet_.parameter_count() + condition_encoder_.parameter_count();
+}
+
+bool AeroDiffusionPipeline::save(const std::string& path) const {
+    return nn::save_parameters(unet_, path + ".unet") &&
+           nn::save_parameters(condition_encoder_, path + ".cond");
+}
+
+bool AeroDiffusionPipeline::load(const std::string& path) {
+    return nn::load_parameters(unet_, path + ".unet") &&
+           nn::load_parameters(condition_encoder_, path + ".cond");
+}
+
+Tensor AeroDiffusionPipeline::extra_tokens(const scene::AerialSample& sample,
+                                           int sample_index,
+                                           bool is_train) const {
+    switch (config_.variant) {
+        case ModelVariant::kArldm: {
+            // Autoregressive "story history": the CLIP image embedding of
+            // the previous sample in the split.
+            const auto& split = is_train ? substrate_->dataset->train()
+                                         : substrate_->dataset->test();
+            if (split.empty()) return Tensor();
+            const int prev =
+                sample_index <= 0 ? static_cast<int>(split.size()) - 1
+                                  : sample_index - 1;
+            return substrate_->clip->embed_image_eval(
+                split[static_cast<std::size_t>(prev)].image);
+        }
+        case ModelVariant::kMakeAScene: {
+            // Coarse 4x4 layout occupancy from the scene annotation,
+            // projected into the condition space.
+            const int grid = 4;
+            Tensor occupancy({1, grid * grid});
+            const float size =
+                static_cast<float>(substrate_->budget.image_size);
+            for (const scene::BoundingBox& box : sample.gt_boxes) {
+                const int gx = std::clamp(
+                    static_cast<int>(box.cx() / size * grid), 0, grid - 1);
+                const int gy = std::clamp(
+                    static_cast<int>(box.cy() / size * grid), 0, grid - 1);
+                occupancy[gy * grid + gx] += 0.1f;
+            }
+            // occupancy [1,16] x projection [16, d]
+            const Tensor projection =
+                layout_projection(grid * grid, substrate_->embed_config.dim);
+            return tensor::matmul(occupancy, projection);
+        }
+        default: return Tensor();
+    }
+}
+
+ConditionFeatures AeroDiffusionPipeline::features_for(
+    const scene::AerialSample& sample, const std::string& caption,
+    const std::string& target_caption, int sample_index,
+    bool is_train) const {
+    ConditionFeatures features = compute_condition_features(
+        *substrate_, sample, caption, target_caption,
+        config_.use_object_detection, config_.max_rois);
+    features.extra_tokens = extra_tokens(sample, sample_index, is_train);
+    return features;
+}
+
+diffusion::DiffusionTrainStats AeroDiffusionPipeline::fit(util::Rng& rng) {
+    const auto& train_split = substrate_->dataset->train();
+    const auto& captions = train_captions();
+    assert(train_split.size() == captions.size());
+    assert(train_split.size() == substrate_->train_latents.size());
+
+    // Cache frozen-encoder features per training sample (G' == G during
+    // training: the model learns to reconstruct the described scene).
+    train_features_.clear();
+    train_features_.reserve(train_split.size());
+    for (std::size_t i = 0; i < train_split.size(); ++i) {
+        train_features_.push_back(features_for(train_split[i],
+                                               captions[i].text,
+                                               captions[i].text,
+                                               static_cast<int>(i), true));
+    }
+
+    // Joint optimisation of theta (UNet) and the condition parameters.
+    std::vector<Var> params = unet_.parameters();
+    {
+        const std::vector<Var> cond_params = condition_encoder_.parameters();
+        params.insert(params.end(), cond_params.begin(), cond_params.end());
+    }
+    nn::Adam opt(params, {.lr = config_.lr, .weight_decay = 1e-5f});
+    nn::Ema ema(params, /*decay=*/0.99f);
+
+    const Budget& budget = substrate_->budget;
+    const std::vector<int>& latent_shape =
+        substrate_->train_latents.front().shape();
+    const int c = latent_shape[0];
+    const int h = latent_shape[1];
+    const int w = latent_shape[2];
+    const int batch = std::min<int>(budget.batch_size,
+                                    static_cast<int>(train_split.size()));
+
+    diffusion::DiffusionTrainStats stats;
+    double tail_sum = 0.0;
+    int tail_count = 0;
+    for (int step = 0; step < budget.diffusion_steps; ++step) {
+        std::vector<Tensor> noisy;
+        std::vector<Tensor> noise;
+        std::vector<int> timesteps;
+        std::vector<Var> conds;
+        for (int b = 0; b < batch; ++b) {
+            const int i = rng.uniform_int(
+                0, static_cast<int>(train_split.size()) - 1);
+            const int t = rng.uniform_int(0, schedule_.steps() - 1);
+            const Tensor eps = Tensor::randn(latent_shape, rng);
+            const Tensor& z0 =
+                substrate_->train_latents[static_cast<std::size_t>(i)];
+            noisy.push_back(
+                schedule_.q_sample(z0, t, eps).reshaped({1, c, h, w}));
+            noise.push_back(schedule_.training_target(
+                z0, eps, t, config_.parameterization));
+            timesteps.push_back(t);
+
+            if (rng.bernoulli(config_.condition_dropout)) {
+                conds.emplace_back();  // null token (CFG dropout)
+                continue;
+            }
+            ConditionFeatures features =
+                train_features_[static_cast<std::size_t>(i)];
+            if (config_.variant == ModelVariant::kVersatile &&
+                rng.bernoulli(0.5)) {
+                // Multi-flow training: the text slot sometimes carries the
+                // image embedding instead (Versatile's shared core).
+                features.clip_text = features.clip_image;
+            }
+            conds.push_back(condition_encoder_.encode(features));
+        }
+
+        const Var z_t = Var::constant(tensor::concat(noisy, 0));
+        const Var target = Var::constant(
+            tensor::concat(noise, 0).reshaped({batch, c, h, w}));
+
+        opt.zero_grad();
+        const Var eps_pred =
+            unet_.forward(z_t, timesteps, schedule_.steps(), conds);
+        const Var loss = ag::mse_loss(eps_pred, target);  // Eq. 6
+        loss.backward();
+        opt.clip_grad_norm(5.0f);
+        opt.step();
+        ema.update();
+
+        const float value = loss.value()[0];
+        if (step == 0) stats.first_loss = value;
+        stats.final_loss = value;
+        if (step >= budget.diffusion_steps * 3 / 4) {
+            tail_sum += value;
+            ++tail_count;
+        }
+    }
+    if (tail_count > 0) {
+        stats.tail_loss = static_cast<float>(tail_sum / tail_count);
+    }
+    ema.apply();  // sample from the averaged weights
+    util::log_info() << config_.name << ": diffusion loss "
+                     << stats.first_loss << " -> " << stats.tail_loss;
+    return stats;
+}
+
+namespace {
+
+diffusion::DdimConfig ddim_config_for(const PipelineConfig& config,
+                                      const Budget& budget) {
+    diffusion::DdimConfig ddim_config;
+    ddim_config.inference_steps = budget.ddim_steps;
+    ddim_config.guidance_scale = budget.guidance_scale;
+    ddim_config.parameterization = config.parameterization;
+    return ddim_config;
+}
+
+}  // namespace
+
+image::Image AeroDiffusionPipeline::generate(
+    const scene::AerialSample& reference, const std::string& source_caption,
+    const std::string& target_caption, util::Rng& rng,
+    int sample_index) const {
+    const ConditionFeatures features = features_for(
+        reference, source_caption, target_caption, sample_index, false);
+    const Tensor cond = condition_encoder_.encode(features).value();
+
+    const diffusion::DdimSampler sampler(
+        unet_, schedule_, ddim_config_for(config_, substrate_->budget));
+    const auto& ae_config = substrate_->autoencoder->config();
+    const int s = ae_config.latent_size();
+    Tensor latent =
+        sampler.sample({ae_config.latent_channels, s, s}, cond, rng);
+    // Undo the latent normalisation before decoding.
+    latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
+    return substrate_->autoencoder->decode_latent(latent);
+}
+
+image::Image AeroDiffusionPipeline::generate_edit(
+    const scene::AerialSample& reference, const std::string& source_caption,
+    const std::string& target_caption, float strength, util::Rng& rng,
+    int sample_index) const {
+    const ConditionFeatures features = features_for(
+        reference, source_caption, target_caption, sample_index, false);
+    const Tensor cond = condition_encoder_.encode(features).value();
+
+    const diffusion::DdimSampler sampler(
+        unet_, schedule_, ddim_config_for(config_, substrate_->budget));
+    const Tensor source = tensor::scale(
+        substrate_->autoencoder->encode_image(reference.image),
+        substrate_->latent_scale);
+    Tensor latent = sampler.edit(source, cond, strength, rng);
+    latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
+    return substrate_->autoencoder->decode_latent(latent);
+}
+
+image::Image AeroDiffusionPipeline::generate_inpaint(
+    const scene::AerialSample& reference, const scene::BoundingBox& region,
+    const std::string& source_caption, const std::string& target_caption,
+    util::Rng& rng, int sample_index) const {
+    const ConditionFeatures features = features_for(
+        reference, source_caption, target_caption, sample_index, false);
+    const Tensor cond = condition_encoder_.encode(features).value();
+
+    const auto& ae_config = substrate_->autoencoder->config();
+    const int s = ae_config.latent_size();
+    const float scale = static_cast<float>(s) /
+                        static_cast<float>(substrate_->budget.image_size);
+    // Pixel-space box -> latent-space mask (1 = regenerate).
+    Tensor mask({ae_config.latent_channels, s, s});
+    const int x0 = std::clamp(static_cast<int>(region.x * scale), 0, s - 1);
+    const int y0 = std::clamp(static_cast<int>(region.y * scale), 0, s - 1);
+    const int x1 = std::clamp(
+        static_cast<int>(std::ceil((region.x + region.w) * scale)), x0 + 1, s);
+    const int y1 = std::clamp(
+        static_cast<int>(std::ceil((region.y + region.h) * scale)), y0 + 1, s);
+    for (int c = 0; c < ae_config.latent_channels; ++c) {
+        for (int y = y0; y < y1; ++y) {
+            for (int x = x0; x < x1; ++x) {
+                mask[(c * s + y) * s + x] = 1.0f;
+            }
+        }
+    }
+
+    const diffusion::DdimSampler sampler(
+        unet_, schedule_, ddim_config_for(config_, substrate_->budget));
+    const Tensor source = tensor::scale(
+        substrate_->autoencoder->encode_image(reference.image),
+        substrate_->latent_scale);
+    Tensor latent = sampler.inpaint(source, mask, cond, rng);
+    latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
+    return substrate_->autoencoder->decode_latent(latent);
+}
+
+}  // namespace aero::core

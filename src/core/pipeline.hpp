@@ -1,0 +1,128 @@
+#pragma once
+// AeroDiffusion end-to-end pipeline (the paper's contribution) and its
+// conditioning variants, which double as the conditional baselines of
+// Table I. A pipeline owns a UNet denoiser plus a trainable condition
+// encoder; the frozen substrate (CLIP / autoencoder / detector) is
+// shared across models so comparisons isolate the conditioning.
+
+#include "core/condition.hpp"
+#include "diffusion/sampler.hpp"
+#include "diffusion/trainer.hpp"
+
+namespace aero::core {
+
+/// Conditioning recipe (see DESIGN.md, experiment index).
+enum class ModelVariant {
+    kAeroDiffusion,     ///< keypoint captions + BLIP fusion + f̂_X (ours)
+    kStableDiffusion,   ///< generic captions, text-only conditioning
+    kArldm,             ///< SD + BLIP fusion + autoregressive history token
+    kVersatile,         ///< text-only, multi-flow (text/image) training
+    kMakeAScene,        ///< text + scene-layout token
+};
+
+struct PipelineConfig {
+    ModelVariant variant = ModelVariant::kAeroDiffusion;
+    std::string name = "AeroDiffusion";
+
+    bool use_keypoint_captions = true;  ///< ours vs generic BLIP captions
+    /// Optional caption override (Table II trains the same architecture
+    /// on captions from different simulated LLMs). Must stay alive for
+    /// the pipeline's lifetime and align with the dataset splits.
+    const std::vector<text::Caption>* custom_train_captions = nullptr;
+    const std::vector<text::Caption>* custom_test_captions = nullptr;
+    bool use_blip_fusion = true;        ///< include C_xg
+    bool use_image_feature = true;      ///< include the f̂_X row at all
+    bool use_object_detection = true;   ///< ROI-augment the f̂_X row
+    int max_rois = 12;
+
+    int unet_base_channels = 24;
+    float lr = 2e-3f;
+    float condition_dropout = 0.1f;
+    /// Latent models default to v-prediction: it balances denoising
+    /// information across timesteps so conditioning pays off under small
+    /// budgets (deviation from the paper's Eq. 6 epsilon target,
+    /// documented in DESIGN.md).
+    diffusion::Parameterization parameterization =
+        diffusion::Parameterization::kV;
+
+    /// Ready-made configurations.
+    static PipelineConfig aero_diffusion();
+    static PipelineConfig stable_diffusion();
+    static PipelineConfig arldm();
+    static PipelineConfig versatile_diffusion();
+    static PipelineConfig make_a_scene();
+    /// Table IV ablation row: which components are enabled.
+    static PipelineConfig ablation(bool with_blip, bool with_keypoint_llm,
+                                   bool with_object_detection);
+};
+
+class AeroDiffusionPipeline {
+public:
+    AeroDiffusionPipeline(const PipelineConfig& config,
+                          const Substrate& substrate, util::Rng& rng);
+
+    /// Trains the denoiser and condition encoder jointly (Eq. 6).
+    diffusion::DiffusionTrainStats fit(util::Rng& rng);
+
+    /// Synthesises an image conditioned on a reference sample (source of
+    /// image features / ROIs), its source caption G_i, and the target
+    /// caption G'_i (Table III changes G' to move the viewpoint).
+    /// `sample_index` feeds variant-specific extras (ARLDM history).
+    image::Image generate(const scene::AerialSample& reference,
+                          const std::string& source_caption,
+                          const std::string& target_caption, util::Rng& rng,
+                          int sample_index = -1) const;
+
+    /// SDEdit-style variant of generate(): anchors the synthesis on the
+    /// reference image's latent, re-noised to `strength` * T, so low
+    /// strengths preserve layout while the target caption steers the
+    /// rest. Useful for "closer viewpoint" transitions (Table III).
+    image::Image generate_edit(const scene::AerialSample& reference,
+                               const std::string& source_caption,
+                               const std::string& target_caption,
+                               float strength, util::Rng& rng,
+                               int sample_index = -1) const;
+
+    /// Regenerates only the given pixel-space region (RePaint-style
+    /// latent inpainting); the rest of the reference is preserved.
+    image::Image generate_inpaint(const scene::AerialSample& reference,
+                                  const scene::BoundingBox& region,
+                                  const std::string& source_caption,
+                                  const std::string& target_caption,
+                                  util::Rng& rng,
+                                  int sample_index = -1) const;
+
+    /// The captions this model trains on (per its captioner choice).
+    const std::vector<text::Caption>& train_captions() const;
+    const std::vector<text::Caption>& test_captions() const;
+
+    const std::string& name() const { return config_.name; }
+    const PipelineConfig& config() const { return config_; }
+    int parameter_count() const;
+
+    /// Checkpoints the trained weights (denoiser + condition encoder) to
+    /// `<path>.unet` / `<path>.cond`. The substrate is NOT included; a
+    /// loaded pipeline must be constructed against the same substrate
+    /// configuration.
+    bool save(const std::string& path) const;
+    /// Restores weights saved by save(); returns false on any mismatch.
+    bool load(const std::string& path);
+
+private:
+    ConditionFeatures features_for(const scene::AerialSample& sample,
+                                   const std::string& caption,
+                                   const std::string& target_caption,
+                                   int sample_index, bool is_train) const;
+    /// Variant-specific extra condition rows.
+    Tensor extra_tokens(const scene::AerialSample& sample, int sample_index,
+                        bool is_train) const;
+
+    PipelineConfig config_;
+    const Substrate* substrate_;
+    diffusion::NoiseSchedule schedule_;
+    diffusion::UNet unet_;
+    ConditionEncoder condition_encoder_;
+    std::vector<ConditionFeatures> train_features_;
+};
+
+}  // namespace aero::core

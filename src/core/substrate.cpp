@@ -1,0 +1,122 @@
+#include "core/substrate.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace aero::core {
+
+std::vector<text::Caption> caption_split(
+    const std::vector<scene::AerialSample>& samples,
+    const text::SimulatedLlm& llm, const text::PromptTemplate& prompt,
+    util::Rng& rng) {
+    std::vector<text::Caption> captions;
+    captions.reserve(samples.size());
+    for (const scene::AerialSample& sample : samples) {
+        captions.push_back(llm.describe(sample.scene, prompt, rng));
+    }
+    return captions;
+}
+
+Substrate build_substrate(const scene::AerialDataset& dataset,
+                          const Budget& budget, util::Rng& rng) {
+    util::Stopwatch timer;
+    Substrate substrate;
+    substrate.dataset = &dataset;
+    substrate.budget = budget;
+    substrate.embed_config.image_size = budget.image_size;
+
+    // 1. The paired text-aerial dataset: keypoint-aware captions (Eq. 1)
+    //    plus the generic baseline captions.
+    {
+        util::Rng caption_rng = rng.fork(1);
+        const auto keypoint_llm = text::SimulatedLlm::keypoint_aware();
+        const auto keypoint_prompt = text::PromptTemplate::keypoint_aware();
+        substrate.keypoint_train = caption_split(
+            dataset.train(), keypoint_llm, keypoint_prompt, caption_rng);
+        substrate.keypoint_test = caption_split(
+            dataset.test(), keypoint_llm, keypoint_prompt, caption_rng);
+        const auto generic_llm = text::SimulatedLlm::blip_captioner();
+        const auto generic_prompt = text::PromptTemplate::traditional();
+        substrate.generic_train = caption_split(
+            dataset.train(), generic_llm, generic_prompt, caption_rng);
+        substrate.generic_test = caption_split(
+            dataset.test(), generic_llm, generic_prompt, caption_rng);
+    }
+
+    std::vector<image::Image> train_images;
+    std::vector<std::string> train_caption_texts;
+    train_images.reserve(dataset.train().size());
+    for (std::size_t i = 0; i < dataset.train().size(); ++i) {
+        train_images.push_back(dataset.train()[i].image);
+        train_caption_texts.push_back(substrate.keypoint_train[i].text);
+    }
+
+    // 2. CLIP on the keypoint-aware pairs.
+    {
+        util::Rng clip_rng = rng.fork(2);
+        substrate.clip = std::make_unique<embed::ClipModel>(
+            substrate.embed_config, clip_rng);
+        embed::ClipTrainConfig config;
+        config.steps = budget.clip_steps;
+        config.batch_size = budget.batch_size;
+        const auto stats = embed::train_clip(*substrate.clip, train_images,
+                                             train_caption_texts, config,
+                                             clip_rng);
+        util::log_info() << "substrate: CLIP loss " << stats.first_loss
+                         << " -> " << stats.final_loss;
+    }
+
+    // 3. Detector (the YOLO stand-in) on GT annotations.
+    {
+        util::Rng det_rng = rng.fork(3);
+        detect::DetectorConfig config;
+        config.image_size = budget.image_size;
+        config.grid = budget.image_size / 4;
+        substrate.detector =
+            std::make_unique<detect::GridDetector>(config, det_rng);
+        detect::DetectorTrainConfig train_config;
+        train_config.steps = budget.detector_steps;
+        train_config.batch_size = budget.batch_size;
+        const auto stats = detect::train_detector(
+            *substrate.detector, dataset.train(), train_config, det_rng);
+        util::log_info() << "substrate: detector loss " << stats.first_loss
+                         << " -> " << stats.final_loss;
+    }
+
+    // 4. Latent autoencoder on train images.
+    {
+        util::Rng ae_rng = rng.fork(4);
+        diffusion::AutoencoderConfig config;
+        config.image_size = budget.image_size;
+        substrate.autoencoder =
+            std::make_unique<diffusion::LatentAutoencoder>(config, ae_rng);
+        diffusion::AutoencoderTrainConfig train_config;
+        train_config.steps = budget.ae_steps;
+        train_config.batch_size = budget.batch_size;
+        const auto stats = diffusion::train_autoencoder(
+            *substrate.autoencoder, train_images, train_config, ae_rng);
+        substrate.latent_scale = stats.latent_scale;
+        util::log_info() << "substrate: AE loss " << stats.first_loss
+                         << " -> " << stats.final_loss << ", latent scale "
+                         << stats.latent_scale;
+    }
+
+    // 5. Normalised latents for diffusion training.
+    substrate.train_latents.reserve(dataset.train().size());
+    for (const scene::AerialSample& sample : dataset.train()) {
+        substrate.train_latents.push_back(tensor::scale(
+            substrate.autoencoder->encode_image(sample.image),
+            substrate.latent_scale));
+    }
+
+    // 6. Fixed evaluation features.
+    metrics::FeatureNetConfig fn_config;
+    fn_config.image_size = budget.image_size;
+    substrate.feature_net = std::make_unique<metrics::FeatureNet>(fn_config);
+
+    util::log_info() << "substrate built in " << timer.seconds() << "s";
+    return substrate;
+}
+
+}  // namespace aero::core

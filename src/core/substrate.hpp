@@ -1,0 +1,61 @@
+#pragma once
+// Shared pretrained substrate for all generative models in a benchmark:
+// the latent autoencoder, the CLIP dual encoder, the trained detector,
+// the evaluation FeatureNet and the caption sets. Holding these fixed
+// across models mirrors the paper's setup (every baseline fine-tunes on
+// the same pretrained encoders) and lets differences isolate the
+// conditioning -- the quantity the paper's comparison actually varies.
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "detect/detector.hpp"
+#include "diffusion/autoencoder.hpp"
+#include "embed/clip.hpp"
+#include "metrics/feature_net.hpp"
+#include "scene/dataset.hpp"
+#include "text/llm.hpp"
+
+namespace aero::core {
+
+struct Substrate {
+    const scene::AerialDataset* dataset = nullptr;
+    Budget budget;
+
+    embed::EmbedConfig embed_config;
+    std::unique_ptr<embed::ClipModel> clip;
+    std::unique_ptr<diffusion::LatentAutoencoder> autoencoder;
+    float latent_scale = 1.0f;
+    std::unique_ptr<detect::GridDetector> detector;
+    std::unique_ptr<metrics::FeatureNet> feature_net;
+
+    /// Keypoint-aware captions (ours), aligned with dataset splits.
+    std::vector<text::Caption> keypoint_train;
+    std::vector<text::Caption> keypoint_test;
+    /// Generic captions from the simulated BLIP captioner (baselines).
+    std::vector<text::Caption> generic_train;
+    std::vector<text::Caption> generic_test;
+
+    /// Pre-encoded, scale-normalised training latents [C, s, s].
+    std::vector<tensor::Tensor> train_latents;
+
+    Substrate() = default;
+    Substrate(const Substrate&) = delete;
+    Substrate& operator=(const Substrate&) = delete;
+    Substrate(Substrate&&) = default;
+    Substrate& operator=(Substrate&&) = default;
+};
+
+/// Builds and trains the full substrate: captions both ways, CLIP on the
+/// keypoint-aware pairs, detector on GT boxes, autoencoder on the train
+/// images, then caches normalised latents.
+Substrate build_substrate(const scene::AerialDataset& dataset,
+                          const Budget& budget, util::Rng& rng);
+
+/// Captions a split with the given simulated LLM and prompt template.
+std::vector<text::Caption> caption_split(
+    const std::vector<scene::AerialSample>& samples,
+    const text::SimulatedLlm& llm, const text::PromptTemplate& prompt,
+    util::Rng& rng);
+
+}  // namespace aero::core

@@ -1,0 +1,122 @@
+#include "detect/evaluation.hpp"
+
+#include <algorithm>
+
+namespace aero::detect {
+
+ClassAp average_precision(
+    std::vector<ScoredDetection> detections,
+    const std::vector<std::vector<BoundingBox>>& gt_boxes_per_image,
+    scene::ObjectClass cls, float iou_threshold) {
+    ClassAp result;
+
+    // Ground truth of this class per image, with matched flags.
+    std::vector<std::vector<BoundingBox>> gt(gt_boxes_per_image.size());
+    std::vector<std::vector<bool>> used(gt_boxes_per_image.size());
+    for (std::size_t i = 0; i < gt_boxes_per_image.size(); ++i) {
+        for (const BoundingBox& box : gt_boxes_per_image[i]) {
+            if (box.cls == cls) gt[i].push_back(box);
+        }
+        used[i].assign(gt[i].size(), false);
+        result.gt_count += static_cast<int>(gt[i].size());
+    }
+    result.detection_count = static_cast<int>(detections.size());
+    if (result.gt_count == 0) return result;
+
+    // Greedy matching in score order.
+    std::sort(detections.begin(), detections.end(),
+              [](const ScoredDetection& a, const ScoredDetection& b) {
+                  return a.box.score > b.box.score;
+              });
+
+    int true_positives = 0;
+    int false_positives = 0;
+    std::vector<PrPoint> curve;
+    curve.reserve(detections.size());
+    for (const ScoredDetection& det : detections) {
+        const auto image = static_cast<std::size_t>(det.image_id);
+        bool matched = false;
+        if (image < gt.size()) {
+            float best_iou = iou_threshold;
+            int best = -1;
+            for (std::size_t g = 0; g < gt[image].size(); ++g) {
+                if (used[image][g]) continue;
+                const float overlap = iou(det.box, gt[image][g]);
+                if (overlap >= best_iou) {
+                    best_iou = overlap;
+                    best = static_cast<int>(g);
+                }
+            }
+            if (best >= 0) {
+                used[image][static_cast<std::size_t>(best)] = true;
+                matched = true;
+            }
+        }
+        if (matched) {
+            ++true_positives;
+        } else {
+            ++false_positives;
+        }
+        curve.push_back(
+            {static_cast<float>(true_positives) /
+                 static_cast<float>(result.gt_count),
+             static_cast<float>(true_positives) /
+                 static_cast<float>(true_positives + false_positives)});
+    }
+    result.curve = curve;
+
+    // 11-point interpolated AP.
+    float ap = 0.0f;
+    for (int k = 0; k <= 10; ++k) {
+        const float recall_level = static_cast<float>(k) / 10.0f;
+        float best_precision = 0.0f;
+        for (const PrPoint& point : curve) {
+            if (point.recall >= recall_level) {
+                best_precision = std::max(best_precision, point.precision);
+            }
+        }
+        ap += best_precision;
+    }
+    result.ap = ap / 11.0f;
+    return result;
+}
+
+MapReport evaluate_map(const GridDetector& detector,
+                       const std::vector<scene::AerialSample>& samples,
+                       float objectness_threshold, float iou_threshold) {
+    // Collect detections once.
+    std::vector<std::vector<ScoredDetection>> per_class_detections(
+        static_cast<std::size_t>(scene::kNumObjectClasses));
+    std::vector<std::vector<BoundingBox>> gt_per_image;
+    gt_per_image.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        gt_per_image.push_back(samples[i].gt_boxes);
+        for (const BoundingBox& box :
+             detector.detect(samples[i].image, objectness_threshold)) {
+            per_class_detections[static_cast<std::size_t>(box.cls)].push_back(
+                {static_cast<int>(i), box});
+        }
+    }
+
+    MapReport report;
+    report.per_class.reserve(
+        static_cast<std::size_t>(scene::kNumObjectClasses));
+    float ap_sum = 0.0f;
+    int classes_with_gt = 0;
+    for (int c = 0; c < scene::kNumObjectClasses; ++c) {
+        ClassAp ap = average_precision(
+            per_class_detections[static_cast<std::size_t>(c)], gt_per_image,
+            static_cast<scene::ObjectClass>(c), iou_threshold);
+        if (ap.gt_count > 0) {
+            ap_sum += ap.ap;
+            ++classes_with_gt;
+        }
+        report.per_class.push_back(std::move(ap));
+    }
+    if (classes_with_gt > 0) {
+        report.mean_ap = ap_sum / static_cast<float>(classes_with_gt);
+    }
+    return report;
+}
+
+}  // namespace aero::detect

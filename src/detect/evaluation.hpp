@@ -1,0 +1,52 @@
+#pragma once
+// Standard object-detection evaluation: per-class average precision
+// (11-point interpolated, VOC-style) and mAP over the VisDrone classes.
+// Complements the quick recall/precision numbers in detector.hpp with
+// the metric the detection literature (and the VisDrone challenge)
+// reports.
+
+#include "detect/detector.hpp"
+
+namespace aero::detect {
+
+/// One scored detection attributed to an image.
+struct ScoredDetection {
+    int image_id = 0;
+    BoundingBox box;
+};
+
+/// Precision/recall curve point.
+struct PrPoint {
+    float recall = 0.0f;
+    float precision = 0.0f;
+};
+
+/// Average precision for one class from matched detections.
+/// `detections` must all carry the class; `gt_per_image[i]` is the
+/// number of ground-truth boxes of that class in image i.
+struct ClassAp {
+    float ap = 0.0f;
+    int gt_count = 0;
+    int detection_count = 0;
+    std::vector<PrPoint> curve;
+};
+
+/// Computes AP for one class given all detections and ground truths.
+ClassAp average_precision(
+    std::vector<ScoredDetection> detections,
+    const std::vector<std::vector<BoundingBox>>& gt_boxes_per_image,
+    scene::ObjectClass cls, float iou_threshold = 0.3f);
+
+/// Full evaluation: runs the detector over `samples` and reports AP per
+/// class plus mAP over classes that have ground truth.
+struct MapReport {
+    std::vector<ClassAp> per_class;  ///< indexed by ObjectClass
+    float mean_ap = 0.0f;
+};
+
+MapReport evaluate_map(const GridDetector& detector,
+                       const std::vector<scene::AerialSample>& samples,
+                       float objectness_threshold = 0.25f,
+                       float iou_threshold = 0.3f);
+
+}  // namespace aero::detect

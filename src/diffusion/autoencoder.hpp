@@ -1,0 +1,73 @@
+#pragma once
+// Latent autoencoder E/D: compresses 3x S x S images into
+// latent_channels x S/4 x S/4 latents (z_0 = E(X_i), Sec. IV-C-1) and
+// decodes samples back to RGB. Trained with pixel MSE.
+
+#include "image/image.hpp"
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+
+namespace aero::diffusion {
+
+using autograd::Var;
+using tensor::Tensor;
+
+struct AutoencoderConfig {
+    int image_size = 32;
+    int latent_channels = 4;
+    int base_channels = 20;
+    int groups = 4;
+
+    int latent_size() const { return image_size / 4; }
+};
+
+class LatentAutoencoder : public nn::Module {
+public:
+    LatentAutoencoder(const AutoencoderConfig& config, util::Rng& rng);
+
+    /// [N,3,S,S] -> [N,latent,S/4,S/4].
+    Var encode(const Var& images) const;
+    /// [N,latent,S/4,S/4] -> [N,3,S,S] in [-1,1] (tanh).
+    Var decode(const Var& latents) const;
+
+    /// Convenience: image -> latent tensor [latent, s, s] (no grad).
+    Tensor encode_image(const image::Image& img) const;
+    /// Convenience: latent [latent, s, s] -> image.
+    image::Image decode_latent(const Tensor& latent) const;
+
+    const AutoencoderConfig& config() const { return config_; }
+
+private:
+    AutoencoderConfig config_;
+    nn::Conv2d enc1_;
+    nn::GroupNorm enc_norm1_;
+    nn::Conv2d enc2_;
+    nn::GroupNorm enc_norm2_;
+    nn::Conv2d enc3_;
+    nn::Conv2d dec1_;
+    nn::GroupNorm dec_norm1_;
+    nn::Conv2d dec2_;
+    nn::GroupNorm dec_norm2_;
+    nn::Conv2d dec3_;
+};
+
+struct AutoencoderTrainConfig {
+    int steps = 150;
+    int batch_size = 8;
+    float lr = 2e-3f;
+};
+
+struct AutoencoderTrainStats {
+    float first_loss = 0.0f;
+    float final_loss = 0.0f;
+    float latent_scale = 1.0f;  ///< 1/std of latents after training
+};
+
+/// Trains on images (converted to [-1,1] CHW internally) and reports the
+/// latent normalisation scale used by the diffusion process.
+AutoencoderTrainStats train_autoencoder(LatentAutoencoder& autoencoder,
+                                        const std::vector<image::Image>& images,
+                                        const AutoencoderTrainConfig& config,
+                                        util::Rng& rng);
+
+}  // namespace aero::diffusion

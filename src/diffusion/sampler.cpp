@@ -1,0 +1,162 @@
+#include "diffusion/sampler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace aero::diffusion {
+
+namespace ops = aero::tensor;
+
+Tensor DdpmSampler::sample(const std::vector<int>& shape,
+                           const Tensor& condition_tokens,
+                           util::Rng& rng) const {
+    const int steps = schedule_.steps();
+    Tensor z = Tensor::randn(shape, rng);
+    for (int t = steps - 1; t >= 0; --t) {
+        const Tensor prediction =
+            unet_.denoise(z, t, steps, condition_tokens);
+        const Tensor eps_pred =
+            schedule_.to_epsilon(prediction, z, t, parameterization_);
+        const float alpha = schedule_.alpha(t);
+        const float alpha_bar = schedule_.alpha_bar(t);
+        const float coef =
+            schedule_.beta(t) / std::sqrt(1.0f - alpha_bar);
+        // mu = (z - coef * eps) / sqrt(alpha)
+        Tensor mean = ops::scale(ops::sub(z, ops::scale(eps_pred, coef)),
+                                 1.0f / std::sqrt(alpha));
+        if (t > 0) {
+            const float sigma = std::sqrt(schedule_.beta(t));
+            const Tensor noise = Tensor::randn(shape, rng);
+            mean = ops::add(mean, ops::scale(noise, sigma));
+        }
+        z = std::move(mean);
+    }
+    return z;
+}
+
+Tensor DdimSampler::guided_eps(const Tensor& z, int t,
+                               const Tensor& condition_tokens) const {
+    const int steps = schedule_.steps();
+    const auto param = config_.parameterization;
+    if (condition_tokens.empty() ||
+        std::abs(config_.guidance_scale - 1.0f) < 1e-6f) {
+        return schedule_.to_epsilon(
+            unet_.denoise(z, t, steps, condition_tokens), z, t, param);
+    }
+    const Tensor eps_cond = schedule_.to_epsilon(
+        unet_.denoise(z, t, steps, condition_tokens), z, t, param);
+    const Tensor eps_uncond = schedule_.to_epsilon(
+        unet_.denoise(z, t, steps, Tensor()), z, t, param);
+    // eps = eps_uncond + g * (eps_cond - eps_uncond)
+    return ops::add(eps_uncond, ops::scale(ops::sub(eps_cond, eps_uncond),
+                                           config_.guidance_scale));
+}
+
+std::vector<int> DdimSampler::timestep_subsequence() const {
+    const int steps = schedule_.steps();
+    const int inference = std::clamp(config_.inference_steps, 1, steps);
+    std::vector<int> timesteps;
+    timesteps.reserve(static_cast<std::size_t>(inference));
+    for (int i = inference - 1; i >= 0; --i) {
+        timesteps.push_back((i * steps) / inference);
+    }
+    return timesteps;
+}
+
+Tensor DdimSampler::run(Tensor z, std::size_t first_step,
+                        const std::vector<int>& timesteps,
+                        const Tensor& condition_tokens,
+                        const Tensor* keep_mask, const Tensor* source,
+                        util::Rng& rng) const {
+    const std::vector<int> shape = z.shape();
+    for (std::size_t k = first_step; k < timesteps.size(); ++k) {
+        const int t = timesteps[k];
+        const int t_prev =
+            (k + 1 < timesteps.size()) ? timesteps[k + 1] : -1;
+
+        Tensor eps = guided_eps(z, t, condition_tokens);
+
+        const float alpha_bar_prev =
+            t_prev >= 0 ? schedule_.alpha_bar(t_prev) : 1.0f;
+        const float sigma =
+            config_.eta *
+            std::sqrt((1.0f - alpha_bar_prev) /
+                      (1.0f - schedule_.alpha_bar(t))) *
+            std::sqrt(1.0f - schedule_.alpha_bar(t) / alpha_bar_prev);
+        const float dir_coef = std::sqrt(
+            std::max(1.0f - alpha_bar_prev - sigma * sigma, 0.0f));
+
+        auto ddim_update = [&](const Tensor& noise_estimate) {
+            const Tensor z0 = schedule_.predict_z0(z, t, noise_estimate);
+            return ops::add(ops::scale(z0, std::sqrt(alpha_bar_prev)),
+                            ops::scale(noise_estimate, dir_coef));
+        };
+
+        if (config_.use_heun && sigma == 0.0f && t_prev >= 0) {
+            // Predictor-corrector: evaluate the denoiser again at the
+            // Euler endpoint and average the two noise directions.
+            const Tensor euler = ddim_update(eps);
+            const Tensor eps2 = guided_eps(euler, t_prev, condition_tokens);
+            eps = ops::scale(ops::add(eps, eps2), 0.5f);
+        }
+
+        Tensor next = ddim_update(eps);
+        if (sigma > 0.0f && t_prev >= 0) {
+            next = ops::add(next,
+                            ops::scale(Tensor::randn(shape, rng), sigma));
+        }
+
+        if (keep_mask != nullptr && source != nullptr) {
+            // Re-impose the known region at the new noise level.
+            Tensor reference = *source;
+            if (t_prev >= 0) {
+                const Tensor noise = Tensor::randn(shape, rng);
+                reference = schedule_.q_sample(*source, t_prev, noise);
+            }
+            // z = mask * z + (1 - mask) * reference
+            Tensor kept = ops::mul(next, *keep_mask);
+            Tensor imposed =
+                ops::mul(reference, ops::add_scalar(ops::neg(*keep_mask),
+                                                    1.0f));
+            next = ops::add(kept, imposed);
+        }
+        z = std::move(next);
+    }
+    return z;
+}
+
+Tensor DdimSampler::sample(const std::vector<int>& shape,
+                           const Tensor& condition_tokens,
+                           util::Rng& rng) const {
+    return run(Tensor::randn(shape, rng), 0, timestep_subsequence(),
+               condition_tokens, nullptr, nullptr, rng);
+}
+
+Tensor DdimSampler::edit(const Tensor& source_latent,
+                         const Tensor& condition_tokens, float strength,
+                         util::Rng& rng) const {
+    const std::vector<int> timesteps = timestep_subsequence();
+    const float clamped = std::clamp(strength, 0.05f, 1.0f);
+    // Start at the subsequence index whose timestep matches the strength.
+    const auto start = static_cast<std::size_t>(
+        (1.0f - clamped) * static_cast<float>(timesteps.size() - 1));
+    const int t_start = timesteps[start];
+    const Tensor noise = Tensor::randn(source_latent.shape(), rng);
+    Tensor z = schedule_.q_sample(source_latent, t_start, noise);
+    return run(std::move(z), start, timesteps, condition_tokens, nullptr,
+               nullptr, rng);
+}
+
+Tensor DdimSampler::inpaint(const Tensor& source_latent, const Tensor& mask,
+                            const Tensor& condition_tokens,
+                            util::Rng& rng) const {
+    assert(mask.same_shape(source_latent));
+    return run(Tensor::randn(source_latent.shape(), rng), 0,
+               timestep_subsequence(), condition_tokens, &mask,
+               &source_latent, rng);
+}
+
+}  // namespace aero::diffusion

@@ -1,0 +1,93 @@
+#pragma once
+// Reverse-process samplers:
+//  * DdpmSampler -- full-T ancestral sampling (training-time scheduler).
+//  * DdimSampler -- deterministic subsequence sampling with classifier-
+//    free guidance (the paper: 250 DDIM steps, guidance scale 7.0).
+
+#include "diffusion/schedule.hpp"
+#include "diffusion/unet.hpp"
+
+namespace aero::diffusion {
+
+class DdpmSampler {
+public:
+    DdpmSampler(const UNet& unet, const NoiseSchedule& schedule,
+                Parameterization parameterization = Parameterization::kEpsilon)
+        : unet_(unet),
+          schedule_(schedule),
+          parameterization_(parameterization) {}
+
+    /// Draws one sample of the given latent shape [C,H,W], conditioned
+    /// on `condition_tokens` (empty tensor = unconditional).
+    Tensor sample(const std::vector<int>& shape,
+                  const Tensor& condition_tokens, util::Rng& rng) const;
+
+private:
+    const UNet& unet_;
+    const NoiseSchedule& schedule_;
+    Parameterization parameterization_;
+};
+
+struct DdimConfig {
+    int inference_steps = 16;
+    float guidance_scale = 7.0f;  ///< 1.0 disables classifier-free guidance
+    float eta = 0.0f;             ///< 0 = deterministic DDIM
+    Parameterization parameterization = Parameterization::kEpsilon;
+    /// Heun's method: a second denoiser evaluation per step (predictor-
+    /// corrector on the probability-flow ODE). Doubles the NFE for a
+    /// higher-order update; only applies to the deterministic (eta = 0)
+    /// path.
+    bool use_heun = false;
+
+    /// The paper's inference configuration.
+    static DdimConfig paper() {
+        return {250, 7.0f, 0.0f, Parameterization::kEpsilon};
+    }
+};
+
+class DdimSampler {
+public:
+    DdimSampler(const UNet& unet, const NoiseSchedule& schedule,
+                const DdimConfig& config = {})
+        : unet_(unet), schedule_(schedule), config_(config) {}
+
+    Tensor sample(const std::vector<int>& shape,
+                  const Tensor& condition_tokens, util::Rng& rng) const;
+
+    /// SDEdit-style image-to-image: noises `source_latent` to
+    /// `strength` * T and denoises under the new condition. strength in
+    /// (0, 1]; low strength stays close to the source, 1.0 equals
+    /// sample(). Used for viewpoint transitions anchored on a reference.
+    Tensor edit(const Tensor& source_latent, const Tensor& condition_tokens,
+                float strength, util::Rng& rng) const;
+
+    /// RePaint-style inpainting: regenerates only where `mask` is 1
+    /// (same shape as the latent), re-imposing the source elsewhere at
+    /// every step.
+    Tensor inpaint(const Tensor& source_latent, const Tensor& mask,
+                   const Tensor& condition_tokens, util::Rng& rng) const;
+
+    const DdimConfig& config() const { return config_; }
+
+private:
+    /// Noise prediction with classifier-free guidance applied.
+    Tensor guided_eps(const Tensor& z, int t,
+                      const Tensor& condition_tokens) const;
+
+    /// Core DDIM loop from `z` over the timestep subsequence starting at
+    /// index `first_step`. When `keep` is non-null, entries where keep==0
+    /// are re-imposed from `source` (q-sampled to the current t) after
+    /// every step.
+    Tensor run(Tensor z, std::size_t first_step,
+               const std::vector<int>& timesteps,
+               const Tensor& condition_tokens, const Tensor* keep_mask,
+               const Tensor* source, util::Rng& rng) const;
+
+    std::vector<int> timestep_subsequence() const;
+
+    const UNet& unet_;
+    const NoiseSchedule& schedule_;
+    DdimConfig config_;
+};
+
+}  // namespace aero::diffusion

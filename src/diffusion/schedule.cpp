@@ -1,0 +1,86 @@
+#include "diffusion/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace aero::diffusion {
+
+NoiseSchedule::NoiseSchedule(const ScheduleConfig& config) {
+    assert(config.steps >= 2);
+    assert(config.beta_start < config.beta_end);
+    beta_.resize(static_cast<std::size_t>(config.steps));
+    alpha_.resize(beta_.size());
+    alpha_bar_.resize(beta_.size());
+    const float rescale = static_cast<float>(config.reference_steps) /
+                          static_cast<float>(config.steps);
+    float running = 1.0f;
+    for (int t = 0; t < config.steps; ++t) {
+        const float frac =
+            static_cast<float>(t) / static_cast<float>(config.steps - 1);
+        const float reference_beta =
+            config.beta_start + (config.beta_end - config.beta_start) * frac;
+        beta_[static_cast<std::size_t>(t)] =
+            std::min(reference_beta * rescale, 0.35f);
+        alpha_[static_cast<std::size_t>(t)] =
+            1.0f - beta_[static_cast<std::size_t>(t)];
+        running *= alpha_[static_cast<std::size_t>(t)];
+        alpha_bar_[static_cast<std::size_t>(t)] = running;
+    }
+}
+
+float NoiseSchedule::sqrt_alpha_bar(int t) const {
+    return std::sqrt(alpha_bar(t));
+}
+
+float NoiseSchedule::sqrt_one_minus_alpha_bar(int t) const {
+    return std::sqrt(1.0f - alpha_bar(t));
+}
+
+tensor::Tensor NoiseSchedule::q_sample(const tensor::Tensor& z0, int t,
+                                       const tensor::Tensor& eps) const {
+    assert(z0.same_shape(eps));
+    return tensor::add(tensor::scale(z0, sqrt_alpha_bar(t)),
+                       tensor::scale(eps, sqrt_one_minus_alpha_bar(t)));
+}
+
+tensor::Tensor NoiseSchedule::predict_z0(const tensor::Tensor& zt, int t,
+                                         const tensor::Tensor& eps_pred) const {
+    const float inv = 1.0f / sqrt_alpha_bar(t);
+    return tensor::scale(
+        tensor::sub(zt, tensor::scale(eps_pred, sqrt_one_minus_alpha_bar(t))),
+        inv);
+}
+
+tensor::Tensor NoiseSchedule::training_target(
+    const tensor::Tensor& z0, const tensor::Tensor& eps, int t,
+    Parameterization parameterization) const {
+    if (parameterization == Parameterization::kEpsilon) return eps;
+    // v = sqrt(ab) eps - sqrt(1-ab) z0
+    return tensor::sub(tensor::scale(eps, sqrt_alpha_bar(t)),
+                       tensor::scale(z0, sqrt_one_minus_alpha_bar(t)));
+}
+
+tensor::Tensor NoiseSchedule::to_epsilon(
+    const tensor::Tensor& prediction, const tensor::Tensor& zt, int t,
+    Parameterization parameterization) const {
+    if (parameterization == Parameterization::kEpsilon) return prediction;
+    // eps = sqrt(1-ab) z_t + sqrt(ab) v
+    return tensor::add(tensor::scale(zt, sqrt_one_minus_alpha_bar(t)),
+                       tensor::scale(prediction, sqrt_alpha_bar(t)));
+}
+
+tensor::Tensor NoiseSchedule::to_z0(const tensor::Tensor& prediction,
+                                    const tensor::Tensor& zt, int t,
+                                    Parameterization parameterization) const {
+    if (parameterization == Parameterization::kEpsilon) {
+        return predict_z0(zt, t, prediction);
+    }
+    // z0 = sqrt(ab) z_t - sqrt(1-ab) v
+    return tensor::sub(tensor::scale(zt, sqrt_alpha_bar(t)),
+                       tensor::scale(prediction, sqrt_one_minus_alpha_bar(t)));
+}
+
+}  // namespace aero::diffusion

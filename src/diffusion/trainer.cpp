@@ -1,0 +1,91 @@
+#include "diffusion/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "nn/ema.hpp"
+#include "tensor/ops.hpp"
+
+namespace aero::diffusion {
+
+namespace ag = aero::autograd;
+
+DiffusionTrainStats train_diffusion(
+    UNet& unet, const NoiseSchedule& schedule,
+    const std::vector<Tensor>& latents,
+    const std::vector<Tensor>& condition_tokens,
+    const DiffusionTrainConfig& config, util::Rng& rng) {
+    assert(!latents.empty());
+    assert(latents.size() == condition_tokens.size());
+    const std::vector<int>& latent_shape = latents.front().shape();
+    assert(latent_shape.size() == 3);
+
+    nn::Adam opt(unet.parameters(),
+                 {.lr = config.lr, .weight_decay = config.weight_decay});
+    std::unique_ptr<nn::Ema> ema;
+    if (config.ema_decay > 0.0f) {
+        ema = std::make_unique<nn::Ema>(unet.parameters(), config.ema_decay);
+    }
+    DiffusionTrainStats stats;
+    double tail_sum = 0.0;
+    int tail_count = 0;
+    const int batch =
+        std::min<int>(config.batch_size, static_cast<int>(latents.size()));
+    const int c = latent_shape[0];
+    const int h = latent_shape[1];
+    const int w = latent_shape[2];
+
+    for (int step = 0; step < config.steps; ++step) {
+        std::vector<Tensor> noisy;
+        std::vector<Tensor> noise;
+        std::vector<int> timesteps;
+        std::vector<Tensor> batch_cond;
+        noisy.reserve(static_cast<std::size_t>(batch));
+        for (int b = 0; b < batch; ++b) {
+            const int i =
+                rng.uniform_int(0, static_cast<int>(latents.size()) - 1);
+            const int t = rng.uniform_int(0, schedule.steps() - 1);
+            const Tensor eps = Tensor::randn(latent_shape, rng);
+            noisy.push_back(
+                schedule
+                    .q_sample(latents[static_cast<std::size_t>(i)], t, eps)
+                    .reshaped({1, c, h, w}));
+            noise.push_back(schedule.training_target(
+                latents[static_cast<std::size_t>(i)], eps, t,
+                config.parameterization));
+            timesteps.push_back(t);
+            const bool drop = rng.bernoulli(config.condition_dropout);
+            batch_cond.push_back(
+                drop ? Tensor()
+                     : condition_tokens[static_cast<std::size_t>(i)]);
+        }
+        const Var z_t = Var::constant(tensor::concat(noisy, 0));
+        const Var target = Var::constant(
+            tensor::concat(noise, 0).reshaped({batch, c, h, w}));
+
+        opt.zero_grad();
+        const Var eps_pred =
+            unet.forward(z_t, timesteps, schedule.steps(), batch_cond);
+        const Var loss = ag::mse_loss(eps_pred, target);  // Eq. 6
+        loss.backward();
+        opt.clip_grad_norm(5.0f);
+        opt.step();
+        if (ema) ema->update();
+
+        const float value = loss.value()[0];
+        if (step == 0) stats.first_loss = value;
+        stats.final_loss = value;
+        if (step >= config.steps * 3 / 4) {
+            tail_sum += value;
+            ++tail_count;
+        }
+    }
+    if (tail_count > 0) {
+        stats.tail_loss = static_cast<float>(tail_sum / tail_count);
+    }
+    if (ema) ema->apply();  // sample from the averaged weights
+    return stats;
+}
+
+}  // namespace aero::diffusion

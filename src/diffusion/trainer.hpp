@@ -1,0 +1,43 @@
+#pragma once
+// Diffusion training loop minimising Eq. 6:
+//   L = E_{z0, eps, t, C} || eps - eps_theta(z_t, t, C) ||^2
+// with classifier-free-guidance condition dropout.
+
+#include "diffusion/schedule.hpp"
+#include "diffusion/unet.hpp"
+#include "nn/optimizer.hpp"
+
+namespace aero::diffusion {
+
+struct DiffusionTrainConfig {
+    int steps = 300;
+    int batch_size = 6;
+    float lr = 2e-3f;
+    float weight_decay = 1e-5f;
+    /// Probability of replacing a sample's condition with the null token
+    /// during training (enables classifier-free guidance).
+    float condition_dropout = 0.1f;
+    /// Prediction target (must match the sampler's setting).
+    Parameterization parameterization = Parameterization::kEpsilon;
+    /// When > 0, an exponential moving average of the weights is kept
+    /// and applied at the end of training (sampling uses the average).
+    float ema_decay = 0.99f;
+};
+
+struct DiffusionTrainStats {
+    float first_loss = 0.0f;
+    float final_loss = 0.0f;
+    /// Mean loss over the last quarter of training (smoother signal).
+    float tail_loss = 0.0f;
+};
+
+/// Trains `unet` on pre-encoded latents ([C,H,W] each) and their
+/// per-sample condition token matrices ([K_i, cond_dim]; empty tensors
+/// mean "always unconditional").
+DiffusionTrainStats train_diffusion(
+    UNet& unet, const NoiseSchedule& schedule,
+    const std::vector<Tensor>& latents,
+    const std::vector<Tensor>& condition_tokens,
+    const DiffusionTrainConfig& config, util::Rng& rng);
+
+}  // namespace aero::diffusion

@@ -1,0 +1,64 @@
+#pragma once
+// Contrastive dual encoder: the CLIP substitute used for (a) the C_g
+// condition component (Eq. 5), (b) the CLIP-score metric of Table II,
+// and (c) viewpoint-transition text guidance (Table III).
+
+#include "embed/encoders.hpp"
+#include "nn/optimizer.hpp"
+#include "scene/dataset.hpp"
+
+namespace aero::embed {
+
+class ClipModel : public nn::Module {
+public:
+    ClipModel(const EmbedConfig& config, util::Rng& rng);
+
+    /// L2-normalised image embeddings [N, dim].
+    Var embed_images(const Var& images) const;
+    /// L2-normalised text embedding for one caption [1, dim].
+    Var embed_text(const std::vector<int>& token_ids) const;
+    /// L2-normalised text embeddings [N, dim].
+    Var embed_texts(const std::vector<std::vector<int>>& batch) const;
+
+    /// Symmetric InfoNCE loss over matched (image, caption) rows.
+    Var contrastive_loss(const Var& images,
+                         const std::vector<std::vector<int>>& captions) const;
+
+    /// Plain (ungraded) embedding of one image, convenience for metrics.
+    tensor::Tensor embed_image_eval(const image::Image& img) const;
+    tensor::Tensor embed_text_eval(const std::string& caption) const;
+
+    const EmbedConfig& config() const { return config_; }
+    const ImageEncoder& image_encoder() const { return image_encoder_; }
+    const TextEncoder& text_encoder() const { return text_encoder_; }
+
+private:
+    EmbedConfig config_;
+    ImageEncoder image_encoder_;
+    TextEncoder text_encoder_;
+    Var logit_scale_;  ///< learned temperature (log-scale), scalar
+};
+
+struct ClipTrainConfig {
+    int steps = 150;
+    int batch_size = 8;
+    float lr = 2e-3f;
+};
+
+struct ClipTrainStats {
+    float first_loss = 0.0f;
+    float final_loss = 0.0f;
+};
+
+/// Trains CLIP on (image, caption) pairs.
+ClipTrainStats train_clip(ClipModel& clip,
+                          const std::vector<image::Image>& images,
+                          const std::vector<std::string>& captions,
+                          const ClipTrainConfig& config, util::Rng& rng);
+
+/// CLIP score (x100, as reported in the paper): cosine similarity of the
+/// image and caption embeddings, clamped at 0.
+float clip_score(const ClipModel& clip, const image::Image& img,
+                 const std::string& caption);
+
+}  // namespace aero::embed

@@ -1,0 +1,78 @@
+#pragma once
+// Vision and text encoders underlying the CLIP / BLIP substitutes.
+// The image tower is a small conv net that exposes both a pooled global
+// feature (f_X in the paper) and a token grid (for cross-attention
+// fusion); the text tower embeds caption tokens and contextualises them
+// with one transformer block.
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "text/vocabulary.hpp"
+
+namespace aero::embed {
+
+using autograd::Var;
+using tensor::Tensor;
+
+struct EmbedConfig {
+    int dim = 32;         ///< shared embedding width
+    int image_size = 32;  ///< input resolution of the image tower
+    int heads = 4;
+    int max_tokens = 64;  ///< captions are truncated to this length
+};
+
+/// Conv tower: [N,3,H,W] -> pooled [N,dim] and token grid [T,dim] (single
+/// image) for fusion.
+class ImageEncoder : public nn::Module {
+public:
+    ImageEncoder(const EmbedConfig& config, util::Rng& rng);
+
+    /// Pooled global embedding for a batch: [N, dim].
+    Var forward(const Var& images) const;
+    /// Token features of ONE image ([tokens, dim], tokens = (size/8)^2).
+    Var forward_tokens(const Var& image) const;
+
+    const EmbedConfig& config() const { return config_; }
+
+private:
+    /// Shared trunk producing the final feature map [N, dim, s, s].
+    Var trunk(const Var& images) const;
+
+    EmbedConfig config_;
+    nn::Conv2d conv1_;
+    nn::GroupNorm norm1_;
+    nn::Conv2d conv2_;
+    nn::GroupNorm norm2_;
+    nn::Conv2d conv3_;
+    nn::Linear proj_;
+};
+
+/// Token-embedding text tower with one transformer block.
+class TextEncoder : public nn::Module {
+public:
+    TextEncoder(const EmbedConfig& config, util::Rng& rng);
+
+    /// Contextualised token features [T, dim] for one token sequence.
+    Var forward_tokens(const std::vector<int>& token_ids) const;
+    /// Mean-pooled sentence embedding [1, dim].
+    Var forward(const std::vector<int>& token_ids) const;
+    /// Batch of pooled embeddings [N, dim].
+    Var forward_batch(const std::vector<std::vector<int>>& batch) const;
+
+    const EmbedConfig& config() const { return config_; }
+
+private:
+    EmbedConfig config_;
+    nn::Embedding token_embedding_;
+    nn::Embedding position_embedding_;
+    nn::TransformerBlock block_;
+    nn::Linear proj_;
+};
+
+/// L2-normalises each row of [N, dim] (autograd-friendly).
+Var normalize_rows(const Var& x, float eps = 1e-6f);
+
+/// Mean over rows: [N, dim] -> [1, dim].
+Var mean_rows(const Var& x);
+
+}  // namespace aero::embed

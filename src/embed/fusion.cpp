@@ -1,0 +1,89 @@
+#include "embed/fusion.hpp"
+
+#include <cassert>
+
+namespace aero::embed {
+
+namespace ag = aero::autograd;
+
+BlipFusion::BlipFusion(const EmbedConfig& config, util::Rng& rng)
+    : norm_text_(config.dim),
+      cross_(config.dim, config.heads, rng),
+      norm_out_(config.dim),
+      mlp_(config.dim, config.dim * 2, config.dim, rng),
+      proj_(config.dim, config.dim, rng) {
+    register_child(norm_text_);
+    register_child(cross_);
+    register_child(norm_out_);
+    register_child(mlp_);
+    register_child(proj_);
+    // Start as an informative map: attention fades in on the residual
+    // path and the head passes the pooled text tokens through unchanged,
+    // so C_xg carries real signal from the first training step.
+    cross_.init_output_zero();
+    proj_.init_identity();
+}
+
+Var BlipFusion::forward(const Var& image_tokens, const Var& text_tokens) const {
+    // Text queries read visual content (BLIP's image-grounded text encoder).
+    Var h = ag::add(text_tokens,
+                    cross_.forward(norm_text_.forward(text_tokens),
+                                   image_tokens));
+    h = ag::add(h, mlp_.forward(norm_out_.forward(h)));
+    return proj_.forward(mean_rows(h));  // C_xg, [1, dim]
+}
+
+RegionFeatureAugmenter::RegionFeatureAugmenter(const EmbedConfig& config,
+                                               util::Rng& rng)
+    : norm_roi_(config.dim),
+      align_cross_(config.dim, config.heads, rng),
+      norm_set_(config.dim),
+      fuse_self_(config.dim, config.heads, rng),
+      proj_(config.dim, config.dim, rng) {
+    register_child(norm_roi_);
+    register_child(align_cross_);
+    register_child(norm_set_);
+    register_child(fuse_self_);
+    register_child(proj_);
+    // f̂_X starts as the plain global image feature (attention fades in,
+    // head is identity), so the row is informative from step one.
+    align_cross_.init_output_zero();
+    fuse_self_.init_output_zero();
+    proj_.init_identity();
+}
+
+Var RegionFeatureAugmenter::forward_tokens(const Var& global_feature,
+                                           const Var& roi_features,
+                                           const Var& label_embeddings) const {
+    assert(global_feature.value().dim(0) == 1);
+    assert(roi_features.value().dim(0) == label_embeddings.value().dim(0));
+
+    // Cross-modal alignment: each region feature attends to the label
+    // text embeddings, producing [f_X,1 .. f_X,R].
+    const Var aligned =
+        ag::add(roi_features, align_cross_.forward(
+                                  norm_roi_.forward(roi_features),
+                                  label_embeddings));
+
+    // F = [f_X ; f_X,1 ; ... ; f_X,R], fused by multi-head self-attention
+    // (Eq. 2-3), letting the model weigh region relevance dynamically.
+    const Var set = ag::concat({global_feature, aligned}, 0);
+    const Var fused = ag::add(set, fuse_self_.forward(norm_set_.forward(set)));
+    return proj_.forward(fused);
+}
+
+Var RegionFeatureAugmenter::forward(const Var& global_feature,
+                                    const Var& roi_features,
+                                    const Var& label_embeddings) const {
+    // The enriched source-image representation is the (residual) global
+    // slot after fusion.
+    return ag::slice(
+        forward_tokens(global_feature, roi_features, label_embeddings), 0, 0,
+        1);
+}
+
+Var RegionFeatureAugmenter::forward(const Var& global_feature) const {
+    return proj_.forward(global_feature);
+}
+
+}  // namespace aero::embed

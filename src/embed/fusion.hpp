@@ -1,0 +1,60 @@
+#pragma once
+// Multi-modal fusion blocks:
+//  * BlipFusion      -- the BLIP substitute: deep image-text fusion via
+//                       cross-attention, producing C_xg = BLIP(X_i, G_i).
+//  * RegionFeatureAugmenter -- Sec. IV-B / Eq. 2-3: aligns ROI visual
+//                       features with their label-text embeddings, then
+//                       fuses [f_X, f_X1..f_XR] with multi-head
+//                       self-attention into the enriched f̂_X.
+
+#include "embed/encoders.hpp"
+#include "nn/attention.hpp"
+
+namespace aero::embed {
+
+class BlipFusion : public nn::Module {
+public:
+    BlipFusion(const EmbedConfig& config, util::Rng& rng);
+
+    /// C_xg from image tokens [Ti, dim] and text tokens [Tt, dim]:
+    /// text queries attend to image content; pooled to [1, dim].
+    Var forward(const Var& image_tokens, const Var& text_tokens) const;
+
+private:
+    nn::LayerNorm norm_text_;
+    nn::MultiHeadAttention cross_;
+    nn::LayerNorm norm_out_;
+    nn::Mlp mlp_;
+    nn::Linear proj_;
+};
+
+class RegionFeatureAugmenter : public nn::Module {
+public:
+    RegionFeatureAugmenter(const EmbedConfig& config, util::Rng& rng);
+
+    /// f̂_X from the global image feature [1, dim], ROI features [R, dim]
+    /// and ROI label-text embeddings [R, dim]. With R = 0 the global
+    /// feature is passed through the output projection unchanged in
+    /// structure (so ablations without detection share the head).
+    Var forward(const Var& global_feature, const Var& roi_features,
+                const Var& label_embeddings) const;
+
+    /// The full attention-enhanced set of Eq. 2-3, projected: row 0 is
+    /// the enriched f̂_X slot, rows 1..R the enhanced region features.
+    /// Feeding all rows to the denoiser's cross-attention preserves
+    /// object-level detail that pooling into a single f̂_X would discard.
+    Var forward_tokens(const Var& global_feature, const Var& roi_features,
+                       const Var& label_embeddings) const;
+
+    /// Convenience overload for the no-detection ablation.
+    Var forward(const Var& global_feature) const;
+
+private:
+    nn::LayerNorm norm_roi_;
+    nn::MultiHeadAttention align_cross_;  ///< ROI <- label alignment
+    nn::LayerNorm norm_set_;
+    nn::MultiHeadAttention fuse_self_;    ///< Eq. 2-3 over [f_X, f_X1..f_XR]
+    nn::Linear proj_;
+};
+
+}  // namespace aero::embed

@@ -1,0 +1,53 @@
+#include "image/transforms.hpp"
+
+namespace aero::image {
+
+Image flip_horizontal(const Image& src) {
+    Image dst(src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            dst.set_pixel(src.width() - 1 - x, y, src.pixel(x, y));
+        }
+    }
+    return dst;
+}
+
+Image flip_vertical(const Image& src) {
+    Image dst(src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            dst.set_pixel(x, src.height() - 1 - y, src.pixel(x, y));
+        }
+    }
+    return dst;
+}
+
+Image rotate90_cw(const Image& src) {
+    Image dst(src.height(), src.width());
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            // (x, y) -> (H - 1 - y, x)
+            dst.set_pixel(src.height() - 1 - y, x, src.pixel(x, y));
+        }
+    }
+    return dst;
+}
+
+Box flip_box_horizontal(const Box& box, int image_width) {
+    return {static_cast<float>(image_width) - box.x - box.w, box.y, box.w,
+            box.h};
+}
+
+Box flip_box_vertical(const Box& box, int image_height) {
+    return {box.x, static_cast<float>(image_height) - box.y - box.h, box.w,
+            box.h};
+}
+
+Box rotate_box90_cw(const Box& box, int /*image_width*/, int image_height) {
+    // Pixel (x, y) maps to (H - 1 - y, x); for boxes the new top-left is
+    // derived from the old bottom-left corner.
+    return {static_cast<float>(image_height) - box.y - box.h, box.x, box.h,
+            box.w};
+}
+
+}  // namespace aero::image

@@ -1,0 +1,30 @@
+#pragma once
+// Geometric image transforms with matching annotation transforms --
+// the augmentation toolkit (horizontal/vertical flips, quarter-turn
+// rotations) used to expand detector training data without re-rendering.
+
+#include "image/image.hpp"
+
+namespace aero::image {
+
+/// Mirror left-right.
+Image flip_horizontal(const Image& src);
+/// Mirror top-bottom.
+Image flip_vertical(const Image& src);
+/// Rotate 90 degrees clockwise (width and height swap).
+Image rotate90_cw(const Image& src);
+
+/// Axis-aligned box (x, y, w, h) transforms matching the image ops.
+struct Box {
+    float x = 0.0f;
+    float y = 0.0f;
+    float w = 0.0f;
+    float h = 0.0f;
+};
+
+Box flip_box_horizontal(const Box& box, int image_width);
+Box flip_box_vertical(const Box& box, int image_height);
+/// Box transform matching rotate90_cw on an image of the given size.
+Box rotate_box90_cw(const Box& box, int image_width, int image_height);
+
+}  // namespace aero::image

@@ -1,0 +1,207 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace aero::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    }
+    return t;
+}
+
+double Matrix::frobenius_norm() const {
+    double sum = 0.0;
+    for (double v : data_) sum += v * v;
+    return std::sqrt(sum);
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < out.data().size(); ++i) {
+        out.data()[i] = a.data()[i] + b.data()[i];
+    }
+    return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < out.data().size(); ++i) {
+        out.data()[i] = a.data()[i] - b.data()[i];
+    }
+    return out;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+    assert(a.cols() == b.rows());
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+                out(i, j) += aik * b(k, j);
+            }
+        }
+    }
+    return out;
+}
+
+Matrix operator*(double s, const Matrix& a) {
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < out.data().size(); ++i) {
+        out.data()[i] = s * a.data()[i];
+    }
+    return out;
+}
+
+double trace(const Matrix& a) {
+    assert(a.rows() == a.cols());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) sum += a(i, i);
+    return sum;
+}
+
+EigenDecomposition eigen_symmetric(const Matrix& input, int max_sweeps) {
+    assert(input.rows() == input.cols());
+    const std::size_t n = input.rows();
+
+    // Work on the symmetrised copy.
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            a(r, c) = 0.5 * (input(r, c) + input(c, r));
+        }
+    }
+    Matrix v = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = r + 1; c < n; ++c) off += a(r, c) * a(r, c);
+        }
+        if (off < 1e-22) break;
+
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::abs(apq) < 1e-300) continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                const double tau = (aqq - app) / (2.0 * apq);
+                const double t = (tau >= 0.0)
+                                     ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                     : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    EigenDecomposition result;
+    result.values.resize(n);
+    for (std::size_t i = 0; i < n; ++i) result.values[i] = a(i, i);
+
+    // Sort eigenpairs ascending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return result.values[x] < result.values[y];
+    });
+    std::vector<double> sorted_values(n);
+    Matrix sorted_vectors(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        sorted_values[j] = result.values[order[j]];
+        for (std::size_t i = 0; i < n; ++i) {
+            sorted_vectors(i, j) = v(i, order[j]);
+        }
+    }
+    result.values = std::move(sorted_values);
+    result.vectors = std::move(sorted_vectors);
+    return result;
+}
+
+Matrix sqrt_psd(const Matrix& a) {
+    const EigenDecomposition eig = eigen_symmetric(a);
+    const std::size_t n = a.rows();
+    Matrix out(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double lambda = std::max(eig.values[k], 0.0);
+        const double root = std::sqrt(lambda);
+        if (root == 0.0) continue;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double vik = eig.vectors(i, k);
+            if (vik == 0.0) continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                out(i, j) += root * vik * eig.vectors(j, k);
+            }
+        }
+    }
+    return out;
+}
+
+Matrix covariance(const Matrix& samples, std::vector<double>* mean_out) {
+    const std::size_t n = samples.rows();
+    const std::size_t d = samples.cols();
+    assert(n >= 2);
+
+    std::vector<double> mean(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < d; ++j) mean[j] += samples(i, j);
+    }
+    for (double& m : mean) m /= static_cast<double>(n);
+
+    Matrix cov(d, d);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            const double xj = samples(i, j) - mean[j];
+            if (xj == 0.0) continue;
+            for (std::size_t k = j; k < d; ++k) {
+                cov(j, k) += xj * (samples(i, k) - mean[k]);
+            }
+        }
+    }
+    const double norm = 1.0 / static_cast<double>(n - 1);
+    for (std::size_t j = 0; j < d; ++j) {
+        for (std::size_t k = j; k < d; ++k) {
+            cov(j, k) *= norm;
+            cov(k, j) = cov(j, k);
+        }
+    }
+    if (mean_out != nullptr) *mean_out = std::move(mean);
+    return cov;
+}
+
+}  // namespace aero::linalg

@@ -1,0 +1,72 @@
+#pragma once
+// Small dense double-precision matrices for the statistics side of the
+// evaluation (FID covariance algebra). Deliberately separate from the
+// float32 `Tensor` used by the neural nets: metric code wants double
+// precision and classical linear-algebra routines, not autograd.
+
+#include <cstddef>
+#include <vector>
+
+namespace aero::linalg {
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const {
+        return data_[r * cols_ + c];
+    }
+
+    const std::vector<double>& data() const { return data_; }
+    std::vector<double>& data() { return data_; }
+
+    Matrix transpose() const;
+
+    /// Frobenius norm.
+    double frobenius_norm() const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& a, const Matrix& b);
+Matrix operator*(double s, const Matrix& a);
+
+/// Sum of diagonal entries; requires a square matrix.
+double trace(const Matrix& a);
+
+/// Result of the symmetric eigendecomposition A = V diag(values) V^T.
+struct EigenDecomposition {
+    std::vector<double> values;  ///< ascending order
+    Matrix vectors;              ///< columns are eigenvectors
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix. `a` is symmetrised
+/// internally ((A+A^T)/2), so slight asymmetry from accumulated floating
+/// error is tolerated.
+EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps = 64);
+
+/// Principal square root of a symmetric positive semi-definite matrix via
+/// eigendecomposition; negative eigenvalues from round-off are clamped to 0.
+Matrix sqrt_psd(const Matrix& a);
+
+/// Row-sample covariance: rows of `samples` are observations. Returns the
+/// (cols x cols) covariance with 1/(n-1) normalisation and writes the
+/// column means into `mean_out` if non-null.
+Matrix covariance(const Matrix& samples, std::vector<double>* mean_out);
+
+}  // namespace aero::linalg

@@ -1,0 +1,36 @@
+#pragma once
+// Fixed (untrained, deterministically seeded) conv feature extractor:
+// the Inception-V3 stand-in behind FID and KID. Random conv features
+// are a standard small-scale substitute -- any *fixed* feature map
+// yields a valid relative ordering of distribution distances.
+
+#include "image/image.hpp"
+#include "nn/layers.hpp"
+
+namespace aero::metrics {
+
+struct FeatureNetConfig {
+    int image_size = 32;
+    int feature_dim = 32;
+    std::uint64_t seed = 0xfeadu;  ///< fixed: every evaluation shares it
+};
+
+class FeatureNet : public nn::Module {
+public:
+    explicit FeatureNet(const FeatureNetConfig& config = {});
+
+    /// Feature vector of one image (resized internally), length
+    /// feature_dim; combines pooled conv features across two scales so
+    /// small-object structure contributes.
+    std::vector<double> features(const image::Image& img) const;
+
+    const FeatureNetConfig& config() const { return config_; }
+
+private:
+    FeatureNetConfig config_;
+    nn::Conv2d conv1_;
+    nn::Conv2d conv2_;
+    nn::Conv2d conv3_;
+};
+
+}  // namespace aero::metrics

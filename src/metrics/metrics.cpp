@@ -1,0 +1,147 @@
+#include "metrics/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace aero::metrics {
+
+using linalg::Matrix;
+
+Matrix feature_matrix(const FeatureNet& net,
+                      const std::vector<image::Image>& images) {
+    assert(!images.empty());
+    const int d = net.config().feature_dim;
+    Matrix rows(images.size(), static_cast<std::size_t>(d));
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        const std::vector<double> f = net.features(images[i]);
+        for (int j = 0; j < d; ++j) {
+            rows(i, static_cast<std::size_t>(j)) =
+                f[static_cast<std::size_t>(j)];
+        }
+    }
+    return rows;
+}
+
+double fid_from_features(const Matrix& real, const Matrix& generated) {
+    assert(real.cols() == generated.cols());
+    std::vector<double> mu_r;
+    std::vector<double> mu_g;
+    const Matrix sigma_r = linalg::covariance(real, &mu_r);
+    const Matrix sigma_g = linalg::covariance(generated, &mu_g);
+
+    double mean_term = 0.0;
+    for (std::size_t j = 0; j < mu_r.size(); ++j) {
+        const double d = mu_r[j] - mu_g[j];
+        mean_term += d * d;
+    }
+
+    // Tr((S_r S_g)^1/2) computed symmetrically as
+    // Tr((S_r^1/2 S_g S_r^1/2)^1/2).
+    const Matrix root_r = linalg::sqrt_psd(sigma_r);
+    const Matrix inner = root_r * sigma_g * root_r;
+    const Matrix cross_root = linalg::sqrt_psd(inner);
+
+    const double trace_term = linalg::trace(sigma_r) +
+                              linalg::trace(sigma_g) -
+                              2.0 * linalg::trace(cross_root);
+    return mean_term + std::max(trace_term, 0.0);
+}
+
+namespace {
+
+double poly_kernel(const Matrix& a, std::size_t i, const Matrix& b,
+                   std::size_t j) {
+    const std::size_t d = a.cols();
+    double dot = 0.0;
+    for (std::size_t k = 0; k < d; ++k) dot += a(i, k) * b(j, k);
+    const double base = dot / static_cast<double>(d) + 1.0;
+    return base * base * base;
+}
+
+}  // namespace
+
+double kid_from_features(const Matrix& real, const Matrix& generated) {
+    const std::size_t m = real.rows();
+    const std::size_t n = generated.rows();
+    assert(m >= 2 && n >= 2);
+
+    double k_rr = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            if (i == j) continue;
+            k_rr += poly_kernel(real, i, real, j);
+        }
+    }
+    k_rr /= static_cast<double>(m * (m - 1));
+
+    double k_gg = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            k_gg += poly_kernel(generated, i, generated, j);
+        }
+    }
+    k_gg /= static_cast<double>(n * (n - 1));
+
+    double k_rg = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            k_rg += poly_kernel(real, i, generated, j);
+        }
+    }
+    k_rg /= static_cast<double>(m * n);
+
+    return k_rr + k_gg - 2.0 * k_rg;
+}
+
+double fid(const FeatureNet& net, const std::vector<image::Image>& real,
+           const std::vector<image::Image>& generated) {
+    return fid_from_features(feature_matrix(net, real),
+                             feature_matrix(net, generated));
+}
+
+double kid(const FeatureNet& net, const std::vector<image::Image>& real,
+           const std::vector<image::Image>& generated) {
+    return kid_from_features(feature_matrix(net, real),
+                             feature_matrix(net, generated));
+}
+
+double mean_psnr(const std::vector<image::Image>& references,
+                 const std::vector<image::Image>& generated) {
+    assert(references.size() == generated.size() && !references.empty());
+    double total = 0.0;
+    for (std::size_t i = 0; i < references.size(); ++i) {
+        image::Image gen = generated[i];
+        if (gen.width() != references[i].width() ||
+            gen.height() != references[i].height()) {
+            gen = image::resize_bilinear(gen, references[i].width(),
+                                         references[i].height());
+        }
+        total += image::psnr(references[i], gen);
+    }
+    return total / static_cast<double>(references.size());
+}
+
+float mean_clip_score(const embed::ClipModel& clip,
+                      const std::vector<image::Image>& images,
+                      const std::vector<std::string>& captions) {
+    assert(images.size() == captions.size() && !images.empty());
+    float total = 0.0f;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        total += embed::clip_score(clip, images[i], captions[i]);
+    }
+    return total / static_cast<float>(images.size());
+}
+
+SynthesisScores evaluate_synthesis(
+    const FeatureNet& net, const std::vector<image::Image>& real_pool,
+    const std::vector<image::Image>& references,
+    const std::vector<image::Image>& generated) {
+    SynthesisScores scores;
+    scores.fid = fid(net, real_pool, generated);
+    scores.kid = kid(net, real_pool, generated);
+    scores.psnr = mean_psnr(references, generated);
+    return scores;
+}
+
+}  // namespace aero::metrics

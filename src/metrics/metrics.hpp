@@ -1,0 +1,60 @@
+#pragma once
+// Image-synthesis metrics (Sec. V-A "Evaluation Metrics"):
+//  * FID  -- Frechet distance between Gaussian fits of feature sets
+//  * KID  -- unbiased polynomial-kernel MMD^2 between feature sets
+//  * PSNR -- reconstruction fidelity vs. paired references
+//  * CLIP score -- via embed::clip_score, re-exported for convenience
+
+#include <vector>
+
+#include "embed/clip.hpp"
+#include "image/image.hpp"
+#include "linalg/matrix.hpp"
+#include "metrics/feature_net.hpp"
+
+namespace aero::metrics {
+
+/// Extracts features for a set of images: one row per image.
+linalg::Matrix feature_matrix(const FeatureNet& net,
+                              const std::vector<image::Image>& images);
+
+/// Frechet Inception Distance between feature rows (lower is better):
+/// ||mu_r - mu_g||^2 + Tr(S_r + S_g - 2 (S_r^1/2 S_g S_r^1/2)^1/2).
+double fid_from_features(const linalg::Matrix& real,
+                         const linalg::Matrix& generated);
+
+/// Kernel Inception Distance: unbiased MMD^2 with the standard
+/// polynomial kernel k(x,y) = (x.y / d + 1)^3 (lower is better).
+double kid_from_features(const linalg::Matrix& real,
+                         const linalg::Matrix& generated);
+
+/// Convenience wrappers running the FeatureNet first.
+double fid(const FeatureNet& net, const std::vector<image::Image>& real,
+           const std::vector<image::Image>& generated);
+double kid(const FeatureNet& net, const std::vector<image::Image>& real,
+           const std::vector<image::Image>& generated);
+
+/// Mean PSNR over paired (reference, generated) images.
+double mean_psnr(const std::vector<image::Image>& references,
+                 const std::vector<image::Image>& generated);
+
+/// Mean CLIP score over paired (image, caption) sets.
+float mean_clip_score(const embed::ClipModel& clip,
+                      const std::vector<image::Image>& images,
+                      const std::vector<std::string>& captions);
+
+/// Bundle returned by the standard evaluation (Table I columns).
+struct SynthesisScores {
+    double fid = 0.0;
+    double psnr = 0.0;
+    double kid = 0.0;
+};
+
+/// Computes all Table-I metrics at once. `references` are the paired
+/// originals (for PSNR); FID/KID compare `generated` to `real_pool`.
+SynthesisScores evaluate_synthesis(const FeatureNet& net,
+                                   const std::vector<image::Image>& real_pool,
+                                   const std::vector<image::Image>& references,
+                                   const std::vector<image::Image>& generated);
+
+}  // namespace aero::metrics

@@ -1,0 +1,86 @@
+#include "metrics/prd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace aero::metrics {
+
+namespace {
+
+using linalg::Matrix;
+
+double squared_distance(const Matrix& a, std::size_t i, const Matrix& b,
+                        std::size_t j) {
+    double d = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+        const double diff = a(i, c) - b(j, c);
+        d += diff * diff;
+    }
+    return d;
+}
+
+/// Radius of each point's k-th nearest neighbour within its own set.
+std::vector<double> knn_radii(const Matrix& points, int k) {
+    const std::size_t n = points.rows();
+    std::vector<double> radii(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> distances;
+        distances.reserve(n - 1);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            distances.push_back(squared_distance(points, i, points, j));
+        }
+        const auto kth = static_cast<std::size_t>(
+            std::min<int>(k, static_cast<int>(distances.size())) - 1);
+        std::nth_element(distances.begin(), distances.begin() + kth,
+                         distances.end());
+        radii[i] = distances[kth];
+    }
+    return radii;
+}
+
+/// Fraction of `queries` lying inside the k-NN manifold of `support`.
+double manifold_coverage(const Matrix& queries, const Matrix& support,
+                         const std::vector<double>& support_radii) {
+    std::size_t inside = 0;
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        for (std::size_t s = 0; s < support.rows(); ++s) {
+            if (squared_distance(queries, q, support, s) <=
+                support_radii[s]) {
+                ++inside;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(inside) /
+           static_cast<double>(queries.rows());
+}
+
+}  // namespace
+
+PrecisionRecall precision_recall_from_features(const Matrix& real,
+                                               const Matrix& generated,
+                                               int k) {
+    assert(real.cols() == generated.cols());
+    assert(real.rows() >= 2 && generated.rows() >= 2);
+    const std::vector<double> real_radii = knn_radii(real, k);
+    const std::vector<double> generated_radii = knn_radii(generated, k);
+    PrecisionRecall result;
+    result.precision = manifold_coverage(generated, real, real_radii);
+    result.recall = manifold_coverage(real, generated, generated_radii);
+    return result;
+}
+
+PrecisionRecall precision_recall(const FeatureNet& net,
+                                 const std::vector<image::Image>& real,
+                                 const std::vector<image::Image>& generated,
+                                 int k) {
+    return precision_recall_from_features(feature_matrix(net, real),
+                                          feature_matrix(net, generated), k);
+}
+
+}  // namespace aero::metrics

@@ -1,0 +1,31 @@
+#pragma once
+// Improved precision & recall for generative models (k-NN manifold
+// estimate, Kynkaenniemi et al. 2019): precision = fraction of generated
+// samples inside the real manifold, recall = fraction of real samples
+// inside the generated manifold. Complements FID by separating fidelity
+// from diversity -- exactly the axis on which strongly-conditioned
+// (reconstruction-faithful, low-diversity) and unconditional
+// (diverse, low-fidelity) models differ.
+
+#include "linalg/matrix.hpp"
+#include "metrics/feature_net.hpp"
+
+namespace aero::metrics {
+
+struct PrecisionRecall {
+    double precision = 0.0;  ///< fidelity of generated samples
+    double recall = 0.0;     ///< coverage of the real distribution
+};
+
+/// k-NN manifold precision/recall from feature rows.
+PrecisionRecall precision_recall_from_features(const linalg::Matrix& real,
+                                               const linalg::Matrix& generated,
+                                               int k = 3);
+
+/// Convenience wrapper running the FeatureNet first.
+PrecisionRecall precision_recall(const FeatureNet& net,
+                                 const std::vector<image::Image>& real,
+                                 const std::vector<image::Image>& generated,
+                                 int k = 3);
+
+}  // namespace aero::metrics

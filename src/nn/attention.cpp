@@ -1,0 +1,68 @@
+#include "nn/attention.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace aero::nn {
+
+namespace ag = aero::autograd;
+
+MultiHeadAttention::MultiHeadAttention(int dim, int heads, util::Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {
+    assert(dim % heads == 0);
+    register_child(wq_);
+    register_child(wk_);
+    register_child(wv_);
+    register_child(wo_);
+}
+
+Var MultiHeadAttention::forward(const Var& query, const Var& context) const {
+    assert(query.value().rank() == 2 && query.value().dim(1) == dim_);
+    assert(context.value().rank() == 2 && context.value().dim(1) == dim_);
+
+    const Var q = wq_.forward(query);    // [Tq, dim]
+    const Var k = wk_.forward(context);  // [Tk, dim]
+    const Var v = wv_.forward(context);  // [Tk, dim]
+
+    const float inv_sqrt_dk =
+        1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+    std::vector<Var> head_outputs;
+    head_outputs.reserve(static_cast<std::size_t>(heads_));
+    for (int h = 0; h < heads_; ++h) {
+        const int lo = h * head_dim_;
+        const int hi = lo + head_dim_;
+        const Var qh = ag::slice(q, 1, lo, hi);  // [Tq, hd]
+        const Var kh = ag::slice(k, 1, lo, hi);  // [Tk, hd]
+        const Var vh = ag::slice(v, 1, lo, hi);  // [Tk, hd]
+        // softmax(Q K^T / sqrt(d_k)) V  -- Eq. 2.
+        const Var scores =
+            ag::scale(ag::matmul(qh, ag::transpose2d(kh)), inv_sqrt_dk);
+        const Var weights = ag::softmax_rows(scores);  // [Tq, Tk]
+        head_outputs.push_back(ag::matmul(weights, vh));
+    }
+    const Var merged = ag::concat(head_outputs, 1);  // [Tq, dim]
+    return wo_.forward(merged);
+}
+
+TransformerBlock::TransformerBlock(int dim, int heads, util::Rng& rng)
+    : norm1_(dim), attn_(dim, heads, rng), norm2_(dim),
+      mlp_(dim, dim * 2, dim, rng) {
+    register_child(norm1_);
+    register_child(attn_);
+    register_child(norm2_);
+    register_child(mlp_);
+}
+
+Var TransformerBlock::forward(const Var& x) const {
+    Var h = ag::add(x, attn_.forward(norm1_.forward(x)));
+    return ag::add(h, mlp_.forward(norm2_.forward(h)));
+}
+
+}  // namespace aero::nn

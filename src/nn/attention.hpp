@@ -1,0 +1,56 @@
+#pragma once
+// Multi-head scaled dot-product attention (Eq. 2-3 of the paper).
+// Operates on unbatched token matrices [T, d]; the library's sequence
+// lengths are tiny (a handful of region tokens / caption tokens), so
+// per-head slicing in a loop is both clear and fast enough.
+
+#include "nn/layers.hpp"
+
+namespace aero::nn {
+
+class MultiHeadAttention : public Module {
+public:
+    /// `dim` must be divisible by `heads`.
+    MultiHeadAttention(int dim, int heads, util::Rng& rng);
+
+    /// Cross-attention: queries from `query` [Tq, dim], keys/values from
+    /// `context` [Tk, dim]. Self-attention is forward(x, x).
+    Var forward(const Var& query, const Var& context) const;
+
+    /// Self-attention convenience wrapper.
+    Var forward(const Var& x) const { return forward(x, x); }
+
+    int dim() const { return dim_; }
+    int heads() const { return heads_; }
+
+    /// Zero-initialises the output projection: on residual paths the
+    /// attention starts as a no-op and fades in during training (the
+    /// standard initialisation for attention blocks added to pretrained
+    /// or jointly trained stacks).
+    void init_output_zero() { wo_.init_zero(); }
+
+private:
+    int dim_;
+    int heads_;
+    int head_dim_;
+    Linear wq_;
+    Linear wk_;
+    Linear wv_;
+    Linear wo_;
+};
+
+/// Pre-norm transformer block: x + attn(LN(x)), then x + MLP(LN(x)).
+class TransformerBlock : public Module {
+public:
+    TransformerBlock(int dim, int heads, util::Rng& rng);
+
+    Var forward(const Var& x) const;
+
+private:
+    LayerNorm norm1_;
+    MultiHeadAttention attn_;
+    LayerNorm norm2_;
+    Mlp mlp_;
+};
+
+}  // namespace aero::nn

@@ -1,0 +1,46 @@
+#include "nn/ema.hpp"
+
+#include <cassert>
+
+namespace aero::nn {
+
+Ema::Ema(std::vector<autograd::Var> params, float decay)
+    : params_(std::move(params)), decay_(decay) {
+    shadow_.reserve(params_.size());
+    for (const autograd::Var& p : params_) {
+        shadow_.push_back(p.value());
+    }
+}
+
+void Ema::update() {
+    assert(!applied_ && "update() while EMA weights are applied");
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        const tensor::Tensor& live = params_[i].value();
+        tensor::Tensor& avg = shadow_[i];
+        for (int j = 0; j < avg.size(); ++j) {
+            avg[j] = decay_ * avg[j] + (1.0f - decay_) * live[j];
+        }
+    }
+}
+
+void Ema::apply() {
+    assert(!applied_);
+    backup_.clear();
+    backup_.reserve(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        backup_.push_back(params_[i].value());
+        params_[i].mutable_value() = shadow_[i];
+    }
+    applied_ = true;
+}
+
+void Ema::restore() {
+    assert(applied_);
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        params_[i].mutable_value() = backup_[i];
+    }
+    backup_.clear();
+    applied_ = false;
+}
+
+}  // namespace aero::nn

@@ -1,0 +1,38 @@
+#pragma once
+// Exponential moving average of parameters -- the standard trick for
+// diffusion models: the sampled weights are a smoothed trajectory
+// average rather than the last (noisy) SGD iterate.
+
+#include <vector>
+
+#include "autograd/var.hpp"
+
+namespace aero::nn {
+
+class Ema {
+public:
+    /// Snapshot of `params` with the given decay per update.
+    Ema(std::vector<autograd::Var> params, float decay = 0.995f);
+
+    /// Folds the current parameter values into the average:
+    /// shadow = decay * shadow + (1 - decay) * param.
+    void update();
+
+    /// Writes the averaged weights into the live parameters (keeping a
+    /// backup for restore()).
+    void apply();
+
+    /// Restores the live weights saved by the last apply().
+    void restore();
+
+    float decay() const { return decay_; }
+
+private:
+    std::vector<autograd::Var> params_;
+    std::vector<tensor::Tensor> shadow_;
+    std::vector<tensor::Tensor> backup_;
+    float decay_;
+    bool applied_ = false;
+};
+
+}  // namespace aero::nn

@@ -1,0 +1,93 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+
+namespace aero::nn {
+
+namespace ag = aero::autograd;
+
+Linear::Linear(int in_features, int out_features, util::Rng& rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+    weight_ = register_parameter(
+        kaiming_uniform({in_features, out_features}, in_features, rng));
+    if (with_bias) {
+        bias_ = register_parameter(Tensor::zeros({out_features}));
+    }
+}
+
+Var Linear::forward(const Var& x) const {
+    Var out = ag::matmul(x, weight_);
+    if (bias_.defined()) out = ag::add_row_bias(out, bias_);
+    return out;
+}
+
+void Linear::init_zero() {
+    for (float& v : weight_.mutable_value().values()) v = 0.0f;
+    if (bias_.defined()) {
+        for (float& v : bias_.mutable_value().values()) v = 0.0f;
+    }
+}
+
+void Linear::init_identity() {
+    init_zero();
+    const int n = std::min(in_features_, out_features_);
+    for (int i = 0; i < n; ++i) {
+        weight_.mutable_value()[i * out_features_ + i] = 1.0f;
+    }
+}
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, util::Rng& rng, bool with_bias)
+    : out_channels_(out_channels), spec_{stride, pad} {
+    const int fan_in = in_channels * kernel * kernel;
+    weight_ = register_parameter(kaiming_uniform(
+        {out_channels, in_channels, kernel, kernel}, fan_in, rng));
+    if (with_bias) {
+        bias_ = register_parameter(Tensor::zeros({out_channels}));
+    }
+}
+
+Var Conv2d::forward(const Var& x) const {
+    return ag::conv2d(x, weight_, bias_, spec_);
+}
+
+GroupNorm::GroupNorm(int channels, int groups) : groups_(groups) {
+    gamma_ = register_parameter(Tensor::ones({channels}));
+    beta_ = register_parameter(Tensor::zeros({channels}));
+}
+
+Var GroupNorm::forward(const Var& x) const {
+    return ag::group_norm(x, groups_, gamma_, beta_);
+}
+
+LayerNorm::LayerNorm(int features) {
+    gamma_ = register_parameter(Tensor::ones({features}));
+    beta_ = register_parameter(Tensor::zeros({features}));
+}
+
+Var LayerNorm::forward(const Var& x) const {
+    return ag::layer_norm_rows(x, gamma_, beta_);
+}
+
+Embedding::Embedding(int vocab, int dim, util::Rng& rng)
+    : vocab_(vocab), dim_(dim) {
+    table_ = register_parameter(
+        Tensor::randn({vocab, dim}, rng, 0.0f, 0.02f));
+}
+
+Var Embedding::forward(const std::vector<int>& indices) const {
+    return ag::embedding(table_, indices);
+}
+
+Mlp::Mlp(int in_features, int hidden, int out_features, util::Rng& rng)
+    : fc1_(in_features, hidden, rng), fc2_(hidden, out_features, rng) {
+    register_child(fc1_);
+    register_child(fc2_);
+}
+
+Var Mlp::forward(const Var& x) const {
+    return fc2_.forward(ag::silu(fc1_.forward(x)));
+}
+
+}  // namespace aero::nn

@@ -1,0 +1,103 @@
+#pragma once
+// Standard trainable layers built on autograd ops.
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+
+namespace aero::nn {
+
+/// Fully connected layer: y = x W + b for x of shape [m, in].
+class Linear : public Module {
+public:
+    Linear(int in_features, int out_features, util::Rng& rng,
+           bool with_bias = true);
+
+    Var forward(const Var& x) const;
+
+    int in_features() const { return in_features_; }
+    int out_features() const { return out_features_; }
+
+    /// Overwrites the weights with zeros (and zero bias): the layer
+    /// starts as a no-op contribution on residual paths.
+    void init_zero();
+    /// Overwrites a square layer with the identity map.
+    void init_identity();
+
+private:
+    int in_features_;
+    int out_features_;
+    Var weight_;  ///< [in, out]
+    Var bias_;    ///< [out] (undefined when bias disabled)
+};
+
+/// 2-D convolution over NCHW tensors.
+class Conv2d : public Module {
+public:
+    Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
+           util::Rng& rng, bool with_bias = true);
+
+    Var forward(const Var& x) const;
+
+    int out_channels() const { return out_channels_; }
+
+private:
+    int out_channels_;
+    tensor::Conv2dSpec spec_;
+    Var weight_;  ///< [oc, ic, k, k]
+    Var bias_;    ///< [oc]
+};
+
+/// Group normalisation with learned per-channel affine.
+class GroupNorm : public Module {
+public:
+    GroupNorm(int channels, int groups);
+
+    Var forward(const Var& x) const;
+
+private:
+    int groups_;
+    Var gamma_;
+    Var beta_;
+};
+
+/// Row-wise layer normalisation with learned affine.
+class LayerNorm : public Module {
+public:
+    explicit LayerNorm(int features);
+
+    Var forward(const Var& x) const;
+
+private:
+    Var gamma_;
+    Var beta_;
+};
+
+/// Token-id to vector lookup table.
+class Embedding : public Module {
+public:
+    Embedding(int vocab, int dim, util::Rng& rng);
+
+    Var forward(const std::vector<int>& indices) const;
+
+    int dim() const { return dim_; }
+    int vocab() const { return vocab_; }
+
+private:
+    int vocab_;
+    int dim_;
+    Var table_;  ///< [vocab, dim]
+};
+
+/// Two-layer MLP with SiLU, the feed-forward block used throughout.
+class Mlp : public Module {
+public:
+    Mlp(int in_features, int hidden, int out_features, util::Rng& rng);
+
+    Var forward(const Var& x) const;
+
+private:
+    Linear fc1_;
+    Linear fc2_;
+};
+
+}  // namespace aero::nn

@@ -1,0 +1,46 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+
+namespace aero::nn {
+
+std::vector<Var> Module::parameters() const {
+    std::vector<Var> all = params_;
+    for (const Module* child : children_) {
+        std::vector<Var> sub = child->parameters();
+        all.insert(all.end(), sub.begin(), sub.end());
+    }
+    return all;
+}
+
+int Module::parameter_count() const {
+    int total = 0;
+    for (const Var& p : parameters()) total += p.value().size();
+    return total;
+}
+
+void Module::zero_grad() {
+    for (Var& p : parameters()) p.zero_grad();
+}
+
+Var Module::register_parameter(Tensor initial) {
+    params_.push_back(Var::param(std::move(initial)));
+    return params_.back();
+}
+
+void Module::register_child(Module& child) { children_.push_back(&child); }
+
+Tensor kaiming_uniform(std::vector<int> shape, int fan_in, util::Rng& rng) {
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+    return Tensor::uniform(std::move(shape), rng, -bound, bound);
+}
+
+Tensor xavier_uniform(std::vector<int> shape, int fan_in, int fan_out,
+                      util::Rng& rng) {
+    const float bound = std::sqrt(
+        6.0f / static_cast<float>(fan_in + fan_out > 0 ? fan_in + fan_out : 1));
+    return Tensor::uniform(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace aero::nn

@@ -1,0 +1,57 @@
+#pragma once
+// Base class for trainable network components. A Module owns leaf
+// parameter `Var`s and (optionally) child modules; `parameters()` walks
+// the tree so optimizers and serializers see a flat list. Modules are
+// identity objects: non-copyable, stable addresses.
+
+#include <string>
+#include <vector>
+
+#include "autograd/var.hpp"
+#include "util/rng.hpp"
+
+namespace aero::nn {
+
+using autograd::Var;
+using tensor::Tensor;
+
+class Module {
+public:
+    Module() = default;
+    virtual ~Module() = default;
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+
+    /// All trainable parameters of this module and its children,
+    /// depth-first in registration order.
+    std::vector<Var> parameters() const;
+
+    /// Total scalar parameter count.
+    int parameter_count() const;
+
+    /// Clears gradients on every parameter.
+    void zero_grad();
+
+protected:
+    /// Registers a trainable tensor; returns its Var handle.
+    Var register_parameter(Tensor initial);
+
+    /// Registers a child whose parameters are folded into parameters().
+    /// The child must outlive this module (normally a data member).
+    void register_child(Module& child);
+
+private:
+    std::vector<Var> params_;
+    std::vector<const Module*> children_;
+};
+
+// ---- initialisers -----------------------------------------------------------
+
+/// Kaiming-uniform fan-in initialisation for weights with `fan_in` inputs.
+Tensor kaiming_uniform(std::vector<int> shape, int fan_in, util::Rng& rng);
+
+/// Xavier-uniform initialisation.
+Tensor xavier_uniform(std::vector<int> shape, int fan_in, int fan_out,
+                      util::Rng& rng);
+
+}  // namespace aero::nn

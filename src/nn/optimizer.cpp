@@ -1,0 +1,67 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace aero::nn {
+
+Adam::Adam(std::vector<autograd::Var> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const autograd::Var& p : params_) {
+        m_.emplace_back(p.value().shape());
+        v_.emplace_back(p.value().shape());
+    }
+}
+
+void Adam::step() {
+    ++step_count_;
+    const float bias1 =
+        1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+    const float bias2 =
+        1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        autograd::Var& p = params_[i];
+        const tensor::Tensor& g = p.grad();
+        if (g.empty()) continue;
+        tensor::Tensor& m = m_[i];
+        tensor::Tensor& v = v_[i];
+        float* pv = p.mutable_value().data();
+        const float* pg = g.data();
+        for (int j = 0; j < g.size(); ++j) {
+            m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * pg[j];
+            v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * pg[j] * pg[j];
+            const float m_hat = m[j] / bias1;
+            const float v_hat = v[j] / bias2;
+            // Decoupled weight decay (AdamW).
+            pv[j] -= config_.lr *
+                     (m_hat / (std::sqrt(v_hat) + config_.eps) +
+                      config_.weight_decay * pv[j]);
+        }
+    }
+}
+
+void Adam::zero_grad() {
+    for (autograd::Var& p : params_) p.zero_grad();
+}
+
+float Adam::clip_grad_norm(float max_norm) {
+    double total = 0.0;
+    for (const autograd::Var& p : params_) {
+        const tensor::Tensor& g = p.grad();
+        for (float gv : g.values()) total += static_cast<double>(gv) * gv;
+    }
+    const float norm = static_cast<float>(std::sqrt(total));
+    if (norm > max_norm && norm > 0.0f) {
+        const float scale = max_norm / norm;
+        for (autograd::Var& p : params_) {
+            // Var::grad() is const-read; scale through the node.
+            tensor::Tensor& g = const_cast<tensor::Tensor&>(p.grad());
+            for (float& gv : g.values()) gv *= scale;
+        }
+    }
+    return norm;
+}
+
+}  // namespace aero::nn

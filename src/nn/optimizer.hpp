@@ -1,0 +1,46 @@
+#pragma once
+// AdamW optimizer (decoupled weight decay), as used for all training in
+// the paper (Adam, lr 1e-5, weight decay 1e-5 -- scaled for our model
+// sizes via config).
+
+#include <vector>
+
+#include "autograd/var.hpp"
+
+namespace aero::nn {
+
+struct AdamConfig {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 1e-5f;
+};
+
+class Adam {
+public:
+    Adam(std::vector<autograd::Var> params, AdamConfig config);
+
+    /// Applies one update from the gradients currently stored on the
+    /// parameters, then leaves gradients untouched (caller zeroes them).
+    void step();
+
+    /// Clears gradients on all managed parameters.
+    void zero_grad();
+
+    /// Rescales every gradient so the global L2 norm is at most `max_norm`.
+    /// Returns the pre-clip norm.
+    float clip_grad_norm(float max_norm);
+
+    const AdamConfig& config() const { return config_; }
+    void set_lr(float lr) { config_.lr = lr; }
+
+private:
+    std::vector<autograd::Var> params_;
+    AdamConfig config_;
+    std::vector<tensor::Tensor> m_;
+    std::vector<tensor::Tensor> v_;
+    long step_count_ = 0;
+};
+
+}  // namespace aero::nn

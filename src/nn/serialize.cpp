@@ -1,0 +1,68 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace aero::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41455244;  // "AERD"
+}
+
+bool save_parameters(const Module& module, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+
+    const std::vector<Var> params = module.parameters();
+    const auto count = static_cast<std::uint32_t>(params.size());
+    out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const Var& p : params) {
+        const Tensor& t = p.value();
+        const auto rank = static_cast<std::uint32_t>(t.rank());
+        out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+        for (int d = 0; d < t.rank(); ++d) {
+            const auto extent = static_cast<std::uint32_t>(t.dim(d));
+            out.write(reinterpret_cast<const char*>(&extent), sizeof(extent));
+        }
+        out.write(reinterpret_cast<const char*>(t.data()),
+                  static_cast<std::streamsize>(sizeof(float) * t.size()));
+    }
+    return static_cast<bool>(out);
+}
+
+bool load_parameters(Module& module, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+
+    std::uint32_t magic = 0;
+    std::uint32_t count = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!in || magic != kMagic) return false;
+
+    std::vector<Var> params = module.parameters();
+    if (count != params.size()) return false;
+
+    for (Var& p : params) {
+        std::uint32_t rank = 0;
+        in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+        if (!in || rank != static_cast<std::uint32_t>(p.value().rank())) {
+            return false;
+        }
+        for (int d = 0; d < p.value().rank(); ++d) {
+            std::uint32_t extent = 0;
+            in.read(reinterpret_cast<char*>(&extent), sizeof(extent));
+            if (!in || extent != static_cast<std::uint32_t>(p.value().dim(d))) {
+                return false;
+            }
+        }
+        in.read(reinterpret_cast<char*>(p.mutable_value().data()),
+                static_cast<std::streamsize>(sizeof(float) *
+                                             p.value().size()));
+        if (!in) return false;
+    }
+    return true;
+}
+
+}  // namespace aero::nn

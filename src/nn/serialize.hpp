@@ -1,0 +1,20 @@
+#pragma once
+// Flat binary checkpointing for module parameters. The format is a
+// magic header, a parameter count, then per-parameter rank/shape/floats.
+// Loading requires an identically structured module.
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace aero::nn {
+
+/// Writes all parameters of `module` to `path`. Returns false on I/O error.
+bool save_parameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by save_parameters into `module`. Returns false
+/// on I/O error or any shape mismatch (module left partially updated only
+/// on a mismatch after some tensors were already read).
+bool load_parameters(Module& module, const std::string& path);
+
+}  // namespace aero::nn

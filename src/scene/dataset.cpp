@@ -1,0 +1,89 @@
+#include "scene/dataset.hpp"
+
+namespace aero::scene {
+
+namespace {
+
+AerialSample make_sample(Scene scene, const RenderOptions& base_render,
+                         int image_size) {
+    RenderOptions options = base_render;
+    options.image_size = image_size;
+    options.texture_seed =
+        base_render.texture_seed + static_cast<std::uint64_t>(scene.id) * 7919;
+    AerialSample sample;
+    sample.image = render(scene, options);
+    sample.gt_boxes = ground_truth_boxes(scene, image_size);
+    sample.scene = std::move(scene);
+    return sample;
+}
+
+}  // namespace
+
+AerialDataset::AerialDataset(const DatasetConfig& config) : config_(config) {
+    util::Rng rng(config.seed);
+    train_.reserve(static_cast<std::size_t>(config.train_size));
+    test_.reserve(static_cast<std::size_t>(config.test_size));
+    for (int i = 0; i < config.train_size + config.test_size; ++i) {
+        Scene scene = generate_random_scene(rng, i, config.generator);
+        AerialSample sample =
+            make_sample(std::move(scene), config.render, config.image_size);
+        if (i < config.train_size) {
+            train_.push_back(std::move(sample));
+        } else {
+            test_.push_back(std::move(sample));
+        }
+    }
+}
+
+std::vector<int> AerialDataset::class_histogram() const {
+    std::vector<int> counts(kNumObjectClasses, 0);
+    for (const AerialSample& sample : train_) {
+        for (const SceneObject& obj : sample.scene.objects) {
+            counts[static_cast<std::size_t>(obj.cls)]++;
+        }
+    }
+    return counts;
+}
+
+std::vector<int> AerialDataset::objects_per_image() const {
+    std::vector<int> counts;
+    counts.reserve(train_.size() + test_.size());
+    for (const AerialSample& sample : train_) {
+        counts.push_back(static_cast<int>(sample.scene.objects.size()));
+    }
+    for (const AerialSample& sample : test_) {
+        counts.push_back(static_cast<int>(sample.scene.objects.size()));
+    }
+    return counts;
+}
+
+AerialSample reproject_sample(const AerialSample& sample,
+                              const Camera& new_camera) {
+    Scene scene = sample.scene;
+    scene.camera = new_camera;
+    RenderOptions options;
+    options.image_size = sample.image.width();
+    options.texture_seed =
+        1234 + static_cast<std::uint64_t>(scene.id) * 7919;
+    AerialSample out;
+    out.image = render(scene, options);
+    out.gt_boxes = ground_truth_boxes(scene, options.image_size);
+    out.scene = std::move(scene);
+    return out;
+}
+
+AerialSample relight_sample(const AerialSample& sample, TimeOfDay time) {
+    Scene scene = sample.scene;
+    scene.time = time;
+    RenderOptions options;
+    options.image_size = sample.image.width();
+    options.texture_seed =
+        1234 + static_cast<std::uint64_t>(scene.id) * 7919;
+    AerialSample out;
+    out.image = render(scene, options);
+    out.gt_boxes = ground_truth_boxes(scene, options.image_size);
+    out.scene = std::move(scene);
+    return out;
+}
+
+}  // namespace aero::scene

@@ -1,0 +1,57 @@
+#pragma once
+// The paired text-aerial dataset builder (the paper's contribution (2)).
+// Each sample carries the rendered image, the ground-truth scene graph,
+// and the projected annotations; captions are attached later by the
+// text module, detections by the detector.
+
+#include <vector>
+
+#include "scene/generator.hpp"
+#include "scene/renderer.hpp"
+
+namespace aero::scene {
+
+struct AerialSample {
+    Scene scene;
+    image::Image image;
+    std::vector<BoundingBox> gt_boxes;
+};
+
+struct DatasetConfig {
+    int train_size = 96;
+    int test_size = 32;
+    int image_size = 32;
+    GeneratorConfig generator;
+    RenderOptions render;
+    std::uint64_t seed = 2025;
+};
+
+/// A reproducible train/test split of synthetic aerial scenes.
+class AerialDataset {
+public:
+    explicit AerialDataset(const DatasetConfig& config);
+
+    const std::vector<AerialSample>& train() const { return train_; }
+    const std::vector<AerialSample>& test() const { return test_; }
+    const DatasetConfig& config() const { return config_; }
+
+    /// Per-class object counts over the train split.
+    std::vector<int> class_histogram() const;
+    /// Objects-per-image counts over both splits.
+    std::vector<int> objects_per_image() const;
+
+private:
+    DatasetConfig config_;
+    std::vector<AerialSample> train_;
+    std::vector<AerialSample> test_;
+};
+
+/// Renders the same scene under a different camera: the mechanism behind
+/// viewpoint-transition evaluation (Table III).
+AerialSample reproject_sample(const AerialSample& sample,
+                              const Camera& new_camera);
+
+/// Renders the same scene at a different time of day (Fig. 5 nighttime).
+AerialSample relight_sample(const AerialSample& sample, TimeOfDay time);
+
+}  // namespace aero::scene

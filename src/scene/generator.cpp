@@ -1,0 +1,404 @@
+#include "scene/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace aero::scene {
+
+namespace {
+
+using image::Color;
+using util::Rng;
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+/// Typical world-space footprints per class (length along heading, width).
+struct Footprint {
+    float length;
+    float width;
+};
+
+Footprint footprint(ObjectClass cls, Rng& rng) {
+    auto jitter = [&rng](float v) {
+        return v * static_cast<float>(rng.uniform(0.85, 1.15));
+    };
+    switch (cls) {
+        case ObjectClass::kPedestrian:
+        case ObjectClass::kPeople:
+            return {jitter(0.010f), jitter(0.010f)};
+        case ObjectClass::kBicycle:
+            return {jitter(0.018f), jitter(0.008f)};
+        case ObjectClass::kMotor:
+            return {jitter(0.020f), jitter(0.009f)};
+        case ObjectClass::kTricycle:
+        case ObjectClass::kAwningTricycle:
+            return {jitter(0.025f), jitter(0.014f)};
+        case ObjectClass::kCar:
+            return {jitter(0.036f), jitter(0.018f)};
+        case ObjectClass::kVan:
+            return {jitter(0.042f), jitter(0.020f)};
+        case ObjectClass::kTruck:
+            return {jitter(0.060f), jitter(0.024f)};
+        case ObjectClass::kBus:
+            return {jitter(0.070f), jitter(0.025f)};
+    }
+    return {0.03f, 0.015f};
+}
+
+Color vehicle_color(Rng& rng) {
+    // Mostly achromatic fleet colours with occasional saturated ones,
+    // mirroring real traffic.
+    if (rng.bernoulli(0.55)) {
+        const float v = static_cast<float>(rng.uniform(0.25, 0.95));
+        return {v, v, v * static_cast<float>(rng.uniform(0.95, 1.05))};
+    }
+    const float hue_pick = static_cast<float>(rng.uniform(0.0, 1.0));
+    if (hue_pick < 0.4f) return {0.75f, 0.12f, 0.10f};  // red
+    if (hue_pick < 0.7f) return {0.12f, 0.25f, 0.65f};  // blue
+    if (hue_pick < 0.85f) return {0.1f, 0.45f, 0.2f};   // green
+    return {0.8f, 0.6f, 0.1f};                          // yellow
+}
+
+Color pedestrian_color(Rng& rng) {
+    return {static_cast<float>(rng.uniform(0.3, 0.9)),
+            static_cast<float>(rng.uniform(0.2, 0.8)),
+            static_cast<float>(rng.uniform(0.2, 0.9))};
+}
+
+SceneObject make_object(ObjectClass cls, float x, float y, float heading,
+                        Rng& rng, bool moving) {
+    SceneObject obj;
+    obj.cls = cls;
+    obj.x = x;
+    obj.y = y;
+    const Footprint fp = footprint(cls, rng);
+    obj.length = fp.length;
+    obj.width = fp.width;
+    obj.heading = heading;
+    obj.moving = moving;
+    const bool is_person =
+        cls == ObjectClass::kPedestrian || cls == ObjectClass::kPeople;
+    obj.color = is_person ? pedestrian_color(rng) : vehicle_color(rng);
+    return obj;
+}
+
+/// Places `count` vehicles along a road segment in lane positions.
+void populate_road(Scene& scene, const RoadSegment& road, int count,
+                   const std::vector<ObjectClass>& mix, Rng& rng) {
+    const float dx = road.x1 - road.x0;
+    const float dy = road.y1 - road.y0;
+    const float heading = std::atan2(dy, dx);
+    const float nx = -dy;  // unit-ish normal (length handled via road width)
+    const float ny = dx;
+    const float norm = std::sqrt(nx * nx + ny * ny);
+    const float ux = norm > 0.0f ? nx / norm : 0.0f;
+    const float uy = norm > 0.0f ? ny / norm : 1.0f;
+
+    for (int i = 0; i < count; ++i) {
+        const float t = static_cast<float>(rng.uniform(0.05, 0.95));
+        const int lane = rng.uniform_int(0, road.lanes - 1);
+        const float lane_offset =
+            (static_cast<float>(lane) + 0.5f) / static_cast<float>(road.lanes);
+        const float offset = (lane_offset - 0.5f) * road.width * 0.85f;
+        const float x = road.x0 + dx * t + ux * offset;
+        const float y = road.y0 + dy * t + uy * offset;
+        const ObjectClass cls = rng.pick(mix);
+        // Opposite lanes drive in opposite directions.
+        const float dir = lane * 2 < road.lanes ? heading : heading + kPi;
+        scene.objects.push_back(make_object(cls, x, y, dir, rng, true));
+    }
+}
+
+/// Scatters `count` objects uniformly in a rectangle.
+void scatter(Scene& scene, float cx, float cy, float w, float h, int count,
+             const std::vector<ObjectClass>& mix, Rng& rng, bool moving) {
+    for (int i = 0; i < count; ++i) {
+        const float x = cx + static_cast<float>(rng.uniform(-0.5, 0.5)) * w;
+        const float y = cy + static_cast<float>(rng.uniform(-0.5, 0.5)) * h;
+        const float heading = static_cast<float>(rng.uniform(0.0, 2.0 * kPi));
+        scene.objects.push_back(
+            make_object(rng.pick(mix), std::clamp(x, 0.02f, 0.98f),
+                        std::clamp(y, 0.02f, 0.98f), heading, rng, moving));
+    }
+}
+
+void add_tree_row(Scene& scene, float x0, float y0, float x1, float y1,
+                  int count, Rng& rng) {
+    for (int i = 0; i < count; ++i) {
+        const float t =
+            (static_cast<float>(i) + 0.5f) / static_cast<float>(count);
+        Tree tree;
+        tree.x = x0 + (x1 - x0) * t +
+                 static_cast<float>(rng.uniform(-0.01, 0.01));
+        tree.y = y0 + (y1 - y0) * t +
+                 static_cast<float>(rng.uniform(-0.01, 0.01));
+        tree.radius = static_cast<float>(rng.uniform(0.015, 0.035));
+        scene.trees.push_back(tree);
+    }
+}
+
+void add_building_block(Scene& scene, float cx, float cy, float span, int count,
+                        Rng& rng, const Color& roof_base) {
+    for (int i = 0; i < count; ++i) {
+        Building b;
+        b.x = cx + static_cast<float>(rng.uniform(-0.5, 0.5)) * span;
+        b.y = cy + static_cast<float>(rng.uniform(-0.5, 0.5)) * span;
+        b.w = static_cast<float>(rng.uniform(0.05, 0.13));
+        b.h = static_cast<float>(rng.uniform(0.05, 0.13));
+        b.heading = static_cast<float>(rng.uniform(-0.15, 0.15));
+        const float tint = static_cast<float>(rng.uniform(0.85, 1.15));
+        b.roof = {std::min(roof_base.r * tint, 1.0f),
+                  std::min(roof_base.g * tint, 1.0f),
+                  std::min(roof_base.b * tint, 1.0f)};
+        scene.buildings.push_back(b);
+    }
+}
+
+int band(Rng& rng, int lo, int hi) { return rng.uniform_int(lo, hi); }
+
+// ---- per-scenario grammars --------------------------------------------------
+
+void build_highway(Scene& scene, int object_budget, Rng& rng) {
+    scene.base_ground = {0.40f, 0.42f, 0.36f};
+    const float road_y = static_cast<float>(rng.uniform(0.35, 0.65));
+    RoadSegment highway{0.0f, road_y, 1.0f, road_y, 0.16f, 4, true};
+    scene.roads.push_back(highway);
+    // Dense neighbourhood on one side, wooded hillside on the other.
+    add_building_block(scene, 0.5f, road_y - 0.28f, 0.7f, band(rng, 5, 9), rng,
+                       {0.55f, 0.45f, 0.42f});
+    add_tree_row(scene, 0.05f, road_y + 0.22f, 0.95f, road_y + 0.30f,
+                 band(rng, 6, 10), rng);
+    scene.patches.push_back(
+        {0.5f, road_y + 0.32f, 1.0f, 0.4f, {0.25f, 0.42f, 0.22f}});
+    populate_road(scene, highway, object_budget,
+                  {ObjectClass::kCar, ObjectClass::kCar, ObjectClass::kCar,
+                   ObjectClass::kVan, ObjectClass::kTruck, ObjectClass::kBus},
+                  rng);
+}
+
+void build_intersection(Scene& scene, int object_budget, Rng& rng) {
+    scene.base_ground = {0.46f, 0.45f, 0.43f};
+    const float cx = static_cast<float>(rng.uniform(0.4, 0.6));
+    const float cy = static_cast<float>(rng.uniform(0.4, 0.6));
+    RoadSegment ew{0.0f, cy, 1.0f, cy, 0.12f, 2, true};
+    RoadSegment ns{cx, 0.0f, cx, 1.0f, 0.12f, 2, true};
+    scene.roads.push_back(ew);
+    scene.roads.push_back(ns);
+    add_building_block(scene, cx - 0.3f, cy - 0.3f, 0.3f, band(rng, 2, 4), rng,
+                       {0.6f, 0.5f, 0.45f});
+    add_building_block(scene, cx + 0.3f, cy + 0.3f, 0.3f, band(rng, 2, 4), rng,
+                       {0.5f, 0.5f, 0.55f});
+    add_tree_row(scene, cx + 0.2f, cy - 0.35f, cx + 0.4f, cy - 0.1f,
+                 band(rng, 3, 5), rng);
+    const int vehicles = object_budget * 2 / 3;
+    populate_road(scene, ew, vehicles / 2,
+                  {ObjectClass::kCar, ObjectClass::kVan, ObjectClass::kMotor},
+                  rng);
+    populate_road(scene, ns, vehicles - vehicles / 2,
+                  {ObjectClass::kCar, ObjectClass::kBus, ObjectClass::kTricycle},
+                  rng);
+    scatter(scene, cx, cy, 0.35f, 0.35f, object_budget - vehicles,
+            {ObjectClass::kPedestrian, ObjectClass::kPeople,
+             ObjectClass::kBicycle},
+            rng, true);
+}
+
+void build_residential(Scene& scene, int object_budget, Rng& rng) {
+    scene.base_ground = {0.44f, 0.46f, 0.40f};
+    const float road_x = static_cast<float>(rng.uniform(0.4, 0.6));
+    RoadSegment street{road_x, 0.0f, road_x, 1.0f, 0.08f, 2, false};
+    scene.roads.push_back(street);
+    add_building_block(scene, road_x - 0.27f, 0.3f, 0.4f, band(rng, 4, 7), rng,
+                       {0.62f, 0.42f, 0.36f});
+    add_building_block(scene, road_x + 0.27f, 0.7f, 0.4f, band(rng, 4, 7), rng,
+                       {0.58f, 0.46f, 0.4f});
+    add_tree_row(scene, 0.1f, 0.1f, 0.9f, 0.15f, band(rng, 4, 7), rng);
+    const int parked = object_budget / 2;
+    populate_road(scene, street, parked,
+                  {ObjectClass::kCar, ObjectClass::kCar, ObjectClass::kVan},
+                  rng);
+    scatter(scene, 0.5f, 0.5f, 0.9f, 0.9f, object_budget - parked,
+            {ObjectClass::kPedestrian, ObjectClass::kBicycle,
+             ObjectClass::kMotor},
+            rng, false);
+}
+
+void build_market(Scene& scene, int object_budget, Rng& rng) {
+    scene.base_ground = {0.5f, 0.46f, 0.4f};
+    const float street_y = static_cast<float>(rng.uniform(0.42, 0.58));
+    RoadSegment street{0.0f, street_y, 1.0f, street_y, 0.07f, 1, false};
+    scene.roads.push_back(street);
+    // Red-roofed stalls and buildings lining the narrow street.
+    add_building_block(scene, 0.5f, street_y - 0.2f, 0.8f, band(rng, 6, 9),
+                       rng, {0.7f, 0.25f, 0.2f});
+    add_building_block(scene, 0.5f, street_y + 0.2f, 0.8f, band(rng, 6, 9),
+                       rng, {0.72f, 0.3f, 0.22f});
+    const int crowd = object_budget * 3 / 4;
+    scatter(scene, 0.5f, street_y, 0.9f, 0.12f, crowd,
+            {ObjectClass::kPedestrian, ObjectClass::kPedestrian,
+             ObjectClass::kPeople, ObjectClass::kTricycle,
+             ObjectClass::kAwningTricycle},
+            rng, true);
+    scatter(scene, 0.5f, street_y, 0.9f, 0.2f, object_budget - crowd,
+            {ObjectClass::kMotor, ObjectClass::kBicycle, ObjectClass::kVan},
+            rng, false);
+}
+
+void build_park(Scene& scene, int object_budget, Rng& rng) {
+    scene.base_ground = {0.3f, 0.48f, 0.26f};
+    // Pond.
+    scene.patches.push_back({static_cast<float>(rng.uniform(0.55, 0.75)),
+                             static_cast<float>(rng.uniform(0.55, 0.75)),
+                             0.3f, 0.24f,
+                             {0.2f, 0.35f, 0.55f}});
+    // Paved walkway.
+    RoadSegment walkway{0.05f, 0.2f, 0.95f, 0.8f, 0.045f, 1, false};
+    scene.roads.push_back(walkway);
+    add_tree_row(scene, 0.1f, 0.25f, 0.9f, 0.85f, band(rng, 8, 12), rng);
+    add_tree_row(scene, 0.15f, 0.1f, 0.85f, 0.2f, band(rng, 4, 6), rng);
+    scatter(scene, 0.5f, 0.5f, 0.8f, 0.7f, object_budget,
+            {ObjectClass::kPedestrian, ObjectClass::kPedestrian,
+             ObjectClass::kPeople, ObjectClass::kBicycle},
+            rng, true);
+}
+
+void build_campus(Scene& scene, int object_budget, Rng& rng) {
+    scene.base_ground = {0.5f, 0.5f, 0.47f};
+    RoadSegment walk1{0.0f, 0.5f, 1.0f, 0.5f, 0.06f, 1, false};
+    RoadSegment walk2{0.5f, 0.0f, 0.5f, 1.0f, 0.06f, 1, false};
+    scene.roads.push_back(walk1);
+    scene.roads.push_back(walk2);
+    scene.patches.push_back({0.25f, 0.25f, 0.35f, 0.35f, {0.32f, 0.5f, 0.28f}});
+    scene.patches.push_back({0.75f, 0.75f, 0.35f, 0.35f, {0.34f, 0.52f, 0.3f}});
+    add_building_block(scene, 0.75f, 0.25f, 0.3f, band(rng, 2, 3), rng,
+                       {0.52f, 0.48f, 0.5f});
+    add_tree_row(scene, 0.1f, 0.45f, 0.9f, 0.45f, band(rng, 5, 8), rng);
+    const int people = object_budget * 3 / 4;
+    scatter(scene, 0.5f, 0.5f, 0.85f, 0.85f, people,
+            {ObjectClass::kPedestrian, ObjectClass::kPeople,
+             ObjectClass::kBicycle},
+            rng, true);
+    // A few cars parked on the side of the road.
+    populate_road(scene, walk1, object_budget - people,
+                  {ObjectClass::kCar, ObjectClass::kVan}, rng);
+}
+
+void build_parking(Scene& scene, int object_budget, Rng& rng) {
+    scene.base_ground = {0.42f, 0.42f, 0.43f};
+    // Warehouse building on one edge.
+    Building warehouse;
+    warehouse.x = 0.5f;
+    warehouse.y = 0.12f;
+    warehouse.w = 0.7f;
+    warehouse.h = 0.18f;
+    warehouse.roof = {0.58f, 0.58f, 0.6f};
+    scene.buildings.push_back(warehouse);
+    // Rows of parked vans/trucks.
+    const int rows = band(rng, 3, 5);
+    int remaining = object_budget;
+    for (int r = 0; r < rows && remaining > 0; ++r) {
+        const float row_y = 0.3f + 0.15f * static_cast<float>(r);
+        const int in_row = std::min(remaining, object_budget / rows + 1);
+        for (int i = 0; i < in_row; ++i) {
+            const float x =
+                0.08f + 0.84f * (static_cast<float>(i) + 0.5f) /
+                            static_cast<float>(in_row);
+            const ObjectClass cls = rng.bernoulli(0.6)
+                                        ? ObjectClass::kVan
+                                        : (rng.bernoulli(0.5)
+                                               ? ObjectClass::kTruck
+                                               : ObjectClass::kCar);
+            scene.objects.push_back(
+                make_object(cls, x, row_y, kPi / 2.0f, rng, false));
+        }
+        remaining -= in_row;
+    }
+}
+
+void build_plaza(Scene& scene, int object_budget, Rng& rng) {
+    scene.base_ground = {0.55f, 0.53f, 0.5f};
+    scene.patches.push_back({0.5f, 0.5f, 0.16f, 0.16f, {0.3f, 0.42f, 0.55f}});
+    add_building_block(scene, 0.15f, 0.5f, 0.2f, band(rng, 2, 3), rng,
+                       {0.5f, 0.47f, 0.52f});
+    add_building_block(scene, 0.85f, 0.5f, 0.2f, band(rng, 2, 3), rng,
+                       {0.48f, 0.5f, 0.54f});
+    add_tree_row(scene, 0.2f, 0.15f, 0.8f, 0.15f, band(rng, 4, 6), rng);
+    add_tree_row(scene, 0.2f, 0.85f, 0.8f, 0.85f, band(rng, 4, 6), rng);
+    scatter(scene, 0.5f, 0.5f, 0.7f, 0.7f, object_budget,
+            {ObjectClass::kPedestrian, ObjectClass::kPedestrian,
+             ObjectClass::kPeople, ObjectClass::kBicycle},
+            rng, true);
+}
+
+}  // namespace
+
+Camera random_camera(util::Rng& rng) {
+    Camera cam;
+    cam.look_x = static_cast<float>(rng.uniform(0.4, 0.6));
+    cam.look_y = static_cast<float>(rng.uniform(0.4, 0.6));
+    cam.altitude = static_cast<float>(rng.uniform(0.55, 1.4));
+    cam.pitch = static_cast<float>(rng.uniform(0.0, 0.6));
+    cam.azimuth = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+    return cam;
+}
+
+Scene generate_scene(ScenarioKind kind, TimeOfDay time, util::Rng& rng, int id,
+                     const GeneratorConfig& config) {
+    Scene scene;
+    scene.id = id;
+    scene.kind = kind;
+    scene.time = time;
+    scene.cloudiness = static_cast<float>(rng.uniform(0.0, 0.6));
+    const int budget = rng.uniform_int(config.min_objects, config.max_objects);
+    switch (kind) {
+        case ScenarioKind::kHighway: build_highway(scene, budget, rng); break;
+        case ScenarioKind::kIntersection:
+            build_intersection(scene, budget, rng);
+            break;
+        case ScenarioKind::kResidential:
+            build_residential(scene, budget, rng);
+            break;
+        case ScenarioKind::kMarket: build_market(scene, budget, rng); break;
+        case ScenarioKind::kPark: build_park(scene, budget, rng); break;
+        case ScenarioKind::kCampus: build_campus(scene, budget, rng); break;
+        case ScenarioKind::kParking: build_parking(scene, budget, rng); break;
+        case ScenarioKind::kPlaza: build_plaza(scene, budget, rng); break;
+    }
+    scene.camera = config.randomize_camera ? random_camera(rng) : Camera{};
+    return scene;
+}
+
+Scene generate_random_scene(util::Rng& rng, int id,
+                            const GeneratorConfig& config) {
+    const auto kind =
+        static_cast<ScenarioKind>(rng.uniform_int(0, kNumScenarios - 1));
+    const TimeOfDay time = rng.bernoulli(config.night_fraction)
+                               ? TimeOfDay::kNight
+                               : TimeOfDay::kDay;
+    return generate_scene(kind, time, rng, id, config);
+}
+
+Scene generate_classical_scene(util::Rng& rng, int id) {
+    Scene scene;
+    scene.id = id;
+    scene.kind = ScenarioKind::kPlaza;
+    scene.time = TimeOfDay::kDay;
+    scene.base_ground = {0.7f, 0.68f, 0.6f};
+    const int count = rng.uniform_int(1, 2);
+    for (int i = 0; i < count; ++i) {
+        SceneObject obj = make_object(
+            rng.bernoulli(0.5) ? ObjectClass::kCar : ObjectClass::kPedestrian,
+            static_cast<float>(rng.uniform(0.3, 0.7)),
+            static_cast<float>(rng.uniform(0.3, 0.7)),
+            static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi)), rng,
+            false);
+        // Classical datasets frame their 1-2 subjects large.
+        obj.length *= 8.0f;
+        obj.width *= 8.0f;
+        scene.objects.push_back(obj);
+    }
+    return scene;
+}
+
+}  // namespace aero::scene

@@ -1,0 +1,381 @@
+#include "scene/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace aero::scene {
+
+namespace {
+
+using image::Color;
+using image::Image;
+
+/// Cheap deterministic 2-D hash noise in [0,1) for ground texture.
+float hash_noise(int x, int y, std::uint64_t seed) {
+    std::uint64_t h = seed;
+    h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::uint64_t>(y) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<float>(h >> 40) / static_cast<float>(1 << 24);
+}
+
+/// Distance from point p to segment (a, b), plus the parameter t along it.
+float point_segment_distance(float px, float py, float ax, float ay, float bx,
+                             float by, float* t_out) {
+    const float abx = bx - ax;
+    const float aby = by - ay;
+    const float len2 = abx * abx + aby * aby;
+    float t = 0.0f;
+    if (len2 > 0.0f) {
+        t = ((px - ax) * abx + (py - ay) * aby) / len2;
+        t = std::clamp(t, 0.0f, 1.0f);
+    }
+    const float cx = ax + abx * t;
+    const float cy = ay + aby * t;
+    if (t_out != nullptr) *t_out = t;
+    return std::sqrt((px - cx) * (px - cx) + (py - cy) * (py - cy));
+}
+
+bool inside_oriented_rect(float px, float py, float cx, float cy, float w,
+                          float h, float heading) {
+    const float dx = px - cx;
+    const float dy = py - cy;
+    const float cos_h = std::cos(heading);
+    const float sin_h = std::sin(heading);
+    const float lx = dx * cos_h + dy * sin_h;
+    const float ly = -dx * sin_h + dy * cos_h;
+    return std::abs(lx) <= 0.5f * w && std::abs(ly) <= 0.5f * h;
+}
+
+/// Colour of the static scene (everything except objects) at world point.
+Color static_scene_color(const Scene& scene, float wx, float wy,
+                         const RenderOptions& options) {
+    // Ground with procedural texture.
+    const float tex =
+        hash_noise(static_cast<int>(wx * 512.0f),
+                   static_cast<int>(wy * 512.0f), options.texture_seed) *
+            0.08f -
+        0.04f;
+    Color c = {scene.base_ground.r + tex, scene.base_ground.g + tex,
+               scene.base_ground.b + tex};
+
+    for (const GroundPatch& patch : scene.patches) {
+        if (std::abs(wx - patch.x) <= 0.5f * patch.w &&
+            std::abs(wy - patch.y) <= 0.5f * patch.h) {
+            c = {patch.color.r + tex * 0.5f, patch.color.g + tex * 0.5f,
+                 patch.color.b + tex * 0.5f};
+        }
+    }
+
+    for (const RoadSegment& road : scene.roads) {
+        float t = 0.0f;
+        const float dist = point_segment_distance(wx, wy, road.x0, road.y0,
+                                                  road.x1, road.y1, &t);
+        if (dist <= 0.5f * road.width) {
+            const float asphalt = 0.30f + tex * 0.5f;
+            c = {asphalt, asphalt, asphalt + 0.01f};
+            if (road.lane_markings) {
+                // Dashed centre line(s) between lanes plus solid edges.
+                const float along = t * std::hypot(road.x1 - road.x0,
+                                                   road.y1 - road.y0);
+                const bool dash_on =
+                    std::fmod(along, 0.05f) < 0.03f;
+                for (int lane = 1; lane < road.lanes; ++lane) {
+                    const float lane_pos =
+                        (static_cast<float>(lane) /
+                             static_cast<float>(road.lanes) -
+                         0.5f) *
+                        road.width;
+                    if (std::abs(dist - std::abs(lane_pos)) <
+                            road.width * 0.025f &&
+                        dash_on) {
+                        c = {0.85f, 0.85f, 0.82f};
+                    }
+                }
+                if (std::abs(dist - 0.5f * road.width) <
+                    road.width * 0.03f) {
+                    c = {0.8f, 0.8f, 0.78f};
+                }
+            }
+        }
+    }
+
+    for (const Building& b : scene.buildings) {
+        if (inside_oriented_rect(wx, wy, b.x, b.y, b.w, b.h, b.heading)) {
+            c = b.roof;
+            // Darkened rim suggests walls/parapets.
+            if (!inside_oriented_rect(wx, wy, b.x, b.y, b.w * 0.85f,
+                                      b.h * 0.85f, b.heading)) {
+                c = image::scale(c, 0.7f);
+            }
+        }
+    }
+
+    for (const Tree& tree : scene.trees) {
+        const float dx = wx - tree.x;
+        const float dy = wy - tree.y;
+        const float d2 = dx * dx + dy * dy;
+        if (d2 <= tree.radius * tree.radius) {
+            const float shade =
+                0.75f + 0.25f * (1.0f - std::sqrt(d2) / tree.radius);
+            c = {0.10f * shade + tex, 0.38f * shade + tex, 0.12f * shade + tex};
+        }
+    }
+    return c;
+}
+
+/// Projected oriented-rectangle footprint of an object in pixel space.
+struct ProjectedObject {
+    float px;
+    float py;
+    float length_px;
+    float width_px;
+    float heading_image;
+};
+
+ProjectedObject project_object(const SceneObject& obj,
+                               const ViewTransform& view) {
+    ProjectedObject p;
+    view.project(obj.x, obj.y, &p.px, &p.py);
+    p.length_px = obj.length * view.zoom();
+    // Cross-view squash from pitch is approximated isotropically for the
+    // small object footprints.
+    p.width_px = obj.width * view.zoom() *
+                 (0.5f + 0.5f * view.foreshorten());
+    p.heading_image = obj.heading + view.rotation();
+    return p;
+}
+
+void draw_objects(Image& img, const Scene& scene, const ViewTransform& view) {
+    // Day scenes get soft shadows offset by a fixed sun direction.
+    const bool day = scene.time == TimeOfDay::kDay;
+    const float shadow_dx = 1.2f;
+    const float shadow_dy = 1.2f;
+    for (const SceneObject& obj : scene.objects) {
+        const ProjectedObject p = project_object(obj, view);
+        const float len = std::max(p.length_px, 1.0f);
+        const float wid = std::max(p.width_px, 1.0f);
+        if (day && scene.cloudiness < 0.5f) {
+            image::fill_oriented_rect(img, p.px + shadow_dx, p.py + shadow_dy,
+                                      len, wid, p.heading_image,
+                                      {0.05f, 0.05f, 0.06f}, 0.35f);
+        }
+        image::fill_oriented_rect(img, p.px, p.py, len, wid, p.heading_image,
+                                  obj.color, 1.0f);
+        // Windshield hint for larger vehicles.
+        if (obj.cls != ObjectClass::kPedestrian &&
+            obj.cls != ObjectClass::kPeople && len >= 3.0f) {
+            const float offset = len * 0.25f;
+            image::fill_oriented_rect(
+                img, p.px + std::cos(p.heading_image) * offset,
+                p.py + std::sin(p.heading_image) * offset, len * 0.25f,
+                wid * 0.8f, p.heading_image, {0.15f, 0.18f, 0.25f}, 0.9f);
+        }
+    }
+}
+
+void apply_day_lighting(Image& img, const Scene& scene) {
+    // Overcast scenes are flatter and cooler.
+    const float k = scene.cloudiness;
+    if (k > 0.0f) {
+        image::adjust_tone(img, {1.0f - 0.15f * k, 1.0f - 0.12f * k, 1.0f},
+                           {0.04f * k, 0.04f * k, 0.05f * k});
+    }
+}
+
+void apply_night_lighting(Image& img, const Scene& scene,
+                          const ViewTransform& view,
+                          const RenderOptions& options) {
+    // Darken and cool the whole frame.
+    image::adjust_tone(img, {0.18f, 0.19f, 0.26f}, {0.01f, 0.01f, 0.03f});
+
+    // Additive glow layer: headlights, street lights, lit windows.
+    Image glow(img.width(), img.height());
+    util::Rng rng(options.texture_seed ^ 0xfeedu);
+
+    for (const SceneObject& obj : scene.objects) {
+        if (obj.cls == ObjectClass::kPedestrian ||
+            obj.cls == ObjectClass::kPeople || !obj.moving) {
+            continue;
+        }
+        float px = 0.0f;
+        float py = 0.0f;
+        view.project(obj.x, obj.y, &px, &py);
+        const float heading = obj.heading + view.rotation();
+        const float front = obj.length * 0.5f * view.zoom();
+        // Headlights (warm) and tail light (red).
+        image::fill_disk(glow, px + std::cos(heading) * front,
+                         py + std::sin(heading) * front,
+                         std::max(1.2f, front * 0.4f), {1.0f, 0.95f, 0.7f},
+                         0.9f);
+        image::fill_disk(glow, px - std::cos(heading) * front,
+                         py - std::sin(heading) * front,
+                         std::max(0.8f, front * 0.25f), {0.9f, 0.15f, 0.1f},
+                         0.8f);
+    }
+
+    // Street lights at regular intervals along marked roads.
+    for (const RoadSegment& road : scene.roads) {
+        const float len = std::hypot(road.x1 - road.x0, road.y1 - road.y0);
+        const int lights = std::max(2, static_cast<int>(len / 0.12f));
+        for (int i = 0; i < lights; ++i) {
+            const float t = (static_cast<float>(i) + 0.5f) /
+                            static_cast<float>(lights);
+            float px = 0.0f;
+            float py = 0.0f;
+            view.project(road.x0 + (road.x1 - road.x0) * t,
+                         road.y0 + (road.y1 - road.y0) * t, &px, &py);
+            image::fill_disk(glow, px, py, 2.2f * view.zoom() / 64.0f + 1.5f,
+                             {1.0f, 0.85f, 0.55f}, 0.6f);
+        }
+    }
+
+    // Sparse lit windows on buildings.
+    for (const Building& b : scene.buildings) {
+        const int windows = rng.uniform_int(1, 3);
+        for (int i = 0; i < windows; ++i) {
+            float px = 0.0f;
+            float py = 0.0f;
+            view.project(b.x + static_cast<float>(rng.uniform(-0.4, 0.4)) * b.w,
+                         b.y + static_cast<float>(rng.uniform(-0.4, 0.4)) * b.h,
+                         &px, &py);
+            image::fill_disk(glow, px, py, 1.0f, {0.95f, 0.85f, 0.5f}, 0.7f);
+        }
+    }
+
+    const Image soft = image::box_blur(glow, 1);
+    for (std::size_t i = 0; i < img.data().size(); ++i) {
+        img.data()[i] += soft.data()[i] * 0.9f;
+    }
+    img.clamp01();
+}
+
+void apply_oblique_haze(Image& img, const Scene& scene) {
+    // Oblique viewpoints see further: fade the top of the frame toward
+    // atmospheric haze proportional to pitch.
+    const float pitch = scene.camera.pitch;
+    if (pitch < 0.05f) return;
+    const Color haze = scene.time == TimeOfDay::kDay
+                           ? Color{0.75f, 0.8f, 0.85f}
+                           : Color{0.08f, 0.08f, 0.14f};
+    for (int y = 0; y < img.height(); ++y) {
+        const float depth = 1.0f - static_cast<float>(y) /
+                                       static_cast<float>(img.height());
+        const float k = std::min(0.75f, depth * depth * pitch * 1.2f);
+        for (int x = 0; x < img.width(); ++x) {
+            img.blend_pixel(x, y, haze, k);
+        }
+    }
+}
+
+}  // namespace
+
+ViewTransform::ViewTransform(const Camera& camera, int image_size)
+    : look_x_(camera.look_x),
+      look_y_(camera.look_y),
+      cos_az_(std::cos(camera.azimuth)),
+      sin_az_(std::sin(camera.azimuth)),
+      zoom_(static_cast<float>(image_size) / std::max(camera.altitude, 0.1f)),
+      foreshorten_(std::max(std::cos(camera.pitch), 0.3f)),
+      rotation_(-camera.azimuth),
+      half_size_(static_cast<float>(image_size) * 0.5f) {}
+
+void ViewTransform::project(float wx, float wy, float* px, float* py) const {
+    const float dx = wx - look_x_;
+    const float dy = wy - look_y_;
+    const float rx = dx * cos_az_ + dy * sin_az_;
+    const float ry = (-dx * sin_az_ + dy * cos_az_) * foreshorten_;
+    *px = rx * zoom_ + half_size_;
+    *py = ry * zoom_ + half_size_;
+}
+
+void ViewTransform::unproject(float px, float py, float* wx, float* wy) const {
+    const float rx = (px - half_size_) / zoom_;
+    const float ry = (py - half_size_) / zoom_ / foreshorten_;
+    *wx = rx * cos_az_ - ry * sin_az_ + look_x_;
+    *wy = rx * sin_az_ + ry * cos_az_ + look_y_;
+}
+
+image::Image render(const Scene& scene, const RenderOptions& options) {
+    const int size = options.image_size;
+    Image img(size, size);
+    const ViewTransform view(scene.camera, size);
+
+    for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+            float wx = 0.0f;
+            float wy = 0.0f;
+            view.unproject(static_cast<float>(x) + 0.5f,
+                           static_cast<float>(y) + 0.5f, &wx, &wy);
+            img.set_pixel(x, y, static_scene_color(scene, wx, wy, options));
+        }
+    }
+
+    draw_objects(img, scene, view);
+
+    if (scene.time == TimeOfDay::kDay) {
+        apply_day_lighting(img, scene);
+    } else {
+        apply_night_lighting(img, scene, view, options);
+    }
+    apply_oblique_haze(img, scene);
+
+    if (options.sensor_noise > 0.0f) {
+        util::Rng noise_rng(options.texture_seed ^ 0xbeefu ^
+                            static_cast<std::uint64_t>(scene.id));
+        image::add_gaussian_noise(img, noise_rng, options.sensor_noise);
+    }
+    img.clamp01();
+    return img;
+}
+
+std::vector<BoundingBox> ground_truth_boxes(const Scene& scene,
+                                            int image_size) {
+    const ViewTransform view(scene.camera, image_size);
+    std::vector<BoundingBox> boxes;
+    boxes.reserve(scene.objects.size());
+    for (const SceneObject& obj : scene.objects) {
+        // Project the four corners of the oriented footprint.
+        const float cos_h = std::cos(obj.heading);
+        const float sin_h = std::sin(obj.heading);
+        float min_x = 1e9f;
+        float min_y = 1e9f;
+        float max_x = -1e9f;
+        float max_y = -1e9f;
+        for (int corner = 0; corner < 4; ++corner) {
+            const float sx = (corner & 1) ? 0.5f : -0.5f;
+            const float sy = (corner & 2) ? 0.5f : -0.5f;
+            const float wx =
+                obj.x + sx * obj.length * cos_h - sy * obj.width * sin_h;
+            const float wy =
+                obj.y + sx * obj.length * sin_h + sy * obj.width * cos_h;
+            float px = 0.0f;
+            float py = 0.0f;
+            view.project(wx, wy, &px, &py);
+            min_x = std::min(min_x, px);
+            min_y = std::min(min_y, py);
+            max_x = std::max(max_x, px);
+            max_y = std::max(max_y, py);
+        }
+        // Clip to image, enforce a minimum representable size.
+        min_x = std::max(min_x, 0.0f);
+        min_y = std::max(min_y, 0.0f);
+        max_x = std::min(max_x, static_cast<float>(image_size));
+        max_y = std::min(max_y, static_cast<float>(image_size));
+        if (max_x - min_x < 0.5f || max_y - min_y < 0.5f) continue;
+        BoundingBox box;
+        box.x = min_x;
+        box.y = min_y;
+        box.w = std::max(max_x - min_x, 1.0f);
+        box.h = std::max(max_y - min_y, 1.0f);
+        box.cls = obj.cls;
+        box.score = 1.0f;
+        boxes.push_back(box);
+    }
+    return boxes;
+}
+
+}  // namespace aero::scene

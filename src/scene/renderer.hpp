@@ -1,0 +1,57 @@
+#pragma once
+// Scene rasteriser. Applies the drone-camera view transform (zoom from
+// altitude, rotation from azimuth, oblique foreshortening from pitch),
+// paints layout and objects, then applies day/night lighting. Also
+// projects ground-truth bounding boxes through the same transform so
+// annotations always agree with pixels.
+
+#include "scene/types.hpp"
+
+namespace aero::scene {
+
+/// World -> pixel mapping induced by a camera and an output resolution.
+class ViewTransform {
+public:
+    ViewTransform(const Camera& camera, int image_size);
+
+    /// Projects a world point to (possibly out-of-bounds) pixel coords.
+    void project(float wx, float wy, float* px, float* py) const;
+    /// Inverse: pixel centre to world point.
+    void unproject(float px, float py, float* wx, float* wy) const;
+
+    /// Pixels per world unit along the x (cross-view) axis.
+    float zoom() const { return zoom_; }
+    /// Extra squash applied along the view axis (cos pitch).
+    float foreshorten() const { return foreshorten_; }
+    /// Rotation applied to world headings to get image headings.
+    float rotation() const { return rotation_; }
+
+private:
+    float look_x_;
+    float look_y_;
+    float cos_az_;
+    float sin_az_;
+    float zoom_;
+    float foreshorten_;
+    float rotation_;
+    float half_size_;
+};
+
+struct RenderOptions {
+    int image_size = 64;
+    /// Sensor noise stddev added after lighting (0 disables).
+    float sensor_noise = 0.01f;
+    /// Seed for the procedural ground texture / noise.
+    std::uint64_t texture_seed = 1234;
+};
+
+/// Renders the scene to an RGB image.
+image::Image render(const Scene& scene, const RenderOptions& options = {});
+
+/// Ground-truth boxes for every object visible at the given resolution
+/// (same camera model as render). Boxes are clipped to the image; objects
+/// that fall outside or project below ~half a pixel are dropped.
+std::vector<BoundingBox> ground_truth_boxes(const Scene& scene,
+                                            int image_size);
+
+}  // namespace aero::scene

@@ -1,0 +1,77 @@
+#include "scene/types.hpp"
+
+#include <algorithm>
+
+namespace aero::scene {
+
+const char* class_name(ObjectClass cls) {
+    switch (cls) {
+        case ObjectClass::kPedestrian: return "pedestrian";
+        case ObjectClass::kPeople: return "person";
+        case ObjectClass::kBicycle: return "bicycle";
+        case ObjectClass::kCar: return "car";
+        case ObjectClass::kVan: return "van";
+        case ObjectClass::kTruck: return "truck";
+        case ObjectClass::kTricycle: return "tricycle";
+        case ObjectClass::kAwningTricycle: return "awning-tricycle";
+        case ObjectClass::kBus: return "bus";
+        case ObjectClass::kMotor: return "motorcycle";
+    }
+    return "object";
+}
+
+std::string class_plural(ObjectClass cls) {
+    switch (cls) {
+        case ObjectClass::kPedestrian: return "pedestrians";
+        case ObjectClass::kPeople: return "people";
+        case ObjectClass::kBicycle: return "bicycles";
+        case ObjectClass::kCar: return "cars";
+        case ObjectClass::kVan: return "vans";
+        case ObjectClass::kTruck: return "trucks";
+        case ObjectClass::kTricycle: return "tricycles";
+        case ObjectClass::kAwningTricycle: return "awning-tricycles";
+        case ObjectClass::kBus: return "buses";
+        case ObjectClass::kMotor: return "motorcycles";
+    }
+    return "objects";
+}
+
+const char* scenario_name(ScenarioKind kind) {
+    switch (kind) {
+        case ScenarioKind::kHighway: return "busy highway";
+        case ScenarioKind::kIntersection: return "urban intersection";
+        case ScenarioKind::kResidential: return "residential neighborhood";
+        case ScenarioKind::kMarket: return "bustling market street";
+        case ScenarioKind::kPark: return "tranquil park";
+        case ScenarioKind::kCampus: return "paved campus";
+        case ScenarioKind::kParking: return "logistics parking lot";
+        case ScenarioKind::kPlaza: return "open plaza";
+    }
+    return "scene";
+}
+
+AltitudeBand altitude_band(const Camera& camera) {
+    if (camera.altitude < 0.75f) return AltitudeBand::kLow;
+    if (camera.altitude < 1.15f) return AltitudeBand::kMedium;
+    return AltitudeBand::kHigh;
+}
+
+PitchBand pitch_band(const Camera& camera) {
+    if (camera.pitch < 0.15f) return PitchBand::kTopDown;
+    if (camera.pitch < 0.45f) return PitchBand::kSlightAngle;
+    return PitchBand::kSideAngle;
+}
+
+float iou(const BoundingBox& a, const BoundingBox& b) {
+    const float ix0 = std::max(a.x, b.x);
+    const float iy0 = std::max(a.y, b.y);
+    const float ix1 = std::min(a.x + a.w, b.x + b.w);
+    const float iy1 = std::min(a.y + a.h, b.y + b.h);
+    const float iw = std::max(0.0f, ix1 - ix0);
+    const float ih = std::max(0.0f, iy1 - iy0);
+    const float inter = iw * ih;
+    const float uni = a.area() + b.area() - inter;
+    return uni <= 0.0f ? 0.0f : inter / uni;
+}
+
+}  // namespace aero::scene

@@ -1,0 +1,149 @@
+#pragma once
+// Scene-graph types for the synthetic aerial world. A `Scene` is the
+// ground-truth description (layout + objects + camera + lighting) from
+// which the renderer produces an RGB image and from which annotations
+// (bounding boxes, captions) are derived. This plays the role of the
+// VisDrone-DET dataset in the paper: complex aerial scenes with 20-90
+// small, densely packed objects per image.
+
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace aero::scene {
+
+/// The ten VisDrone-DET object categories.
+enum class ObjectClass {
+    kPedestrian = 0,
+    kPeople,
+    kBicycle,
+    kCar,
+    kVan,
+    kTruck,
+    kTricycle,
+    kAwningTricycle,
+    kBus,
+    kMotor,
+};
+
+inline constexpr int kNumObjectClasses = 10;
+
+/// Lowercase singular name, e.g. "car".
+const char* class_name(ObjectClass cls);
+/// Pluralised name, e.g. "cars".
+std::string class_plural(ObjectClass cls);
+
+enum class TimeOfDay { kDay, kNight };
+
+enum class ScenarioKind {
+    kHighway = 0,
+    kIntersection,
+    kResidential,
+    kMarket,
+    kPark,
+    kCampus,
+    kParking,
+    kPlaza,
+};
+
+inline constexpr int kNumScenarios = 8;
+
+/// Human-readable scenario label, e.g. "busy highway".
+const char* scenario_name(ScenarioKind kind);
+
+/// A dynamic (annotated) object. World coordinates live in [0,1]^2 with
+/// +x east and +y south; sizes are in the same units.
+struct SceneObject {
+    ObjectClass cls = ObjectClass::kCar;
+    float x = 0.5f;        ///< centre, world units
+    float y = 0.5f;
+    float length = 0.02f;  ///< extent along heading
+    float width = 0.01f;   ///< extent across heading
+    float heading = 0.0f;  ///< radians, 0 = east
+    image::Color color;
+    bool moving = false;
+};
+
+/// Static layout: a straight road segment.
+struct RoadSegment {
+    float x0 = 0.0f, y0 = 0.0f, x1 = 1.0f, y1 = 1.0f;
+    float width = 0.08f;
+    int lanes = 2;
+    bool lane_markings = true;
+};
+
+/// Static layout: a building footprint.
+struct Building {
+    float x = 0.5f, y = 0.5f;  ///< centre
+    float w = 0.1f, h = 0.1f;
+    float heading = 0.0f;
+    image::Color roof{0.55f, 0.45f, 0.42f};
+};
+
+/// Static layout: a tree crown.
+struct Tree {
+    float x = 0.5f, y = 0.5f;
+    float radius = 0.02f;
+};
+
+/// Static layout: a ground patch (grass, water, paved plaza...).
+struct GroundPatch {
+    float x = 0.5f, y = 0.5f;  ///< centre
+    float w = 0.3f, h = 0.3f;
+    image::Color color{0.35f, 0.5f, 0.3f};
+};
+
+/// Drone camera: where it looks and from what vantage. The viewpoint
+/// model is an affine view transform -- zoom from altitude, rotation
+/// from azimuth, an oblique foreshortening from pitch -- which is what
+/// the paper's "viewpoint transition" captions manipulate.
+struct Camera {
+    float look_x = 0.5f;   ///< world point under the image centre
+    float look_y = 0.5f;
+    float altitude = 1.0f; ///< visible world span (1.0 = whole scene)
+    float pitch = 0.0f;    ///< radians; 0 = nadir (top-down), >0 oblique
+    float azimuth = 0.0f;  ///< radians; view rotation
+};
+
+/// Qualitative altitude bucket used by captions.
+enum class AltitudeBand { kLow, kMedium, kHigh };
+AltitudeBand altitude_band(const Camera& camera);
+/// Qualitative pitch bucket used by captions.
+enum class PitchBand { kTopDown, kSlightAngle, kSideAngle };
+PitchBand pitch_band(const Camera& camera);
+
+/// The complete ground-truth scene graph.
+struct Scene {
+    int id = 0;
+    ScenarioKind kind = ScenarioKind::kHighway;
+    TimeOfDay time = TimeOfDay::kDay;
+    image::Color base_ground{0.45f, 0.44f, 0.42f};
+    std::vector<GroundPatch> patches;
+    std::vector<RoadSegment> roads;
+    std::vector<Building> buildings;
+    std::vector<Tree> trees;
+    std::vector<SceneObject> objects;
+    Camera camera;
+    float cloudiness = 0.0f;  ///< 0 = clear, 1 = overcast
+};
+
+/// Axis-aligned pixel-space bounding box with its class label: the
+/// annotation format shared by ground truth and the detector.
+struct BoundingBox {
+    float x = 0.0f;  ///< left, pixels
+    float y = 0.0f;  ///< top, pixels
+    float w = 0.0f;
+    float h = 0.0f;
+    ObjectClass cls = ObjectClass::kCar;
+    float score = 1.0f;  ///< 1 for ground truth; detector confidence otherwise
+
+    float cx() const { return x + 0.5f * w; }
+    float cy() const { return y + 0.5f * h; }
+    float area() const { return w * h; }
+};
+
+/// Intersection-over-union of two boxes.
+float iou(const BoundingBox& a, const BoundingBox& b);
+
+}  // namespace aero::scene

@@ -1,0 +1,672 @@
+#include "tensor/ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace aero::tensor {
+
+namespace {
+
+/// Applies `fn` elementwise producing a fresh tensor.
+template <typename Fn>
+Tensor map(const Tensor& a, Fn fn) {
+    Tensor out = a;
+    for (float& v : out.values()) v = fn(v);
+    return out;
+}
+
+/// Combines two same-shaped tensors elementwise.
+template <typename Fn>
+Tensor zip(const Tensor& a, const Tensor& b, Fn fn) {
+    assert(a.same_shape(b));
+    Tensor out = a;
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int i = 0; i < out.size(); ++i) po[i] = fn(po[i], pb[i]);
+    return out;
+}
+
+/// Product of extents before `axis` (outer) and after `axis` (inner).
+void outer_inner(const std::vector<int>& shape, int axis, int* outer,
+                 int* inner) {
+    *outer = 1;
+    *inner = 1;
+    for (int i = 0; i < axis; ++i) *outer *= shape[static_cast<std::size_t>(i)];
+    for (std::size_t i = static_cast<std::size_t>(axis) + 1; i < shape.size();
+         ++i) {
+        *inner *= shape[i];
+    }
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+    return zip(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+    return zip(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+    return zip(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor scale(const Tensor& a, float s) {
+    return map(a, [s](float x) { return x * s; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+    return map(a, [s](float x) { return x + s; });
+}
+
+Tensor neg(const Tensor& a) {
+    return map(a, [](float x) { return -x; });
+}
+
+Tensor exp(const Tensor& a) {
+    return map(a, [](float x) { return std::exp(x); });
+}
+
+Tensor relu(const Tensor& a) {
+    return map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor relu_backward(const Tensor& grad, const Tensor& input) {
+    return zip(grad, input,
+               [](float g, float x) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor silu(const Tensor& a) {
+    return map(a, [](float x) { return x / (1.0f + std::exp(-x)); });
+}
+
+Tensor silu_backward(const Tensor& grad, const Tensor& input) {
+    return zip(grad, input, [](float g, float x) {
+        const float s = 1.0f / (1.0f + std::exp(-x));
+        return g * (s + x * s * (1.0f - s));
+    });
+}
+
+Tensor tanh(const Tensor& a) {
+    return map(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor tanh_backward(const Tensor& grad, const Tensor& output) {
+    return zip(grad, output,
+               [](float g, float y) { return g * (1.0f - y * y); });
+}
+
+Tensor sigmoid(const Tensor& a) {
+    return map(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor sigmoid_backward(const Tensor& grad, const Tensor& output) {
+    return zip(grad, output,
+               [](float g, float y) { return g * y * (1.0f - y); });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+    assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0));
+    const int m = a.dim(0);
+    const int k = a.dim(1);
+    const int n = b.dim(1);
+    Tensor out({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int i = 0; i < m; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            float* orow = po + i * n;
+            for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+    assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1));
+    const int m = a.dim(0);
+    const int k = a.dim(1);
+    const int n = b.dim(0);
+    Tensor out({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        for (int j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            po[i * n + j] = acc;
+        }
+    }
+    return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+    assert(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0));
+    const int k = a.dim(0);
+    const int m = a.dim(1);
+    const int n = b.dim(1);
+    Tensor out({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (int i = 0; i < m; ++i) {
+            const float aki = arow[i];
+            if (aki == 0.0f) continue;
+            float* orow = po + i * n;
+            for (int j = 0; j < n; ++j) orow[j] += aki * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+    assert(a.rank() == 2);
+    const int m = a.dim(0);
+    const int n = a.dim(1);
+    Tensor out({n, m});
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+    }
+    return out;
+}
+
+Tensor add_row_bias(const Tensor& a, const Tensor& bias) {
+    assert(a.rank() == 2 && bias.rank() == 1 && bias.dim(0) == a.dim(1));
+    Tensor out = a;
+    const int m = a.dim(0);
+    const int n = a.dim(1);
+    float* po = out.data();
+    const float* pb = bias.data();
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) po[i * n + j] += pb[j];
+    }
+    return out;
+}
+
+Tensor sum_rows(const Tensor& a) {
+    assert(a.rank() == 2);
+    const int m = a.dim(0);
+    const int n = a.dim(1);
+    Tensor out({n});
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) out[j] += a[i * n + j];
+    }
+    return out;
+}
+
+float sum_all(const Tensor& a) {
+    double acc = 0.0;
+    for (float v : a.values()) acc += v;
+    return static_cast<float>(acc);
+}
+
+float mean_all(const Tensor& a) {
+    return a.size() == 0 ? 0.0f : sum_all(a) / static_cast<float>(a.size());
+}
+
+Tensor softmax_rows(const Tensor& a) {
+    assert(a.rank() == 2);
+    const int m = a.dim(0);
+    const int n = a.dim(1);
+    Tensor out = a;
+    float* po = out.data();
+    for (int i = 0; i < m; ++i) {
+        float* row = po + i * n;
+        float max_v = row[0];
+        for (int j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+        float sum = 0.0f;
+        for (int j = 0; j < n; ++j) {
+            row[j] = std::exp(row[j] - max_v);
+            sum += row[j];
+        }
+        const float inv = 1.0f / sum;
+        for (int j = 0; j < n; ++j) row[j] *= inv;
+    }
+    return out;
+}
+
+Tensor softmax_rows_backward(const Tensor& grad, const Tensor& output) {
+    assert(grad.same_shape(output) && grad.rank() == 2);
+    const int m = grad.dim(0);
+    const int n = grad.dim(1);
+    Tensor out({m, n});
+    for (int i = 0; i < m; ++i) {
+        const float* g = grad.data() + i * n;
+        const float* y = output.data() + i * n;
+        float dot = 0.0f;
+        for (int j = 0; j < n; ++j) dot += g[j] * y[j];
+        float* o = out.data() + i * n;
+        for (int j = 0; j < n; ++j) o[j] = y[j] * (g[j] - dot);
+    }
+    return out;
+}
+
+namespace {
+
+int conv_out_extent(int in, int kernel, const Conv2dSpec& spec) {
+    return (in + 2 * spec.pad - kernel) / spec.stride + 1;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec) {
+    assert(input.rank() == 4 && weight.rank() == 4);
+    const int n = input.dim(0);
+    const int c = input.dim(1);
+    const int h = input.dim(2);
+    const int w = input.dim(3);
+    const int oc = weight.dim(0);
+    assert(weight.dim(1) == c);
+    const int kh = weight.dim(2);
+    const int kw = weight.dim(3);
+    const int oh = conv_out_extent(h, kh, spec);
+    const int ow = conv_out_extent(w, kw, spec);
+    assert(oh >= 1 && ow >= 1);
+    assert(bias.empty() || (bias.rank() == 1 && bias.dim(0) == oc));
+
+    Tensor out({n, oc, oh, ow});
+    const float* pi = input.data();
+    const float* pw = weight.data();
+    float* po = out.data();
+
+    for (int b = 0; b < n; ++b) {
+        for (int o = 0; o < oc; ++o) {
+            const float bias_v = bias.empty() ? 0.0f : bias[o];
+            for (int y = 0; y < oh; ++y) {
+                for (int x = 0; x < ow; ++x) {
+                    float acc = bias_v;
+                    const int iy0 = y * spec.stride - spec.pad;
+                    const int ix0 = x * spec.stride - spec.pad;
+                    for (int ch = 0; ch < c; ++ch) {
+                        const float* in_ch = pi + ((b * c + ch) * h) * w;
+                        const float* w_ch = pw + ((o * c + ch) * kh) * kw;
+                        for (int ky = 0; ky < kh; ++ky) {
+                            const int iy = iy0 + ky;
+                            if (iy < 0 || iy >= h) continue;
+                            for (int kx = 0; kx < kw; ++kx) {
+                                const int ix = ix0 + kx;
+                                if (ix < 0 || ix >= w) continue;
+                                acc += in_ch[iy * w + ix] * w_ch[ky * kw + kx];
+                            }
+                        }
+                    }
+                    po[((b * oc + o) * oh + y) * ow + x] = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
+                             const std::vector<int>& input_shape,
+                             const Conv2dSpec& spec) {
+    assert(grad_out.rank() == 4 && weight.rank() == 4 &&
+           input_shape.size() == 4);
+    const int n = input_shape[0];
+    const int c = input_shape[1];
+    const int h = input_shape[2];
+    const int w = input_shape[3];
+    const int oc = weight.dim(0);
+    const int kh = weight.dim(2);
+    const int kw = weight.dim(3);
+    const int oh = grad_out.dim(2);
+    const int ow = grad_out.dim(3);
+
+    Tensor grad_in(input_shape);
+    const float* pg = grad_out.data();
+    const float* pw = weight.data();
+    float* po = grad_in.data();
+
+    for (int b = 0; b < n; ++b) {
+        for (int o = 0; o < oc; ++o) {
+            const float* g_ch = pg + ((b * oc + o) * oh) * ow;
+            for (int y = 0; y < oh; ++y) {
+                for (int x = 0; x < ow; ++x) {
+                    const float g = g_ch[y * ow + x];
+                    if (g == 0.0f) continue;
+                    const int iy0 = y * spec.stride - spec.pad;
+                    const int ix0 = x * spec.stride - spec.pad;
+                    for (int ch = 0; ch < c; ++ch) {
+                        float* in_ch = po + ((b * c + ch) * h) * w;
+                        const float* w_ch = pw + ((o * c + ch) * kh) * kw;
+                        for (int ky = 0; ky < kh; ++ky) {
+                            const int iy = iy0 + ky;
+                            if (iy < 0 || iy >= h) continue;
+                            for (int kx = 0; kx < kw; ++kx) {
+                                const int ix = ix0 + kx;
+                                if (ix < 0 || ix >= w) continue;
+                                in_ch[iy * w + ix] += g * w_ch[ky * kw + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+Tensor conv2d_backward_weight(const Tensor& grad_out, const Tensor& input,
+                              const std::vector<int>& weight_shape,
+                              const Conv2dSpec& spec) {
+    assert(grad_out.rank() == 4 && input.rank() == 4 &&
+           weight_shape.size() == 4);
+    const int n = input.dim(0);
+    const int c = input.dim(1);
+    const int h = input.dim(2);
+    const int w = input.dim(3);
+    const int oc = weight_shape[0];
+    const int kh = weight_shape[2];
+    const int kw = weight_shape[3];
+    const int oh = grad_out.dim(2);
+    const int ow = grad_out.dim(3);
+
+    Tensor grad_w(weight_shape);
+    const float* pg = grad_out.data();
+    const float* pi = input.data();
+    float* po = grad_w.data();
+
+    for (int b = 0; b < n; ++b) {
+        for (int o = 0; o < oc; ++o) {
+            const float* g_ch = pg + ((b * oc + o) * oh) * ow;
+            for (int y = 0; y < oh; ++y) {
+                for (int x = 0; x < ow; ++x) {
+                    const float g = g_ch[y * ow + x];
+                    if (g == 0.0f) continue;
+                    const int iy0 = y * spec.stride - spec.pad;
+                    const int ix0 = x * spec.stride - spec.pad;
+                    for (int ch = 0; ch < c; ++ch) {
+                        const float* in_ch = pi + ((b * c + ch) * h) * w;
+                        float* w_ch = po + ((o * c + ch) * kh) * kw;
+                        for (int ky = 0; ky < kh; ++ky) {
+                            const int iy = iy0 + ky;
+                            if (iy < 0 || iy >= h) continue;
+                            for (int kx = 0; kx < kw; ++kx) {
+                                const int ix = ix0 + kx;
+                                if (ix < 0 || ix >= w) continue;
+                                w_ch[ky * kw + kx] += g * in_ch[iy * w + ix];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_w;
+}
+
+Tensor conv2d_backward_bias(const Tensor& grad_out) {
+    assert(grad_out.rank() == 4);
+    const int n = grad_out.dim(0);
+    const int oc = grad_out.dim(1);
+    const int spatial = grad_out.dim(2) * grad_out.dim(3);
+    Tensor grad_b({oc});
+    const float* pg = grad_out.data();
+    for (int b = 0; b < n; ++b) {
+        for (int o = 0; o < oc; ++o) {
+            const float* base = pg + (b * oc + o) * spatial;
+            float acc = 0.0f;
+            for (int s = 0; s < spatial; ++s) acc += base[s];
+            grad_b[o] += acc;
+        }
+    }
+    return grad_b;
+}
+
+Tensor upsample_nearest2x(const Tensor& input) {
+    assert(input.rank() == 4);
+    const int n = input.dim(0);
+    const int c = input.dim(1);
+    const int h = input.dim(2);
+    const int w = input.dim(3);
+    Tensor out({n, c, h * 2, w * 2});
+    for (int bc = 0; bc < n * c; ++bc) {
+        const float* src = input.data() + bc * h * w;
+        float* dst = out.data() + bc * h * w * 4;
+        for (int y = 0; y < h * 2; ++y) {
+            for (int x = 0; x < w * 2; ++x) {
+                dst[y * w * 2 + x] = src[(y / 2) * w + (x / 2)];
+            }
+        }
+    }
+    return out;
+}
+
+Tensor upsample_nearest2x_backward(const Tensor& grad_out) {
+    assert(grad_out.rank() == 4);
+    const int n = grad_out.dim(0);
+    const int c = grad_out.dim(1);
+    const int oh = grad_out.dim(2);
+    const int ow = grad_out.dim(3);
+    assert(oh % 2 == 0 && ow % 2 == 0);
+    const int h = oh / 2;
+    const int w = ow / 2;
+    Tensor grad_in({n, c, h, w});
+    for (int bc = 0; bc < n * c; ++bc) {
+        const float* src = grad_out.data() + bc * oh * ow;
+        float* dst = grad_in.data() + bc * h * w;
+        for (int y = 0; y < oh; ++y) {
+            for (int x = 0; x < ow; ++x) {
+                dst[(y / 2) * w + (x / 2)] += src[y * ow + x];
+            }
+        }
+    }
+    return grad_in;
+}
+
+Tensor avg_pool2x(const Tensor& input) {
+    assert(input.rank() == 4);
+    const int n = input.dim(0);
+    const int c = input.dim(1);
+    const int h = input.dim(2);
+    const int w = input.dim(3);
+    assert(h % 2 == 0 && w % 2 == 0);
+    Tensor out({n, c, h / 2, w / 2});
+    for (int bc = 0; bc < n * c; ++bc) {
+        const float* src = input.data() + bc * h * w;
+        float* dst = out.data() + bc * (h / 2) * (w / 2);
+        for (int y = 0; y < h / 2; ++y) {
+            for (int x = 0; x < w / 2; ++x) {
+                const float sum = src[(2 * y) * w + 2 * x] +
+                                  src[(2 * y) * w + 2 * x + 1] +
+                                  src[(2 * y + 1) * w + 2 * x] +
+                                  src[(2 * y + 1) * w + 2 * x + 1];
+                dst[y * (w / 2) + x] = 0.25f * sum;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor avg_pool2x_backward(const Tensor& grad_out) {
+    assert(grad_out.rank() == 4);
+    const int n = grad_out.dim(0);
+    const int c = grad_out.dim(1);
+    const int oh = grad_out.dim(2);
+    const int ow = grad_out.dim(3);
+    Tensor grad_in({n, c, oh * 2, ow * 2});
+    for (int bc = 0; bc < n * c; ++bc) {
+        const float* src = grad_out.data() + bc * oh * ow;
+        float* dst = grad_in.data() + bc * oh * ow * 4;
+        for (int y = 0; y < oh * 2; ++y) {
+            for (int x = 0; x < ow * 2; ++x) {
+                dst[y * ow * 2 + x] = 0.25f * src[(y / 2) * ow + (x / 2)];
+            }
+        }
+    }
+    return grad_in;
+}
+
+Tensor global_avg_pool(const Tensor& input) {
+    assert(input.rank() == 4);
+    const int n = input.dim(0);
+    const int c = input.dim(1);
+    const int spatial = input.dim(2) * input.dim(3);
+    Tensor out({n, c});
+    const float inv = 1.0f / static_cast<float>(spatial);
+    for (int bc = 0; bc < n * c; ++bc) {
+        const float* src = input.data() + bc * spatial;
+        float acc = 0.0f;
+        for (int s = 0; s < spatial; ++s) acc += src[s];
+        out[bc] = acc * inv;
+    }
+    return out;
+}
+
+Tensor global_avg_pool_backward(const Tensor& grad_out,
+                                const std::vector<int>& input_shape) {
+    assert(grad_out.rank() == 2 && input_shape.size() == 4);
+    const int n = input_shape[0];
+    const int c = input_shape[1];
+    const int spatial = input_shape[2] * input_shape[3];
+    Tensor grad_in(input_shape);
+    const float inv = 1.0f / static_cast<float>(spatial);
+    for (int bc = 0; bc < n * c; ++bc) {
+        const float g = grad_out[bc] * inv;
+        float* dst = grad_in.data() + bc * spatial;
+        for (int s = 0; s < spatial; ++s) dst[s] = g;
+    }
+    return grad_in;
+}
+
+Tensor add_spatial_bias(const Tensor& x, const Tensor& bias) {
+    assert(x.rank() == 4 && bias.rank() == 2);
+    assert(bias.dim(0) == x.dim(0) && bias.dim(1) == x.dim(1));
+    const int nc = x.dim(0) * x.dim(1);
+    const int spatial = x.dim(2) * x.dim(3);
+    Tensor out = x;
+    float* po = out.data();
+    const float* pb = bias.data();
+    for (int bc = 0; bc < nc; ++bc) {
+        const float b = pb[bc];
+        float* base = po + bc * spatial;
+        for (int s = 0; s < spatial; ++s) base[s] += b;
+    }
+    return out;
+}
+
+Tensor add_spatial_bias_backward_bias(const Tensor& grad_out) {
+    assert(grad_out.rank() == 4);
+    const int n = grad_out.dim(0);
+    const int c = grad_out.dim(1);
+    const int spatial = grad_out.dim(2) * grad_out.dim(3);
+    Tensor grad_bias({n, c});
+    const float* pg = grad_out.data();
+    for (int bc = 0; bc < n * c; ++bc) {
+        const float* base = pg + bc * spatial;
+        float acc = 0.0f;
+        for (int s = 0; s < spatial; ++s) acc += base[s];
+        grad_bias[bc] = acc;
+    }
+    return grad_bias;
+}
+
+Tensor concat(const std::vector<Tensor>& parts, int axis) {
+    assert(!parts.empty());
+    std::vector<int> out_shape = parts.front().shape();
+    assert(axis >= 0 && axis < static_cast<int>(out_shape.size()));
+    int axis_total = 0;
+    for (const Tensor& p : parts) {
+        assert(p.rank() == static_cast<int>(out_shape.size()));
+        for (int d = 0; d < p.rank(); ++d) {
+            assert(d == axis || p.dim(d) == out_shape[static_cast<std::size_t>(d)]);
+        }
+        axis_total += p.dim(axis);
+    }
+    out_shape[static_cast<std::size_t>(axis)] = axis_total;
+    Tensor out(out_shape);
+
+    int outer = 0;
+    int inner = 0;
+    outer_inner(out_shape, axis, &outer, &inner);
+
+    int axis_offset = 0;
+    for (const Tensor& p : parts) {
+        const int p_axis = p.dim(axis);
+        for (int o = 0; o < outer; ++o) {
+            const float* src = p.data() + o * p_axis * inner;
+            float* dst =
+                out.data() + (o * axis_total + axis_offset) * inner;
+            for (int i = 0; i < p_axis * inner; ++i) dst[i] = src[i];
+        }
+        axis_offset += p_axis;
+    }
+    return out;
+}
+
+std::vector<Tensor> concat_backward(
+    const Tensor& grad, const std::vector<std::vector<int>>& shapes,
+    int axis) {
+    std::vector<Tensor> grads;
+    grads.reserve(shapes.size());
+    int outer = 0;
+    int inner = 0;
+    outer_inner(grad.shape(), axis, &outer, &inner);
+    const int axis_total = grad.dim(axis);
+
+    int axis_offset = 0;
+    for (const std::vector<int>& shape : shapes) {
+        Tensor g(shape);
+        const int p_axis = shape[static_cast<std::size_t>(axis)];
+        for (int o = 0; o < outer; ++o) {
+            const float* src =
+                grad.data() + (o * axis_total + axis_offset) * inner;
+            float* dst = g.data() + o * p_axis * inner;
+            for (int i = 0; i < p_axis * inner; ++i) dst[i] = src[i];
+        }
+        axis_offset += p_axis;
+        grads.push_back(std::move(g));
+    }
+    return grads;
+}
+
+Tensor slice(const Tensor& a, int axis, int start, int stop) {
+    assert(axis >= 0 && axis < a.rank());
+    assert(0 <= start && start < stop && stop <= a.dim(axis));
+    std::vector<int> out_shape = a.shape();
+    out_shape[static_cast<std::size_t>(axis)] = stop - start;
+    Tensor out(out_shape);
+
+    int outer = 0;
+    int inner = 0;
+    outer_inner(a.shape(), axis, &outer, &inner);
+    const int in_axis = a.dim(axis);
+    const int out_axis = stop - start;
+    for (int o = 0; o < outer; ++o) {
+        const float* src = a.data() + (o * in_axis + start) * inner;
+        float* dst = out.data() + o * out_axis * inner;
+        for (int i = 0; i < out_axis * inner; ++i) dst[i] = src[i];
+    }
+    return out;
+}
+
+Tensor slice_backward(const Tensor& grad, const std::vector<int>& input_shape,
+                      int axis, int start) {
+    Tensor out(input_shape);
+    int outer = 0;
+    int inner = 0;
+    outer_inner(input_shape, axis, &outer, &inner);
+    const int in_axis = input_shape[static_cast<std::size_t>(axis)];
+    const int out_axis = grad.dim(axis);
+    for (int o = 0; o < outer; ++o) {
+        const float* src = grad.data() + o * out_axis * inner;
+        float* dst = out.data() + (o * in_axis + start) * inner;
+        for (int i = 0; i < out_axis * inner; ++i) dst[i] += src[i];
+    }
+    return out;
+}
+
+}  // namespace aero::tensor

@@ -1,0 +1,108 @@
+#include "tensor/tensor.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace aero::tensor {
+
+int shape_size(const std::vector<int>& shape) {
+    int total = 1;
+    for (int extent : shape) {
+        if (extent < 1) throw std::invalid_argument("tensor extent must be >= 1");
+        total *= extent;
+    }
+    return total;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_size(shape_)), 0.0f) {}
+
+Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(std::vector<int> shape) {
+    return full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+    Tensor t(std::move(shape));
+    for (float& v : t.data_) v = value;
+    return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float mean,
+                     float stddev) {
+    Tensor t(std::move(shape));
+    for (float& v : t.data_) {
+        v = static_cast<float>(rng.normal(mean, stddev));
+    }
+    return t;
+}
+
+Tensor Tensor::uniform(std::vector<int> shape, util::Rng& rng, float lo,
+                       float hi) {
+    Tensor t(std::move(shape));
+    for (float& v : t.data_) {
+        v = static_cast<float>(rng.uniform(lo, hi));
+    }
+    return t;
+}
+
+Tensor Tensor::from_values(std::vector<float> values) {
+    Tensor t;
+    t.shape_ = {static_cast<int>(values.size())};
+    t.data_ = std::move(values);
+    return t;
+}
+
+int Tensor::dim(int axis) const {
+    if (axis < 0) axis += rank();
+    assert(axis >= 0 && axis < rank());
+    return shape_[static_cast<std::size_t>(axis)];
+}
+
+int Tensor::flat_index(std::initializer_list<int> index) const {
+    assert(static_cast<int>(index.size()) == rank());
+    int flat = 0;
+    int axis = 0;
+    for (int i : index) {
+        assert(i >= 0 && i < shape_[static_cast<std::size_t>(axis)]);
+        flat = flat * shape_[static_cast<std::size_t>(axis)] + i;
+        ++axis;
+    }
+    return flat;
+}
+
+float& Tensor::at(std::initializer_list<int> index) {
+    return data_[static_cast<std::size_t>(flat_index(index))];
+}
+
+float Tensor::at(std::initializer_list<int> index) const {
+    return data_[static_cast<std::size_t>(flat_index(index))];
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+    if (shape_size(new_shape) != size()) {
+        throw std::invalid_argument("reshape element count mismatch: " +
+                                    shape_string());
+    }
+    Tensor t = *this;
+    t.shape_ = std::move(new_shape);
+    return t;
+}
+
+Tensor Tensor::flattened() const { return reshaped({size()}); }
+
+std::string Tensor::shape_string() const {
+    std::ostringstream out;
+    out << '[';
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << shape_[i];
+    }
+    out << ']';
+    return out.str();
+}
+
+}  // namespace aero::tensor

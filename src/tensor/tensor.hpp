@@ -1,0 +1,75 @@
+#pragma once
+// Dense row-major float32 tensor: the numeric substrate for the neural
+// networks. Value semantics (copies copy the buffer); shapes are small
+// int vectors. Higher layers (autograd, nn) treat this type as plain data.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aero::tensor {
+
+class Tensor {
+public:
+    Tensor() = default;
+
+    /// Zero-filled tensor of the given shape. Every extent must be >= 1.
+    explicit Tensor(std::vector<int> shape);
+
+    static Tensor zeros(std::vector<int> shape);
+    static Tensor ones(std::vector<int> shape);
+    static Tensor full(std::vector<int> shape, float value);
+    /// I.i.d. N(mean, stddev^2) entries.
+    static Tensor randn(std::vector<int> shape, util::Rng& rng,
+                        float mean = 0.0f, float stddev = 1.0f);
+    /// I.i.d. U[lo, hi) entries.
+    static Tensor uniform(std::vector<int> shape, util::Rng& rng, float lo,
+                          float hi);
+    /// 1-D tensor from explicit values.
+    static Tensor from_values(std::vector<float> values);
+
+    const std::vector<int>& shape() const { return shape_; }
+    int rank() const { return static_cast<int>(shape_.size()); }
+    int dim(int axis) const;
+    /// Total number of elements.
+    int size() const { return static_cast<int>(data_.size()); }
+    bool empty() const { return data_.empty(); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+    std::vector<float>& values() { return data_; }
+    const std::vector<float>& values() const { return data_; }
+
+    float& operator[](int flat_index) { return data_[static_cast<std::size_t>(flat_index)]; }
+    float operator[](int flat_index) const { return data_[static_cast<std::size_t>(flat_index)]; }
+
+    /// Multi-index access; the index count must equal rank().
+    float& at(std::initializer_list<int> index);
+    float at(std::initializer_list<int> index) const;
+
+    /// Same data, new shape (element counts must match).
+    Tensor reshaped(std::vector<int> new_shape) const;
+
+    /// Flattened to 1-D.
+    Tensor flattened() const;
+
+    /// "[2, 3]" style shape string for diagnostics.
+    std::string shape_string() const;
+
+    /// True when shapes are element-wise equal.
+    bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+private:
+    int flat_index(std::initializer_list<int> index) const;
+
+    std::vector<int> shape_;
+    std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+int shape_size(const std::vector<int>& shape);
+
+}  // namespace aero::tensor

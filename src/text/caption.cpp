@@ -1,0 +1,93 @@
+#include "text/caption.hpp"
+
+#include <algorithm>
+
+namespace aero::text {
+
+PromptTemplate PromptTemplate::keypoint_aware() { return PromptTemplate{}; }
+
+PromptTemplate PromptTemplate::traditional() {
+    PromptTemplate p;
+    p.ask_time_of_day = false;
+    p.ask_viewpoint = false;
+    p.ask_object_list = false;
+    p.ask_positions = false;
+    p.chain_of_thought = false;
+    return p;
+}
+
+std::string PromptTemplate::render() const {
+    if (!ask_time_of_day && !ask_viewpoint && !ask_object_list &&
+        !ask_positions) {
+        return "Write a description for this image.";
+    }
+    std::string prompt = "Write a description for this image";
+    if (ask_time_of_day) {
+        prompt +=
+            ", starting with 'A nighttime aerial image' or 'A daytime aerial "
+            "image', highlighting the time of day and atmospheric conditions";
+    }
+    if (ask_viewpoint) {
+        prompt +=
+            ". Detail the drone's viewpoint, indicating its perspective on "
+            "the scene";
+    }
+    if (ask_object_list) {
+        prompt += ", and mention the objects present o_1, o_2, ..., o_n";
+    }
+    if (ask_positions) {
+        prompt +=
+            ", describing their arrangement and positions relative to the "
+            "drone's perspective and the location within the scene";
+    }
+    prompt += ".";
+    if (chain_of_thought) {
+        prompt += " Think step by step about each keypoint before writing.";
+    }
+    return prompt;
+}
+
+float keypoint_coverage(const Caption& caption) {
+    int covered = 0;
+    if (caption.mentions_time) ++covered;
+    if (caption.mentions_viewpoint) ++covered;
+    if (!caption.mentions.empty()) ++covered;
+    if (caption.mentions_positions) ++covered;
+    return static_cast<float>(covered) / 4.0f;
+}
+
+std::string count_word(int count, bool vague) {
+    if (vague) {
+        if (count <= 3) return "a-few";
+        if (count <= 8) return "several";
+        return "many";
+    }
+    static const char* kNumbers[] = {"no",    "one", "two",   "three", "four",
+                                     "five",  "six", "seven", "eight", "nine",
+                                     "ten",   "eleven", "twelve"};
+    if (count <= 12) return kNumbers[count];
+    if (count <= 24) return "dozens";
+    return "numerous";
+}
+
+std::vector<ObjectMention> true_mentions(const scene::Scene& scene) {
+    std::vector<int> counts(scene::kNumObjectClasses, 0);
+    for (const scene::SceneObject& obj : scene.objects) {
+        counts[static_cast<std::size_t>(obj.cls)]++;
+    }
+    std::vector<ObjectMention> mentions;
+    for (int c = 0; c < scene::kNumObjectClasses; ++c) {
+        if (counts[static_cast<std::size_t>(c)] > 0) {
+            mentions.push_back({static_cast<scene::ObjectClass>(c),
+                                counts[static_cast<std::size_t>(c)], false});
+        }
+    }
+    // Most prominent classes first, mirroring how captions order content.
+    std::sort(mentions.begin(), mentions.end(),
+              [](const ObjectMention& a, const ObjectMention& b) {
+                  return a.count > b.count;
+              });
+    return mentions;
+}
+
+}  // namespace aero::text

@@ -1,0 +1,64 @@
+#pragma once
+// Caption and prompt-template types. A `Caption` pairs the natural-
+// language text with the structured keypoints that text actually encodes
+// -- which is what the diffusion conditioning and the CLIP-score
+// evaluation consume. A `PromptTemplate` models P_i from Eq. 1: which
+// keypoints the LLM is instructed to cover.
+
+#include <string>
+#include <vector>
+
+#include "scene/types.hpp"
+
+namespace aero::text {
+
+/// One object-class mention with the count the caption claims.
+struct ObjectMention {
+    scene::ObjectClass cls = scene::ObjectClass::kCar;
+    int count = 0;       ///< claimed count (may differ from ground truth)
+    bool vague = false;  ///< "several ..." instead of an exact count
+};
+
+/// A generated description G_i with its structured content.
+struct Caption {
+    std::string text;
+    scene::TimeOfDay time = scene::TimeOfDay::kDay;
+    scene::AltitudeBand altitude = scene::AltitudeBand::kMedium;
+    scene::PitchBand pitch = scene::PitchBand::kTopDown;
+    scene::ScenarioKind scenario = scene::ScenarioKind::kHighway;
+    std::vector<ObjectMention> mentions;
+    bool mentions_time = false;
+    bool mentions_viewpoint = false;
+    bool mentions_positions = false;
+};
+
+/// The manually designed prompt template P_i (Sec. IV-A / Fig. 3):
+/// each flag asks the LLM to cover one keypoint family.
+struct PromptTemplate {
+    bool ask_time_of_day = true;
+    bool ask_viewpoint = true;
+    bool ask_object_list = true;
+    bool ask_positions = true;
+    bool chain_of_thought = true;
+
+    /// The keypoint-aware template of Fig. 3.
+    static PromptTemplate keypoint_aware();
+    /// "Write a description for this image" -- the traditional baseline.
+    static PromptTemplate traditional();
+
+    /// Human-readable prompt text (what would be sent to a real LLM).
+    std::string render() const;
+};
+
+/// Fraction of the four keypoint families (time, viewpoint, objects,
+/// positions) that `caption` covers; the Fig. 3 information-coverage
+/// statistic.
+float keypoint_coverage(const Caption& caption);
+
+/// Count -> caption word ("three", "several", "many"...).
+std::string count_word(int count, bool vague);
+
+/// Ground-truth per-class object counts of a scene.
+std::vector<ObjectMention> true_mentions(const scene::Scene& scene);
+
+}  // namespace aero::text

@@ -1,0 +1,230 @@
+#include "text/llm.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace aero::text {
+
+namespace {
+
+using scene::AltitudeBand;
+using scene::PitchBand;
+using scene::Scene;
+using scene::ScenarioKind;
+using scene::TimeOfDay;
+
+std::string time_phrase(TimeOfDay time) {
+    return time == TimeOfDay::kDay ? "A daytime aerial image"
+                                   : "A nighttime aerial image";
+}
+
+std::string atmosphere_phrase(const Scene& scene) {
+    if (scene.time == TimeOfDay::kNight) {
+        return "under a dark sky with illuminated street lights";
+    }
+    if (scene.cloudiness > 0.4f) return "under a slightly cloudy sky";
+    return "under a clear sunny sky";
+}
+
+std::string viewpoint_phrase(AltitudeBand altitude, PitchBand pitch) {
+    std::string out = "captured from a ";
+    switch (altitude) {
+        case AltitudeBand::kLow: out += "low altitude"; break;
+        case AltitudeBand::kMedium: out += "medium altitude"; break;
+        case AltitudeBand::kHigh: out += "high vantage point"; break;
+    }
+    switch (pitch) {
+        case PitchBand::kTopDown: out += " looking straight down"; break;
+        case PitchBand::kSlightAngle:
+            out += " at a slightly angled perspective";
+            break;
+        case PitchBand::kSideAngle: out += " from an angle to the side"; break;
+    }
+    return out;
+}
+
+std::string layout_phrase(ScenarioKind kind) {
+    switch (kind) {
+        case ScenarioKind::kHighway:
+            return "The highway has multiple lanes and is lined with white "
+                   "painted markings. To the left of the highway there is a "
+                   "densely populated neighborhood with many buildings and "
+                   "trees, and lush green trees cover a steep hillside on "
+                   "the right side.";
+        case ScenarioKind::kIntersection:
+            return "Two roads with white markings cross at the center, with "
+                   "buildings at the corners and trees near the edge.";
+        case ScenarioKind::kResidential:
+            return "A street runs through the neighborhood with buildings "
+                   "on the left and right and trees along the upper edge.";
+        case ScenarioKind::kMarket:
+            return "Red-roofed stalls and buildings are lined along a "
+                   "narrow street through the middle of the scene.";
+        case ScenarioKind::kPark:
+            return "A paved walkway crosses the park, lined with trees, and "
+                   "a pond is visible near the lower right.";
+        case ScenarioKind::kCampus:
+            return "Paved walkways meet at the center of the campus with "
+                   "grassy areas around and a few cars parked on the side "
+                   "of the road.";
+        case ScenarioKind::kParking:
+            return "Rows of parked vehicles sit adjacent to a large "
+                   "warehouse building along the upper edge.";
+        case ScenarioKind::kPlaza:
+            return "An open paved plaza with a fountain at the center, "
+                   "buildings on the left and right and trees along the "
+                   "upper and lower edges.";
+    }
+    return "";
+}
+
+std::string mentions_phrase(const std::vector<ObjectMention>& mentions) {
+    if (mentions.empty()) return "";
+    std::vector<std::string> parts;
+    parts.reserve(mentions.size());
+    for (const ObjectMention& m : mentions) {
+        const std::string count = count_word(m.count, m.vague);
+        const std::string noun = (m.count == 1 && !m.vague)
+                                     ? scene::class_name(m.cls)
+                                     : scene::class_plural(m.cls);
+        parts.push_back(count + " " + noun);
+    }
+    std::string joined;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) joined += (i + 1 == parts.size()) ? " and " : ", ";
+        joined += parts[i];
+    }
+    return "There are " + joined + " in the scene.";
+}
+
+}  // namespace
+
+std::string render_caption_text(const Caption& caption, const Scene& scene) {
+    std::vector<std::string> sentences;
+
+    std::string opening = caption.mentions_time
+                              ? time_phrase(caption.time)
+                              : std::string("An aerial image");
+    opening += " of a ";
+    opening += scene::scenario_name(caption.scenario);
+    if (caption.mentions_time) {
+        opening += " " + atmosphere_phrase(scene);
+    }
+    if (caption.mentions_viewpoint) {
+        opening += ", " + viewpoint_phrase(caption.altitude, caption.pitch);
+    }
+    opening += ".";
+    sentences.push_back(opening);
+
+    const std::string mentions = mentions_phrase(caption.mentions);
+    if (!mentions.empty()) sentences.push_back(mentions);
+
+    if (caption.mentions_positions) {
+        sentences.push_back(layout_phrase(caption.scenario));
+    }
+    return util::join(sentences, " ");
+}
+
+SimulatedLlm::SimulatedLlm(std::string name, LlmNoiseModel noise)
+    : name_(std::move(name)), noise_(noise) {}
+
+Caption SimulatedLlm::describe(const Scene& scene,
+                               const PromptTemplate& prompt,
+                               util::Rng& rng) const {
+    Caption caption;
+    caption.scenario = scene.kind;
+
+    // Time of day: covered when the prompt asks; unprompted captioners
+    // mention it only occasionally -- and may get it wrong either way.
+    caption.time = scene.time;
+    caption.mentions_time = prompt.ask_time_of_day || rng.bernoulli(0.3);
+    if (caption.mentions_time && rng.bernoulli(noise_.time_error)) {
+        caption.time = caption.time == TimeOfDay::kDay ? TimeOfDay::kNight
+                                                       : TimeOfDay::kDay;
+    }
+
+    // Viewpoint.
+    caption.altitude = scene::altitude_band(scene.camera);
+    caption.pitch = scene::pitch_band(scene.camera);
+    caption.mentions_viewpoint = prompt.ask_viewpoint || rng.bernoulli(0.2);
+    if (caption.mentions_viewpoint &&
+        rng.bernoulli(noise_.viewpoint_error)) {
+        caption.altitude = static_cast<AltitudeBand>(rng.uniform_int(0, 2));
+        caption.pitch = static_cast<PitchBand>(rng.uniform_int(0, 2));
+    }
+
+    // Object mentions.
+    if (prompt.ask_object_list || rng.bernoulli(0.5)) {
+        for (ObjectMention mention : true_mentions(scene)) {
+            if (rng.bernoulli(noise_.object_omission)) continue;
+            if (rng.bernoulli(noise_.count_error)) {
+                const double factor = rng.uniform(0.7, 1.3);
+                mention.count = std::max(
+                    1, static_cast<int>(mention.count * factor + 0.5));
+            }
+            mention.vague = rng.bernoulli(noise_.count_vagueness);
+            caption.mentions.push_back(mention);
+        }
+        if (rng.bernoulli(noise_.hallucination)) {
+            ObjectMention ghost;
+            ghost.cls = static_cast<scene::ObjectClass>(
+                rng.uniform_int(0, scene::kNumObjectClasses - 1));
+            ghost.count = rng.uniform_int(1, 4);
+            ghost.vague = true;
+            caption.mentions.push_back(ghost);
+        }
+    }
+
+    // Spatial arrangement sentences.
+    caption.mentions_positions =
+        (prompt.ask_positions || rng.bernoulli(0.2)) &&
+        !rng.bernoulli(noise_.detail_dropout);
+
+    caption.text = render_caption_text(caption, scene);
+    return caption;
+}
+
+SimulatedLlm SimulatedLlm::keypoint_aware() {
+    LlmNoiseModel noise;
+    noise.object_omission = 0.02;
+    noise.count_vagueness = 0.03;
+    noise.count_error = 0.02;
+    return SimulatedLlm("AeroDiffusion", noise);
+}
+
+SimulatedLlm SimulatedLlm::gemini() {
+    LlmNoiseModel noise;
+    noise.object_omission = 0.15;
+    noise.count_vagueness = 0.30;
+    noise.count_error = 0.15;
+    noise.hallucination = 0.03;
+    noise.viewpoint_error = 0.10;
+    noise.detail_dropout = 0.15;
+    return SimulatedLlm("Gemini", noise);
+}
+
+SimulatedLlm SimulatedLlm::gpt4o() {
+    LlmNoiseModel noise;
+    noise.object_omission = 0.25;
+    noise.count_vagueness = 0.40;
+    noise.count_error = 0.20;
+    noise.hallucination = 0.06;
+    noise.viewpoint_error = 0.15;
+    noise.time_error = 0.02;
+    noise.detail_dropout = 0.25;
+    return SimulatedLlm("GPT-4o", noise);
+}
+
+SimulatedLlm SimulatedLlm::blip_captioner() {
+    LlmNoiseModel noise;
+    noise.object_omission = 0.65;
+    noise.count_vagueness = 0.95;
+    noise.count_error = 0.40;
+    noise.viewpoint_error = 0.40;
+    noise.time_error = 0.08;
+    noise.detail_dropout = 0.85;
+    return SimulatedLlm("BLIP", noise);
+}
+
+}  // namespace aero::text

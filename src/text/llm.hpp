@@ -1,0 +1,61 @@
+#pragma once
+// Simulated black-box LLM captioners (Eq. 1: G_i = LLM(X_i, O_i, P_i)).
+//
+// A real deployment calls GPT-4o / Gemini over an API; offline we model
+// each backend as a grammar over the ground-truth scene graph plus a
+// calibrated noise model reproducing the failure modes the paper
+// describes (Fig. 3): omitted objects, vague counts, hallucinated
+// content, and wrong viewpoint/lighting wording. The keypoint-aware
+// template constrains the output so the noise has less room to act --
+// exactly the paper's argument for structured prompting.
+
+#include "scene/types.hpp"
+#include "text/caption.hpp"
+#include "util/rng.hpp"
+
+namespace aero::text {
+
+/// Probabilities of each caption corruption.
+struct LlmNoiseModel {
+    double object_omission = 0.0;    ///< drop a mentioned class
+    double count_vagueness = 0.0;    ///< exact count -> "several"
+    double count_error = 0.0;        ///< +-30% miscount
+    double hallucination = 0.0;      ///< invent an absent class
+    double viewpoint_error = 0.0;    ///< wrong altitude/pitch wording
+    double time_error = 0.0;         ///< day/night mixed up
+    double detail_dropout = 0.0;     ///< skip position sentences
+};
+
+class SimulatedLlm {
+public:
+    SimulatedLlm(std::string name, LlmNoiseModel noise);
+
+    /// Generates G_i for the scene under prompt template P_i.
+    Caption describe(const scene::Scene& scene,
+                     const PromptTemplate& prompt, util::Rng& rng) const;
+
+    const std::string& name() const { return name_; }
+    const LlmNoiseModel& noise() const { return noise_; }
+
+    /// Ours: the keypoint-aware pipeline with near-faithful extraction.
+    static SimulatedLlm keypoint_aware();
+    /// Simulated Gemini: good but occasionally vague.
+    static SimulatedLlm gemini();
+    /// Simulated GPT-4o: slightly more omissions/hallucinations on
+    /// dense aerial scenes.
+    static SimulatedLlm gpt4o();
+    /// Simulated BLIP captioner: short generic captions, most keypoints
+    /// missing (the Fig. 3 "traditional prompt" behaviour).
+    static SimulatedLlm blip_captioner();
+
+private:
+    std::string name_;
+    LlmNoiseModel noise_;
+};
+
+/// Renders the caption text for already-chosen structured content.
+/// Exposed for testing; `describe` is the normal entry point.
+std::string render_caption_text(const Caption& caption,
+                                const scene::Scene& scene);
+
+}  // namespace aero::text

@@ -1,0 +1,141 @@
+#include "text/parser.hpp"
+
+#include "text/vocabulary.hpp"
+#include "util/strings.hpp"
+
+namespace aero::text {
+
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+    return haystack.find(needle) != std::string::npos;
+}
+
+/// Maps a (normalised) noun to its object class, accepting both singular
+/// and plural surface forms.
+std::optional<scene::ObjectClass> parse_class_noun(const std::string& word) {
+    for (int c = 0; c < scene::kNumObjectClasses; ++c) {
+        const auto cls = static_cast<scene::ObjectClass>(c);
+        if (word == scene::class_name(cls) || word == class_plural(cls)) {
+            return cls;
+        }
+    }
+    if (word == "person" || word == "people") return scene::ObjectClass::kPeople;
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ParsedCount> parse_count_word(const std::string& word) {
+    static const std::pair<const char*, int> kExact[] = {
+        {"no", 0},    {"one", 1},   {"two", 2},   {"three", 3},
+        {"four", 4},  {"five", 5},  {"six", 6},   {"seven", 7},
+        {"eight", 8}, {"nine", 9},  {"ten", 10},  {"eleven", 11},
+        {"twelve", 12}};
+    for (const auto& [name, value] : kExact) {
+        if (word == name) return ParsedCount{value, false};
+    }
+    if (word == "dozens") return ParsedCount{18, false};
+    if (word == "numerous") return ParsedCount{30, false};
+    if (word == "a-few") return ParsedCount{2, true};
+    if (word == "several") return ParsedCount{6, true};
+    if (word == "many") return ParsedCount{12, true};
+    if (word == "some") return ParsedCount{4, true};
+    return std::nullopt;
+}
+
+std::optional<scene::ScenarioKind> parse_scenario(const std::string& text) {
+    const std::string lower = util::to_lower(text);
+    for (int k = 0; k < scene::kNumScenarios; ++k) {
+        const auto kind = static_cast<scene::ScenarioKind>(k);
+        if (contains(lower, scene::scenario_name(kind))) return kind;
+    }
+    // Weaker single-word cues, checked in a fixed priority order.
+    if (contains(lower, "highway")) return scene::ScenarioKind::kHighway;
+    if (contains(lower, "intersection")) {
+        return scene::ScenarioKind::kIntersection;
+    }
+    if (contains(lower, "market")) return scene::ScenarioKind::kMarket;
+    if (contains(lower, "park ") || lower.ends_with("park")) {
+        return scene::ScenarioKind::kPark;
+    }
+    if (contains(lower, "campus")) return scene::ScenarioKind::kCampus;
+    if (contains(lower, "parking")) return scene::ScenarioKind::kParking;
+    if (contains(lower, "plaza")) return scene::ScenarioKind::kPlaza;
+    if (contains(lower, "neighborhood") || contains(lower, "residential")) {
+        return scene::ScenarioKind::kResidential;
+    }
+    return std::nullopt;
+}
+
+Caption parse_caption(const std::string& text) {
+    Caption caption;
+    caption.text = text;
+    const std::string lower = util::to_lower(text);
+
+    // Time of day.
+    if (contains(lower, "nighttime")) {
+        caption.time = scene::TimeOfDay::kNight;
+        caption.mentions_time = true;
+    } else if (contains(lower, "daytime")) {
+        caption.time = scene::TimeOfDay::kDay;
+        caption.mentions_time = true;
+    }
+
+    // Scenario.
+    if (const auto scenario = parse_scenario(lower)) {
+        caption.scenario = *scenario;
+    }
+
+    // Viewpoint bands.
+    if (contains(lower, "low altitude")) {
+        caption.altitude = scene::AltitudeBand::kLow;
+        caption.mentions_viewpoint = true;
+    } else if (contains(lower, "medium altitude")) {
+        caption.altitude = scene::AltitudeBand::kMedium;
+        caption.mentions_viewpoint = true;
+    } else if (contains(lower, "high vantage") ||
+               contains(lower, "high above") ||
+               contains(lower, "high altitude")) {
+        caption.altitude = scene::AltitudeBand::kHigh;
+        caption.mentions_viewpoint = true;
+    }
+    if (contains(lower, "straight down") || contains(lower, "top-down") ||
+        contains(lower, "bird")) {
+        caption.pitch = scene::PitchBand::kTopDown;
+        caption.mentions_viewpoint = true;
+    } else if (contains(lower, "slightly angled") ||
+               contains(lower, "slight angle")) {
+        caption.pitch = scene::PitchBand::kSlightAngle;
+        caption.mentions_viewpoint = true;
+    } else if (contains(lower, "angle to the side") ||
+               contains(lower, "side angle")) {
+        caption.pitch = scene::PitchBand::kSideAngle;
+        caption.mentions_viewpoint = true;
+    }
+
+    // Object mentions: scan for "<count-word> <class-noun>" bigrams.
+    const std::vector<std::string> words = util::split_whitespace(lower);
+    for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+        const std::string count_word = normalize_word(words[i]);
+        const std::string noun = normalize_word(words[i + 1]);
+        const auto count = parse_count_word(count_word);
+        if (!count) continue;
+        const auto cls = parse_class_noun(noun);
+        if (!cls) continue;
+        ObjectMention mention;
+        mention.cls = *cls;
+        mention.count = count->count;
+        mention.vague = count->vague;
+        caption.mentions.push_back(mention);
+    }
+
+    // Position sentences use layout vocabulary.
+    caption.mentions_positions =
+        contains(lower, "left") || contains(lower, "right") ||
+        contains(lower, "center") || contains(lower, "edge") ||
+        contains(lower, "along");
+    return caption;
+}
+
+}  // namespace aero::text

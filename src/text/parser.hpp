@@ -1,0 +1,32 @@
+#pragma once
+// Caption parser: recovers the structured keypoints (time of day,
+// viewpoint bands, scenario, object mentions) from caption TEXT. The
+// inverse of the caption grammar, used for (a) round-trip property
+// testing of the captioners and (b) user-facing workflows where a
+// caption is edited as text and the pipeline needs its structure back
+// (e.g. validating a viewpoint-transition edit).
+
+#include <optional>
+
+#include "text/caption.hpp"
+
+namespace aero::text {
+
+/// Best-effort structured parse of a caption produced by the grammar in
+/// llm.cpp (robust to missing sentences: absent keypoints stay at their
+/// "not mentioned" defaults).
+Caption parse_caption(const std::string& text);
+
+/// Word -> count used by the mention parser ("three" -> 3, "several" ->
+/// approximate with the vague flag). Returns nullopt for non-count words.
+struct ParsedCount {
+    int count = 0;
+    bool vague = false;
+};
+std::optional<ParsedCount> parse_count_word(const std::string& word);
+
+/// Scenario recognition from caption text; nullopt when no scenario
+/// phrase matches.
+std::optional<scene::ScenarioKind> parse_scenario(const std::string& text);
+
+}  // namespace aero::text

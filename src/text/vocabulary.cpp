@@ -1,0 +1,121 @@
+#include "text/vocabulary.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace aero::text {
+
+namespace {
+
+std::vector<std::string> build_word_list() {
+    // Core grammar of the caption generators. Order defines token ids.
+    return {
+        "<pad>", "<unk>",
+        // articles / glue
+        "a", "an", "the", "of", "and", "with", "from", "is", "are", "there",
+        "its", "in", "on", "at", "to", "along", "near", "around", "beside",
+        "under", "above", "across", "into", "by",
+        // time / weather
+        "daytime", "nighttime", "aerial", "image", "view", "sky", "clear",
+        "cloudy", "overcast", "sunny", "dark", "illuminated", "lights",
+        "shadows", "lighting", "atmospheric", "conditions", "muted",
+        // viewpoint
+        "drone", "captured", "camera", "hovering", "vantage", "point",
+        "altitude", "high", "low", "medium", "top-down", "straight", "down",
+        "oblique", "slight", "slightly", "angled", "angle", "side",
+        "perspective", "looking", "directly", "center", "birds-eye",
+        "positioned", "viewpoint", "scene", "depth", "layout", "reveals",
+        // scenarios
+        "busy", "highway", "urban", "intersection", "residential",
+        "neighborhood", "bustling", "market", "street", "tranquil", "park",
+        "paved", "campus", "logistics", "parking", "lot", "open", "plaza",
+        "hub",
+        // layout
+        "road", "roads", "lanes", "multiple", "lined", "white", "painted",
+        "markings", "buildings", "building", "trees", "tree", "grassy",
+        "areas", "walkway", "walkways", "pond", "ponds", "water",
+        "fountain", "stalls", "streets", "edges", "intersections",
+        "highways", "parks",
+        "red-roofed", "rows", "parked", "adjacent", "warehouse", "hillside",
+        "lush", "green", "steep", "densely", "populated", "crosswalk",
+        "traveling", "walking", "moving", "stationary", "visible",
+        "distance", "left", "right", "north", "south", "east", "west",
+        "upper", "lower", "middle", "edge", "corner", "corners",
+        "throughout", "scattered", "crossing", "has", "have", "cover",
+        "covers", "cross", "crosses", "runs", "through", "narrow", "meet",
+        "meets", "few", "sit", "sits", "lane", "it", "that",
+        // object classes (singular + plural)
+        "pedestrian", "pedestrians", "person", "people", "bicycle",
+        "bicycles", "car", "cars", "van", "vans", "truck", "trucks",
+        "tricycle", "tricycles", "awning-tricycle", "awning-tricycles",
+        "bus", "buses", "motorcycle", "motorcycles", "object", "objects",
+        "vehicles", "crowd",
+        // counts
+        "no", "one", "two", "three", "four", "five", "six", "seven",
+        "eight", "nine", "ten", "eleven", "twelve", "several", "a-few",
+        "many", "dozens", "numerous", "some", "more",
+        // misc adjectives used by noisy captioners
+        "large", "small", "long", "wide", "active", "commercial",
+        "transportation", "operations", "indicative", "typical", "various",
+        "general", "complex",
+    };
+}
+
+}  // namespace
+
+std::string normalize_word(const std::string& word) {
+    std::string out;
+    out.reserve(word.size());
+    for (char c : word) {
+        const auto uc = static_cast<unsigned char>(c);
+        if (std::isalnum(uc) || c == '-' || c == '<' || c == '>') {
+            out.push_back(
+                static_cast<char>(std::tolower(uc)));
+        }
+    }
+    return out;
+}
+
+Vocabulary::Vocabulary(const std::vector<std::string>& words) : words_(words) {
+    for (int i = 0; i < static_cast<int>(words_.size()); ++i) {
+        index_.emplace(words_[static_cast<std::size_t>(i)], i);
+    }
+    pad_id_ = index_.at("<pad>");
+    unk_id_ = index_.at("<unk>");
+}
+
+const Vocabulary& Vocabulary::aerial() {
+    static const Vocabulary instance(build_word_list());
+    return instance;
+}
+
+int Vocabulary::id(const std::string& word) const {
+    const auto it = index_.find(word);
+    return it == index_.end() ? unk_id_ : it->second;
+}
+
+const std::string& Vocabulary::word(int token_id) const {
+    if (token_id < 0 || token_id >= size()) {
+        return words_[static_cast<std::size_t>(unk_id_)];
+    }
+    return words_[static_cast<std::size_t>(token_id)];
+}
+
+std::vector<int> Vocabulary::encode(const std::string& text) const {
+    std::vector<int> ids;
+    for (const std::string& raw : util::split_whitespace(text)) {
+        const std::string norm = normalize_word(raw);
+        if (!norm.empty()) ids.push_back(id(norm));
+    }
+    return ids;
+}
+
+std::string Vocabulary::decode(const std::vector<int>& ids) const {
+    std::vector<std::string> parts;
+    parts.reserve(ids.size());
+    for (int token_id : ids) parts.push_back(word(token_id));
+    return util::join(parts, " ");
+}
+
+}  // namespace aero::text

@@ -1,0 +1,44 @@
+#pragma once
+// Tokenisation for captions. The vocabulary is closed over the caption
+// grammar (scenario names, object classes, count words, viewpoint and
+// lighting phrases), so every generated caption tokenises without
+// surprises; unknown words map to <unk>.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aero::text {
+
+class Vocabulary {
+public:
+    /// Builds the aerial caption vocabulary shared by all text models.
+    static const Vocabulary& aerial();
+
+    /// Token id for a (lowercased) word; <unk> id when absent.
+    int id(const std::string& word) const;
+    /// Word for an id ("<unk>" for out-of-range).
+    const std::string& word(int id) const;
+
+    int size() const { return static_cast<int>(words_.size()); }
+    int unk_id() const { return unk_id_; }
+    int pad_id() const { return pad_id_; }
+
+    /// Lowercases, strips punctuation, splits, maps to ids.
+    std::vector<int> encode(const std::string& text) const;
+    /// Joins tokens back to a string (diagnostics).
+    std::string decode(const std::vector<int>& ids) const;
+
+private:
+    explicit Vocabulary(const std::vector<std::string>& words);
+
+    std::vector<std::string> words_;
+    std::unordered_map<std::string, int> index_;
+    int unk_id_ = 0;
+    int pad_id_ = 0;
+};
+
+/// Lowercase and strip characters other than letters, digits and hyphens.
+std::string normalize_word(const std::string& word);
+
+}  // namespace aero::text

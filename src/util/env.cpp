@@ -1,0 +1,37 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace aero::util {
+
+int env_int(const char* name, int fallback) {
+    if (const char* value = std::getenv(name)) return std::atoi(value);
+    return fallback;
+}
+
+double env_double(const char* name, double fallback) {
+    if (const char* value = std::getenv(name)) return std::atof(value);
+    return fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+    if (const char* value = std::getenv(name)) return value;
+    return fallback;
+}
+
+int bench_scale() {
+    const int scale = env_int("AERO_BENCH_SCALE", 1);
+    if (scale < 0) return 0;
+    if (scale > 2) return 2;
+    return scale;
+}
+
+int scaled(int smoke, int std_value, int big) {
+    switch (bench_scale()) {
+        case 0: return smoke;
+        case 2: return big;
+        default: return std_value;
+    }
+}
+
+}  // namespace aero::util

@@ -1,0 +1,25 @@
+#pragma once
+// Environment-variable knobs shared by benches and tests.
+
+#include <string>
+
+namespace aero::util {
+
+/// Integer env var with fallback.
+int env_int(const char* name, int fallback);
+
+/// Double env var with fallback.
+double env_double(const char* name, double fallback);
+
+/// String env var with fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Global experiment scale from AERO_BENCH_SCALE:
+///   0 = smoke (seconds; used by tests), 1 = default bench, 2 = paper-shaped.
+int bench_scale();
+
+/// Linear interpolation helper for scale-dependent budgets:
+/// scale 0 -> smoke, 1 -> std, 2 -> big.
+int scaled(int smoke, int std_value, int big);
+
+}  // namespace aero::util

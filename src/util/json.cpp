@@ -1,0 +1,110 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace aero::util {
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                    out += buffer;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+    for (auto& member : members_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+namespace {
+
+std::string format_number(double v) {
+    if (std::isnan(v) || std::isinf(v)) return "null";
+    // Integers print without a decimal point.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.0f", v);
+        return buffer;
+    }
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+    return buffer;
+}
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+        case Kind::kNull: return "null";
+        case Kind::kBool: return bool_ ? "true" : "false";
+        case Kind::kNumber: return format_number(number_);
+        case Kind::kString: return '"' + json_escape(string_) + '"';
+        case Kind::kObject: {
+            if (members_.empty()) return "{}";
+            std::ostringstream out;
+            out << "{\n";
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                out << pad_in << '"' << json_escape(members_[i].first)
+                    << "\": " << members_[i].second.dump(indent + 1);
+                if (i + 1 < members_.size()) out << ',';
+                out << '\n';
+            }
+            out << pad << '}';
+            return out.str();
+        }
+        case Kind::kArray: {
+            if (elements_.empty()) return "[]";
+            std::ostringstream out;
+            out << "[\n";
+            for (std::size_t i = 0; i < elements_.size(); ++i) {
+                out << pad_in << elements_[i].dump(indent + 1);
+                if (i + 1 < elements_.size()) out << ',';
+                out << '\n';
+            }
+            out << pad << ']';
+            return out.str();
+        }
+    }
+    return "null";
+}
+
+bool JsonValue::write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << dump() << '\n';
+    return static_cast<bool>(out);
+}
+
+}  // namespace aero::util

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal JSON value + writer for recording experiment results to disk
+// (out/results/*.json). Write-only on purpose: benches produce results,
+// downstream tooling parses them with real JSON libraries.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aero::util {
+
+class JsonValue {
+public:
+    JsonValue() : kind_(Kind::kNull) {}
+    JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}           // NOLINT
+    JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}     // NOLINT
+    JsonValue(int i) : JsonValue(static_cast<double>(i)) {}       // NOLINT
+    JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+    JsonValue(std::string s)                                      // NOLINT
+        : kind_(Kind::kString), string_(std::move(s)) {}
+
+    static JsonValue object() {
+        JsonValue v;
+        v.kind_ = Kind::kObject;
+        return v;
+    }
+    static JsonValue array() {
+        JsonValue v;
+        v.kind_ = Kind::kArray;
+        return v;
+    }
+
+    /// Object field access (creates/overwrites). Only valid on objects.
+    JsonValue& set(const std::string& key, JsonValue value);
+    /// Array append. Only valid on arrays.
+    JsonValue& push(JsonValue value);
+
+    bool is_object() const { return kind_ == Kind::kObject; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+
+    /// Serialises with 2-space indentation.
+    std::string dump(int indent = 0) const;
+
+    /// Convenience: dump() to a file; returns false on I/O error.
+    bool write_file(const std::string& path) const;
+
+private:
+    enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    // Keys kept in insertion order for stable output.
+    std::vector<std::pair<std::string, JsonValue>> members_;
+    std::vector<JsonValue> elements_;
+};
+
+/// Escapes a string for JSON embedding (quotes not included).
+std::string json_escape(const std::string& text);
+
+}  // namespace aero::util

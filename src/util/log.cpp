@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aero::util {
+
+namespace {
+
+std::atomic<int> g_threshold = []() {
+    if (const char* env = std::getenv("AERO_LOG_LEVEL")) {
+        const int v = std::atoi(env);
+        if (v >= 0 && v <= 3) return v;
+    }
+    return static_cast<int>(LogLevel::kInfo);
+}();
+
+const char* level_tag(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO ";
+        case LogLevel::kWarn: return "WARN ";
+        case LogLevel::kError: return "ERROR";
+    }
+    return "?????";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return static_cast<LogLevel>(g_threshold.load()); }
+
+void set_log_threshold(LogLevel level) {
+    g_threshold.store(static_cast<int>(level));
+}
+
+void log_line(LogLevel level, const std::string& message) {
+    if (static_cast<int>(level) < g_threshold.load()) return;
+    std::fprintf(stderr, "[aero %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace aero::util

@@ -1,0 +1,51 @@
+#pragma once
+// Minimal leveled logger. Experiments print structured tables to stdout;
+// the logger is reserved for progress / diagnostics on stderr.
+
+#include <sstream>
+#include <string>
+
+namespace aero::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo,
+/// overridable via the AERO_LOG_LEVEL environment variable (0-3).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+public:
+    explicit LogStream(LogLevel level) : level_(level) {}
+    ~LogStream() { log_line(level_, stream_.str()); }
+    LogStream(const LogStream&) = delete;
+    LogStream& operator=(const LogStream&) = delete;
+
+    template <typename T>
+    LogStream& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() {
+    return detail::LogStream(LogLevel::kDebug);
+}
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() {
+    return detail::LogStream(LogLevel::kError);
+}
+
+}  // namespace aero::util

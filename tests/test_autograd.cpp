@@ -1,0 +1,352 @@
+// Numerical gradient checks for every autograd op: the analytic gradient
+// from backward() is compared against central finite differences of a
+// scalar functional of the op output.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/var.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using aero::autograd::Var;
+using aero::tensor::Tensor;
+namespace ag = aero::autograd;
+
+/// Scalarises an arbitrary-output op with a fixed random projection so
+/// the check exercises non-uniform upstream gradients.
+Var project(const Var& y, const Tensor& weights) {
+    const Var w = Var::constant(weights.reshaped(y.value().shape()));
+    return ag::sum_all(ag::mul(y, w));
+}
+
+/// Checks d(proj(f(x)))/dx against finite differences at every input
+/// coordinate of every leaf.
+void check_gradients(const std::function<Var(const std::vector<Var>&)>& f,
+                     std::vector<Tensor> inputs, float tolerance = 2e-2f,
+                     float epsilon = 1e-2f) {
+    std::vector<Var> leaves;
+    leaves.reserve(inputs.size());
+    for (Tensor& t : inputs) leaves.push_back(Var::param(t));
+
+    const Var loss = f(leaves);
+    ASSERT_EQ(loss.value().size(), 1);
+    loss.backward();
+
+    for (std::size_t leaf_index = 0; leaf_index < leaves.size();
+         ++leaf_index) {
+        const Tensor analytic = leaves[leaf_index].grad();
+        ASSERT_FALSE(analytic.empty())
+            << "no gradient reached leaf " << leaf_index;
+        for (int i = 0; i < inputs[leaf_index].size(); ++i) {
+            auto eval = [&](float delta) {
+                std::vector<Var> perturbed;
+                for (std::size_t k = 0; k < inputs.size(); ++k) {
+                    Tensor t = inputs[k];
+                    if (k == leaf_index) t[i] += delta;
+                    perturbed.push_back(Var::constant(std::move(t)));
+                }
+                return f(perturbed).value()[0];
+            };
+            const float numeric =
+                (eval(epsilon) - eval(-epsilon)) / (2.0f * epsilon);
+            EXPECT_NEAR(analytic[i], numeric,
+                        tolerance * std::max(1.0f, std::abs(numeric)))
+                << "leaf " << leaf_index << " coordinate " << i;
+        }
+    }
+}
+
+TEST(Autograd, LeafBackwardSeedsOnes) {
+    Var x = Var::param(Tensor::from_values({1.0f, 2.0f}));
+    ag::sum_all(x).backward();
+    EXPECT_EQ(x.grad()[0], 1.0f);
+    EXPECT_EQ(x.grad()[1], 1.0f);
+}
+
+TEST(Autograd, GradAccumulatesAcrossUses) {
+    Var x = Var::param(Tensor::from_values({3.0f}));
+    // y = x + x -> dy/dx = 2
+    ag::sum_all(ag::add(x, x)).backward();
+    EXPECT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Autograd, ZeroGradClears) {
+    Var x = Var::param(Tensor::from_values({3.0f}));
+    ag::sum_all(x).backward();
+    x.zero_grad();
+    EXPECT_TRUE(x.grad().empty());
+}
+
+TEST(Autograd, ConstantGetsNoGradient) {
+    Var x = Var::constant(Tensor::from_values({1.0f}));
+    Var p = Var::param(Tensor::from_values({2.0f}));
+    ag::sum_all(ag::mul(x, p)).backward();
+    EXPECT_TRUE(x.grad().empty());
+    EXPECT_EQ(p.grad()[0], 1.0f);
+}
+
+TEST(GradCheck, AddSubMul) {
+    aero::util::Rng rng(1);
+    const Tensor proj = Tensor::randn({6}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::mul(ag::add(v[0], v[1]), ag::sub(v[0], v[1])),
+                           proj);
+        },
+        {Tensor::randn({2, 3}, rng), Tensor::randn({2, 3}, rng)});
+}
+
+TEST(GradCheck, ScaleAndAddScalar) {
+    aero::util::Rng rng(2);
+    const Tensor proj = Tensor::randn({4}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::add_scalar(ag::scale(v[0], 2.5f), -1.0f), proj);
+        },
+        {Tensor::randn({4}, rng)});
+}
+
+TEST(GradCheck, Matmul) {
+    aero::util::Rng rng(3);
+    const Tensor proj = Tensor::randn({2 * 4}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::matmul(v[0], v[1]), proj);
+        },
+        {Tensor::randn({2, 3}, rng), Tensor::randn({3, 4}, rng)});
+}
+
+TEST(GradCheck, Transpose) {
+    aero::util::Rng rng(4);
+    const Tensor proj = Tensor::randn({6}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::transpose2d(v[0]), proj);
+        },
+        {Tensor::randn({2, 3}, rng)});
+}
+
+TEST(GradCheck, AddRowBias) {
+    aero::util::Rng rng(5);
+    const Tensor proj = Tensor::randn({6}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::add_row_bias(v[0], v[1]), proj);
+        },
+        {Tensor::randn({2, 3}, rng), Tensor::randn({3}, rng)});
+}
+
+TEST(GradCheck, Activations) {
+    aero::util::Rng rng(6);
+    const Tensor proj = Tensor::randn({5}, rng);
+    for (auto op : {&ag::silu, &ag::tanh, &ag::sigmoid}) {
+        check_gradients(
+            [&](const std::vector<Var>& v) { return project(op(v[0]), proj); },
+            {Tensor::randn({5}, rng)});
+    }
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+    aero::util::Rng rng(7);
+    const Tensor proj = Tensor::randn({5}, rng);
+    Tensor x = Tensor::randn({5}, rng);
+    for (float& v : x.values()) {
+        if (std::abs(v) < 0.1f) v = 0.5f;  // keep clear of the kink
+    }
+    check_gradients(
+        [&](const std::vector<Var>& v) { return project(ag::relu(v[0]), proj); },
+        {x});
+}
+
+TEST(GradCheck, SoftmaxRows) {
+    aero::util::Rng rng(8);
+    const Tensor proj = Tensor::randn({6}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::softmax_rows(v[0]), proj);
+        },
+        {Tensor::randn({2, 3}, rng)});
+}
+
+TEST(GradCheck, Conv2d) {
+    aero::util::Rng rng(9);
+    const Tensor proj = Tensor::randn({2 * 2 * 3 * 3}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::conv2d(v[0], v[1], v[2], {1, 1}), proj);
+        },
+        {Tensor::randn({2, 2, 3, 3}, rng), Tensor::randn({2, 2, 3, 3}, rng),
+         Tensor::randn({2}, rng)});
+}
+
+TEST(GradCheck, Conv2dStride2) {
+    aero::util::Rng rng(10);
+    const Tensor proj = Tensor::randn({1 * 2 * 2 * 2}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::conv2d(v[0], v[1], v[2], {2, 1}), proj);
+        },
+        {Tensor::randn({1, 1, 4, 4}, rng), Tensor::randn({2, 1, 3, 3}, rng),
+         Tensor::randn({2}, rng)});
+}
+
+TEST(GradCheck, UpsampleAndPool) {
+    aero::util::Rng rng(11);
+    const Tensor proj_up = Tensor::randn({1 * 1 * 4 * 4}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::upsample_nearest2x(v[0]), proj_up);
+        },
+        {Tensor::randn({1, 1, 2, 2}, rng)});
+    const Tensor proj_pool = Tensor::randn({1 * 1 * 2 * 2}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::avg_pool2x(v[0]), proj_pool);
+        },
+        {Tensor::randn({1, 1, 4, 4}, rng)});
+}
+
+TEST(GradCheck, AddSpatialBias) {
+    aero::util::Rng rng(21);
+    const Tensor proj = Tensor::randn({2 * 2 * 2 * 2}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::add_spatial_bias(v[0], v[1]), proj);
+        },
+        {Tensor::randn({2, 2, 2, 2}, rng), Tensor::randn({2, 2}, rng)});
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+    aero::util::Rng rng(12);
+    const Tensor proj = Tensor::randn({2 * 3}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::global_avg_pool(v[0]), proj);
+        },
+        {Tensor::randn({2, 3, 2, 2}, rng)});
+}
+
+TEST(GradCheck, ReshapeConcatSlice) {
+    aero::util::Rng rng(13);
+    const Tensor proj = Tensor::randn({2 * 5}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            const Var a = ag::reshape(v[0], {2, 3});
+            const Var b = v[1];
+            const Var cat = ag::concat({a, b}, 1);  // [2,5]
+            return project(ag::slice(cat, 1, 0, 5), proj);
+        },
+        {Tensor::randn({6}, rng), Tensor::randn({2, 2}, rng)});
+}
+
+TEST(GradCheck, LayerNorm) {
+    aero::util::Rng rng(14);
+    const Tensor proj = Tensor::randn({2 * 4}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::layer_norm_rows(v[0], v[1], v[2]), proj);
+        },
+        {Tensor::randn({2, 4}, rng), Tensor::randn({4}, rng, 1.0f, 0.2f),
+         Tensor::randn({4}, rng)},
+        /*tolerance=*/5e-2f, /*epsilon=*/5e-3f);
+}
+
+TEST(GradCheck, GroupNorm) {
+    aero::util::Rng rng(15);
+    const Tensor proj = Tensor::randn({1 * 4 * 2 * 2}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::group_norm(v[0], 2, v[1], v[2]), proj);
+        },
+        {Tensor::randn({1, 4, 2, 2}, rng), Tensor::randn({4}, rng, 1.0f, 0.2f),
+         Tensor::randn({4}, rng)},
+        /*tolerance=*/5e-2f, /*epsilon=*/5e-3f);
+}
+
+TEST(GradCheck, Embedding) {
+    aero::util::Rng rng(16);
+    const std::vector<int> ids{0, 2, 2, 1};
+    const Tensor proj = Tensor::randn({4 * 3}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return project(ag::embedding(v[0], ids), proj);
+        },
+        {Tensor::randn({3, 3}, rng)});
+}
+
+TEST(GradCheck, MeanAllAndMse) {
+    aero::util::Rng rng(17);
+    check_gradients(
+        [&](const std::vector<Var>& v) { return ag::mean_all(v[0]); },
+        {Tensor::randn({3, 2}, rng)});
+    check_gradients(
+        [&](const std::vector<Var>& v) { return ag::mse_loss(v[0], v[1]); },
+        {Tensor::randn({4}, rng), Tensor::randn({4}, rng)});
+}
+
+TEST(GradCheck, CrossEntropy) {
+    aero::util::Rng rng(18);
+    const std::vector<int> targets{1, 0, 2};
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            return ag::cross_entropy_rows(v[0], targets);
+        },
+        {Tensor::randn({3, 3}, rng)});
+}
+
+// Parameterized composite-graph gradient check over assorted shapes:
+// a two-layer computation mixing matmul, bias, activation and slicing.
+class CompositeGradCheck
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompositeGradCheck, DeepGraphGradients) {
+    const auto [m, k] = GetParam();
+    aero::util::Rng rng(800 + m * 10 + k);
+    const Tensor proj = Tensor::randn({m * k}, rng);
+    check_gradients(
+        [&](const std::vector<Var>& v) {
+            const Var h = ag::silu(ag::add_row_bias(
+                ag::matmul(v[0], v[1]), v[2]));          // [m,k]
+            const Var g = ag::softmax_rows(
+                ag::matmul(h, ag::transpose2d(v[1])));   // [m,k_in]
+            const Var mixed = ag::matmul(g, v[1]);       // [m,k]
+            return project(ag::mul(mixed, h), proj);
+        },
+        {Tensor::randn({m, k}, rng), Tensor::randn({k, k}, rng),
+         Tensor::randn({k}, rng)},
+        /*tolerance=*/5e-2f, /*epsilon=*/5e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CompositeGradCheck,
+                         ::testing::Values(std::make_tuple(2, 3),
+                                           std::make_tuple(1, 4),
+                                           std::make_tuple(3, 2)));
+
+TEST(Autograd, MseLossValue) {
+    const Var a = Var::param(Tensor::from_values({1.0f, 2.0f}));
+    const Var b = Var::constant(Tensor::from_values({0.0f, 0.0f}));
+    const Var loss = ag::mse_loss(a, b);
+    EXPECT_NEAR(loss.value()[0], 2.5f, 1e-6f);
+}
+
+TEST(Autograd, CrossEntropyMatchesUniform) {
+    // Uniform logits over 4 classes -> loss = ln 4.
+    const Var logits = Var::param(Tensor::zeros({2, 4}));
+    const Var loss = ag::cross_entropy_rows(logits, {0, 3});
+    EXPECT_NEAR(loss.value()[0], std::log(4.0f), 1e-5f);
+}
+
+TEST(Autograd, DiamondGraphGradient) {
+    // y = (x*x) + (x*x) reused node: dy/dx = 4x.
+    Var x = Var::param(Tensor::from_values({3.0f}));
+    const Var sq = ag::mul(x, x);
+    ag::sum_all(ag::add(sq, sq)).backward();
+    EXPECT_NEAR(x.grad()[0], 12.0f, 1e-5f);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Variant-specific behaviour of the Table-I baselines: what each
+// conditioning recipe actually feeds the denoiser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+// Compiled through the umbrella header on purpose: this test binary
+// doubles as a check that the public API surface builds as one unit.
+#include "aerodiffusion.hpp"
+
+namespace {
+
+using namespace aero::core;
+using aero::baselines::DdpmBaseline;
+using aero::baselines::PipelineModel;
+using aero::scene::AerialDataset;
+using aero::scene::DatasetConfig;
+
+const Substrate& shared_substrate() {
+    static const Substrate substrate = [] {
+        Budget budget = Budget::smoke();
+        DatasetConfig config;
+        config.train_size = budget.train_images;
+        config.test_size = budget.test_images;
+        config.image_size = budget.image_size;
+        static const AerialDataset dataset(config);
+        aero::util::Rng rng(777);
+        return build_substrate(dataset, budget, rng);
+    }();
+    return substrate;
+}
+
+TEST(Variants, PresetsDifferInConditioningRecipe) {
+    const auto sd = PipelineConfig::stable_diffusion();
+    const auto arldm = PipelineConfig::arldm();
+    const auto versatile = PipelineConfig::versatile_diffusion();
+    const auto mas = PipelineConfig::make_a_scene();
+    const auto aero = PipelineConfig::aero_diffusion();
+
+    // Only ours uses keypoint captions, detection and the image row.
+    EXPECT_TRUE(aero.use_keypoint_captions);
+    EXPECT_TRUE(aero.use_object_detection);
+    EXPECT_TRUE(aero.use_image_feature);
+    for (const auto* cfg : {&sd, &arldm, &versatile, &mas}) {
+        EXPECT_FALSE(cfg->use_keypoint_captions);
+        EXPECT_FALSE(cfg->use_object_detection);
+        EXPECT_FALSE(cfg->use_image_feature);
+    }
+    // Fusion split matches the paper's Table I structure.
+    EXPECT_TRUE(sd.use_blip_fusion);
+    EXPECT_TRUE(arldm.use_blip_fusion);
+    EXPECT_FALSE(versatile.use_blip_fusion);
+    EXPECT_FALSE(mas.use_blip_fusion);
+}
+
+TEST(Variants, CaptionChoiceFollowsConfig) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(1);
+    AeroDiffusionPipeline ours(PipelineConfig::aero_diffusion(), s, rng);
+    AeroDiffusionPipeline sd(PipelineConfig::stable_diffusion(), s, rng);
+    EXPECT_EQ(&ours.train_captions(), &s.keypoint_train);
+    EXPECT_EQ(&sd.train_captions(), &s.generic_train);
+    EXPECT_EQ(&ours.test_captions(), &s.keypoint_test);
+}
+
+TEST(Variants, CustomCaptionOverride) {
+    const Substrate& s = shared_substrate();
+    const std::vector<aero::text::Caption> custom(s.keypoint_train.size());
+    PipelineConfig config = PipelineConfig::aero_diffusion();
+    config.custom_train_captions = &custom;
+    aero::util::Rng rng(2);
+    AeroDiffusionPipeline pipeline(config, s, rng);
+    EXPECT_EQ(&pipeline.train_captions(), &custom);
+    EXPECT_EQ(&pipeline.test_captions(), &s.keypoint_test);  // not overridden
+}
+
+TEST(Variants, ModelNamesMatchPaperTable) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(3);
+    const auto models = aero::baselines::make_table1_models(s, rng);
+    ASSERT_EQ(models.size(), 6u);
+    EXPECT_EQ(models[0]->name(), "DDPM");
+    EXPECT_EQ(models[1]->name(), "Stable Diffusion");
+    EXPECT_EQ(models[2]->name(), "ARLDM");
+    EXPECT_EQ(models[3]->name(), "Versatile Diffusion");
+    EXPECT_EQ(models[4]->name(), "Make-a-Scene");
+    EXPECT_EQ(models[5]->name(), "AeroDiffusion");
+}
+
+TEST(Variants, DdpmIgnoresReferenceContent) {
+    // The unconditional pixel baseline must produce the same image for
+    // different references given the same sampling seed.
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(4);
+    DdpmBaseline ddpm(s, rng);
+    ddpm.fit(rng);
+    aero::util::Rng g1(5);
+    aero::util::Rng g2(5);
+    const auto a = ddpm.generate(s.dataset->test()[0], 0, g1);
+    const auto b = ddpm.generate(s.dataset->test()[1], 1, g2);
+    ASSERT_EQ(a.data().size(), b.data().size());
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        EXPECT_EQ(a.data()[i], b.data()[i]);
+    }
+}
+
+TEST(Variants, AeroGenerationDependsOnReference) {
+    // Ours is image-conditioned: different references, same seed ->
+    // different images.
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(6);
+    AeroDiffusionPipeline pipeline(PipelineConfig::aero_diffusion(), s, rng);
+    pipeline.fit(rng);
+    const std::string caption = s.keypoint_test[0].text;
+    aero::util::Rng g1(7);
+    aero::util::Rng g2(7);
+    const auto a =
+        pipeline.generate(s.dataset->test()[0], caption, caption, g1, 0);
+    const auto b =
+        pipeline.generate(s.dataset->test()[1], caption, caption, g2, 1);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        diff += std::abs(a.data()[i] - b.data()[i]);
+    }
+    EXPECT_GT(diff, 0.01);
+}
+
+TEST(Variants, MakeASceneLayoutTokenReflectsScene) {
+    // Two scenes with different object layouts must produce different
+    // extra condition tokens (the layout row), same scene -> identical.
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(8);
+    AeroDiffusionPipeline mas(PipelineConfig::make_a_scene(), s, rng);
+    mas.fit(rng);
+    // Access through generation determinism: same reference + seed gives
+    // identical output; different reference gives different output (the
+    // layout token is the only image-dependent row for this variant).
+    const std::string caption = s.generic_test[0].text;
+    aero::util::Rng g1(9);
+    aero::util::Rng g2(9);
+    aero::util::Rng g3(9);
+    const auto a =
+        mas.generate(s.dataset->test()[0], caption, caption, g1, 0);
+    const auto a2 =
+        mas.generate(s.dataset->test()[0], caption, caption, g2, 0);
+    const auto b =
+        mas.generate(s.dataset->test()[1], caption, caption, g3, 1);
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        EXPECT_EQ(a.data()[i], a2.data()[i]);
+    }
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        diff += std::abs(a.data()[i] - b.data()[i]);
+    }
+    EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Variants, ArldmHistoryChangesWithIndex) {
+    // ARLDM's history token depends on the sample index (previous image
+    // in the split): same reference + caption + seed but different index
+    // must generate different images.
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(10);
+    AeroDiffusionPipeline arldm(PipelineConfig::arldm(), s, rng);
+    arldm.fit(rng);
+    const std::string caption = s.generic_test[0].text;
+    aero::util::Rng g1(11);
+    aero::util::Rng g2(11);
+    const auto a =
+        arldm.generate(s.dataset->test()[0], caption, caption, g1, 0);
+    const auto b =
+        arldm.generate(s.dataset->test()[0], caption, caption, g2, 2);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        diff += std::abs(a.data()[i] - b.data()[i]);
+    }
+    EXPECT_GT(diff, 1e-4);
+}
+
+}  // namespace

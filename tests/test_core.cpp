@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/models.hpp"
+#include "core/condition.hpp"
+#include "core/pipeline.hpp"
+#include "core/substrate.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace aero::core;
+using aero::scene::AerialDataset;
+using aero::scene::DatasetConfig;
+
+/// One tiny substrate shared by every test in this binary (expensive to
+/// build, cheap to reuse; all consumers treat it as const).
+const Substrate& shared_substrate() {
+    static const Substrate substrate = [] {
+        Budget budget = Budget::smoke();
+        DatasetConfig config;
+        config.train_size = budget.train_images;
+        config.test_size = budget.test_images;
+        config.image_size = budget.image_size;
+        static const AerialDataset dataset(config);
+        aero::util::Rng rng(2025);
+        return build_substrate(dataset, budget, rng);
+    }();
+    return substrate;
+}
+
+TEST(BudgetTest, SmokeIsSmallestAndFromScaleIsSane) {
+    const Budget smoke = Budget::smoke();
+    const Budget standard{};
+    EXPECT_LT(smoke.train_images, standard.train_images);
+    EXPECT_LT(smoke.diffusion_steps, standard.diffusion_steps);
+    EXPECT_LE(smoke.diffusion_steps, 60);
+    const Budget b = Budget::from_scale();
+    EXPECT_GT(b.train_images, 0);
+    EXPECT_GT(b.eval_samples, 0);
+    EXPECT_GE(b.ddim_steps, 1);
+}
+
+TEST(SubstrateTest, AllComponentsBuilt) {
+    const Substrate& s = shared_substrate();
+    EXPECT_NE(s.clip, nullptr);
+    EXPECT_NE(s.autoencoder, nullptr);
+    EXPECT_NE(s.detector, nullptr);
+    EXPECT_NE(s.feature_net, nullptr);
+    EXPECT_GT(s.latent_scale, 0.0f);
+    EXPECT_EQ(s.keypoint_train.size(), s.dataset->train().size());
+    EXPECT_EQ(s.generic_test.size(), s.dataset->test().size());
+    EXPECT_EQ(s.train_latents.size(), s.dataset->train().size());
+}
+
+TEST(SubstrateTest, KeypointCaptionsRicherThanGeneric) {
+    const Substrate& s = shared_substrate();
+    double keypoint_cov = 0.0;
+    double generic_cov = 0.0;
+    for (std::size_t i = 0; i < s.keypoint_train.size(); ++i) {
+        keypoint_cov += aero::text::keypoint_coverage(s.keypoint_train[i]);
+        generic_cov += aero::text::keypoint_coverage(s.generic_train[i]);
+    }
+    EXPECT_GT(keypoint_cov, generic_cov);
+}
+
+TEST(SubstrateTest, LatentsAreNormalised) {
+    const Substrate& s = shared_substrate();
+    double sum_sq = 0.0;
+    long count = 0;
+    for (const auto& z : s.train_latents) {
+        for (float v : z.values()) {
+            sum_sq += static_cast<double>(v) * v;
+            ++count;
+        }
+    }
+    const double rms = std::sqrt(sum_sq / static_cast<double>(count));
+    EXPECT_GT(rms, 0.3);
+    EXPECT_LT(rms, 3.0);
+}
+
+TEST(ConditionTest, FeaturesHaveExpectedShapes) {
+    const Substrate& s = shared_substrate();
+    const auto& sample = s.dataset->train()[0];
+    const std::string caption = s.keypoint_train[0].text;
+    const ConditionFeatures features = compute_condition_features(
+        s, sample, caption, caption, /*use_object_detection=*/true, 8);
+    const int d = s.embed_config.dim;
+    EXPECT_EQ(features.image_tokens.dim(1), d);
+    EXPECT_EQ(features.text_tokens.dim(1), d);
+    EXPECT_EQ(features.clip_text.dim(0), 1);
+    EXPECT_EQ(features.global_feature.dim(1), d);
+    if (!features.roi_features.empty()) {
+        EXPECT_EQ(features.roi_features.dim(1), d);
+        EXPECT_EQ(features.roi_features.dim(0),
+                  features.label_embeddings.dim(0));
+    }
+}
+
+TEST(ConditionTest, EncoderRowCountsMatchFlags) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(7);
+    const auto& sample = s.dataset->train()[0];
+    const std::string caption = s.keypoint_train[0].text;
+    const ConditionFeatures features = compute_condition_features(
+        s, sample, caption, caption, true, 8);
+
+    // Full: C_xg, C_g, then the enhanced token set (f̂_X slot + regions).
+    ConditionEncoder full(s.embed_config, true, true, true, rng);
+    const int roi_rows = features.roi_features.empty()
+                             ? 0
+                             : features.roi_features.dim(0);
+    EXPECT_EQ(full.encode(features).value().dim(0),
+              features.roi_features.empty() ? 3 : 3 + roi_rows);
+
+    ConditionEncoder text_only(s.embed_config, false, false, false, rng);
+    EXPECT_EQ(text_only.encode(features).value().dim(0), 1);  // C_g
+
+    ConditionEncoder no_fusion(s.embed_config, false, true, true, rng);
+    EXPECT_EQ(no_fusion.encode(features).value().dim(0), 2);
+}
+
+TEST(ConditionTest, EncoderGradientsFlow) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(8);
+    const auto& sample = s.dataset->train()[0];
+    const std::string caption = s.keypoint_train[0].text;
+    const ConditionFeatures features = compute_condition_features(
+        s, sample, caption, caption, true, 8);
+    ConditionEncoder encoder(s.embed_config, true, true, true, rng);
+    aero::autograd::mean_all(encoder.encode(features)).backward();
+    int with_grad = 0;
+    for (const auto& p : encoder.parameters()) {
+        if (!p.grad().empty()) ++with_grad;
+    }
+    EXPECT_GT(with_grad, 0);
+}
+
+TEST(PipelineConfigTest, Presets) {
+    EXPECT_EQ(PipelineConfig::aero_diffusion().variant,
+              ModelVariant::kAeroDiffusion);
+    EXPECT_FALSE(PipelineConfig::stable_diffusion().use_keypoint_captions);
+    EXPECT_FALSE(PipelineConfig::versatile_diffusion().use_blip_fusion);
+    const PipelineConfig row1 = PipelineConfig::ablation(false, false, false);
+    EXPECT_FALSE(row1.use_blip_fusion);
+    EXPECT_FALSE(row1.use_image_feature);
+    const PipelineConfig row4 = PipelineConfig::ablation(true, true, true);
+    EXPECT_TRUE(row4.use_object_detection);
+}
+
+TEST(PipelineTest, FitAndGenerate) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(9);
+    AeroDiffusionPipeline pipeline(PipelineConfig::aero_diffusion(), s, rng);
+    EXPECT_GT(pipeline.parameter_count(), 1000);
+    const auto stats = pipeline.fit(rng);
+    EXPECT_GT(stats.first_loss, 0.0f);
+    EXPECT_TRUE(std::isfinite(stats.tail_loss));
+
+    const auto& sample = s.dataset->test()[0];
+    const std::string caption = s.keypoint_test[0].text;
+    const aero::image::Image generated =
+        pipeline.generate(sample, caption, caption, rng, 0);
+    EXPECT_EQ(generated.width(), s.budget.image_size);
+    for (float v : generated.data()) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(PipelineTest, ViewpointTransitionChangesOutput) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(10);
+    AeroDiffusionPipeline pipeline(PipelineConfig::aero_diffusion(), s, rng);
+    pipeline.fit(rng);
+    const auto& sample = s.dataset->test()[0];
+    const std::string caption = s.keypoint_test[0].text;
+    const std::string moved =
+        "A daytime aerial image of a tranquil park captured from a low "
+        "altitude from an angle to the side.";
+    aero::util::Rng rng_a(5);
+    aero::util::Rng rng_b(5);
+    const auto img_same = pipeline.generate(sample, caption, caption, rng_a, 0);
+    const auto img_moved = pipeline.generate(sample, caption, moved, rng_b, 0);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < img_same.data().size(); ++i) {
+        diff += std::abs(img_same.data()[i] - img_moved.data()[i]);
+    }
+    EXPECT_GT(diff, 0.01);
+}
+
+TEST(PipelineTest, SaveLoadRoundTrip) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng_a(21);
+    aero::util::Rng rng_b(22);  // different init
+    AeroDiffusionPipeline a(PipelineConfig::aero_diffusion(), s, rng_a);
+    AeroDiffusionPipeline b(PipelineConfig::aero_diffusion(), s, rng_b);
+    a.fit(rng_a);
+    const std::string path = testing::TempDir() + "/aero_pipeline";
+    ASSERT_TRUE(a.save(path));
+    ASSERT_TRUE(b.load(path));
+
+    // Identical weights -> identical generations for the same seed.
+    const auto& sample = s.dataset->test()[0];
+    const std::string caption = s.keypoint_test[0].text;
+    aero::util::Rng g1(5);
+    aero::util::Rng g2(5);
+    const auto img_a = a.generate(sample, caption, caption, g1, 0);
+    const auto img_b = b.generate(sample, caption, caption, g2, 0);
+    ASSERT_EQ(img_a.data().size(), img_b.data().size());
+    for (std::size_t i = 0; i < img_a.data().size(); ++i) {
+        EXPECT_EQ(img_a.data()[i], img_b.data()[i]);
+    }
+    std::remove((path + ".unet").c_str());
+    std::remove((path + ".cond").c_str());
+}
+
+TEST(PipelineTest, LoadRejectsMismatchedArchitecture) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(23);
+    AeroDiffusionPipeline full(PipelineConfig::aero_diffusion(), s, rng);
+    const std::string path = testing::TempDir() + "/aero_pipeline_mismatch";
+    ASSERT_TRUE(full.save(path));
+    // Text-only variant has a different condition encoder.
+    AeroDiffusionPipeline text_only(PipelineConfig::stable_diffusion(), s,
+                                    rng);
+    EXPECT_FALSE(text_only.load(path));
+    std::remove((path + ".unet").c_str());
+    std::remove((path + ".cond").c_str());
+}
+
+TEST(PipelineTest, EditAndInpaintProduceValidImages) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(24);
+    AeroDiffusionPipeline pipeline(PipelineConfig::aero_diffusion(), s, rng);
+    pipeline.fit(rng);
+    const auto& sample = s.dataset->test()[0];
+    const std::string caption = s.keypoint_test[0].text;
+
+    const auto edited =
+        pipeline.generate_edit(sample, caption, caption, 0.4f, rng, 0);
+    EXPECT_EQ(edited.width(), s.budget.image_size);
+    for (float v : edited.data()) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+    // Low-strength edits stay closer to the reference than full
+    // generations (averaged over the image).
+    aero::util::Rng rng_gen(7);
+    const auto generated =
+        pipeline.generate(sample, caption, caption, rng_gen, 0);
+    const double psnr_edit = aero::image::psnr(sample.image, edited);
+    const double psnr_gen = aero::image::psnr(sample.image, generated);
+    EXPECT_GT(psnr_edit, psnr_gen - 3.0);  // never dramatically worse
+
+    aero::scene::BoundingBox region{4, 4, 12, 12};
+    const auto inpainted = pipeline.generate_inpaint(
+        sample, region, caption, caption, rng, 0);
+    EXPECT_EQ(inpainted.width(), s.budget.image_size);
+}
+
+TEST(BaselineModels, AllSixFitAndGenerate) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(11);
+    auto models = aero::baselines::make_table1_models(s, rng);
+    ASSERT_EQ(models.size(), 6u);
+    EXPECT_EQ(models[0]->name(), "DDPM");
+    EXPECT_EQ(models[5]->name(), "AeroDiffusion");
+
+    // Fit and sample just the two cheapest to keep the smoke test fast:
+    // DDPM (distinct code path) and Versatile (pipeline path).
+    for (const std::size_t index : {std::size_t{3}}) {
+        auto& model = *models[index];
+        model.fit(rng);
+        const auto img = model.generate(s.dataset->test()[0], 0, rng);
+        EXPECT_EQ(img.width(), s.budget.image_size);
+    }
+}
+
+TEST(BaselineModels, DdpmIsUnconditionalPixelSpace) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(12);
+    aero::baselines::DdpmBaseline ddpm(s, rng);
+    ddpm.fit(rng);
+    const auto img = ddpm.generate(s.dataset->test()[0], 0, rng);
+    EXPECT_EQ(img.width(), s.budget.image_size);
+    EXPECT_EQ(img.height(), s.budget.image_size);
+}
+
+}  // namespace

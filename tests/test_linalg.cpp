@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using aero::linalg::Matrix;
+
+Matrix random_symmetric(std::size_t n, aero::util::Rng& rng) {
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            a(i, j) = rng.normal();
+            a(j, i) = a(i, j);
+        }
+    }
+    return a;
+}
+
+Matrix random_psd(std::size_t n, aero::util::Rng& rng) {
+    Matrix b(n, n);
+    for (auto& v : b.data()) v = rng.normal();
+    return b * b.transpose();
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+    const Matrix i3 = Matrix::identity(3);
+    Matrix a(3, 3);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            a(r, c) = static_cast<double>(r * 3 + c);
+        }
+    }
+    const Matrix prod = a * i3;
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+        }
+    }
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+    aero::util::Rng rng(3);
+    Matrix a(4, 6);
+    for (auto& v : a.data()) v = rng.normal();
+    const Matrix att = a.transpose().transpose();
+    EXPECT_NEAR((a - att).frobenius_norm(), 0.0, 1e-15);
+}
+
+TEST(Matrix, TraceOfProductCommutes) {
+    aero::util::Rng rng(4);
+    Matrix a(5, 5);
+    Matrix b(5, 5);
+    for (auto& v : a.data()) v = rng.normal();
+    for (auto& v : b.data()) v = rng.normal();
+    EXPECT_NEAR(trace(a * b), trace(b * a), 1e-9);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+    Matrix a(3, 3);
+    a(0, 0) = 5.0;
+    a(1, 1) = -2.0;
+    a(2, 2) = 1.0;
+    const auto eig = eigen_symmetric(a);
+    EXPECT_NEAR(eig.values[0], -2.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+    EXPECT_NEAR(eig.values[2], 5.0, 1e-10);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+    aero::util::Rng rng(7);
+    const Matrix a = random_symmetric(8, rng);
+    const auto eig = eigen_symmetric(a);
+    // A = V diag(w) V^T
+    Matrix d(8, 8);
+    for (std::size_t i = 0; i < 8; ++i) d(i, i) = eig.values[i];
+    const Matrix recon = eig.vectors * d * eig.vectors.transpose();
+    EXPECT_NEAR((a - recon).frobenius_norm(), 0.0, 1e-8);
+}
+
+TEST(Eigen, VectorsOrthonormal) {
+    aero::util::Rng rng(8);
+    const Matrix a = random_symmetric(6, rng);
+    const auto eig = eigen_symmetric(a);
+    const Matrix vtv = eig.vectors.transpose() * eig.vectors;
+    EXPECT_NEAR((vtv - Matrix::identity(6)).frobenius_norm(), 0.0, 1e-9);
+}
+
+TEST(SqrtPsd, SquaresBack) {
+    aero::util::Rng rng(9);
+    const Matrix a = random_psd(6, rng);
+    const Matrix root = sqrt_psd(a);
+    EXPECT_NEAR((root * root - a).frobenius_norm(), 0.0, 1e-7);
+}
+
+TEST(SqrtPsd, IdentityFixedPoint) {
+    const Matrix root = sqrt_psd(Matrix::identity(4));
+    EXPECT_NEAR((root - Matrix::identity(4)).frobenius_norm(), 0.0, 1e-10);
+}
+
+TEST(SqrtPsd, ClampsTinyNegativeEigenvalues) {
+    // Nearly-zero matrix with round-off-level negative perturbation.
+    Matrix a(2, 2);
+    a(0, 0) = -1e-14;
+    a(1, 1) = 1.0;
+    const Matrix root = sqrt_psd(a);
+    EXPECT_NEAR(root(1, 1), 1.0, 1e-10);
+    EXPECT_FALSE(std::isnan(root(0, 0)));
+}
+
+// Parameterized eigensolver sweep over matrix sizes: reconstruction,
+// orthonormality and sqrt-psd round trips must hold at every size.
+class EigenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenSweep, ReconstructionAndOrthonormality) {
+    const auto n = static_cast<std::size_t>(GetParam());
+    aero::util::Rng rng(100 + GetParam());
+    const Matrix a = random_symmetric(n, rng);
+    const auto eig = eigen_symmetric(a);
+    Matrix d(n, n);
+    for (std::size_t i = 0; i < n; ++i) d(i, i) = eig.values[i];
+    const Matrix recon = eig.vectors * d * eig.vectors.transpose();
+    EXPECT_NEAR((a - recon).frobenius_norm(), 0.0, 1e-7 * (1.0 + GetParam()));
+    const Matrix vtv = eig.vectors.transpose() * eig.vectors;
+    EXPECT_NEAR((vtv - Matrix::identity(n)).frobenius_norm(), 0.0, 1e-8);
+    // Eigenvalues ascending.
+    for (std::size_t i = 1; i < n; ++i) {
+        EXPECT_LE(eig.values[i - 1], eig.values[i] + 1e-12);
+    }
+}
+
+TEST_P(EigenSweep, SqrtPsdRoundTrip) {
+    const auto n = static_cast<std::size_t>(GetParam());
+    aero::util::Rng rng(200 + GetParam());
+    const Matrix a = random_psd(n, rng);
+    const Matrix root = sqrt_psd(a);
+    EXPECT_NEAR((root * root - a).frobenius_norm(), 0.0,
+                1e-6 * (1.0 + a.frobenius_norm()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(Covariance, MatchesHandComputation) {
+    // Two variables, three observations.
+    Matrix samples(3, 2);
+    samples(0, 0) = 1.0;
+    samples(0, 1) = 2.0;
+    samples(1, 0) = 3.0;
+    samples(1, 1) = 6.0;
+    samples(2, 0) = 5.0;
+    samples(2, 1) = 10.0;
+    std::vector<double> mean;
+    const Matrix cov = covariance(samples, &mean);
+    EXPECT_DOUBLE_EQ(mean[0], 3.0);
+    EXPECT_DOUBLE_EQ(mean[1], 6.0);
+    EXPECT_NEAR(cov(0, 0), 4.0, 1e-12);
+    EXPECT_NEAR(cov(1, 1), 16.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), 8.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-12);
+}
+
+TEST(Covariance, PsdProperty) {
+    aero::util::Rng rng(10);
+    Matrix samples(40, 5);
+    for (auto& v : samples.data()) v = rng.normal();
+    const Matrix cov = covariance(samples, nullptr);
+    const auto eig = eigen_symmetric(cov);
+    for (double w : eig.values) EXPECT_GE(w, -1e-10);
+}
+
+}  // namespace

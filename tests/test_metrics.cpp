@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "metrics/prd.hpp"
+#include "scene/dataset.hpp"
+
+namespace {
+
+using namespace aero::metrics;
+using aero::image::Color;
+using aero::image::Image;
+using aero::linalg::Matrix;
+
+std::vector<Image> noisy_set(int n, const Color& base, float noise,
+                             std::uint64_t seed) {
+    aero::util::Rng rng(seed);
+    std::vector<Image> images;
+    images.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        Image img(16, 16, base);
+        aero::image::fill_rect(img, rng.uniform_int(0, 10),
+                               rng.uniform_int(0, 10), 4, 4,
+                               {1.0f - base.r, 1.0f - base.g, 1.0f - base.b});
+        aero::image::add_gaussian_noise(img, rng, noise);
+        images.push_back(std::move(img));
+    }
+    return images;
+}
+
+TEST(FeatureNetTest, DeterministicAcrossInstances) {
+    const FeatureNet a;
+    const FeatureNet b;
+    const Image img(16, 16, {0.3f, 0.5f, 0.7f});
+    const auto fa = a.features(img);
+    const auto fb = b.features(img);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+        EXPECT_DOUBLE_EQ(fa[i], fb[i]);
+    }
+}
+
+TEST(FeatureNetTest, DistinctImagesDistinctFeatures) {
+    const FeatureNet net;
+    const auto fa = net.features(Image(16, 16, {0.9f, 0.1f, 0.1f}));
+    const auto fb = net.features(Image(16, 16, {0.1f, 0.1f, 0.9f}));
+    double diff = 0.0;
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+        diff += std::abs(fa[i] - fb[i]);
+    }
+    EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Fid, NearZeroForSameDistribution) {
+    const FeatureNet net;
+    const auto a = noisy_set(24, {0.4f, 0.5f, 0.3f}, 0.05f, 1);
+    const auto b = noisy_set(24, {0.4f, 0.5f, 0.3f}, 0.05f, 2);
+    const auto c = noisy_set(24, {0.9f, 0.1f, 0.2f}, 0.05f, 3);
+    const double same = fid(net, a, b);
+    const double different = fid(net, a, c);
+    EXPECT_LT(same, different);
+    EXPECT_GE(same, 0.0);
+}
+
+TEST(Fid, ZeroForIdenticalSets) {
+    const FeatureNet net;
+    const auto a = noisy_set(16, {0.5f, 0.5f, 0.5f}, 0.05f, 4);
+    EXPECT_NEAR(fid(net, a, a), 0.0, 1e-6);
+}
+
+TEST(Fid, SymmetricUnderSwap) {
+    const FeatureNet net;
+    const auto a = noisy_set(20, {0.4f, 0.5f, 0.3f}, 0.05f, 5);
+    const auto b = noisy_set(20, {0.6f, 0.3f, 0.5f}, 0.05f, 6);
+    const double ab = fid(net, a, b);
+    const double ba = fid(net, b, a);
+    EXPECT_NEAR(ab, ba, std::max(1e-6, ab * 1e-3));
+}
+
+TEST(Kid, NearZeroSameDistributionAndOrdering) {
+    const FeatureNet net;
+    const auto a = noisy_set(20, {0.4f, 0.5f, 0.3f}, 0.05f, 7);
+    const auto b = noisy_set(20, {0.4f, 0.5f, 0.3f}, 0.05f, 8);
+    const auto c = noisy_set(20, {0.9f, 0.1f, 0.2f}, 0.05f, 9);
+    const double same = kid(net, a, b);
+    const double different = kid(net, a, c);
+    EXPECT_LT(same, different);
+    // Unbiased estimator can dip slightly below zero on same-dist sets.
+    EXPECT_GT(same, -0.05);
+}
+
+TEST(MeanPsnrTest, PerfectAndDegraded) {
+    const auto a = noisy_set(4, {0.5f, 0.5f, 0.5f}, 0.0f, 10);
+    EXPECT_GT(mean_psnr(a, a), 90.0);
+    auto noisy = a;
+    aero::util::Rng rng(11);
+    for (auto& img : noisy) aero::image::add_gaussian_noise(img, rng, 0.1f);
+    const double degraded = mean_psnr(a, noisy);
+    EXPECT_LT(degraded, 30.0);
+    EXPECT_GT(degraded, 5.0);
+}
+
+TEST(MeanPsnrTest, ResizesMismatchedImages) {
+    std::vector<Image> refs{Image(16, 16, {0.5f, 0.5f, 0.5f})};
+    std::vector<Image> gen{Image(8, 8, {0.5f, 0.5f, 0.5f})};
+    EXPECT_GT(mean_psnr(refs, gen), 40.0);
+}
+
+TEST(EvaluateSynthesis, BetterGeneratorWinsAllMetrics) {
+    // "Real" distribution: textured scenes. Good generator = real + small
+    // noise; bad generator = gray mush.
+    aero::scene::DatasetConfig config;
+    config.train_size = 16;
+    config.test_size = 8;
+    config.image_size = 16;
+    const aero::scene::AerialDataset dataset(config);
+    std::vector<Image> real_pool;
+    for (const auto& s : dataset.train()) real_pool.push_back(s.image);
+    std::vector<Image> references;
+    for (const auto& s : dataset.test()) references.push_back(s.image);
+
+    aero::util::Rng rng(12);
+    std::vector<Image> good;
+    std::vector<Image> bad;
+    for (const auto& s : dataset.test()) {
+        Image g = s.image;
+        aero::image::add_gaussian_noise(g, rng, 0.03f);
+        good.push_back(std::move(g));
+        bad.emplace_back(16, 16, Color{0.5f, 0.5f, 0.5f});
+    }
+
+    const FeatureNet net({.image_size = 16});
+    const SynthesisScores good_scores =
+        evaluate_synthesis(net, real_pool, references, good);
+    const SynthesisScores bad_scores =
+        evaluate_synthesis(net, real_pool, references, bad);
+    EXPECT_LT(good_scores.fid, bad_scores.fid);
+    EXPECT_LT(good_scores.kid, bad_scores.kid);
+    EXPECT_GT(good_scores.psnr, 15.0);
+}
+
+// Property sweep: both FID and KID must increase monotonically (in the
+// aggregate) as the generated set is corrupted harder. This is the
+// property the whole evaluation relies on.
+class CorruptionSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(CorruptionSweep, FidGrowsWithNoise) {
+    const float noise = GetParam();
+    const FeatureNet net({.image_size = 16});
+    aero::scene::DatasetConfig config;
+    config.train_size = 24;
+    config.test_size = 8;
+    config.image_size = 16;
+    const aero::scene::AerialDataset dataset(config);
+    std::vector<Image> real;
+    for (const auto& s : dataset.train()) real.push_back(s.image);
+
+    aero::util::Rng rng(314);
+    std::vector<Image> clean;
+    std::vector<Image> corrupted;
+    for (const auto& s : dataset.test()) {
+        clean.push_back(s.image);
+        Image c = s.image;
+        aero::image::add_gaussian_noise(c, rng, noise);
+        corrupted.push_back(std::move(c));
+    }
+    const double fid_clean = fid(net, real, clean);
+    const double fid_corrupted = fid(net, real, corrupted);
+    EXPECT_GT(fid_corrupted, fid_clean);
+    const double kid_clean = kid(net, real, clean);
+    const double kid_corrupted = kid(net, real, corrupted);
+    EXPECT_GT(kid_corrupted, kid_clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, CorruptionSweep,
+                         ::testing::Values(0.1f, 0.2f, 0.4f));
+
+TEST(CorruptionOrdering, BlurAlsoDegradesFid) {
+    // Blur removes exactly the small-object texture the paper cares
+    // about; the metric must notice.
+    const FeatureNet net({.image_size = 16});
+    aero::scene::DatasetConfig config;
+    config.train_size = 24;
+    config.test_size = 8;
+    config.image_size = 16;
+    const aero::scene::AerialDataset dataset(config);
+    std::vector<Image> real;
+    for (const auto& s : dataset.train()) real.push_back(s.image);
+    std::vector<Image> clean;
+    std::vector<Image> blurred;
+    for (const auto& s : dataset.test()) {
+        clean.push_back(s.image);
+        blurred.push_back(aero::image::box_blur(s.image, 2));
+    }
+    EXPECT_GT(fid(net, real, blurred), fid(net, real, clean));
+}
+
+TEST(PrecisionRecall, IdenticalSetsScoreHighOnBoth) {
+    aero::util::Rng rng(40);
+    Matrix a(30, 4);
+    for (auto& v : a.data()) v = rng.normal();
+    const auto pr = precision_recall_from_features(a, a, 3);
+    EXPECT_GT(pr.precision, 0.95);
+    EXPECT_GT(pr.recall, 0.95);
+}
+
+TEST(PrecisionRecall, ModeCollapseShowsHighPrecisionLowRecall) {
+    // Generated samples = tight cluster around ONE real point:
+    // high fidelity, poor coverage.
+    aero::util::Rng rng(41);
+    Matrix real(40, 3);
+    for (auto& v : real.data()) v = rng.normal() * 2.0;
+    Matrix collapsed(40, 3);
+    for (std::size_t i = 0; i < collapsed.rows(); ++i) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            collapsed(i, c) = real(0, c) + 0.01 * rng.normal();
+        }
+    }
+    const auto pr = precision_recall_from_features(real, collapsed, 3);
+    EXPECT_GT(pr.precision, 0.8);
+    EXPECT_LT(pr.recall, 0.5);
+}
+
+TEST(PrecisionRecall, OffManifoldShowsLowPrecision) {
+    aero::util::Rng rng(42);
+    Matrix real(40, 3);
+    for (auto& v : real.data()) v = rng.normal();
+    Matrix shifted(40, 3);
+    for (auto& v : shifted.data()) v = rng.normal() + 15.0;  // far away
+    const auto pr = precision_recall_from_features(real, shifted, 3);
+    EXPECT_LT(pr.precision, 0.1);
+}
+
+TEST(PrecisionRecall, ImageWrapperRuns) {
+    const FeatureNet net({.image_size = 16});
+    const auto a = noisy_set(12, {0.4f, 0.5f, 0.3f}, 0.05f, 50);
+    const auto b = noisy_set(12, {0.4f, 0.5f, 0.3f}, 0.05f, 51);
+    const auto pr = precision_recall(net, a, b, 3);
+    EXPECT_GE(pr.precision, 0.0);
+    EXPECT_LE(pr.precision, 1.0);
+    EXPECT_GE(pr.recall, 0.0);
+    EXPECT_LE(pr.recall, 1.0);
+}
+
+TEST(FidFromFeatures, HandMadeGaussians) {
+    // Two 2-D Gaussians with known means and (near) identity covariance:
+    // FID ~ ||mu1 - mu2||^2.
+    aero::util::Rng rng(13);
+    const std::size_t n = 4000;
+    Matrix a(n, 2);
+    Matrix b(n, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, 0) = rng.normal();
+        a(i, 1) = rng.normal();
+        b(i, 0) = rng.normal() + 3.0;
+        b(i, 1) = rng.normal();
+    }
+    EXPECT_NEAR(fid_from_features(a, b), 9.0, 0.6);
+}
+
+}  // namespace

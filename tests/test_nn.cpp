@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "nn/attention.hpp"
+#include "nn/ema.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+
+namespace {
+
+using aero::autograd::Var;
+using aero::tensor::Tensor;
+namespace ag = aero::autograd;
+namespace nn = aero::nn;
+
+TEST(Linear, ShapesAndParamCount) {
+    aero::util::Rng rng(1);
+    nn::Linear layer(4, 6, rng);
+    EXPECT_EQ(layer.parameter_count(), 4 * 6 + 6);
+    const Var x = Var::constant(Tensor::ones({3, 4}));
+    const Var y = layer.forward(x);
+    EXPECT_EQ(y.value().dim(0), 3);
+    EXPECT_EQ(y.value().dim(1), 6);
+}
+
+TEST(Linear, NoBiasVariant) {
+    aero::util::Rng rng(2);
+    nn::Linear layer(4, 6, rng, /*with_bias=*/false);
+    EXPECT_EQ(layer.parameter_count(), 24);
+}
+
+TEST(Conv2dLayer, Shapes) {
+    aero::util::Rng rng(3);
+    nn::Conv2d conv(3, 8, 3, 2, 1, rng);
+    const Var x = Var::constant(Tensor::ones({2, 3, 8, 8}));
+    const Var y = conv.forward(x);
+    EXPECT_EQ(y.value().dim(1), 8);
+    EXPECT_EQ(y.value().dim(2), 4);
+}
+
+TEST(GroupNormLayer, NormalisesGroups) {
+    nn::GroupNorm norm(4, 2);
+    aero::util::Rng rng(4);
+    const Var x = Var::constant(Tensor::randn({2, 4, 3, 3}, rng, 5.0f, 2.0f));
+    const Var y = norm.forward(x);
+    // With unit gamma / zero beta the per-group mean must be ~0, var ~1.
+    const auto& v = y.value();
+    const int spatial = 9;
+    for (int b = 0; b < 2; ++b) {
+        for (int g = 0; g < 2; ++g) {
+            double mean = 0.0;
+            double var = 0.0;
+            for (int ch = g * 2; ch < g * 2 + 2; ++ch) {
+                for (int s = 0; s < spatial; ++s) {
+                    mean += v[((b * 4 + ch) * spatial) + s];
+                }
+            }
+            mean /= 2 * spatial;
+            for (int ch = g * 2; ch < g * 2 + 2; ++ch) {
+                for (int s = 0; s < spatial; ++s) {
+                    const double d = v[((b * 4 + ch) * spatial) + s] - mean;
+                    var += d * d;
+                }
+            }
+            var /= 2 * spatial;
+            EXPECT_NEAR(mean, 0.0, 1e-4);
+            EXPECT_NEAR(var, 1.0, 1e-2);
+        }
+    }
+}
+
+TEST(EmbeddingLayer, LooksUpRows) {
+    aero::util::Rng rng(5);
+    nn::Embedding emb(10, 4, rng);
+    const Var out = emb.forward({3, 3, 7});
+    EXPECT_EQ(out.value().dim(0), 3);
+    EXPECT_EQ(out.value().dim(1), 4);
+    for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(out.value()[0 * 4 + j], out.value()[1 * 4 + j]);
+    }
+}
+
+TEST(Attention, OutputShapeSelfAndCross) {
+    aero::util::Rng rng(6);
+    nn::MultiHeadAttention attn(8, 2, rng);
+    const Var x = Var::constant(Tensor::randn({5, 8}, rng));
+    const Var ctx = Var::constant(Tensor::randn({3, 8}, rng));
+    EXPECT_EQ(attn.forward(x).value().dim(0), 5);
+    const Var y = attn.forward(x, ctx);
+    EXPECT_EQ(y.value().dim(0), 5);
+    EXPECT_EQ(y.value().dim(1), 8);
+}
+
+TEST(Attention, GradientsFlowToAllProjections) {
+    aero::util::Rng rng(7);
+    nn::MultiHeadAttention attn(4, 2, rng);
+    const Var x = Var::constant(Tensor::randn({3, 4}, rng));
+    ag::mean_all(attn.forward(x)).backward();
+    for (const Var& p : attn.parameters()) {
+        EXPECT_FALSE(p.grad().empty());
+    }
+}
+
+TEST(TransformerBlock, PreservesShape) {
+    aero::util::Rng rng(8);
+    nn::TransformerBlock block(8, 2, rng);
+    const Var x = Var::constant(Tensor::randn({4, 8}, rng));
+    const Var y = block.forward(x);
+    EXPECT_EQ(y.value().dim(0), 4);
+    EXPECT_EQ(y.value().dim(1), 8);
+}
+
+TEST(Attention, UniformWeightsWhenContextRowsIdentical) {
+    // If every context token is identical, attention scores are constant
+    // per query row, so all query rows receive the same attended value.
+    aero::util::Rng rng(40);
+    nn::MultiHeadAttention attn(8, 2, rng);
+    const Var query = Var::constant(Tensor::randn({4, 8}, rng));
+    Tensor ctx({3, 8});
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 8; ++j) ctx[i * 8 + j] = 0.1f * (j + 1);
+    }
+    const Var out = attn.forward(query, Var::constant(ctx));
+    for (int row = 1; row < 4; ++row) {
+        for (int j = 0; j < 8; ++j) {
+            EXPECT_NEAR(out.value()[row * 8 + j], out.value()[j], 1e-5f);
+        }
+    }
+}
+
+TEST(Linear, InitZeroAndIdentity) {
+    aero::util::Rng rng(41);
+    nn::Linear square(4, 4, rng);
+    square.init_identity();
+    const Var x = Var::constant(Tensor::randn({2, 4}, rng));
+    const Var y = square.forward(x);
+    for (int i = 0; i < x.value().size(); ++i) {
+        EXPECT_NEAR(y.value()[i], x.value()[i], 1e-6f);
+    }
+    nn::Linear zero(4, 6, rng);
+    zero.init_zero();
+    const Var z = zero.forward(x);
+    for (float v : z.value().values()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Attention, ZeroOutputProjectionMakesNoOpResidual) {
+    aero::util::Rng rng(42);
+    nn::MultiHeadAttention attn(8, 2, rng);
+    attn.init_output_zero();
+    const Var x = Var::constant(Tensor::randn({3, 8}, rng));
+    const Var out = attn.forward(x);
+    for (float v : out.value().values()) EXPECT_EQ(v, 0.0f);
+}
+
+// Parameterized attention-dimension sweep.
+class AttentionDims
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(AttentionDims, ShapesAndFiniteness) {
+    const auto [dim, heads, tq, tk] = GetParam();
+    aero::util::Rng rng(43);
+    nn::MultiHeadAttention attn(dim, heads, rng);
+    const Var q = Var::constant(Tensor::randn({tq, dim}, rng));
+    const Var ctx = Var::constant(Tensor::randn({tk, dim}, rng));
+    const Var out = attn.forward(q, ctx);
+    EXPECT_EQ(out.value().dim(0), tq);
+    EXPECT_EQ(out.value().dim(1), dim);
+    for (float v : out.value().values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, AttentionDims,
+    ::testing::Values(std::make_tuple(4, 1, 1, 1),
+                      std::make_tuple(8, 2, 5, 3),
+                      std::make_tuple(16, 4, 2, 9),
+                      std::make_tuple(32, 8, 7, 7)));
+
+TEST(Adam, MinimisesQuadratic) {
+    // Optimize ||x - target||^2 to near zero.
+    Var x = Var::param(Tensor::from_values({5.0f, -3.0f}));
+    const Var target = Var::constant(Tensor::from_values({1.0f, 2.0f}));
+    nn::Adam opt({x}, {.lr = 0.1f, .weight_decay = 0.0f});
+    for (int step = 0; step < 300; ++step) {
+        opt.zero_grad();
+        ag::mse_loss(x, target).backward();
+        opt.step();
+    }
+    EXPECT_NEAR(x.value()[0], 1.0f, 0.05f);
+    EXPECT_NEAR(x.value()[1], 2.0f, 0.05f);
+}
+
+TEST(Adam, WeightDecayShrinksUnusedParams) {
+    Var used = Var::param(Tensor::from_values({1.0f}));
+    Var x = Var::param(Tensor::from_values({4.0f}));
+    nn::Adam opt({x}, {.lr = 0.05f, .weight_decay = 0.5f});
+    const Var target = Var::constant(Tensor::from_values({4.0f}));
+    for (int step = 0; step < 50; ++step) {
+        opt.zero_grad();
+        ag::mse_loss(x, target).backward();
+        opt.step();
+    }
+    // decay pulls x below its loss-optimal 4.0
+    EXPECT_LT(x.value()[0], 4.0f);
+    (void)used;
+}
+
+TEST(Adam, ClipGradNorm) {
+    Var x = Var::param(Tensor::from_values({10.0f, 0.0f}));
+    nn::Adam opt({x}, {});
+    opt.zero_grad();
+    ag::mse_loss(x, Var::constant(Tensor::zeros({2}))).backward();
+    const float pre = opt.clip_grad_norm(0.5f);
+    EXPECT_GT(pre, 0.5f);
+    double norm = 0.0;
+    for (float g : x.grad().values()) norm += static_cast<double>(g) * g;
+    EXPECT_NEAR(std::sqrt(norm), 0.5, 1e-4);
+}
+
+TEST(TrainingIntegration, SmallMlpLearnsXor) {
+    aero::util::Rng rng(42);
+    nn::Mlp mlp(2, 16, 1, rng);
+    nn::Adam opt(mlp.parameters(), {.lr = 0.02f, .weight_decay = 0.0f});
+    const Tensor inputs =
+        Tensor::from_values({0, 0, 0, 1, 1, 0, 1, 1}).reshaped({4, 2});
+    const Tensor targets = Tensor::from_values({0, 1, 1, 0}).reshaped({4, 1});
+    float final_loss = 1.0f;
+    for (int step = 0; step < 800; ++step) {
+        opt.zero_grad();
+        const Var pred = mlp.forward(Var::constant(inputs));
+        const Var loss = ag::mse_loss(pred, Var::constant(targets));
+        loss.backward();
+        opt.step();
+        final_loss = loss.value()[0];
+    }
+    EXPECT_LT(final_loss, 0.03f);
+}
+
+TEST(Ema, TracksAndAppliesAverage) {
+    Var x = Var::param(Tensor::from_values({0.0f}));
+    nn::Ema ema({x}, 0.5f);
+    x.mutable_value()[0] = 8.0f;
+    ema.update();  // shadow = 0.5*0 + 0.5*8 = 4
+    ema.apply();
+    EXPECT_FLOAT_EQ(x.value()[0], 4.0f);
+    ema.restore();
+    EXPECT_FLOAT_EQ(x.value()[0], 8.0f);
+}
+
+TEST(Ema, ConvergesToConstantParameter) {
+    Var x = Var::param(Tensor::from_values({2.0f}));
+    nn::Ema ema({x}, 0.9f);
+    // Parameter never moves: shadow converges to it.
+    for (int i = 0; i < 200; ++i) ema.update();
+    ema.apply();
+    EXPECT_NEAR(x.value()[0], 2.0f, 1e-4f);
+}
+
+TEST(Ema, SmoothsOscillation) {
+    Var x = Var::param(Tensor::from_values({0.0f}));
+    nn::Ema ema({x}, 0.95f);
+    // Oscillating parameter +1/-1: the average ends near 0.
+    for (int i = 0; i < 400; ++i) {
+        x.mutable_value()[0] = (i % 2 == 0) ? 1.0f : -1.0f;
+        ema.update();
+    }
+    ema.apply();
+    EXPECT_NEAR(x.value()[0], 0.0f, 0.1f);
+}
+
+TEST(Serialize, RoundTrip) {
+    aero::util::Rng rng(9);
+    nn::Mlp a(3, 5, 2, rng);
+    nn::Mlp b(3, 5, 2, rng);  // different init
+    const std::string path = testing::TempDir() + "/aero_params.bin";
+    ASSERT_TRUE(nn::save_parameters(a, path));
+    ASSERT_TRUE(nn::load_parameters(b, path));
+    const auto pa = a.parameters();
+    const auto pb = b.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        for (int j = 0; j < pa[i].value().size(); ++j) {
+            EXPECT_EQ(pa[i].value()[j], pb[i].value()[j]);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsMismatchedModule) {
+    aero::util::Rng rng(10);
+    nn::Mlp a(3, 5, 2, rng);
+    nn::Mlp wrong(3, 6, 2, rng);
+    const std::string path = testing::TempDir() + "/aero_params2.bin";
+    ASSERT_TRUE(nn::save_parameters(a, path));
+    EXPECT_FALSE(nn::load_parameters(wrong, path));
+    std::remove(path.c_str());
+}
+
+TEST(Module, ZeroGradClearsTree) {
+    aero::util::Rng rng(11);
+    nn::Mlp mlp(2, 4, 1, rng);
+    ag::mean_all(mlp.forward(Var::constant(Tensor::ones({1, 2})))).backward();
+    bool any = false;
+    for (const Var& p : mlp.parameters()) any = any || !p.grad().empty();
+    EXPECT_TRUE(any);
+    mlp.zero_grad();
+    for (const Var& p : mlp.parameters()) EXPECT_TRUE(p.grad().empty());
+}
+
+}  // namespace

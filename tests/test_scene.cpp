@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "scene/dataset.hpp"
+#include "scene/generator.hpp"
+#include "scene/renderer.hpp"
+#include "scene/types.hpp"
+
+namespace {
+
+using namespace aero::scene;
+
+TEST(Types, ClassNames) {
+    EXPECT_STREQ(class_name(ObjectClass::kCar), "car");
+    EXPECT_EQ(class_plural(ObjectClass::kBus), "buses");
+    EXPECT_STREQ(scenario_name(ScenarioKind::kPark), "tranquil park");
+}
+
+TEST(Types, IouDisjointAndIdentical) {
+    BoundingBox a{0, 0, 10, 10};
+    BoundingBox b{20, 20, 10, 10};
+    EXPECT_FLOAT_EQ(iou(a, b), 0.0f);
+    EXPECT_FLOAT_EQ(iou(a, a), 1.0f);
+}
+
+TEST(Types, IouPartialOverlap) {
+    BoundingBox a{0, 0, 10, 10};
+    BoundingBox b{5, 0, 10, 10};
+    // intersection 50, union 150.
+    EXPECT_NEAR(iou(a, b), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(Types, CameraBands) {
+    Camera cam;
+    cam.altitude = 0.6f;
+    cam.pitch = 0.05f;
+    EXPECT_EQ(altitude_band(cam), AltitudeBand::kLow);
+    EXPECT_EQ(pitch_band(cam), PitchBand::kTopDown);
+    cam.altitude = 1.3f;
+    cam.pitch = 0.5f;
+    EXPECT_EQ(altitude_band(cam), AltitudeBand::kHigh);
+    EXPECT_EQ(pitch_band(cam), PitchBand::kSideAngle);
+}
+
+TEST(Generator, ObjectCountInBand) {
+    aero::util::Rng rng(1);
+    GeneratorConfig config;
+    for (int k = 0; k < kNumScenarios; ++k) {
+        const Scene scene = generate_scene(static_cast<ScenarioKind>(k),
+                                           TimeOfDay::kDay, rng, k, config);
+        EXPECT_GE(static_cast<int>(scene.objects.size()), 15)
+            << "scenario " << k;
+        EXPECT_LE(static_cast<int>(scene.objects.size()),
+                  config.max_objects + 5)
+            << "scenario " << k;
+    }
+}
+
+TEST(Generator, Deterministic) {
+    aero::util::Rng rng_a(77);
+    aero::util::Rng rng_b(77);
+    const Scene a = generate_random_scene(rng_a, 0);
+    const Scene b = generate_random_scene(rng_b, 0);
+    ASSERT_EQ(a.objects.size(), b.objects.size());
+    for (std::size_t i = 0; i < a.objects.size(); ++i) {
+        EXPECT_FLOAT_EQ(a.objects[i].x, b.objects[i].x);
+        EXPECT_EQ(a.objects[i].cls, b.objects[i].cls);
+    }
+}
+
+TEST(Generator, ObjectsInsideWorld) {
+    aero::util::Rng rng(2);
+    for (int i = 0; i < 8; ++i) {
+        const Scene scene = generate_random_scene(rng, i);
+        for (const SceneObject& obj : scene.objects) {
+            EXPECT_GE(obj.x, -0.1f);
+            EXPECT_LE(obj.x, 1.1f);
+            EXPECT_GE(obj.y, -0.1f);
+            EXPECT_LE(obj.y, 1.1f);
+            EXPECT_GT(obj.length, 0.0f);
+            EXPECT_GT(obj.width, 0.0f);
+        }
+    }
+}
+
+TEST(Generator, ClassicalScenesAreSparse) {
+    aero::util::Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        const Scene scene = generate_classical_scene(rng, i);
+        EXPECT_GE(static_cast<int>(scene.objects.size()), 1);
+        EXPECT_LE(static_cast<int>(scene.objects.size()), 2);
+    }
+}
+
+TEST(Generator, ScenarioVariety) {
+    aero::util::Rng rng(4);
+    std::set<ScenarioKind> kinds;
+    for (int i = 0; i < 64; ++i) {
+        kinds.insert(generate_random_scene(rng, i).kind);
+    }
+    EXPECT_GE(kinds.size(), 6u);
+}
+
+TEST(ViewTransformTest, ProjectUnprojectRoundTrip) {
+    Camera cam;
+    cam.look_x = 0.4f;
+    cam.look_y = 0.6f;
+    cam.altitude = 0.8f;
+    cam.pitch = 0.4f;
+    cam.azimuth = 1.1f;
+    const ViewTransform view(cam, 64);
+    float px = 0.0f;
+    float py = 0.0f;
+    view.project(0.3f, 0.7f, &px, &py);
+    float wx = 0.0f;
+    float wy = 0.0f;
+    view.unproject(px, py, &wx, &wy);
+    EXPECT_NEAR(wx, 0.3f, 1e-4f);
+    EXPECT_NEAR(wy, 0.7f, 1e-4f);
+}
+
+TEST(ViewTransformTest, LookPointMapsToCentre) {
+    Camera cam;
+    cam.look_x = 0.25f;
+    cam.look_y = 0.75f;
+    const ViewTransform view(cam, 64);
+    float px = 0.0f;
+    float py = 0.0f;
+    view.project(0.25f, 0.75f, &px, &py);
+    EXPECT_NEAR(px, 32.0f, 1e-4f);
+    EXPECT_NEAR(py, 32.0f, 1e-4f);
+}
+
+TEST(ViewTransformTest, AltitudeControlsZoom) {
+    Camera low;
+    low.altitude = 0.5f;
+    Camera high;
+    high.altitude = 1.4f;
+    EXPECT_GT(ViewTransform(low, 64).zoom(), ViewTransform(high, 64).zoom());
+}
+
+TEST(Renderer, ProducesValidImage) {
+    aero::util::Rng rng(5);
+    const Scene scene = generate_scene(ScenarioKind::kIntersection,
+                                       TimeOfDay::kDay, rng, 0);
+    RenderOptions options;
+    options.image_size = 48;
+    const aero::image::Image img = render(scene, options);
+    EXPECT_EQ(img.width(), 48);
+    EXPECT_EQ(img.height(), 48);
+    for (float v : img.data()) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Renderer, NightIsDarkerThanDay) {
+    aero::util::Rng rng_a(6);
+    aero::util::Rng rng_b(6);
+    const Scene day = generate_scene(ScenarioKind::kHighway, TimeOfDay::kDay,
+                                     rng_a, 0);
+    const Scene night = generate_scene(ScenarioKind::kHighway,
+                                       TimeOfDay::kNight, rng_b, 0);
+    RenderOptions options;
+    options.image_size = 48;
+    const float day_lum = render(day, options).mean_luminance();
+    const float night_lum = render(night, options).mean_luminance();
+    EXPECT_LT(night_lum, day_lum * 0.6f);
+}
+
+TEST(Renderer, DeterministicRendering) {
+    aero::util::Rng rng(7);
+    const Scene scene = generate_random_scene(rng, 3);
+    const aero::image::Image a = render(scene);
+    const aero::image::Image b = render(scene);
+    ASSERT_EQ(a.data().size(), b.data().size());
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        EXPECT_EQ(a.data()[i], b.data()[i]);
+    }
+}
+
+TEST(Renderer, GroundTruthBoxesInsideImage) {
+    aero::util::Rng rng(8);
+    for (int i = 0; i < 6; ++i) {
+        const Scene scene = generate_random_scene(rng, i);
+        const auto boxes = ground_truth_boxes(scene, 64);
+        EXPECT_FALSE(boxes.empty());
+        for (const BoundingBox& box : boxes) {
+            EXPECT_GE(box.x, 0.0f);
+            EXPECT_GE(box.y, 0.0f);
+            EXPECT_LE(box.x + box.w, 65.0f);
+            EXPECT_LE(box.y + box.h, 65.0f);
+            EXPECT_GT(box.area(), 0.0f);
+        }
+    }
+}
+
+TEST(Renderer, ZoomInYieldsFewerVisibleObjects) {
+    aero::util::Rng rng(9);
+    Scene scene = generate_scene(ScenarioKind::kPlaza, TimeOfDay::kDay, rng, 0,
+                                 {.randomize_camera = false});
+    scene.camera.altitude = 1.0f;
+    const auto wide = ground_truth_boxes(scene, 64);
+    scene.camera.altitude = 0.4f;  // zoomed in: smaller footprint
+    scene.camera.look_x = 0.2f;
+    scene.camera.look_y = 0.2f;    // looking at a corner
+    const auto tight = ground_truth_boxes(scene, 64);
+    EXPECT_LT(tight.size(), wide.size());
+}
+
+TEST(Renderer, ObjectVisiblyRendered) {
+    // A single large red car on plain ground must produce red pixels.
+    Scene scene;
+    scene.base_ground = {0.2f, 0.6f, 0.2f};
+    SceneObject car;
+    car.cls = ObjectClass::kCar;
+    car.x = 0.5f;
+    car.y = 0.5f;
+    car.length = 0.2f;
+    car.width = 0.1f;
+    car.color = {0.9f, 0.05f, 0.05f};
+    scene.objects.push_back(car);
+    RenderOptions options;
+    options.image_size = 32;
+    options.sensor_noise = 0.0f;
+    const auto img = render(scene, options);
+    const auto c = img.pixel(16, 16);
+    EXPECT_GT(c.r, 0.5f);
+    EXPECT_LT(c.g, 0.4f);
+}
+
+// Parameterized sweep over every scenario x time-of-day combination:
+// generation and rendering invariants must hold everywhere.
+class ScenarioSweep
+    : public ::testing::TestWithParam<std::tuple<int, TimeOfDay>> {};
+
+TEST_P(ScenarioSweep, GeneratesRendersAndAnnotates) {
+    const auto [kind_index, time] = GetParam();
+    const auto kind = static_cast<ScenarioKind>(kind_index);
+    aero::util::Rng rng(300 + static_cast<std::uint64_t>(kind_index) * 2 +
+                        (time == TimeOfDay::kNight ? 1 : 0));
+    const Scene scene = generate_scene(kind, time, rng, 0);
+    EXPECT_EQ(scene.kind, kind);
+    EXPECT_EQ(scene.time, time);
+    EXPECT_GE(scene.objects.size(), 15u);
+
+    RenderOptions options;
+    options.image_size = 32;
+    const aero::image::Image img = render(scene, options);
+    for (float v : img.data()) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+    const auto boxes = ground_truth_boxes(scene, 32);
+    EXPECT_FALSE(boxes.empty());
+    // Night renders are darker than 0.45 mean luminance.
+    if (time == TimeOfDay::kNight) {
+        EXPECT_LT(img.mean_luminance(), 0.45f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioSweep,
+    ::testing::Combine(::testing::Range(0, kNumScenarios),
+                       ::testing::Values(TimeOfDay::kDay, TimeOfDay::kNight)));
+
+// Camera sweep: projection round-trips for assorted viewpoints.
+class CameraSweep
+    : public ::testing::TestWithParam<std::tuple<float, float, float>> {};
+
+TEST_P(CameraSweep, ProjectUnprojectRoundTrip) {
+    const auto [altitude, pitch, azimuth] = GetParam();
+    Camera cam;
+    cam.altitude = altitude;
+    cam.pitch = pitch;
+    cam.azimuth = azimuth;
+    const ViewTransform view(cam, 48);
+    for (float wx : {0.1f, 0.5f, 0.9f}) {
+        for (float wy : {0.2f, 0.7f}) {
+            float px = 0.0f;
+            float py = 0.0f;
+            view.project(wx, wy, &px, &py);
+            float rx = 0.0f;
+            float ry = 0.0f;
+            view.unproject(px, py, &rx, &ry);
+            EXPECT_NEAR(rx, wx, 1e-3f);
+            EXPECT_NEAR(ry, wy, 1e-3f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Viewpoints, CameraSweep,
+    ::testing::Values(std::make_tuple(0.55f, 0.0f, 0.0f),
+                      std::make_tuple(1.0f, 0.3f, 1.2f),
+                      std::make_tuple(1.4f, 0.6f, 3.1f),
+                      std::make_tuple(0.7f, 0.45f, 5.9f)));
+
+TEST(Dataset, SplitSizesAndDeterminism) {
+    DatasetConfig config;
+    config.train_size = 8;
+    config.test_size = 4;
+    config.image_size = 24;
+    const AerialDataset a(config);
+    const AerialDataset b(config);
+    EXPECT_EQ(a.train().size(), 8u);
+    EXPECT_EQ(a.test().size(), 4u);
+    for (std::size_t i = 0; i < a.train().size(); ++i) {
+        EXPECT_EQ(a.train()[i].image.data(), b.train()[i].image.data());
+    }
+}
+
+TEST(Dataset, ObjectsPerImageMatchesPaperBand) {
+    DatasetConfig config;
+    config.train_size = 12;
+    config.test_size = 4;
+    config.image_size = 24;
+    const AerialDataset ds(config);
+    const auto counts = ds.objects_per_image();
+    ASSERT_EQ(counts.size(), 16u);
+    for (int c : counts) {
+        EXPECT_GE(c, 15);
+        EXPECT_LE(c, 95);
+    }
+}
+
+TEST(Dataset, ClassHistogramCoversCommonClasses) {
+    DatasetConfig config;
+    config.train_size = 24;
+    config.test_size = 2;
+    config.image_size = 24;
+    const AerialDataset ds(config);
+    const auto hist = ds.class_histogram();
+    ASSERT_EQ(hist.size(), static_cast<std::size_t>(kNumObjectClasses));
+    EXPECT_GT(hist[static_cast<int>(ObjectClass::kCar)], 0);
+    EXPECT_GT(hist[static_cast<int>(ObjectClass::kPedestrian)], 0);
+}
+
+TEST(Dataset, ReprojectKeepsSceneChangesCamera) {
+    DatasetConfig config;
+    config.train_size = 1;
+    config.test_size = 1;
+    config.image_size = 24;
+    const AerialDataset ds(config);
+    Camera cam;
+    cam.altitude = 0.6f;
+    cam.pitch = 0.5f;
+    const AerialSample moved = reproject_sample(ds.train()[0], cam);
+    EXPECT_EQ(moved.scene.objects.size(), ds.train()[0].scene.objects.size());
+    EXPECT_FLOAT_EQ(moved.scene.camera.pitch, 0.5f);
+    // Different view -> different pixels.
+    EXPECT_NE(moved.image.data(), ds.train()[0].image.data());
+}
+
+TEST(Dataset, RelightChangesLuminance) {
+    DatasetConfig config;
+    config.train_size = 1;
+    config.test_size = 1;
+    config.image_size = 24;
+    config.generator.night_fraction = 0.0;
+    const AerialDataset ds(config);
+    const AerialSample night =
+        relight_sample(ds.train()[0], TimeOfDay::kNight);
+    EXPECT_LT(night.image.mean_luminance(),
+              ds.train()[0].image.mean_luminance());
+}
+
+}  // namespace

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using aero::tensor::Conv2dSpec;
+using aero::tensor::Tensor;
+namespace ops = aero::tensor;
+
+TEST(Tensor, ConstructionAndShape) {
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3);
+    EXPECT_EQ(t.size(), 24);
+    EXPECT_EQ(t.dim(0), 2);
+    EXPECT_EQ(t.dim(-1), 4);
+    for (float v : t.values()) EXPECT_EQ(v, 0.0f);
+    EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
+}
+
+TEST(Tensor, AtMultiIndex) {
+    Tensor t({2, 3});
+    t.at({1, 2}) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+    EXPECT_EQ(t.at({1, 2}), 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+    Tensor t = Tensor::from_values({1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped({2, 3});
+    EXPECT_EQ(r.at({1, 0}), 4.0f);
+    EXPECT_THROW(t.reshaped({4}), std::invalid_argument);
+}
+
+TEST(Tensor, FactoryFunctions) {
+    aero::util::Rng rng(1);
+    EXPECT_EQ(Tensor::ones({3})[2], 1.0f);
+    EXPECT_EQ(Tensor::full({2}, 5.0f)[0], 5.0f);
+    Tensor u = Tensor::uniform({1000}, rng, -1.0f, 1.0f);
+    for (float v : u.values()) {
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Ops, ElementwiseBasics) {
+    const Tensor a = Tensor::from_values({1, 2, 3});
+    const Tensor b = Tensor::from_values({4, 5, 6});
+    EXPECT_EQ(ops::add(a, b)[1], 7.0f);
+    EXPECT_EQ(ops::sub(a, b)[0], -3.0f);
+    EXPECT_EQ(ops::mul(a, b)[2], 18.0f);
+    EXPECT_EQ(ops::scale(a, 2.0f)[1], 4.0f);
+    EXPECT_EQ(ops::add_scalar(a, 1.0f)[0], 2.0f);
+    EXPECT_EQ(ops::neg(a)[0], -1.0f);
+}
+
+TEST(Ops, Activations) {
+    const Tensor x = Tensor::from_values({-2.0f, 0.0f, 2.0f});
+    const Tensor r = ops::relu(x);
+    EXPECT_EQ(r[0], 0.0f);
+    EXPECT_EQ(r[2], 2.0f);
+    const Tensor s = ops::sigmoid(x);
+    EXPECT_NEAR(s[1], 0.5f, 1e-6f);
+    const Tensor t = ops::tanh(x);
+    EXPECT_NEAR(t[2], std::tanh(2.0f), 1e-6f);
+    const Tensor si = ops::silu(x);
+    EXPECT_NEAR(si[1], 0.0f, 1e-6f);
+    EXPECT_NEAR(si[2], 2.0f / (1.0f + std::exp(-2.0f)), 1e-6f);
+}
+
+TEST(Ops, MatmulAgainstHand) {
+    Tensor a = Tensor::from_values({1, 2, 3, 4}).reshaped({2, 2});
+    Tensor b = Tensor::from_values({5, 6, 7, 8}).reshaped({2, 2});
+    const Tensor c = ops::matmul(a, b);
+    EXPECT_EQ(c[0], 19.0f);
+    EXPECT_EQ(c[1], 22.0f);
+    EXPECT_EQ(c[2], 43.0f);
+    EXPECT_EQ(c[3], 50.0f);
+}
+
+TEST(Ops, MatmulTransposedVariantsAgree) {
+    aero::util::Rng rng(2);
+    const Tensor a = Tensor::randn({3, 5}, rng);
+    const Tensor b = Tensor::randn({5, 4}, rng);
+    const Tensor c = ops::matmul(a, b);
+    const Tensor c_nt = ops::matmul_nt(a, ops::transpose2d(b));
+    const Tensor c_tn = ops::matmul_tn(ops::transpose2d(a), b);
+    for (int i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i], c_nt[i], 1e-4f);
+        EXPECT_NEAR(c[i], c_tn[i], 1e-4f);
+    }
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+    aero::util::Rng rng(3);
+    const Tensor x = Tensor::randn({4, 7}, rng, 0.0f, 3.0f);
+    const Tensor y = ops::softmax_rows(x);
+    for (int i = 0; i < 4; ++i) {
+        float sum = 0.0f;
+        for (int j = 0; j < 7; ++j) {
+            const float v = y[i * 7 + j];
+            EXPECT_GT(v, 0.0f);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Ops, SoftmaxShiftInvariance) {
+    const Tensor x = Tensor::from_values({1, 2, 3}).reshaped({1, 3});
+    const Tensor y1 = ops::softmax_rows(x);
+    const Tensor y2 = ops::softmax_rows(ops::add_scalar(x, 100.0f));
+    for (int i = 0; i < 3; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-5f);
+}
+
+TEST(Ops, Conv2dIdentityKernel) {
+    aero::util::Rng rng(4);
+    const Tensor x = Tensor::randn({1, 1, 5, 5}, rng);
+    Tensor w({1, 1, 3, 3});
+    w.at({0, 0, 1, 1}) = 1.0f;  // centre tap
+    const Tensor y = ops::conv2d(x, w, Tensor(), {1, 1});
+    ASSERT_EQ(y.shape(), x.shape());
+    for (int i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-6f);
+}
+
+TEST(Ops, Conv2dStrideAndShape) {
+    const Tensor x = Tensor::ones({2, 3, 8, 8});
+    aero::util::Rng rng(5);
+    const Tensor w = Tensor::randn({4, 3, 3, 3}, rng);
+    const Tensor y = ops::conv2d(x, w, Tensor(), {2, 1});
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_EQ(y.dim(1), 4);
+    EXPECT_EQ(y.dim(2), 4);
+    EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(Ops, Conv2dBiasApplied) {
+    const Tensor x = Tensor::zeros({1, 1, 4, 4});
+    const Tensor w = Tensor::zeros({2, 1, 1, 1});
+    const Tensor b = Tensor::from_values({1.5f, -2.0f});
+    const Tensor y = ops::conv2d(x, w, b, {1, 0});
+    EXPECT_EQ(y.at({0, 0, 2, 2}), 1.5f);
+    EXPECT_EQ(y.at({0, 1, 0, 0}), -2.0f);
+}
+
+TEST(Ops, UpsampleAndPoolInverse) {
+    aero::util::Rng rng(6);
+    const Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+    const Tensor up = ops::upsample_nearest2x(x);
+    EXPECT_EQ(up.dim(2), 8);
+    const Tensor back = ops::avg_pool2x(up);
+    for (int i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-6f);
+}
+
+TEST(Ops, GlobalAvgPool) {
+    Tensor x({1, 2, 2, 2});
+    for (int i = 0; i < 4; ++i) x[i] = 2.0f;       // channel 0
+    for (int i = 4; i < 8; ++i) x[i] = -1.0f;      // channel 1
+    const Tensor y = ops::global_avg_pool(x);
+    EXPECT_EQ(y.dim(0), 1);
+    EXPECT_EQ(y.dim(1), 2);
+    EXPECT_NEAR(y[0], 2.0f, 1e-6f);
+    EXPECT_NEAR(y[1], -1.0f, 1e-6f);
+}
+
+TEST(Ops, ConcatAndSliceRoundTrip) {
+    aero::util::Rng rng(7);
+    const Tensor a = Tensor::randn({2, 3}, rng);
+    const Tensor b = Tensor::randn({2, 5}, rng);
+    const Tensor cat = ops::concat({a, b}, 1);
+    EXPECT_EQ(cat.dim(1), 8);
+    const Tensor a2 = ops::slice(cat, 1, 0, 3);
+    const Tensor b2 = ops::slice(cat, 1, 3, 8);
+    for (int i = 0; i < a.size(); ++i) EXPECT_EQ(a2[i], a[i]);
+    for (int i = 0; i < b.size(); ++i) EXPECT_EQ(b2[i], b[i]);
+}
+
+TEST(Ops, ConcatAxis0) {
+    const Tensor a = Tensor::from_values({1, 2}).reshaped({1, 2});
+    const Tensor b = Tensor::from_values({3, 4, 5, 6}).reshaped({2, 2});
+    const Tensor cat = ops::concat({a, b}, 0);
+    EXPECT_EQ(cat.dim(0), 3);
+    EXPECT_EQ(cat.at({2, 1}), 6.0f);
+}
+
+TEST(Ops, ConcatBackwardSplitsGradient) {
+    const Tensor g = Tensor::from_values({1, 2, 3, 4, 5, 6}).reshaped({2, 3});
+    const auto grads = ops::concat_backward(g, {{2, 1}, {2, 2}}, 1);
+    ASSERT_EQ(grads.size(), 2u);
+    EXPECT_EQ(grads[0].at({1, 0}), 4.0f);
+    EXPECT_EQ(grads[1].at({0, 1}), 3.0f);
+}
+
+TEST(Ops, Reductions) {
+    const Tensor x = Tensor::from_values({1, 2, 3, 4});
+    EXPECT_EQ(ops::sum_all(x), 10.0f);
+    EXPECT_EQ(ops::mean_all(x), 2.5f);
+    const Tensor m = x.reshaped({2, 2});
+    const Tensor s = ops::sum_rows(m);
+    EXPECT_EQ(s[0], 4.0f);
+    EXPECT_EQ(s[1], 6.0f);
+}
+
+// Parameterized conv2d geometry sweep: output extents must follow the
+// standard formula for every (kernel, stride, pad) combination.
+struct ConvCase {
+    int size;
+    int kernel;
+    int stride;
+    int pad;
+};
+
+class ConvGeometry : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometry, OutputExtentFormula) {
+    const ConvCase c = GetParam();
+    aero::util::Rng rng(99);
+    const Tensor x = Tensor::randn({1, 2, c.size, c.size}, rng);
+    const Tensor w = Tensor::randn({3, 2, c.kernel, c.kernel}, rng);
+    const Tensor y = ops::conv2d(x, w, Tensor(), {c.stride, c.pad});
+    const int expected = (c.size + 2 * c.pad - c.kernel) / c.stride + 1;
+    EXPECT_EQ(y.dim(2), expected);
+    EXPECT_EQ(y.dim(3), expected);
+    EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST_P(ConvGeometry, BackwardShapesMatchForward) {
+    const ConvCase c = GetParam();
+    aero::util::Rng rng(100);
+    const Tensor x = Tensor::randn({1, 2, c.size, c.size}, rng);
+    const Tensor w = Tensor::randn({3, 2, c.kernel, c.kernel}, rng);
+    const Tensor y = ops::conv2d(x, w, Tensor(), {c.stride, c.pad});
+    const Tensor gx = ops::conv2d_backward_input(y, w, x.shape(),
+                                                 {c.stride, c.pad});
+    const Tensor gw = ops::conv2d_backward_weight(y, x, w.shape(),
+                                                  {c.stride, c.pad});
+    EXPECT_EQ(gx.shape(), x.shape());
+    EXPECT_EQ(gw.shape(), w.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometry,
+    ::testing::Values(ConvCase{8, 3, 1, 1}, ConvCase{8, 3, 2, 1},
+                      ConvCase{8, 1, 1, 0}, ConvCase{16, 5, 1, 2},
+                      ConvCase{16, 3, 2, 0}, ConvCase{9, 3, 1, 0},
+                      ConvCase{12, 4, 2, 1}));
+
+// Property sweep: matmul associativity-with-transpose identities hold
+// for assorted shapes.
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, TransposeIdentity) {
+    const auto [m, k, n] = GetParam();
+    aero::util::Rng rng(7);
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    // (A B)^T == B^T A^T
+    const Tensor left = ops::transpose2d(ops::matmul(a, b));
+    const Tensor right =
+        ops::matmul(ops::transpose2d(b), ops::transpose2d(a));
+    ASSERT_EQ(left.shape(), right.shape());
+    for (int i = 0; i < left.size(); ++i) {
+        EXPECT_NEAR(left[i], right[i], 1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(2, 3, 4),
+                                           std::make_tuple(5, 1, 7),
+                                           std::make_tuple(8, 8, 8),
+                                           std::make_tuple(1, 16, 2)));
+
+TEST(Ops, AddRowBias) {
+    const Tensor a = Tensor::zeros({2, 3});
+    const Tensor bias = Tensor::from_values({1, 2, 3});
+    const Tensor y = ops::add_row_bias(a, bias);
+    EXPECT_EQ(y.at({0, 2}), 3.0f);
+    EXPECT_EQ(y.at({1, 0}), 1.0f);
+}
+
+}  // namespace

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scene/generator.hpp"
+#include "text/caption.hpp"
+#include "text/llm.hpp"
+#include "text/parser.hpp"
+#include "text/vocabulary.hpp"
+
+namespace {
+
+using namespace aero::text;
+using aero::scene::ObjectClass;
+using aero::scene::Scene;
+using aero::scene::ScenarioKind;
+using aero::scene::TimeOfDay;
+
+TEST(Vocabulary, BasicLookups) {
+    const Vocabulary& vocab = Vocabulary::aerial();
+    EXPECT_GT(vocab.size(), 100);
+    EXPECT_EQ(vocab.word(vocab.id("car")), "car");
+    EXPECT_EQ(vocab.id("zzzznotaword"), vocab.unk_id());
+    EXPECT_NE(vocab.id("highway"), vocab.unk_id());
+}
+
+TEST(Vocabulary, EncodeNormalisesPunctuation) {
+    const Vocabulary& vocab = Vocabulary::aerial();
+    const auto ids = vocab.encode("A daytime, aerial image.");
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_EQ(ids[1], vocab.id("daytime"));
+    for (int id : ids) EXPECT_NE(id, vocab.unk_id());
+}
+
+TEST(Vocabulary, DecodeRoundTrip) {
+    const Vocabulary& vocab = Vocabulary::aerial();
+    const auto ids = vocab.encode("several cars near the highway");
+    EXPECT_EQ(vocab.decode(ids), "several cars near the highway");
+}
+
+TEST(NormalizeWord, StripsAndLowercases) {
+    EXPECT_EQ(normalize_word("Cars,"), "cars");
+    EXPECT_EQ(normalize_word("top-down"), "top-down");
+    EXPECT_EQ(normalize_word("..."), "");
+}
+
+TEST(PromptTemplateTest, TraditionalIsBare) {
+    const auto p = PromptTemplate::traditional();
+    EXPECT_EQ(p.render(), "Write a description for this image.");
+}
+
+TEST(PromptTemplateTest, KeypointAwareMentionsKeypoints) {
+    const std::string p = PromptTemplate::keypoint_aware().render();
+    EXPECT_NE(p.find("time of day"), std::string::npos);
+    EXPECT_NE(p.find("viewpoint"), std::string::npos);
+    EXPECT_NE(p.find("objects"), std::string::npos);
+    EXPECT_NE(p.find("positions"), std::string::npos);
+}
+
+TEST(CaptionHelpers, CountWords) {
+    EXPECT_EQ(count_word(0, false), "no");
+    EXPECT_EQ(count_word(3, false), "three");
+    EXPECT_EQ(count_word(12, false), "twelve");
+    EXPECT_EQ(count_word(20, false), "dozens");
+    EXPECT_EQ(count_word(60, false), "numerous");
+    EXPECT_EQ(count_word(6, true), "several");
+    EXPECT_EQ(count_word(30, true), "many");
+}
+
+TEST(CaptionHelpers, TrueMentionsSortedByCount) {
+    aero::util::Rng rng(1);
+    const Scene scene = aero::scene::generate_scene(
+        ScenarioKind::kHighway, TimeOfDay::kDay, rng, 0);
+    const auto mentions = true_mentions(scene);
+    ASSERT_FALSE(mentions.empty());
+    for (std::size_t i = 1; i < mentions.size(); ++i) {
+        EXPECT_GE(mentions[i - 1].count, mentions[i].count);
+    }
+    int total = 0;
+    for (const auto& m : mentions) total += m.count;
+    EXPECT_EQ(total, static_cast<int>(scene.objects.size()));
+}
+
+TEST(CaptionHelpers, KeypointCoverage) {
+    Caption c;
+    EXPECT_FLOAT_EQ(keypoint_coverage(c), 0.0f);
+    c.mentions_time = true;
+    c.mentions_viewpoint = true;
+    c.mentions.push_back({ObjectClass::kCar, 3, false});
+    c.mentions_positions = true;
+    EXPECT_FLOAT_EQ(keypoint_coverage(c), 1.0f);
+}
+
+TEST(SimulatedLlmTest, KeypointAwareCoversEverything) {
+    aero::util::Rng scene_rng(2);
+    const Scene scene = aero::scene::generate_scene(
+        ScenarioKind::kMarket, TimeOfDay::kDay, scene_rng, 0);
+    aero::util::Rng rng(3);
+    const auto llm = SimulatedLlm::keypoint_aware();
+    const Caption c =
+        llm.describe(scene, PromptTemplate::keypoint_aware(), rng);
+    EXPECT_TRUE(c.mentions_time);
+    EXPECT_TRUE(c.mentions_viewpoint);
+    EXPECT_FALSE(c.mentions.empty());
+    EXPECT_GE(keypoint_coverage(c), 0.75f);
+    EXPECT_NE(c.text.find("daytime"), std::string::npos);
+    EXPECT_NE(c.text.find("market"), std::string::npos);
+}
+
+TEST(SimulatedLlmTest, BlipIsVagueAndSparse) {
+    aero::util::Rng scene_rng(4);
+    const Scene scene = aero::scene::generate_scene(
+        ScenarioKind::kHighway, TimeOfDay::kDay, scene_rng, 0);
+    const auto ours = SimulatedLlm::keypoint_aware();
+    const auto blip = SimulatedLlm::blip_captioner();
+    double ours_cov = 0.0;
+    double blip_cov = 0.0;
+    double ours_mentions = 0.0;
+    double blip_mentions = 0.0;
+    aero::util::Rng rng(5);
+    const int trials = 40;
+    for (int i = 0; i < trials; ++i) {
+        const Caption a =
+            ours.describe(scene, PromptTemplate::keypoint_aware(), rng);
+        const Caption b =
+            blip.describe(scene, PromptTemplate::traditional(), rng);
+        ours_cov += keypoint_coverage(a);
+        blip_cov += keypoint_coverage(b);
+        ours_mentions += static_cast<double>(a.mentions.size());
+        blip_mentions += static_cast<double>(b.mentions.size());
+    }
+    EXPECT_GT(ours_cov, blip_cov);
+    EXPECT_GT(ours_mentions, blip_mentions * 1.5);
+}
+
+TEST(SimulatedLlmTest, NoiseOrderingAcrossBackends) {
+    // Average claimed-count error: ours < gemini < gpt4o.
+    aero::util::Rng scene_rng(6);
+    const Scene scene = aero::scene::generate_scene(
+        ScenarioKind::kIntersection, TimeOfDay::kDay, scene_rng, 0);
+    const auto truth = true_mentions(scene);
+    auto fidelity = [&](const SimulatedLlm& llm, aero::util::Rng rng) {
+        double score = 0.0;
+        const int trials = 60;
+        for (int i = 0; i < trials; ++i) {
+            const Caption c =
+                llm.describe(scene, PromptTemplate::keypoint_aware(), rng);
+            // Fraction of true classes mentioned exactly.
+            int exact = 0;
+            for (const auto& t : truth) {
+                for (const auto& m : c.mentions) {
+                    if (m.cls == t.cls && !m.vague && m.count == t.count) {
+                        ++exact;
+                        break;
+                    }
+                }
+            }
+            score += static_cast<double>(exact) /
+                     static_cast<double>(truth.size());
+        }
+        return score / trials;
+    };
+    const double ours = fidelity(SimulatedLlm::keypoint_aware(),
+                                 aero::util::Rng(7));
+    const double gemini = fidelity(SimulatedLlm::gemini(),
+                                   aero::util::Rng(7));
+    const double gpt = fidelity(SimulatedLlm::gpt4o(), aero::util::Rng(7));
+    EXPECT_GT(ours, gemini);
+    EXPECT_GT(gemini, gpt);
+}
+
+TEST(SimulatedLlmTest, CaptionTokenisesCleanly) {
+    const Vocabulary& vocab = Vocabulary::aerial();
+    aero::util::Rng rng(8);
+    for (int k = 0; k < aero::scene::kNumScenarios; ++k) {
+        aero::util::Rng scene_rng(100 + static_cast<std::uint64_t>(k));
+        const Scene scene = aero::scene::generate_scene(
+            static_cast<ScenarioKind>(k),
+            k % 2 == 0 ? TimeOfDay::kDay : TimeOfDay::kNight, scene_rng, k);
+        const Caption c = SimulatedLlm::keypoint_aware().describe(
+            scene, PromptTemplate::keypoint_aware(), rng);
+        const auto ids = vocab.encode(c.text);
+        ASSERT_FALSE(ids.empty());
+        int unknown = 0;
+        for (int id : ids) {
+            if (id == vocab.unk_id()) ++unknown;
+        }
+        // The grammar is closed over the vocabulary.
+        EXPECT_EQ(unknown, 0) << "scenario " << k << ": " << c.text;
+    }
+}
+
+TEST(SimulatedLlmTest, NightCaptionSaysNighttime) {
+    aero::util::Rng scene_rng(9);
+    const Scene scene = aero::scene::generate_scene(
+        ScenarioKind::kPlaza, TimeOfDay::kNight, scene_rng, 0);
+    aero::util::Rng rng(10);
+    const Caption c = SimulatedLlm::keypoint_aware().describe(
+        scene, PromptTemplate::keypoint_aware(), rng);
+    EXPECT_EQ(c.time, TimeOfDay::kNight);
+    EXPECT_NE(c.text.find("nighttime"), std::string::npos);
+}
+
+// Parameterized backend sweep: every simulated LLM must produce captions
+// that tokenise within the closed vocabulary, mention the scenario, and
+// produce non-empty text for every scenario/time combination.
+class BackendSweep : public ::testing::TestWithParam<int> {
+protected:
+    SimulatedLlm backend() const {
+        switch (GetParam()) {
+            case 0: return SimulatedLlm::keypoint_aware();
+            case 1: return SimulatedLlm::gemini();
+            case 2: return SimulatedLlm::gpt4o();
+            default: return SimulatedLlm::blip_captioner();
+        }
+    }
+};
+
+TEST_P(BackendSweep, CaptionsAreWellFormedEverywhere) {
+    const Vocabulary& vocab = Vocabulary::aerial();
+    const SimulatedLlm llm = backend();
+    aero::util::Rng rng(600 + static_cast<std::uint64_t>(GetParam()));
+    for (int k = 0; k < aero::scene::kNumScenarios; ++k) {
+        for (TimeOfDay time : {TimeOfDay::kDay, TimeOfDay::kNight}) {
+            aero::util::Rng scene_rng(
+                700 + static_cast<std::uint64_t>(k) * 2 +
+                (time == TimeOfDay::kNight ? 1 : 0));
+            const Scene scene = aero::scene::generate_scene(
+                static_cast<ScenarioKind>(k), time, scene_rng, k);
+            const Caption caption = llm.describe(
+                scene, PromptTemplate::keypoint_aware(), rng);
+            ASSERT_FALSE(caption.text.empty());
+            const auto ids = vocab.encode(caption.text);
+            ASSERT_FALSE(ids.empty());
+            for (int id : ids) {
+                EXPECT_NE(id, vocab.unk_id()) << caption.text;
+            }
+            EXPECT_EQ(caption.scenario, scene.kind);
+        }
+    }
+}
+
+TEST_P(BackendSweep, DeterministicGivenRngState) {
+    const SimulatedLlm llm = backend();
+    aero::util::Rng scene_rng(42);
+    const Scene scene = aero::scene::generate_scene(
+        ScenarioKind::kMarket, TimeOfDay::kDay, scene_rng, 0);
+    aero::util::Rng rng_a(9);
+    aero::util::Rng rng_b(9);
+    const Caption a = llm.describe(scene, PromptTemplate::keypoint_aware(),
+                                   rng_a);
+    const Caption b = llm.describe(scene, PromptTemplate::keypoint_aware(),
+                                   rng_b);
+    EXPECT_EQ(a.text, b.text);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendSweep,
+                         ::testing::Range(0, 4));
+
+TEST(Parser, CountWords) {
+    EXPECT_EQ(parse_count_word("three")->count, 3);
+    EXPECT_FALSE(parse_count_word("three")->vague);
+    EXPECT_TRUE(parse_count_word("several")->vague);
+    EXPECT_EQ(parse_count_word("no")->count, 0);
+    EXPECT_FALSE(parse_count_word("car").has_value());
+}
+
+TEST(Parser, ScenarioRecognition) {
+    EXPECT_EQ(parse_scenario("a busy highway under the sun"),
+              aero::scene::ScenarioKind::kHighway);
+    EXPECT_EQ(parse_scenario("the tranquil park"),
+              aero::scene::ScenarioKind::kPark);
+    EXPECT_EQ(parse_scenario("A DAYTIME view of an urban intersection"),
+              aero::scene::ScenarioKind::kIntersection);
+    EXPECT_FALSE(parse_scenario("nothing recognisable").has_value());
+}
+
+TEST(Parser, FullCaptionFields) {
+    const std::string text =
+        "A nighttime aerial image of a bustling market street under a dark "
+        "sky, captured from a low altitude at a slightly angled "
+        "perspective. There are five cars and several pedestrians in the "
+        "scene. Stalls line the left edge.";
+    const Caption parsed = parse_caption(text);
+    EXPECT_EQ(parsed.time, TimeOfDay::kNight);
+    EXPECT_TRUE(parsed.mentions_time);
+    EXPECT_EQ(parsed.scenario, ScenarioKind::kMarket);
+    EXPECT_EQ(parsed.altitude, aero::scene::AltitudeBand::kLow);
+    EXPECT_EQ(parsed.pitch, aero::scene::PitchBand::kSlightAngle);
+    ASSERT_EQ(parsed.mentions.size(), 2u);
+    EXPECT_EQ(parsed.mentions[0].cls, ObjectClass::kCar);
+    EXPECT_EQ(parsed.mentions[0].count, 5);
+    EXPECT_TRUE(parsed.mentions[1].vague);
+    EXPECT_TRUE(parsed.mentions_positions);
+}
+
+TEST(Parser, RoundTripThroughGrammar) {
+    // describe() -> text -> parse_caption recovers the structured fields
+    // for every scenario and time of day.
+    const auto llm = SimulatedLlm::keypoint_aware();
+    const auto prompt = PromptTemplate::keypoint_aware();
+    aero::util::Rng rng(55);
+    for (int k = 0; k < aero::scene::kNumScenarios; ++k) {
+        for (TimeOfDay time : {TimeOfDay::kDay, TimeOfDay::kNight}) {
+            aero::util::Rng scene_rng(
+                900 + static_cast<std::uint64_t>(k) * 2 +
+                (time == TimeOfDay::kNight ? 1 : 0));
+            const Scene scene = aero::scene::generate_scene(
+                static_cast<ScenarioKind>(k), time, scene_rng, k);
+            const Caption original = llm.describe(scene, prompt, rng);
+            const Caption parsed = parse_caption(original.text);
+            EXPECT_EQ(parsed.time, original.time) << original.text;
+            EXPECT_EQ(parsed.scenario, original.scenario) << original.text;
+            EXPECT_EQ(parsed.altitude, original.altitude) << original.text;
+            // Every exact mention survives the round trip.
+            for (const ObjectMention& m : original.mentions) {
+                if (m.vague || m.count > 12) continue;  // words collapse
+                bool found = false;
+                for (const ObjectMention& p : parsed.mentions) {
+                    if (p.cls == m.cls && p.count == m.count) found = true;
+                }
+                EXPECT_TRUE(found)
+                    << "lost mention of "
+                    << aero::scene::class_name(m.cls) << " x" << m.count
+                    << " in: " << original.text;
+            }
+        }
+    }
+}
+
+TEST(RenderCaptionText, MentionPhrasing) {
+    Caption c;
+    c.scenario = ScenarioKind::kCampus;
+    c.mentions_time = true;
+    c.mentions.push_back({ObjectClass::kCar, 1, false});
+    c.mentions.push_back({ObjectClass::kPedestrian, 7, true});
+    Scene scene;
+    scene.kind = ScenarioKind::kCampus;
+    const std::string text = render_caption_text(c, scene);
+    EXPECT_NE(text.find("one car"), std::string::npos);
+    EXPECT_NE(text.find("several pedestrians"), std::string::npos);
+}
+
+}  // namespace

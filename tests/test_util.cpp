@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include <fstream>
+#include <cstdio>
+
+#include "util/env.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using aero::util::Rng;
+
+TEST(Rng, Deterministic) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+    Rng rng(9);
+    std::set<int> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const int v = rng.uniform_int(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(11);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+    Rng rng(13);
+    const std::vector<double> weights{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i) {
+        counts[rng.categorical(weights)]++;
+    }
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_GT(counts[2], counts[0]);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, CategoricalDegenerate) {
+    Rng rng(17);
+    EXPECT_EQ(rng.categorical({0.0, 0.0}), 1u);
+}
+
+TEST(Rng, ForkIndependence) {
+    Rng parent(99);
+    Rng a = parent.fork(0);
+    Rng b = parent.fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(5);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(aero::util::join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(aero::util::join({}, ", "), "");
+    EXPECT_EQ(aero::util::join({"solo"}, "+"), "solo");
+}
+
+TEST(Strings, SplitWhitespace) {
+    const auto t = aero::util::split_whitespace("  a bb\tccc\nd  ");
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0], "a");
+    EXPECT_EQ(t[3], "d");
+}
+
+TEST(Strings, Split) {
+    const auto f = aero::util::split("a,,b", ',');
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[1], "");
+}
+
+TEST(Strings, FormatFixed) {
+    EXPECT_EQ(aero::util::format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(aero::util::format_fixed(78.154, 2), "78.15");
+}
+
+TEST(Strings, PadRight) {
+    EXPECT_EQ(aero::util::pad_right("ab", 4), "ab  ");
+    EXPECT_EQ(aero::util::pad_right("abcdef", 3), "abc");
+}
+
+TEST(Strings, ToLower) {
+    EXPECT_EQ(aero::util::to_lower("AbC 1!"), "abc 1!");
+}
+
+TEST(Json, ScalarsAndEscaping) {
+    using aero::util::JsonValue;
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(3).dump(), "3");
+    EXPECT_EQ(JsonValue(3.25).dump(), "3.25");
+    EXPECT_EQ(JsonValue("a\"b\n").dump(), "\"a\\\"b\\n\"");
+    EXPECT_EQ(aero::util::json_escape("tab\there"), "tab\\there");
+}
+
+TEST(Json, ObjectAndArrayStructure) {
+    using aero::util::JsonValue;
+    JsonValue root = JsonValue::object();
+    root.set("name", "table1").set("fid", 1.5);
+    JsonValue rows = JsonValue::array();
+    rows.push(JsonValue(1)).push(JsonValue(2));
+    root.set("rows", std::move(rows));
+    const std::string text = root.dump();
+    EXPECT_NE(text.find("\"name\": \"table1\""), std::string::npos);
+    EXPECT_NE(text.find("\"fid\": 1.5"), std::string::npos);
+    EXPECT_NE(text.find('['), std::string::npos);
+    // Overwrite keeps single key.
+    root.set("fid", 2.0);
+    EXPECT_EQ(root.dump().find("1.5"), std::string::npos);
+}
+
+TEST(Json, EmptyContainers) {
+    using aero::util::JsonValue;
+    EXPECT_EQ(JsonValue::object().dump(), "{}");
+    EXPECT_EQ(JsonValue::array().dump(), "[]");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+    using aero::util::JsonValue;
+    EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+}
+
+TEST(Json, WriteFile) {
+    using aero::util::JsonValue;
+    JsonValue root = JsonValue::object();
+    root.set("ok", true);
+    const std::string path = testing::TempDir() + "/aero_test.json";
+    ASSERT_TRUE(root.write_file(path));
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("\"ok\": true"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Env, FallbacksAndScale) {
+    EXPECT_EQ(aero::util::env_int("AERO_NO_SUCH_VAR_XYZ", 17), 17);
+    EXPECT_DOUBLE_EQ(aero::util::env_double("AERO_NO_SUCH_VAR_XYZ", 2.5), 2.5);
+    EXPECT_EQ(aero::util::env_string("AERO_NO_SUCH_VAR_XYZ", "x"), "x");
+    // Tests run with AERO_BENCH_SCALE=0 (set by CMake).
+    EXPECT_EQ(aero::util::bench_scale(), 0);
+    EXPECT_EQ(aero::util::scaled(1, 10, 100), 1);
+}
+
+}  // namespace
