@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_prompting.dir/bench_fig3_prompting.cpp.o"
+  "CMakeFiles/bench_fig3_prompting.dir/bench_fig3_prompting.cpp.o.d"
+  "bench_fig3_prompting"
+  "bench_fig3_prompting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_prompting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

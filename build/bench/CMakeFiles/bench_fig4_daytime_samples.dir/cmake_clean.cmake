@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_daytime_samples.dir/bench_fig4_daytime_samples.cpp.o"
+  "CMakeFiles/bench_fig4_daytime_samples.dir/bench_fig4_daytime_samples.cpp.o.d"
+  "bench_fig4_daytime_samples"
+  "bench_fig4_daytime_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_daytime_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nighttime.dir/bench_fig5_nighttime.cpp.o"
+  "CMakeFiles/bench_fig5_nighttime.dir/bench_fig5_nighttime.cpp.o.d"
+  "bench_fig5_nighttime"
+  "bench_fig5_nighttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nighttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

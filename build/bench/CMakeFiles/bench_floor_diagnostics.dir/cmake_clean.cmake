@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_floor_diagnostics.dir/bench_floor_diagnostics.cpp.o"
+  "CMakeFiles/bench_floor_diagnostics.dir/bench_floor_diagnostics.cpp.o.d"
+  "bench_floor_diagnostics"
+  "bench_floor_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_floor_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

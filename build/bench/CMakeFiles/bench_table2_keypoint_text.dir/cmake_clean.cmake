@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_keypoint_text.dir/bench_table2_keypoint_text.cpp.o"
+  "CMakeFiles/bench_table2_keypoint_text.dir/bench_table2_keypoint_text.cpp.o.d"
+  "bench_table2_keypoint_text"
+  "bench_table2_keypoint_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_keypoint_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

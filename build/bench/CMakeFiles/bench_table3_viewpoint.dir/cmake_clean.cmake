@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_viewpoint.dir/bench_table3_viewpoint.cpp.o"
+  "CMakeFiles/bench_table3_viewpoint.dir/bench_table3_viewpoint.cpp.o.d"
+  "bench_table3_viewpoint"
+  "bench_table3_viewpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_viewpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

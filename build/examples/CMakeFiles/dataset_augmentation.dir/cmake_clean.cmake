@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_augmentation.dir/dataset_augmentation.cpp.o"
+  "CMakeFiles/dataset_augmentation.dir/dataset_augmentation.cpp.o.d"
+  "dataset_augmentation"
+  "dataset_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_paired_dataset.dir/export_paired_dataset.cpp.o"
+  "CMakeFiles/export_paired_dataset.dir/export_paired_dataset.cpp.o.d"
+  "export_paired_dataset"
+  "export_paired_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_paired_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nighttime_synthesis.dir/nighttime_synthesis.cpp.o"
+  "CMakeFiles/nighttime_synthesis.dir/nighttime_synthesis.cpp.o.d"
+  "nighttime_synthesis"
+  "nighttime_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nighttime_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_inpainting.dir/region_inpainting.cpp.o"
+  "CMakeFiles/region_inpainting.dir/region_inpainting.cpp.o.d"
+  "region_inpainting"
+  "region_inpainting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_inpainting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

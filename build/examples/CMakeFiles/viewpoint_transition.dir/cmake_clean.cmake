@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewpoint_transition.dir/viewpoint_transition.cpp.o"
+  "CMakeFiles/viewpoint_transition.dir/viewpoint_transition.cpp.o.d"
+  "viewpoint_transition"
+  "viewpoint_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewpoint_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

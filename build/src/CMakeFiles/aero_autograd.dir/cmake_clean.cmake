@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_autograd.dir/autograd/var.cpp.o"
+  "CMakeFiles/aero_autograd.dir/autograd/var.cpp.o.d"
+  "libaero_autograd.a"
+  "libaero_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/models.cpp" "src/CMakeFiles/aero_baselines.dir/baselines/models.cpp.o" "gcc" "src/CMakeFiles/aero_baselines.dir/baselines/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

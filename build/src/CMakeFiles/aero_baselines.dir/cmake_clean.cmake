@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_baselines.dir/baselines/models.cpp.o"
+  "CMakeFiles/aero_baselines.dir/baselines/models.cpp.o.d"
+  "libaero_baselines.a"
+  "libaero_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_core.dir/core/condition.cpp.o"
+  "CMakeFiles/aero_core.dir/core/condition.cpp.o.d"
+  "CMakeFiles/aero_core.dir/core/config.cpp.o"
+  "CMakeFiles/aero_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/aero_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/aero_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/aero_core.dir/core/substrate.cpp.o"
+  "CMakeFiles/aero_core.dir/core/substrate.cpp.o.d"
+  "libaero_core.a"
+  "libaero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_detect.dir/detect/detector.cpp.o"
+  "CMakeFiles/aero_detect.dir/detect/detector.cpp.o.d"
+  "CMakeFiles/aero_detect.dir/detect/evaluation.cpp.o"
+  "CMakeFiles/aero_detect.dir/detect/evaluation.cpp.o.d"
+  "libaero_detect.a"
+  "libaero_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

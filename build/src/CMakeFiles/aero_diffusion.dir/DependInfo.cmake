@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffusion/autoencoder.cpp" "src/CMakeFiles/aero_diffusion.dir/diffusion/autoencoder.cpp.o" "gcc" "src/CMakeFiles/aero_diffusion.dir/diffusion/autoencoder.cpp.o.d"
+  "/root/repo/src/diffusion/sampler.cpp" "src/CMakeFiles/aero_diffusion.dir/diffusion/sampler.cpp.o" "gcc" "src/CMakeFiles/aero_diffusion.dir/diffusion/sampler.cpp.o.d"
+  "/root/repo/src/diffusion/schedule.cpp" "src/CMakeFiles/aero_diffusion.dir/diffusion/schedule.cpp.o" "gcc" "src/CMakeFiles/aero_diffusion.dir/diffusion/schedule.cpp.o.d"
+  "/root/repo/src/diffusion/trainer.cpp" "src/CMakeFiles/aero_diffusion.dir/diffusion/trainer.cpp.o" "gcc" "src/CMakeFiles/aero_diffusion.dir/diffusion/trainer.cpp.o.d"
+  "/root/repo/src/diffusion/unet.cpp" "src/CMakeFiles/aero_diffusion.dir/diffusion/unet.cpp.o" "gcc" "src/CMakeFiles/aero_diffusion.dir/diffusion/unet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aero_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_diffusion.dir/diffusion/autoencoder.cpp.o"
+  "CMakeFiles/aero_diffusion.dir/diffusion/autoencoder.cpp.o.d"
+  "CMakeFiles/aero_diffusion.dir/diffusion/sampler.cpp.o"
+  "CMakeFiles/aero_diffusion.dir/diffusion/sampler.cpp.o.d"
+  "CMakeFiles/aero_diffusion.dir/diffusion/schedule.cpp.o"
+  "CMakeFiles/aero_diffusion.dir/diffusion/schedule.cpp.o.d"
+  "CMakeFiles/aero_diffusion.dir/diffusion/trainer.cpp.o"
+  "CMakeFiles/aero_diffusion.dir/diffusion/trainer.cpp.o.d"
+  "CMakeFiles/aero_diffusion.dir/diffusion/unet.cpp.o"
+  "CMakeFiles/aero_diffusion.dir/diffusion/unet.cpp.o.d"
+  "libaero_diffusion.a"
+  "libaero_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/clip.cpp" "src/CMakeFiles/aero_embed.dir/embed/clip.cpp.o" "gcc" "src/CMakeFiles/aero_embed.dir/embed/clip.cpp.o.d"
+  "/root/repo/src/embed/encoders.cpp" "src/CMakeFiles/aero_embed.dir/embed/encoders.cpp.o" "gcc" "src/CMakeFiles/aero_embed.dir/embed/encoders.cpp.o.d"
+  "/root/repo/src/embed/fusion.cpp" "src/CMakeFiles/aero_embed.dir/embed/fusion.cpp.o" "gcc" "src/CMakeFiles/aero_embed.dir/embed/fusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aero_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_embed.dir/embed/clip.cpp.o"
+  "CMakeFiles/aero_embed.dir/embed/clip.cpp.o.d"
+  "CMakeFiles/aero_embed.dir/embed/encoders.cpp.o"
+  "CMakeFiles/aero_embed.dir/embed/encoders.cpp.o.d"
+  "CMakeFiles/aero_embed.dir/embed/fusion.cpp.o"
+  "CMakeFiles/aero_embed.dir/embed/fusion.cpp.o.d"
+  "libaero_embed.a"
+  "libaero_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_image.dir/image/image.cpp.o"
+  "CMakeFiles/aero_image.dir/image/image.cpp.o.d"
+  "CMakeFiles/aero_image.dir/image/transforms.cpp.o"
+  "CMakeFiles/aero_image.dir/image/transforms.cpp.o.d"
+  "libaero_image.a"
+  "libaero_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

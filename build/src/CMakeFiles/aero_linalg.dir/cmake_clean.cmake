@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/aero_linalg.dir/linalg/matrix.cpp.o.d"
+  "libaero_linalg.a"
+  "libaero_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_metrics.dir/metrics/feature_net.cpp.o"
+  "CMakeFiles/aero_metrics.dir/metrics/feature_net.cpp.o.d"
+  "CMakeFiles/aero_metrics.dir/metrics/metrics.cpp.o"
+  "CMakeFiles/aero_metrics.dir/metrics/metrics.cpp.o.d"
+  "CMakeFiles/aero_metrics.dir/metrics/prd.cpp.o"
+  "CMakeFiles/aero_metrics.dir/metrics/prd.cpp.o.d"
+  "libaero_metrics.a"
+  "libaero_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/aero_nn.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/aero_nn.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/ema.cpp" "src/CMakeFiles/aero_nn.dir/nn/ema.cpp.o" "gcc" "src/CMakeFiles/aero_nn.dir/nn/ema.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/aero_nn.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/aero_nn.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/aero_nn.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/aero_nn.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/aero_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/aero_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/aero_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/aero_nn.dir/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aero_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_nn.dir/nn/attention.cpp.o"
+  "CMakeFiles/aero_nn.dir/nn/attention.cpp.o.d"
+  "CMakeFiles/aero_nn.dir/nn/ema.cpp.o"
+  "CMakeFiles/aero_nn.dir/nn/ema.cpp.o.d"
+  "CMakeFiles/aero_nn.dir/nn/layers.cpp.o"
+  "CMakeFiles/aero_nn.dir/nn/layers.cpp.o.d"
+  "CMakeFiles/aero_nn.dir/nn/module.cpp.o"
+  "CMakeFiles/aero_nn.dir/nn/module.cpp.o.d"
+  "CMakeFiles/aero_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/aero_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/aero_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/aero_nn.dir/nn/serialize.cpp.o.d"
+  "libaero_nn.a"
+  "libaero_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_scene.dir/scene/dataset.cpp.o"
+  "CMakeFiles/aero_scene.dir/scene/dataset.cpp.o.d"
+  "CMakeFiles/aero_scene.dir/scene/generator.cpp.o"
+  "CMakeFiles/aero_scene.dir/scene/generator.cpp.o.d"
+  "CMakeFiles/aero_scene.dir/scene/renderer.cpp.o"
+  "CMakeFiles/aero_scene.dir/scene/renderer.cpp.o.d"
+  "CMakeFiles/aero_scene.dir/scene/types.cpp.o"
+  "CMakeFiles/aero_scene.dir/scene/types.cpp.o.d"
+  "libaero_scene.a"
+  "libaero_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/aero_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/aero_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/aero_tensor.dir/tensor/tensor.cpp.o.d"
+  "libaero_tensor.a"
+  "libaero_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

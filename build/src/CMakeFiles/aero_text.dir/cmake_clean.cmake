@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_text.dir/text/caption.cpp.o"
+  "CMakeFiles/aero_text.dir/text/caption.cpp.o.d"
+  "CMakeFiles/aero_text.dir/text/llm.cpp.o"
+  "CMakeFiles/aero_text.dir/text/llm.cpp.o.d"
+  "CMakeFiles/aero_text.dir/text/parser.cpp.o"
+  "CMakeFiles/aero_text.dir/text/parser.cpp.o.d"
+  "CMakeFiles/aero_text.dir/text/vocabulary.cpp.o"
+  "CMakeFiles/aero_text.dir/text/vocabulary.cpp.o.d"
+  "libaero_text.a"
+  "libaero_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

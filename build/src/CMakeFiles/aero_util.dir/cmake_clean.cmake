@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aero_util.dir/util/env.cpp.o"
+  "CMakeFiles/aero_util.dir/util/env.cpp.o.d"
+  "CMakeFiles/aero_util.dir/util/json.cpp.o"
+  "CMakeFiles/aero_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/aero_util.dir/util/log.cpp.o"
+  "CMakeFiles/aero_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/aero_util.dir/util/rng.cpp.o"
+  "CMakeFiles/aero_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/aero_util.dir/util/strings.cpp.o"
+  "CMakeFiles/aero_util.dir/util/strings.cpp.o.d"
+  "libaero_util.a"
+  "libaero_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aero_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_linalg "/root/repo/build/tests/test_linalg")
+set_tests_properties(test_linalg PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tensor "/root/repo/build/tests/test_tensor")
+set_tests_properties(test_tensor PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_autograd "/root/repo/build/tests/test_autograd")
+set_tests_properties(test_autograd PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nn "/root/repo/build/tests/test_nn")
+set_tests_properties(test_nn PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_image "/root/repo/build/tests/test_image")
+set_tests_properties(test_image PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_scene "/root/repo/build/tests/test_scene")
+set_tests_properties(test_scene PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_text "/root/repo/build/tests/test_text")
+set_tests_properties(test_text PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_detect "/root/repo/build/tests/test_detect")
+set_tests_properties(test_detect PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_embed "/root/repo/build/tests/test_embed")
+set_tests_properties(test_embed PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_diffusion "/root/repo/build/tests/test_diffusion")
+set_tests_properties(test_diffusion PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_metrics "/root/repo/build/tests/test_metrics")
+set_tests_properties(test_metrics PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;aero_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baselines "/root/repo/build/tests/test_baselines")
+set_tests_properties(test_baselines PROPERTIES  ENVIRONMENT "AERO_BENCH_SCALE=0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;aero_test;/root/repo/tests/CMakeLists.txt;0;")
