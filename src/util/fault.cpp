@@ -1,0 +1,79 @@
+#include "util/fault.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace aero::util {
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::arm_nan(int step, const std::string& point) {
+    nan_faults_.push_back({step, point});
+}
+
+void FaultInjector::arm_spike(int step, float factor) {
+    spike_faults_.push_back({step, factor});
+}
+
+bool FaultInjector::fires(int step, const std::string& point) {
+    for (NanFault& fault : nan_faults_) {
+        if (!fault.delivered && fault.step == step && fault.point == point) {
+            fault.delivered = true;
+            ++injected_;
+            return true;
+        }
+    }
+    return false;
+}
+
+float FaultInjector::spike_factor(int step) {
+    for (SpikeFault& fault : spike_faults_) {
+        if (!fault.delivered && fault.step == step) {
+            fault.delivered = true;
+            ++injected_;
+            return fault.factor;
+        }
+    }
+    return 1.0f;
+}
+
+bool FaultInjector::truncate_file(const std::string& path,
+                                  std::size_t keep_bytes) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec || size < keep_bytes) return false;
+    std::filesystem::resize_file(path, keep_bytes, ec);
+    return !ec;
+}
+
+bool FaultInjector::flip_byte(const std::string& path, std::size_t offset,
+                              unsigned char mask) {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!file) return false;
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    if (!file.read(&byte, 1)) return false;
+    byte = static_cast<char>(static_cast<unsigned char>(byte) ^ mask);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+    return static_cast<bool>(file);
+}
+
+bool FaultInjector::flip_random_byte(const std::string& path,
+                                     std::size_t min_offset) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec || size <= min_offset) return false;
+    const auto offset =
+        min_offset + static_cast<std::size_t>(rng_.uniform_int(
+                         0, static_cast<int>(size - min_offset) - 1));
+    // A zero mask would be a no-op; pick a non-zero one.
+    const auto mask = static_cast<unsigned char>(rng_.uniform_int(1, 255));
+    if (!flip_byte(path, offset, mask)) return false;
+    ++injected_;
+    return true;
+}
+
+}  // namespace aero::util

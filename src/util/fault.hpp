@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic fault-injection harness for robustness tests.
+//
+// Training loops and checkpoint code expose named injection points
+// ("loss", "grad", "param", ...). Tests arm a seeded `FaultInjector`
+// with faults scheduled at specific steps; production code paths carry a
+// null injector and pay only a pointer check. File-corruption helpers
+// (truncate / flip-byte) simulate torn or bit-rotted checkpoints.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aero::util {
+
+class FaultInjector {
+public:
+    explicit FaultInjector(std::uint64_t seed = 0);
+
+    /// Arms a one-shot NaN poke: `fires(step, point)` reports true once.
+    void arm_nan(int step, const std::string& point);
+
+    /// Arms a one-shot loss spike: `spike_factor(step)` returns `factor`
+    /// (>= 1) at that step, 1.0 otherwise.
+    void arm_spike(int step, float factor);
+
+    /// True exactly once for an armed (step, point) pair; counts the hit.
+    bool fires(int step, const std::string& point);
+
+    /// Multiplier to apply to the loss at `step` (1.0 when unarmed).
+    float spike_factor(int step);
+
+    /// Faults actually delivered so far (tests assert full delivery).
+    int injected_count() const { return injected_; }
+
+    /// Seeded generator for randomised corruption offsets.
+    Rng& rng() { return rng_; }
+
+    // ---- file corruption ----------------------------------------------------
+
+    /// Truncates the file to `keep_bytes` (simulates a torn write).
+    /// Returns false on I/O error or if the file is already shorter.
+    static bool truncate_file(const std::string& path,
+                              std::size_t keep_bytes);
+
+    /// XORs the byte at `offset` with `mask` (simulates bit rot).
+    static bool flip_byte(const std::string& path, std::size_t offset,
+                          unsigned char mask = 0xff);
+
+    /// Flips one uniformly random byte strictly after `min_offset`
+    /// (use to spare the header and corrupt the payload).
+    bool flip_random_byte(const std::string& path,
+                          std::size_t min_offset = 0);
+
+private:
+    struct NanFault {
+        int step;
+        std::string point;
+        bool delivered = false;
+    };
+    struct SpikeFault {
+        int step;
+        float factor;
+        bool delivered = false;
+    };
+
+    Rng rng_;
+    std::vector<NanFault> nan_faults_;
+    std::vector<SpikeFault> spike_faults_;
+    int injected_ = 0;
+};
+
+}  // namespace aero::util

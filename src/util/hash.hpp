@@ -1,0 +1,14 @@
+#pragma once
+// Checksums for data-integrity checks (checkpoint payload validation).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aero::util {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). `seed` allows incremental
+/// computation: pass the previous result to continue over a new chunk.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace aero::util

@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -44,6 +46,20 @@ JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
 JsonValue& JsonValue::push(JsonValue value) {
     elements_.push_back(std::move(value));
     return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& member : members_) {
+        if (member.first == key) return &member.second;
+    }
+    return nullptr;
+}
+
+std::size_t JsonValue::size() const {
+    if (is_object()) return members_.size();
+    if (is_array()) return elements_.size();
+    return 0;
 }
 
 namespace {
@@ -105,6 +121,292 @@ bool JsonValue::write_file(const std::string& path) const {
     if (!out) return false;
     out << dump() << '\n';
     return static_cast<bool>(out);
+}
+
+// ---- parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    bool parse(JsonValue* out, std::string* error) {
+        skip_whitespace();
+        JsonValue value;
+        if (!parse_value(&value, 0)) {
+            if (error) *error = message_ + " at offset " + std::to_string(pos_);
+            return false;
+        }
+        skip_whitespace();
+        if (pos_ != text_.size()) {
+            if (error) {
+                *error = "trailing characters at offset " +
+                         std::to_string(pos_);
+            }
+            return false;
+        }
+        *out = std::move(value);
+        return true;
+    }
+
+private:
+    bool fail(const std::string& message) {
+        message_ = message;
+        return false;
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char expected, const char* what) {
+        if (pos_ >= text_.size() || text_[pos_] != expected) {
+            return fail(std::string("expected ") + what);
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool parse_value(JsonValue* out, int depth) {
+        if (depth > kMaxJsonDepth) return fail("nesting too deep");
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        switch (text_[pos_]) {
+            case '{': return parse_object(out, depth);
+            case '[': return parse_array(out, depth);
+            case '"': {
+                std::string s;
+                if (!parse_string(&s)) return false;
+                *out = JsonValue(std::move(s));
+                return true;
+            }
+            case 't':
+            case 'f':
+            case 'n': return parse_keyword(out);
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_keyword(JsonValue* out) {
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            *out = JsonValue(true);
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            *out = JsonValue(false);
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            *out = JsonValue();
+            return true;
+        }
+        // Catches NaN / Infinity / nan / inf explicitly: they are not
+        // JSON, and silently mapping them to 0 would mask corruption.
+        return fail("invalid literal (NaN/Inf are not valid JSON)");
+    }
+
+    bool parse_number(JsonValue* out) {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        std::size_t digits = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0) return fail("expected value");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            std::size_t frac = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++frac;
+            }
+            if (frac == 0) return fail("expected digits after decimal point");
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            std::size_t exp = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++exp;
+            }
+            if (exp == 0) return fail("expected exponent digits");
+        }
+        const double value = std::strtod(text_.c_str() + start, nullptr);
+        if (!std::isfinite(value)) return fail("number out of range");
+        *out = JsonValue(value);
+        return true;
+    }
+
+    bool parse_string(std::string* out) {
+        if (!consume('"', "string")) return false;
+        std::string result;
+        while (true) {
+            if (pos_ >= text_.size()) return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') break;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("unescaped control character in string");
+            }
+            if (c != '\\') {
+                result.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': result.push_back('"'); break;
+                case '\\': result.push_back('\\'); break;
+                case '/': result.push_back('/'); break;
+                case 'b': result.push_back('\b'); break;
+                case 'f': result.push_back('\f'); break;
+                case 'n': result.push_back('\n'); break;
+                case 'r': result.push_back('\r'); break;
+                case 't': result.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        return fail("truncated \\u escape");
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            code |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            return fail("invalid \\u escape");
+                        }
+                    }
+                    // UTF-8 encode (BMP only; surrogate pairs land as two
+                    // 3-byte sequences, fine for our diagnostics use).
+                    if (code < 0x80) {
+                        result.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        result.push_back(
+                            static_cast<char>(0xc0 | (code >> 6)));
+                        result.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        result.push_back(
+                            static_cast<char>(0xe0 | (code >> 12)));
+                        result.push_back(
+                            static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                        result.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    break;
+                }
+                default: return fail("invalid escape character");
+            }
+        }
+        *out = std::move(result);
+        return true;
+    }
+
+    bool parse_object(JsonValue* out, int depth) {
+        ++pos_;  // '{'
+        JsonValue object = JsonValue::object();
+        skip_whitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            *out = std::move(object);
+            return true;
+        }
+        while (true) {
+            skip_whitespace();
+            std::string key;
+            if (!parse_string(&key)) return false;
+            skip_whitespace();
+            if (!consume(':', "':'")) return false;
+            skip_whitespace();
+            JsonValue value;
+            if (!parse_value(&value, depth + 1)) return false;
+            object.set(key, std::move(value));
+            skip_whitespace();
+            if (pos_ >= text_.size()) return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                break;
+            }
+            return fail("expected ',' or '}'");
+        }
+        *out = std::move(object);
+        return true;
+    }
+
+    bool parse_array(JsonValue* out, int depth) {
+        ++pos_;  // '['
+        JsonValue array = JsonValue::array();
+        skip_whitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            *out = std::move(array);
+            return true;
+        }
+        while (true) {
+            skip_whitespace();
+            JsonValue value;
+            if (!parse_value(&value, depth + 1)) return false;
+            array.push(std::move(value));
+            skip_whitespace();
+            if (pos_ >= text_.size()) return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                break;
+            }
+            return fail("expected ',' or ']'");
+        }
+        *out = std::move(array);
+        return true;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::string message_;
+};
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue* out, std::string* error) {
+    return Parser(text).parse(out, error);
+}
+
+bool json_parse_file(const std::string& path, JsonValue* out,
+                     std::string* error) {
+    std::ifstream in(path);
+    if (!in) {
+        if (error) *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return json_parse(buffer.str(), out, error);
 }
 
 }  // namespace aero::util

@@ -1,7 +1,9 @@
 #pragma once
 // Minimal JSON value + writer for recording experiment results to disk
-// (out/results/*.json). Write-only on purpose: benches produce results,
-// downstream tooling parses them with real JSON libraries.
+// (out/results/*.json), plus a strict parser for the small documents the
+// library itself reads back (checkpoint metadata sidecars). The parser
+// rejects malformed input -- unterminated strings, NaN/Inf literals,
+// trailing garbage, nesting beyond kMaxJsonDepth -- rather than guessing.
 
 #include <map>
 #include <memory>
@@ -36,8 +38,28 @@ public:
     /// Array append. Only valid on arrays.
     JsonValue& push(JsonValue value);
 
+    bool is_null() const { return kind_ == Kind::kNull; }
+    bool is_bool() const { return kind_ == Kind::kBool; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_string() const { return kind_ == Kind::kString; }
     bool is_object() const { return kind_ == Kind::kObject; }
     bool is_array() const { return kind_ == Kind::kArray; }
+
+    bool as_bool(bool fallback = false) const {
+        return is_bool() ? bool_ : fallback;
+    }
+    double as_number(double fallback = 0.0) const {
+        return is_number() ? number_ : fallback;
+    }
+    /// Empty for non-strings.
+    const std::string& as_string() const { return string_; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const JsonValue* find(const std::string& key) const;
+    /// Element / member count (0 for scalars).
+    std::size_t size() const;
+    /// Array element access; `index` must be < size() on an array.
+    const JsonValue& at(std::size_t index) const { return elements_[index]; }
 
     /// Serialises with 2-space indentation.
     std::string dump(int indent = 0) const;
@@ -59,5 +81,20 @@ private:
 
 /// Escapes a string for JSON embedding (quotes not included).
 std::string json_escape(const std::string& text);
+
+/// Maximum container nesting the parser accepts (defence against stack
+/// exhaustion on adversarial input).
+inline constexpr int kMaxJsonDepth = 64;
+
+/// Strict parse of a complete JSON document. Returns false (and fills
+/// `error`, when given, with a position-annotated message) on any
+/// malformed input; `*out` is untouched on failure.
+bool json_parse(const std::string& text, JsonValue* out,
+                std::string* error = nullptr);
+
+/// Convenience: reads and parses a whole file. False on I/O or parse
+/// failure.
+bool json_parse_file(const std::string& path, JsonValue* out,
+                     std::string* error = nullptr);
 
 }  // namespace aero::util

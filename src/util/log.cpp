@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace aero::util {
 
@@ -35,7 +36,13 @@ void set_log_threshold(LogLevel level) {
 }
 
 void log_line(LogLevel level, const std::string& message) {
-    if (static_cast<int>(level) < g_threshold.load()) return;
+    // One atomic threshold read, then a mutex so concurrent callers
+    // (e.g. a sentinel logging from parallel training loops) never
+    // interleave partial lines.
+    if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed))
+        return;
+    static std::mutex mutex;
+    const std::lock_guard<std::mutex> lock(mutex);
     std::fprintf(stderr, "[aero %s] %s\n", level_tag(level), message.c_str());
 }
 

@@ -2,12 +2,16 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include <fstream>
 #include <cstdio>
 
 #include "util/env.hpp"
+#include "util/fault.hpp"
+#include "util/hash.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -193,6 +197,204 @@ TEST(Json, WriteFile) {
                         std::istreambuf_iterator<char>());
     EXPECT_NE(content.find("\"ok\": true"), std::string::npos);
     std::remove(path.c_str());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+    using aero::util::JsonValue;
+    JsonValue root = JsonValue::object();
+    root.set("name", "table1").set("fid", 1.5).set("ok", true);
+    JsonValue rows = JsonValue::array();
+    rows.push(JsonValue(1)).push(JsonValue("two")).push(JsonValue());
+    root.set("rows", std::move(rows));
+
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(aero::util::json_parse(root.dump(), &parsed, &error)) << error;
+    ASSERT_TRUE(parsed.is_object());
+    ASSERT_NE(parsed.find("name"), nullptr);
+    EXPECT_EQ(parsed.find("name")->as_string(), "table1");
+    EXPECT_DOUBLE_EQ(parsed.find("fid")->as_number(), 1.5);
+    EXPECT_TRUE(parsed.find("ok")->as_bool());
+    const JsonValue* rows_back = parsed.find("rows");
+    ASSERT_NE(rows_back, nullptr);
+    ASSERT_EQ(rows_back->size(), 3u);
+    EXPECT_DOUBLE_EQ(rows_back->at(0).as_number(), 1.0);
+    EXPECT_EQ(rows_back->at(1).as_string(), "two");
+    EXPECT_TRUE(rows_back->at(2).is_null());
+}
+
+TEST(JsonParse, ScalarsNumbersAndEscapes) {
+    using aero::util::JsonValue;
+    JsonValue v;
+    ASSERT_TRUE(aero::util::json_parse("-12.5e2", &v, nullptr));
+    EXPECT_DOUBLE_EQ(v.as_number(), -1250.0);
+    ASSERT_TRUE(aero::util::json_parse("\"a\\n\\u0041\"", &v, nullptr));
+    EXPECT_EQ(v.as_string(), "a\nA");
+    ASSERT_TRUE(aero::util::json_parse("  [ ]  ", &v, nullptr));
+    EXPECT_TRUE(v.is_array());
+    EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+    using aero::util::JsonValue;
+    JsonValue v;
+    std::string error;
+    const char* bad[] = {
+        "",                      // empty document
+        "{\"a\": 1",             // unterminated object
+        "\"unterminated",        // unterminated string
+        "\"bad escape \\q\"",    // invalid escape
+        "[1, 2,]",               // stray comma
+        "{\"a\" 1}",             // missing colon
+        "01x",                   // trailing garbage
+        "1.",                    // digits required after '.'
+        "1e",                    // digits required in exponent
+        "{'a': 1}",              // single quotes
+    };
+    for (const char* text : bad) {
+        EXPECT_FALSE(aero::util::json_parse(text, &v, &error))
+            << "accepted: " << text;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(JsonParse, RejectsNanAndInfLiterals) {
+    using aero::util::JsonValue;
+    JsonValue v;
+    for (const char* text : {"NaN", "nan", "Infinity", "-Infinity", "inf"}) {
+        EXPECT_FALSE(aero::util::json_parse(text, &v, nullptr))
+            << "accepted: " << text;
+    }
+    // The writer emits non-finite numbers as null; that round-trips.
+    ASSERT_TRUE(aero::util::json_parse(JsonValue(std::nan("")).dump(), &v,
+                                       nullptr));
+    EXPECT_TRUE(v.is_null());
+}
+
+TEST(JsonParse, RejectsDeepNestingButAcceptsShallow) {
+    using aero::util::JsonValue;
+    const auto nested = [](int depth) {
+        std::string text;
+        for (int i = 0; i < depth; ++i) text += '[';
+        text += '1';
+        for (int i = 0; i < depth; ++i) text += ']';
+        return text;
+    };
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(
+        aero::util::json_parse(nested(aero::util::kMaxJsonDepth), &v, &error))
+        << error;
+    EXPECT_FALSE(aero::util::json_parse(
+        nested(aero::util::kMaxJsonDepth + 1), &v, &error));
+    EXPECT_NE(error.find("nesting"), std::string::npos);
+    // Way past the limit must fail cleanly too, not overflow the stack.
+    EXPECT_FALSE(aero::util::json_parse(nested(100000), &v, nullptr));
+}
+
+TEST(JsonParse, FileRoundTrip) {
+    using aero::util::JsonValue;
+    JsonValue root = JsonValue::object();
+    root.set("step", 17).set("lr", 0.5);
+    const std::string path = testing::TempDir() + "/aero_parse.json";
+    ASSERT_TRUE(root.write_file(path));
+    JsonValue parsed;
+    ASSERT_TRUE(aero::util::json_parse_file(path, &parsed, nullptr));
+    EXPECT_DOUBLE_EQ(parsed.find("step")->as_number(), 17.0);
+    EXPECT_FALSE(aero::util::json_parse_file(path + ".missing", &parsed,
+                                             nullptr));
+    std::remove(path.c_str());
+}
+
+TEST(Crc32, KnownVectorsAndIncremental) {
+    // "123456789" -> 0xcbf43926 is the canonical CRC-32 check value.
+    const char* check = "123456789";
+    EXPECT_EQ(aero::util::crc32(check, 9), 0xcbf43926u);
+    EXPECT_EQ(aero::util::crc32("", 0), 0u);
+    // Incremental computation matches one-shot.
+    const std::uint32_t head = aero::util::crc32(check, 4);
+    EXPECT_EQ(aero::util::crc32(check + 4, 5, head),
+              aero::util::crc32(check, 9));
+    // Single-bit difference changes the checksum.
+    EXPECT_NE(aero::util::crc32("a", 1), aero::util::crc32("b", 1));
+}
+
+TEST(FaultInjector, NanFaultsFireOnceAtArmedPoint) {
+    aero::util::FaultInjector injector(3);
+    injector.arm_nan(5, "loss");
+    injector.arm_nan(5, "grad");
+    EXPECT_FALSE(injector.fires(4, "loss"));
+    EXPECT_FALSE(injector.fires(5, "param"));
+    EXPECT_TRUE(injector.fires(5, "loss"));
+    EXPECT_FALSE(injector.fires(5, "loss"));  // one-shot
+    EXPECT_TRUE(injector.fires(5, "grad"));
+    EXPECT_EQ(injector.injected_count(), 2);
+}
+
+TEST(FaultInjector, SpikeFactorDefaultsToOne) {
+    aero::util::FaultInjector injector(4);
+    injector.arm_spike(2, 50.0f);
+    EXPECT_FLOAT_EQ(injector.spike_factor(1), 1.0f);
+    EXPECT_FLOAT_EQ(injector.spike_factor(2), 50.0f);
+    EXPECT_FLOAT_EQ(injector.spike_factor(2), 1.0f);  // one-shot
+    EXPECT_EQ(injector.injected_count(), 1);
+}
+
+TEST(FaultInjector, FileCorruptionHelpers) {
+    const std::string path = testing::TempDir() + "/aero_fault.bin";
+    {
+        std::ofstream out(path, std::ios::binary);
+        const std::string payload(64, 'x');
+        out.write(payload.data(), 64);
+    }
+    // Flip a byte and verify exactly one position changed.
+    ASSERT_TRUE(aero::util::FaultInjector::flip_byte(path, 10, 0x01));
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        ASSERT_EQ(content.size(), 64u);
+        EXPECT_EQ(content[10], 'x' ^ 0x01);
+        EXPECT_EQ(content[9], 'x');
+    }
+    // Random flip past a protected header region.
+    aero::util::FaultInjector injector(9);
+    ASSERT_TRUE(injector.flip_random_byte(path, 32));
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        for (int i = 0; i < 32; ++i) {
+            if (i == 10) continue;
+            EXPECT_EQ(content[static_cast<std::size_t>(i)], 'x');
+        }
+    }
+    // Truncation.
+    ASSERT_TRUE(aero::util::FaultInjector::truncate_file(path, 16));
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        EXPECT_EQ(in.tellg(), 16);
+    }
+    EXPECT_FALSE(aero::util::FaultInjector::truncate_file(path, 999));
+    EXPECT_FALSE(
+        aero::util::FaultInjector::truncate_file(path + ".missing", 1));
+    std::remove(path.c_str());
+}
+
+TEST(Log, ConcurrentLoggingDoesNotCrash) {
+    // Sanity check for the mutex-guarded log_line: hammer it from several
+    // threads below the active threshold (no stderr noise) and once above.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < 250; ++i) {
+                aero::util::log_line(aero::util::LogLevel::kDebug,
+                                     "thread " + std::to_string(t));
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(aero::util::log_threshold(), aero::util::LogLevel::kInfo);
 }
 
 TEST(Env, FallbacksAndScale) {
