@@ -1,66 +1,151 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/log.hpp"
 
 namespace aero::nn {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x41455244;  // "AERD"
+
+constexpr std::uint32_t kMagicV1 = 0x41455244;  // "AERD" (legacy, refused)
+constexpr std::uint32_t kMagicV2 = 0x32524541;  // "AER2"
+
+bool write_u32(std::ofstream& out, std::uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    return static_cast<bool>(out);
 }
 
-bool save_parameters(const Module& module, const std::string& path) {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) return false;
+bool read_u32(std::ifstream& in, std::uint32_t* v) {
+    in.read(reinterpret_cast<char*>(v), sizeof(*v));
+    return static_cast<bool>(in);
+}
 
-    const std::vector<Var> params = module.parameters();
-    const auto count = static_cast<std::uint32_t>(params.size());
-    out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    for (const Var& p : params) {
-        const Tensor& t = p.value();
-        const auto rank = static_cast<std::uint32_t>(t.rank());
-        out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-        for (int d = 0; d < t.rank(); ++d) {
-            const auto extent = static_cast<std::uint32_t>(t.dim(d));
-            out.write(reinterpret_cast<const char*>(&extent), sizeof(extent));
+bool reject(const std::string& path, const std::string& reason) {
+    util::log_warn() << "checkpoint " << path << " rejected: " << reason;
+    return false;
+}
+
+}  // namespace
+
+bool save_parameters(const Module& module, const std::string& path) {
+    // Stage the whole file under a temporary name; rename() is atomic on
+    // POSIX, so readers see either the old complete file or the new one.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+
+        const std::vector<Var> params = module.parameters();
+        bool ok = write_u32(out, kMagicV2) &&
+                  write_u32(out, kCheckpointVersion) &&
+                  write_u32(out, static_cast<std::uint32_t>(params.size()));
+        for (const Var& p : params) {
+            if (!ok) break;
+            const Tensor& t = p.value();
+            ok = write_u32(out, static_cast<std::uint32_t>(t.rank()));
+            for (int d = 0; ok && d < t.rank(); ++d) {
+                ok = write_u32(out, static_cast<std::uint32_t>(t.dim(d)));
+            }
+            if (!ok) break;
+            const std::size_t bytes = sizeof(float) *
+                                      static_cast<std::size_t>(t.size());
+            ok = write_u32(out, util::crc32(t.data(), bytes));
+            out.write(reinterpret_cast<const char*>(t.data()),
+                      static_cast<std::streamsize>(bytes));
+            ok = ok && static_cast<bool>(out);
         }
-        out.write(reinterpret_cast<const char*>(t.data()),
-                  static_cast<std::streamsize>(sizeof(float) * t.size()));
+        if (!ok) {
+            out.close();
+            std::remove(tmp_path.c_str());
+            return false;
+        }
     }
-    return static_cast<bool>(out);
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool load_parameters(Module& module, const std::string& path) {
     std::ifstream in(path, std::ios::binary);
-    if (!in) return false;
+    if (!in) return reject(path, "cannot open file");
 
     std::uint32_t magic = 0;
+    if (!read_u32(in, &magic)) return reject(path, "truncated header");
+    if (magic == kMagicV1) {
+        return reject(path,
+                      "old v1 format (no checksums); re-save with the "
+                      "current build");
+    }
+    if (magic != kMagicV2) return reject(path, "bad magic (not a checkpoint)");
+
+    std::uint32_t version = 0;
     std::uint32_t count = 0;
-    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-    in.read(reinterpret_cast<char*>(&count), sizeof(count));
-    if (!in || magic != kMagic) return false;
+    if (!read_u32(in, &version) || !read_u32(in, &count)) {
+        return reject(path, "truncated header");
+    }
+    if (version != kCheckpointVersion) {
+        return reject(path, "unsupported format version " +
+                                std::to_string(version));
+    }
 
     std::vector<Var> params = module.parameters();
-    if (count != params.size()) return false;
+    if (count != params.size()) {
+        return reject(path, "parameter count mismatch (file " +
+                                std::to_string(count) + ", module " +
+                                std::to_string(params.size()) + ")");
+    }
 
-    for (Var& p : params) {
+    // Stage: read and validate every tensor before touching the module.
+    std::vector<std::vector<float>> staged(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const Tensor& expected = params[i].value();
         std::uint32_t rank = 0;
-        in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-        if (!in || rank != static_cast<std::uint32_t>(p.value().rank())) {
-            return false;
+        if (!read_u32(in, &rank)) return reject(path, "truncated tensor header");
+        if (rank != static_cast<std::uint32_t>(expected.rank())) {
+            return reject(path, "rank mismatch on tensor " +
+                                    std::to_string(i));
         }
-        for (int d = 0; d < p.value().rank(); ++d) {
+        for (int d = 0; d < expected.rank(); ++d) {
             std::uint32_t extent = 0;
-            in.read(reinterpret_cast<char*>(&extent), sizeof(extent));
-            if (!in || extent != static_cast<std::uint32_t>(p.value().dim(d))) {
-                return false;
+            if (!read_u32(in, &extent)) {
+                return reject(path, "truncated tensor header");
+            }
+            if (extent != static_cast<std::uint32_t>(expected.dim(d))) {
+                return reject(path, "shape mismatch on tensor " +
+                                        std::to_string(i) + " (expected " +
+                                        expected.shape_string() + ")");
             }
         }
-        in.read(reinterpret_cast<char*>(p.mutable_value().data()),
-                static_cast<std::streamsize>(sizeof(float) *
-                                             p.value().size()));
-        if (!in) return false;
+        std::uint32_t stored_crc = 0;
+        if (!read_u32(in, &stored_crc)) {
+            return reject(path, "truncated tensor header");
+        }
+        std::vector<float> values(static_cast<std::size_t>(expected.size()));
+        const std::size_t bytes = sizeof(float) * values.size();
+        in.read(reinterpret_cast<char*>(values.data()),
+                static_cast<std::streamsize>(bytes));
+        if (!in) return reject(path, "truncated payload on tensor " +
+                                         std::to_string(i));
+        if (util::crc32(values.data(), bytes) != stored_crc) {
+            return reject(path, "checksum mismatch on tensor " +
+                                    std::to_string(i) + " (corrupt payload)");
+        }
+        staged[i] = std::move(values);
+    }
+    if (in.peek() != std::ifstream::traits_type::eof()) {
+        return reject(path, "trailing bytes after last tensor");
+    }
+
+    // Commit: everything validated, now update the module in one sweep.
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        params[i].mutable_value().values() = std::move(staged[i]);
     }
     return true;
 }

@@ -1,7 +1,15 @@
 #pragma once
-// Flat binary checkpointing for module parameters. The format is a
-// magic header, a parameter count, then per-parameter rank/shape/floats.
-// Loading requires an identically structured module.
+// Flat binary checkpointing for module parameters, format v2.
+//
+// Layout (all integers little-endian u32):
+//   magic "AER2" | version | parameter count
+//   then per parameter: rank | extents[rank] | crc32(payload) | payload
+// where payload is the tensor's float32 data. Writes are atomic (tmp
+// file + rename) so a crash mid-save never leaves a torn checkpoint at
+// the target path. Loads stage every tensor and verify shapes and
+// checksums BEFORE committing, so a corrupt / truncated / mismatched
+// file never partially mutates the module. Old v1 files (magic "AERD",
+// no version, no checksums) are detected and refused with a log line.
 
 #include <string>
 
@@ -9,12 +17,16 @@
 
 namespace aero::nn {
 
-/// Writes all parameters of `module` to `path`. Returns false on I/O error.
+/// Current checkpoint format version written by save_parameters.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
+/// Writes all parameters of `module` to `path` atomically. Returns false
+/// on I/O error (the previous file at `path`, if any, is left intact).
 bool save_parameters(const Module& module, const std::string& path);
 
-/// Loads parameters saved by save_parameters into `module`. Returns false
-/// on I/O error or any shape mismatch (module left partially updated only
-/// on a mismatch after some tensors were already read).
+/// Loads parameters saved by save_parameters into `module`. Returns
+/// false -- with the module completely untouched -- on I/O error, bad
+/// magic/version, shape mismatch, checksum mismatch, or trailing bytes.
 bool load_parameters(Module& module, const std::string& path);
 
 }  // namespace aero::nn

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "nn/attention.hpp"
 #include "nn/ema.hpp"
@@ -9,6 +11,7 @@
 #include "nn/module.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -16,6 +19,30 @@ using aero::autograd::Var;
 using aero::tensor::Tensor;
 namespace ag = aero::autograd;
 namespace nn = aero::nn;
+
+/// Bitwise snapshot of all parameter values of a module.
+std::vector<std::vector<float>> snapshot_params(const nn::Module& module) {
+    std::vector<std::vector<float>> snapshot;
+    for (const Var& p : module.parameters()) {
+        snapshot.push_back(p.value().values());
+    }
+    return snapshot;
+}
+
+::testing::AssertionResult params_bit_identical(
+    const nn::Module& module, const std::vector<std::vector<float>>& snapshot) {
+    const auto params = module.parameters();
+    if (params.size() != snapshot.size()) {
+        return ::testing::AssertionFailure() << "parameter count changed";
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (params[i].value().values() != snapshot[i]) {
+            return ::testing::AssertionFailure()
+                   << "tensor " << i << " was mutated";
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
 
 TEST(Linear, ShapesAndParamCount) {
     aero::util::Rng rng(1);
@@ -297,6 +324,136 @@ TEST(Serialize, RejectsMismatchedModule) {
     ASSERT_TRUE(nn::save_parameters(a, path));
     EXPECT_FALSE(nn::load_parameters(wrong, path));
     std::remove(path.c_str());
+}
+
+TEST(Serialize, MismatchedLoadLeavesModuleBitIdentical) {
+    // Regression: load_parameters used to stream tensors directly into
+    // the module, so a shape mismatch partway through left it partially
+    // updated. Stage-then-commit must keep the target pristine.
+    aero::util::Rng rng(30);
+    nn::Mlp a(3, 5, 2, rng);
+    // Same parameter count and first-tensor shape would be wrong anyway,
+    // but make the FIRST tensors match so a streaming loader would have
+    // already written data before hitting the mismatch: Mlp(3,5,2) and
+    // Mlp(3,5,4) share the first Linear exactly.
+    nn::Mlp wrong(3, 5, 4, rng);
+    const std::string path = testing::TempDir() + "/aero_params_partial.bin";
+    ASSERT_TRUE(nn::save_parameters(a, path));
+    const auto before = snapshot_params(wrong);
+    EXPECT_FALSE(nn::load_parameters(wrong, path));
+    EXPECT_TRUE(params_bit_identical(wrong, before));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, AtomicSaveLeavesNoTempFileAndOverwrites) {
+    aero::util::Rng rng(31);
+    nn::Mlp a(3, 5, 2, rng);
+    nn::Mlp b(3, 5, 2, rng);  // different weights
+    const std::string path = testing::TempDir() + "/aero_params_atomic.bin";
+    ASSERT_TRUE(nn::save_parameters(a, path));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    // Overwriting with another module's weights replaces the file whole.
+    ASSERT_TRUE(nn::save_parameters(b, path));
+    nn::Mlp check(3, 5, 2, rng);
+    ASSERT_TRUE(nn::load_parameters(check, path));
+    EXPECT_TRUE(params_bit_identical(check, snapshot_params(b)));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTruncatedFileAtEveryLength) {
+    aero::util::Rng rng(32);
+    nn::Mlp a(2, 3, 1, rng);
+    nn::Mlp target(2, 3, 1, rng);
+    const std::string path = testing::TempDir() + "/aero_params_trunc.bin";
+    ASSERT_TRUE(nn::save_parameters(a, path));
+    const auto full_size = std::filesystem::file_size(path);
+    const auto before = snapshot_params(target);
+    // Every proper prefix of the file must be rejected without mutation.
+    for (std::size_t keep = 0; keep < full_size; keep += 3) {
+        ASSERT_TRUE(nn::save_parameters(a, path));
+        ASSERT_TRUE(aero::util::FaultInjector::truncate_file(path, keep));
+        EXPECT_FALSE(nn::load_parameters(target, path)) << "kept " << keep;
+        EXPECT_TRUE(params_bit_identical(target, before)) << "kept " << keep;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsEveryGarbageByteFlip) {
+    // CRC + header validation fuzz: flipping any single byte anywhere in
+    // the checkpoint must make the load fail cleanly, module untouched.
+    aero::util::Rng rng(33);
+    nn::Mlp a(2, 3, 1, rng);
+    nn::Mlp target(2, 3, 1, rng);
+    const std::string path = testing::TempDir() + "/aero_params_flip.bin";
+    ASSERT_TRUE(nn::save_parameters(a, path));
+    const auto size = std::filesystem::file_size(path);
+    const auto before = snapshot_params(target);
+    for (std::size_t offset = 0; offset < size; ++offset) {
+        ASSERT_TRUE(nn::save_parameters(a, path));
+        ASSERT_TRUE(aero::util::FaultInjector::flip_byte(path, offset, 0x40));
+        EXPECT_FALSE(nn::load_parameters(target, path))
+            << "flip at offset " << offset << " was accepted";
+        EXPECT_TRUE(params_bit_identical(target, before))
+            << "flip at offset " << offset;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTrailingBytes) {
+    aero::util::Rng rng(34);
+    nn::Mlp a(2, 3, 1, rng);
+    const std::string path = testing::TempDir() + "/aero_params_trail.bin";
+    ASSERT_TRUE(nn::save_parameters(a, path));
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out.put('\0');
+    }
+    nn::Mlp target(2, 3, 1, rng);
+    EXPECT_FALSE(nn::load_parameters(target, path));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RefusesOldFormatV1Checkpoint) {
+    // A v1 file for the exact same module (old layout: magic, count,
+    // rank/dims/floats, no version and no checksums) must be refused on
+    // format grounds alone.
+    aero::util::Rng rng(35);
+    nn::Mlp module(2, 3, 1, rng);
+    const std::string path = testing::TempDir() + "/aero_params_v1.bin";
+    {
+        std::ofstream out(path, std::ios::binary);
+        const std::uint32_t magic = 0x41455244;  // "AERD"
+        const auto params = module.parameters();
+        const auto count = static_cast<std::uint32_t>(params.size());
+        out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+        out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+        for (const Var& p : params) {
+            const Tensor& t = p.value();
+            const auto rank = static_cast<std::uint32_t>(t.rank());
+            out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+            for (int d = 0; d < t.rank(); ++d) {
+                const auto extent = static_cast<std::uint32_t>(t.dim(d));
+                out.write(reinterpret_cast<const char*>(&extent),
+                          sizeof(extent));
+            }
+            out.write(reinterpret_cast<const char*>(t.data()),
+                      static_cast<std::streamsize>(sizeof(float) * t.size()));
+        }
+    }
+    nn::Mlp target(2, 3, 1, rng);
+    const auto before = snapshot_params(target);
+    EXPECT_FALSE(nn::load_parameters(target, path));
+    EXPECT_TRUE(params_bit_identical(target, before));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFailsCleanly) {
+    aero::util::Rng rng(36);
+    nn::Mlp target(2, 3, 1, rng);
+    const auto before = snapshot_params(target);
+    EXPECT_FALSE(nn::load_parameters(
+        target, testing::TempDir() + "/aero_params_nope.bin"));
+    EXPECT_TRUE(params_bit_identical(target, before));
 }
 
 TEST(Module, ZeroGradClearsTree) {
