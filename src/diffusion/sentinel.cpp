@@ -1,0 +1,116 @@
+#include "diffusion/sentinel.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace aero::diffusion {
+
+namespace {
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+}
+
+void inject_param_fault(util::FaultInjector* injector, int step,
+                        std::vector<autograd::Var>& params) {
+    if (injector && !params.empty() && injector->fires(step, "param")) {
+        params.front().mutable_value()[0] = kNan;
+    }
+}
+
+void inject_grad_fault(util::FaultInjector* injector, int step,
+                       std::vector<autograd::Var>& params) {
+    if (!injector || !injector->fires(step, "grad")) return;
+    for (autograd::Var& p : params) {
+        if (!p.grad().empty()) {
+            p.node()->grad[0] = kNan;
+            return;
+        }
+    }
+}
+
+float inject_loss_fault(util::FaultInjector* injector, int step, float value) {
+    if (!injector) return value;
+    value *= injector->spike_factor(step);
+    if (injector->fires(step, "loss")) value = kNan;
+    return value;
+}
+
+DivergenceSentinel::DivergenceSentinel(std::vector<autograd::Var> params,
+                                       nn::Adam& opt,
+                                       const SentinelConfig& config)
+    : params_(std::move(params)), opt_(&opt), config_(config) {
+    if (config_.enabled) snapshot();
+}
+
+void DivergenceSentinel::snapshot() {
+    // A corrupted parameter can sit asymptomatic for steps (e.g. the
+    // null-condition token only enters CFG-dropped batches), so a
+    // finite loss does not prove the weights are clean. Never replace a
+    // good snapshot with a non-finite one.
+    if (!good_state_.empty()) {
+        for (const autograd::Var& p : params_) {
+            for (const float v : p.value().values()) {
+                if (!std::isfinite(v)) return;
+            }
+        }
+    }
+    good_state_.clear();
+    good_state_.reserve(params_.size());
+    for (const autograd::Var& p : params_) {
+        good_state_.push_back(p.value());
+    }
+}
+
+DivergenceSentinel::Action DivergenceSentinel::rollback(int step,
+                                                        const char* reason) {
+    if (rollbacks_ >= config_.max_rollbacks) {
+        diverged_ = true;
+        util::log_error() << "sentinel: " << reason << " at step " << step
+                          << " with rollback budget exhausted ("
+                          << rollbacks_ << "); declaring divergence";
+        return Action::kAbort;
+    }
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        params_[i].mutable_value() = good_state_[i];
+    }
+    ++rollbacks_;
+    const float new_lr = opt_->config().lr * config_.lr_decay;
+    opt_->set_lr(new_lr);
+    util::log_warn() << "sentinel: " << reason << " at step " << step
+                     << "; rolled back to last good snapshot, lr -> "
+                     << new_lr;
+    return Action::kRollback;
+}
+
+DivergenceSentinel::Action DivergenceSentinel::observe(int step, float loss,
+                                                       float grad_norm) {
+    if (!config_.enabled) return Action::kProceed;
+
+    if (!std::isfinite(loss) || !std::isfinite(grad_norm)) {
+        ++nan_events_;
+        return rollback(step, "non-finite loss/gradient");
+    }
+    if (healthy_steps_ >= config_.warmup_steps && ema_primed_ &&
+        loss > config_.spike_factor * ema_) {
+        ++spike_events_;
+        return rollback(step, "loss spike");
+    }
+
+    // Healthy step: fold into the tail EMA and refresh the snapshot on
+    // the configured cadence.
+    if (ema_primed_) {
+        ema_ = config_.ema_beta * ema_ + (1.0f - config_.ema_beta) * loss;
+    } else {
+        ema_ = loss;
+        ema_primed_ = true;
+    }
+    ++healthy_steps_;
+    if (config_.snapshot_interval > 0 &&
+        healthy_steps_ % config_.snapshot_interval == 0) {
+        snapshot();
+    }
+    return Action::kProceed;
+}
+
+}  // namespace aero::diffusion

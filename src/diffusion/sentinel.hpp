@@ -1,0 +1,94 @@
+#pragma once
+// Divergence sentinel for training loops.
+//
+// Watches per-step loss and gradient norms, keeps periodic snapshots of
+// the parameters, and on a NaN/Inf or a loss spike (tail-EMA threshold)
+// rolls the model back to the last good snapshot and resumes with a
+// reduced learning rate. After `max_rollbacks` recoveries the run is
+// declared diverged so callers can stop instead of burning budget on a
+// poisoned model.
+
+#include <vector>
+
+#include "autograd/var.hpp"
+#include "nn/optimizer.hpp"
+#include "util/fault.hpp"
+
+namespace aero::diffusion {
+
+struct SentinelConfig {
+    bool enabled = true;
+    /// A finite loss above `spike_factor` x the tail EMA counts as a
+    /// spike (checked only after `warmup_steps`, once the EMA is real).
+    float spike_factor = 10.0f;
+    /// EMA smoothing for the loss tail: ema = beta*ema + (1-beta)*loss.
+    float ema_beta = 0.9f;
+    int warmup_steps = 8;
+    /// Steps between good-state snapshots (1 = snapshot every step).
+    int snapshot_interval = 10;
+    /// Learning-rate multiplier applied on every rollback.
+    float lr_decay = 0.5f;
+    /// Rollbacks allowed before the run is declared diverged.
+    int max_rollbacks = 4;
+};
+
+class DivergenceSentinel {
+public:
+    enum class Action {
+        kProceed,   ///< step is healthy; apply the optimizer update
+        kRollback,  ///< params were restored; skip this update
+        kAbort,     ///< rollback budget exhausted; stop training
+    };
+
+    /// Snapshots `params` immediately (so even step 0 can roll back) and
+    /// adjusts `opt`'s learning rate on recovery. Both must outlive the
+    /// sentinel.
+    DivergenceSentinel(std::vector<autograd::Var> params, nn::Adam& opt,
+                       const SentinelConfig& config);
+
+    /// Inspects one step's loss and pre-clip gradient norm BEFORE the
+    /// optimizer update is applied; see Action for what the caller must
+    /// do. With `enabled == false` always returns kProceed.
+    Action observe(int step, float loss, float grad_norm);
+
+    int nan_events() const { return nan_events_; }
+    int spike_events() const { return spike_events_; }
+    int rollbacks() const { return rollbacks_; }
+    bool diverged() const { return diverged_; }
+    /// Tail EMA of the loss (0 until the first healthy step).
+    float smoothed_loss() const { return ema_; }
+
+private:
+    void snapshot();
+    Action rollback(int step, const char* reason);
+
+    std::vector<autograd::Var> params_;
+    nn::Adam* opt_;
+    SentinelConfig config_;
+    std::vector<tensor::Tensor> good_state_;
+    float ema_ = 0.0f;
+    bool ema_primed_ = false;
+    int healthy_steps_ = 0;
+    int nan_events_ = 0;
+    int spike_events_ = 0;
+    int rollbacks_ = 0;
+    bool diverged_ = false;
+};
+
+// ---- shared fault-injection points ------------------------------------------
+// Training loops call these with their (possibly null) injector; faults
+// armed for the named points deliver NaNs exactly where real numerical
+// failures would appear.
+
+/// "param": poisons the first weight before the forward pass.
+void inject_param_fault(util::FaultInjector* injector, int step,
+                        std::vector<autograd::Var>& params);
+
+/// "grad": poisons the first available gradient after backward.
+void inject_grad_fault(util::FaultInjector* injector, int step,
+                       std::vector<autograd::Var>& params);
+
+/// "loss" + armed spikes: returns the (possibly corrupted) loss value.
+float inject_loss_fault(util::FaultInjector* injector, int step, float value);
+
+}  // namespace aero::diffusion

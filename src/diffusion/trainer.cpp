@@ -21,15 +21,20 @@ DiffusionTrainStats train_diffusion(
     const std::vector<int>& latent_shape = latents.front().shape();
     assert(latent_shape.size() == 3);
 
-    nn::Adam opt(unet.parameters(),
+    std::vector<autograd::Var> params = unet.parameters();
+    nn::Adam opt(params,
                  {.lr = config.lr, .weight_decay = config.weight_decay});
     std::unique_ptr<nn::Ema> ema;
     if (config.ema_decay > 0.0f) {
-        ema = std::make_unique<nn::Ema>(unet.parameters(), config.ema_decay);
+        ema = std::make_unique<nn::Ema>(params, config.ema_decay);
     }
+    DivergenceSentinel sentinel(params, opt, config.sentinel);
+    util::FaultInjector* injector = config.fault_injector;
+
     DiffusionTrainStats stats;
     double tail_sum = 0.0;
     int tail_count = 0;
+    bool first_recorded = false;
     const int batch =
         std::min<int>(config.batch_size, static_cast<int>(latents.size()));
     const int c = latent_shape[0];
@@ -37,6 +42,8 @@ DiffusionTrainStats train_diffusion(
     const int w = latent_shape[2];
 
     for (int step = 0; step < config.steps; ++step) {
+        inject_param_fault(injector, step, params);
+
         std::vector<Tensor> noisy;
         std::vector<Tensor> noise;
         std::vector<int> timesteps;
@@ -69,12 +76,25 @@ DiffusionTrainStats train_diffusion(
             unet.forward(z_t, timesteps, schedule.steps(), batch_cond);
         const Var loss = ag::mse_loss(eps_pred, target);  // Eq. 6
         loss.backward();
-        opt.clip_grad_norm(5.0f);
+        inject_grad_fault(injector, step, params);
+        const float grad_norm = opt.clip_grad_norm(config.grad_clip);
+        const float value =
+            inject_loss_fault(injector, step, loss.value()[0]);
+
+        // The sentinel rules before the update lands: a poisoned or
+        // spiking step is rolled back instead of applied, so neither the
+        // weights nor the EMA shadow ever absorb it.
+        const auto action = sentinel.observe(step, value, grad_norm);
+        if (action == DivergenceSentinel::Action::kAbort) break;
+        if (action == DivergenceSentinel::Action::kRollback) continue;
+
         opt.step();
         if (ema) ema->update();
 
-        const float value = loss.value()[0];
-        if (step == 0) stats.first_loss = value;
+        if (!first_recorded) {
+            stats.first_loss = value;
+            first_recorded = true;
+        }
         stats.final_loss = value;
         if (step >= config.steps * 3 / 4) {
             tail_sum += value;
@@ -84,7 +104,10 @@ DiffusionTrainStats train_diffusion(
     if (tail_count > 0) {
         stats.tail_loss = static_cast<float>(tail_sum / tail_count);
     }
-    if (ema) ema->apply();  // sample from the averaged weights
+    stats.nan_events = sentinel.nan_events();
+    stats.rollbacks = sentinel.rollbacks();
+    stats.diverged = sentinel.diverged();
+    if (ema && !stats.diverged) ema->apply();  // sample the averaged weights
     return stats;
 }
 

@@ -1,11 +1,14 @@
 #pragma once
 // Diffusion training loop minimising Eq. 6:
 //   L = E_{z0, eps, t, C} || eps - eps_theta(z_t, t, C) ||^2
-// with classifier-free-guidance condition dropout.
+// with classifier-free-guidance condition dropout and a divergence
+// sentinel (NaN/spike detection, snapshot rollback) guarding every step.
 
 #include "diffusion/schedule.hpp"
+#include "diffusion/sentinel.hpp"
 #include "diffusion/unet.hpp"
 #include "nn/optimizer.hpp"
+#include "util/fault.hpp"
 
 namespace aero::diffusion {
 
@@ -22,6 +25,15 @@ struct DiffusionTrainConfig {
     /// When > 0, an exponential moving average of the weights is kept
     /// and applied at the end of training (sampling uses the average).
     float ema_decay = 0.99f;
+    /// Global L2 gradient-norm clip applied every step.
+    float grad_clip = 5.0f;
+    /// Divergence detection / rollback policy.
+    SentinelConfig sentinel;
+    /// Test-only fault injection; see util/fault.hpp. The trainer
+    /// exposes the points "param" (poisons a weight before the forward
+    /// pass), "grad" (poisons a gradient after backward), "loss"
+    /// (poisons the observed loss), plus `arm_spike` on the loss.
+    util::FaultInjector* fault_injector = nullptr;
 };
 
 struct DiffusionTrainStats {
@@ -29,6 +41,12 @@ struct DiffusionTrainStats {
     float final_loss = 0.0f;
     /// Mean loss over the last quarter of training (smoother signal).
     float tail_loss = 0.0f;
+    /// Steps rejected for a non-finite loss or gradient.
+    int nan_events = 0;
+    /// Snapshot rollbacks performed (NaN events + loss spikes).
+    int rollbacks = 0;
+    /// True when the rollback budget was exhausted and training stopped.
+    bool diverged = false;
 };
 
 /// Trains `unet` on pre-encoded latents ([C,H,W] each) and their

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "diffusion/autoencoder.hpp"
 #include "diffusion/sampler.hpp"
 #include "diffusion/schedule.hpp"
+#include "diffusion/sentinel.hpp"
 #include "diffusion/trainer.hpp"
 #include "diffusion/unet.hpp"
 
@@ -13,6 +15,8 @@ namespace {
 using namespace aero::diffusion;
 using aero::autograd::Var;
 using aero::tensor::Tensor;
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
 
 TEST(Schedule, MonotoneBetaAndDecayingAlphaBar) {
     // reference_steps == steps: betas are exactly the configured range.
@@ -218,6 +222,194 @@ TEST(Trainer, LossDecreasesOnToyData) {
     const DiffusionTrainStats stats =
         train_diffusion(unet, schedule, latents, conds, config, rng);
     EXPECT_LT(stats.tail_loss, stats.first_loss);
+}
+
+// ---- divergence sentinel ----------------------------------------------------
+
+SentinelConfig tight_sentinel() {
+    SentinelConfig config;
+    config.snapshot_interval = 1;
+    config.warmup_steps = 4;
+    config.spike_factor = 10.0f;
+    config.max_rollbacks = 2;
+    return config;
+}
+
+TEST(Sentinel, NanLossRollsBackParamsAndReducesLr) {
+    Var x = Var::param(Tensor::from_values({1.0f, 2.0f}));
+    aero::nn::Adam opt({x}, {.lr = 0.1f});
+    DivergenceSentinel sentinel({x}, opt, tight_sentinel());
+
+    EXPECT_EQ(sentinel.observe(0, 1.0f, 1.0f),
+              DivergenceSentinel::Action::kProceed);
+    // Simulate the optimizer poisoning the weights after a good step.
+    x.mutable_value()[0] = 77.0f;
+    EXPECT_EQ(sentinel.observe(1, kNan, 1.0f),
+              DivergenceSentinel::Action::kRollback);
+    EXPECT_FLOAT_EQ(x.value()[0], 1.0f);  // restored to last snapshot
+    EXPECT_FLOAT_EQ(x.value()[1], 2.0f);
+    EXPECT_FLOAT_EQ(opt.config().lr, 0.05f);
+    EXPECT_EQ(sentinel.nan_events(), 1);
+    EXPECT_EQ(sentinel.rollbacks(), 1);
+    EXPECT_FALSE(sentinel.diverged());
+}
+
+TEST(Sentinel, NeverSnapshotsNonFiniteParameters) {
+    // A poisoned weight can leave the loss finite for a while (e.g. the
+    // null-condition token only enters CFG-dropped batches). The
+    // snapshot refresh must not capture it, or rollback would restore
+    // the corruption.
+    Var x = Var::param(Tensor::from_values({1.0f, 2.0f}));
+    aero::nn::Adam opt({x}, {.lr = 0.1f});
+    DivergenceSentinel sentinel({x}, opt, tight_sentinel());  // interval 1
+
+    x.mutable_value()[1] = kNan;  // asymptomatic corruption
+    EXPECT_EQ(sentinel.observe(0, 1.0f, 1.0f),  // finite loss: "healthy"
+              DivergenceSentinel::Action::kProceed);
+    EXPECT_EQ(sentinel.observe(1, kNan, 1.0f),  // now it surfaces
+              DivergenceSentinel::Action::kRollback);
+    EXPECT_FLOAT_EQ(x.value()[0], 1.0f);  // pre-poison state restored
+    EXPECT_FLOAT_EQ(x.value()[1], 2.0f);
+}
+
+TEST(Sentinel, InfiniteGradientNormAlsoTriggersRollback) {
+    Var x = Var::param(Tensor::from_values({1.0f}));
+    aero::nn::Adam opt({x}, {});
+    DivergenceSentinel sentinel({x}, opt, tight_sentinel());
+    EXPECT_EQ(sentinel.observe(0, 0.5f,
+                               std::numeric_limits<float>::infinity()),
+              DivergenceSentinel::Action::kRollback);
+    EXPECT_EQ(sentinel.nan_events(), 1);
+}
+
+TEST(Sentinel, ExhaustedRollbackBudgetDeclaresDivergence) {
+    Var x = Var::param(Tensor::from_values({1.0f}));
+    aero::nn::Adam opt({x}, {});
+    DivergenceSentinel sentinel({x}, opt, tight_sentinel());  // budget 2
+    EXPECT_EQ(sentinel.observe(0, kNan, 1.0f),
+              DivergenceSentinel::Action::kRollback);
+    EXPECT_EQ(sentinel.observe(1, kNan, 1.0f),
+              DivergenceSentinel::Action::kRollback);
+    EXPECT_EQ(sentinel.observe(2, kNan, 1.0f),
+              DivergenceSentinel::Action::kAbort);
+    EXPECT_TRUE(sentinel.diverged());
+    EXPECT_EQ(sentinel.rollbacks(), 2);
+    EXPECT_EQ(sentinel.nan_events(), 3);
+}
+
+TEST(Sentinel, LossSpikeDetectedAfterWarmupOnly) {
+    Var x = Var::param(Tensor::from_values({1.0f}));
+    aero::nn::Adam opt({x}, {});
+    DivergenceSentinel sentinel({x}, opt, tight_sentinel());
+    // During warmup even a huge loss passes (the EMA is still priming).
+    EXPECT_EQ(sentinel.observe(0, 1.0f, 1.0f),
+              DivergenceSentinel::Action::kProceed);
+    EXPECT_EQ(sentinel.observe(1, 100.0f, 1.0f),
+              DivergenceSentinel::Action::kProceed);
+    // Settle the EMA past warmup, then spike.
+    int step = 2;
+    for (; step < 10; ++step) {
+        ASSERT_EQ(sentinel.observe(step, 1.0f, 1.0f),
+                  DivergenceSentinel::Action::kProceed);
+    }
+    EXPECT_EQ(sentinel.observe(step, 10.0f * sentinel.smoothed_loss() * 2.0f,
+                               1.0f),
+              DivergenceSentinel::Action::kRollback);
+    EXPECT_EQ(sentinel.spike_events(), 1);
+    EXPECT_EQ(sentinel.nan_events(), 0);
+}
+
+TEST(Sentinel, DisabledSentinelNeverIntervenes) {
+    Var x = Var::param(Tensor::from_values({1.0f}));
+    aero::nn::Adam opt({x}, {.lr = 0.1f});
+    SentinelConfig config;
+    config.enabled = false;
+    DivergenceSentinel sentinel({x}, opt, config);
+    EXPECT_EQ(sentinel.observe(0, kNan, kNan),
+              DivergenceSentinel::Action::kProceed);
+    EXPECT_EQ(sentinel.rollbacks(), 0);
+    EXPECT_FLOAT_EQ(opt.config().lr, 0.1f);
+}
+
+// ---- fault-injected training ------------------------------------------------
+
+/// Toy training run shared by the recovery tests: fixed data, seeded
+/// RNG, tight sentinel. `injector` may be null for the clean baseline.
+DiffusionTrainStats run_toy_training(std::uint64_t seed,
+                                     aero::util::FaultInjector* injector,
+                                     int steps = 80) {
+    aero::util::Rng rng(seed);
+    UNet unet(tiny_unet_config(), rng);
+    const NoiseSchedule schedule({16, 0.001f, 0.012f});
+    std::vector<Tensor> latents;
+    std::vector<Tensor> conds;
+    latents.push_back(Tensor::full({4, 8, 8}, 0.5f));
+    latents.push_back(Tensor::full({4, 8, 8}, -0.5f));
+    conds.push_back(Tensor::full({1, 8}, 1.0f));
+    conds.push_back(Tensor::full({1, 8}, -1.0f));
+
+    DiffusionTrainConfig config;
+    config.steps = steps;
+    config.batch_size = 2;
+    config.lr = 3e-3f;
+    config.sentinel.snapshot_interval = 4;
+    config.sentinel.lr_decay = 0.7f;
+    config.fault_injector = injector;
+    return train_diffusion(unet, schedule, latents, conds, config, rng);
+}
+
+TEST(Trainer, NanInjectionTriggersRollbackAndRecoversWithinBand) {
+    // Acceptance criterion: a NaN poked into the weights at step k rolls
+    // back, training completes, and the tail loss lands within 20% of an
+    // uninjected run with the same seed.
+    const DiffusionTrainStats clean = run_toy_training(7, nullptr);
+    ASSERT_FALSE(clean.diverged);
+    ASSERT_EQ(clean.rollbacks, 0);
+
+    aero::util::FaultInjector injector(1);
+    injector.arm_nan(20, "param");
+    const DiffusionTrainStats faulted = run_toy_training(7, &injector);
+    EXPECT_EQ(injector.injected_count(), 1);
+    EXPECT_GE(faulted.nan_events, 1);
+    EXPECT_GE(faulted.rollbacks, 1);
+    EXPECT_FALSE(faulted.diverged);
+    EXPECT_LT(faulted.tail_loss, faulted.first_loss);
+    EXPECT_NEAR(faulted.tail_loss, clean.tail_loss,
+                0.2f * clean.tail_loss);
+}
+
+TEST(Trainer, GradientAndLossInjectionBothCaught) {
+    aero::util::FaultInjector injector(2);
+    injector.arm_nan(15, "grad");
+    injector.arm_nan(30, "loss");
+    const DiffusionTrainStats stats = run_toy_training(9, &injector);
+    EXPECT_EQ(injector.injected_count(), 2);
+    EXPECT_EQ(stats.nan_events, 2);
+    EXPECT_EQ(stats.rollbacks, 2);
+    EXPECT_FALSE(stats.diverged);
+    EXPECT_TRUE(std::isfinite(stats.tail_loss));
+}
+
+TEST(Trainer, ForcedLossSpikeRollsBack) {
+    aero::util::FaultInjector injector(3);
+    injector.arm_spike(40, 100.0f);
+    const DiffusionTrainStats stats = run_toy_training(11, &injector);
+    EXPECT_EQ(injector.injected_count(), 1);
+    EXPECT_EQ(stats.nan_events, 0);
+    EXPECT_EQ(stats.rollbacks, 1);
+    EXPECT_FALSE(stats.diverged);
+}
+
+TEST(Trainer, PersistentPoisoningDeclaresDivergence) {
+    aero::util::FaultInjector injector(4);
+    // More consecutive NaN losses than the rollback budget allows.
+    for (int step = 10; step < 20; ++step) injector.arm_nan(step, "loss");
+    const DiffusionTrainStats stats = run_toy_training(13, &injector);
+    EXPECT_TRUE(stats.diverged);
+    EXPECT_GT(stats.nan_events, stats.rollbacks);
+    // Weights stay the last good snapshot: the recorded losses (all from
+    // healthy steps) are still finite.
+    EXPECT_TRUE(std::isfinite(stats.final_loss));
 }
 
 TEST(Samplers, OutputShapesAndFiniteness) {
