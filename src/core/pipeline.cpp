@@ -7,6 +7,7 @@
 #include "nn/ema.hpp"
 #include "nn/serialize.hpp"
 #include "tensor/ops.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 
 namespace aero::core {
@@ -133,6 +134,42 @@ bool AeroDiffusionPipeline::load(const std::string& path) {
            nn::load_parameters(condition_encoder_, path + ".cond");
 }
 
+bool AeroDiffusionPipeline::save_checkpoint(const std::string& path,
+                                            int step) const {
+    if (!save(path)) return false;
+    util::JsonValue meta = util::JsonValue::object();
+    meta.set("format", static_cast<int>(nn::kCheckpointVersion));
+    meta.set("name", config_.name);
+    meta.set("step", step);
+    return meta.write_file(path + ".meta.json");
+}
+
+bool AeroDiffusionPipeline::load_checkpoint(const std::string& path,
+                                            int* resume_step) {
+    const std::string meta_path = path + ".meta.json";
+    util::JsonValue meta;
+    std::string error;
+    if (!util::json_parse_file(meta_path, &meta, &error)) {
+        util::log_warn() << "checkpoint " << meta_path
+                         << " rejected: " << error;
+        return false;
+    }
+    const util::JsonValue* format = meta.find("format");
+    if (!format ||
+        format->as_number(-1.0) != static_cast<double>(nn::kCheckpointVersion)) {
+        util::log_warn() << "checkpoint " << meta_path
+                         << " rejected: unsupported format (want v"
+                         << nn::kCheckpointVersion << ")";
+        return false;
+    }
+    if (!load(path)) return false;
+    if (resume_step) {
+        const util::JsonValue* step = meta.find("step");
+        *resume_step = step ? static_cast<int>(step->as_number(0.0)) : 0;
+    }
+    return true;
+}
+
 Tensor AeroDiffusionPipeline::extra_tokens(const scene::AerialSample& sample,
                                            int sample_index,
                                            bool is_train) const {
@@ -207,7 +244,18 @@ diffusion::DiffusionTrainStats AeroDiffusionPipeline::fit(util::Rng& rng) {
         params.insert(params.end(), cond_params.begin(), cond_params.end());
     }
     nn::Adam opt(params, {.lr = config_.lr, .weight_decay = 1e-5f});
+
+    int start_step = 0;
+    if (config_.resume && !config_.checkpoint_path.empty() &&
+        load_checkpoint(config_.checkpoint_path, &start_step)) {
+        util::log_info() << config_.name << ": resumed from checkpoint at step "
+                         << start_step;
+    }
+    // Built AFTER any resume load so the EMA shadow and the sentinel's
+    // good-state snapshot both start from the restored weights.
     nn::Ema ema(params, /*decay=*/0.99f);
+    diffusion::DivergenceSentinel sentinel(params, opt, config_.sentinel);
+    util::FaultInjector* injector = config_.fault_injector;
 
     const Budget& budget = substrate_->budget;
     const std::vector<int>& latent_shape =
@@ -221,7 +269,10 @@ diffusion::DiffusionTrainStats AeroDiffusionPipeline::fit(util::Rng& rng) {
     diffusion::DiffusionTrainStats stats;
     double tail_sum = 0.0;
     int tail_count = 0;
-    for (int step = 0; step < budget.diffusion_steps; ++step) {
+    bool first_recorded = false;
+    for (int step = start_step; step < budget.diffusion_steps; ++step) {
+        diffusion::inject_param_fault(injector, step, params);
+
         std::vector<Tensor> noisy;
         std::vector<Tensor> noise;
         std::vector<int> timesteps;
@@ -263,22 +314,46 @@ diffusion::DiffusionTrainStats AeroDiffusionPipeline::fit(util::Rng& rng) {
             unet_.forward(z_t, timesteps, schedule_.steps(), conds);
         const Var loss = ag::mse_loss(eps_pred, target);  // Eq. 6
         loss.backward();
-        opt.clip_grad_norm(5.0f);
+        diffusion::inject_grad_fault(injector, step, params);
+        const float grad_norm = opt.clip_grad_norm(config_.grad_clip);
+        const float value =
+            diffusion::inject_loss_fault(injector, step, loss.value()[0]);
+
+        // The sentinel rules before the update lands: a poisoned or
+        // spiking step is rolled back (joint UNet + condition-encoder
+        // state) instead of applied.
+        const auto action = sentinel.observe(step, value, grad_norm);
+        if (action == diffusion::DivergenceSentinel::Action::kAbort) break;
+        if (action == diffusion::DivergenceSentinel::Action::kRollback) {
+            continue;
+        }
+
         opt.step();
         ema.update();
 
-        const float value = loss.value()[0];
-        if (step == 0) stats.first_loss = value;
+        if (!first_recorded) {
+            stats.first_loss = value;
+            first_recorded = true;
+        }
         stats.final_loss = value;
         if (step >= budget.diffusion_steps * 3 / 4) {
             tail_sum += value;
             ++tail_count;
         }
+
+        if (!config_.checkpoint_path.empty() &&
+            config_.checkpoint_interval > 0 &&
+            (step + 1) % config_.checkpoint_interval == 0) {
+            save_checkpoint(config_.checkpoint_path, step + 1);
+        }
     }
     if (tail_count > 0) {
         stats.tail_loss = static_cast<float>(tail_sum / tail_count);
     }
-    ema.apply();  // sample from the averaged weights
+    stats.nan_events = sentinel.nan_events();
+    stats.rollbacks = sentinel.rollbacks();
+    stats.diverged = sentinel.diverged();
+    if (!stats.diverged) ema.apply();  // sample from the averaged weights
     util::log_info() << config_.name << ": diffusion loss "
                      << stats.first_loss << " -> " << stats.tail_loss;
     return stats;
@@ -297,13 +372,27 @@ diffusion::DdimConfig ddim_config_for(const PipelineConfig& config,
 
 }  // namespace
 
+Tensor AeroDiffusionPipeline::checked_condition(
+    const ConditionFeatures& features) const {
+    Tensor cond = condition_encoder_.encode(features).value();
+    for (const float v : cond.values()) {
+        if (!std::isfinite(v)) {
+            util::log_warn() << config_.name
+                             << ": non-finite condition encoding; degrading "
+                                "to unconditional sampling";
+            return Tensor();
+        }
+    }
+    return cond;
+}
+
 image::Image AeroDiffusionPipeline::generate(
     const scene::AerialSample& reference, const std::string& source_caption,
     const std::string& target_caption, util::Rng& rng,
     int sample_index) const {
     const ConditionFeatures features = features_for(
         reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = condition_encoder_.encode(features).value();
+    const Tensor cond = checked_condition(features);
 
     const diffusion::DdimSampler sampler(
         unet_, schedule_, ddim_config_for(config_, substrate_->budget));
@@ -322,7 +411,7 @@ image::Image AeroDiffusionPipeline::generate_edit(
     int sample_index) const {
     const ConditionFeatures features = features_for(
         reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = condition_encoder_.encode(features).value();
+    const Tensor cond = checked_condition(features);
 
     const diffusion::DdimSampler sampler(
         unet_, schedule_, ddim_config_for(config_, substrate_->budget));
@@ -340,7 +429,7 @@ image::Image AeroDiffusionPipeline::generate_inpaint(
     util::Rng& rng, int sample_index) const {
     const ConditionFeatures features = features_for(
         reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = condition_encoder_.encode(features).value();
+    const Tensor cond = checked_condition(features);
 
     const auto& ae_config = substrate_->autoencoder->config();
     const int s = ae_config.latent_size();

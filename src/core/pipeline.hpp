@@ -45,6 +45,21 @@ struct PipelineConfig {
     diffusion::Parameterization parameterization =
         diffusion::Parameterization::kV;
 
+    /// Global L2 gradient-norm clip applied every fit() step.
+    float grad_clip = 5.0f;
+    /// Divergence detection / rollback policy guarding fit().
+    diffusion::SentinelConfig sentinel;
+    /// When non-empty and `checkpoint_interval > 0`, fit() writes
+    /// save_checkpoint(checkpoint_path, step) every interval steps; with
+    /// `resume == true` it first restores that checkpoint (if present)
+    /// and continues from the recorded step.
+    std::string checkpoint_path;
+    int checkpoint_interval = 0;
+    bool resume = false;
+    /// Test-only fault injection; same points as the trainer ("param",
+    /// "grad", "loss", plus arm_spike on the loss).
+    util::FaultInjector* fault_injector = nullptr;
+
     /// Ready-made configurations.
     static PipelineConfig aero_diffusion();
     static PipelineConfig stable_diffusion();
@@ -108,6 +123,19 @@ public:
     /// Restores weights saved by save(); returns false on any mismatch.
     bool load(const std::string& path);
 
+    /// save() plus a `<path>.meta.json` sidecar recording the checkpoint
+    /// format version, pipeline name, and training step reached, so a
+    /// later run can resume mid-training.
+    bool save_checkpoint(const std::string& path, int step) const;
+    /// Restores a save_checkpoint() snapshot. Rejects missing/malformed
+    /// metadata and mismatched checkpoint formats; on success writes the
+    /// recorded step into `*resume_step` (when non-null).
+    bool load_checkpoint(const std::string& path, int* resume_step = nullptr);
+
+    const ConditionEncoder& condition_encoder() const {
+        return condition_encoder_;
+    }
+
 private:
     ConditionFeatures features_for(const scene::AerialSample& sample,
                                    const std::string& caption,
@@ -116,6 +144,10 @@ private:
     /// Variant-specific extra condition rows.
     Tensor extra_tokens(const scene::AerialSample& sample, int sample_index,
                         bool is_train) const;
+    /// Encodes `features`, but degrades to the unconditional null token
+    /// (empty tensor, logged) when the encoding is non-finite, so a
+    /// corrupted encoder yields a plain sample instead of NaN images.
+    Tensor checked_condition(const ConditionFeatures& features) const;
 
     PipelineConfig config_;
     const Substrate* substrate_;

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 
 #include "baselines/models.hpp"
 #include "core/condition.hpp"
 #include "core/pipeline.hpp"
 #include "core/substrate.hpp"
 #include "metrics/metrics.hpp"
+#include "util/fault.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -258,6 +263,140 @@ TEST(PipelineTest, EditAndInpaintProduceValidImages) {
     const auto inpainted = pipeline.generate_inpaint(
         sample, region, caption, caption, rng, 0);
     EXPECT_EQ(inpainted.width(), s.budget.image_size);
+}
+
+void remove_checkpoint(const std::string& path) {
+    std::remove((path + ".unet").c_str());
+    std::remove((path + ".cond").c_str());
+    std::remove((path + ".meta.json").c_str());
+}
+
+TEST(CheckpointTest, SaveLoadRoundTripRecordsStep) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng_a(31);
+    aero::util::Rng rng_b(32);  // different init
+    AeroDiffusionPipeline a(PipelineConfig::aero_diffusion(), s, rng_a);
+    AeroDiffusionPipeline b(PipelineConfig::aero_diffusion(), s, rng_b);
+    a.fit(rng_a);
+    const std::string path = testing::TempDir() + "/aero_ckpt";
+    ASSERT_TRUE(a.save_checkpoint(path, 17));
+
+    int step = -1;
+    ASSERT_TRUE(b.load_checkpoint(path, &step));
+    EXPECT_EQ(step, 17);
+
+    // Restored weights generate bit-identically for the same seed.
+    const auto& sample = s.dataset->test()[0];
+    const std::string caption = s.keypoint_test[0].text;
+    aero::util::Rng g1(5);
+    aero::util::Rng g2(5);
+    const auto img_a = a.generate(sample, caption, caption, g1, 0);
+    const auto img_b = b.generate(sample, caption, caption, g2, 0);
+    ASSERT_EQ(img_a.data().size(), img_b.data().size());
+    for (std::size_t i = 0; i < img_a.data().size(); ++i) {
+        EXPECT_EQ(img_a.data()[i], img_b.data()[i]);
+    }
+    remove_checkpoint(path);
+}
+
+TEST(CheckpointTest, RejectsMissingGarbageAndWrongFormatMetadata) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(33);
+    AeroDiffusionPipeline pipeline(PipelineConfig::aero_diffusion(), s, rng);
+    const std::string path = testing::TempDir() + "/aero_ckpt_meta";
+    ASSERT_TRUE(pipeline.save_checkpoint(path, 5));
+
+    EXPECT_FALSE(pipeline.load_checkpoint(path + "_nonexistent"));
+
+    {  // malformed JSON sidecar
+        std::ofstream meta(path + ".meta.json");
+        meta << "{ \"format\": 2, \"step\": ";  // truncated
+    }
+    EXPECT_FALSE(pipeline.load_checkpoint(path));
+
+    {  // valid JSON, old/unknown format version
+        aero::util::JsonValue meta = aero::util::JsonValue::object();
+        meta.set("format", 1);
+        meta.set("step", 5);
+        ASSERT_TRUE(meta.write_file(path + ".meta.json"));
+    }
+    EXPECT_FALSE(pipeline.load_checkpoint(path));
+    remove_checkpoint(path);
+}
+
+TEST(CheckpointTest, FitWritesPeriodicCheckpointsAndResumes) {
+    const Substrate& s = shared_substrate();
+    const std::string path = testing::TempDir() + "/aero_ckpt_mid";
+    PipelineConfig config = PipelineConfig::aero_diffusion();
+    config.checkpoint_path = path;
+    config.checkpoint_interval = 7;  // smoke budget trains 30 steps
+
+    aero::util::Rng rng_a(34);
+    AeroDiffusionPipeline a(config, s, rng_a);
+    a.fit(rng_a);
+
+    // Mid-training checkpoint exists and records a step on the cadence.
+    aero::util::JsonValue meta;
+    ASSERT_TRUE(
+        aero::util::json_parse_file(path + ".meta.json", &meta));
+    const aero::util::JsonValue* step = meta.find("step");
+    ASSERT_NE(step, nullptr);
+    const int recorded = static_cast<int>(step->as_number());
+    EXPECT_GT(recorded, 0);
+    EXPECT_EQ(recorded % config.checkpoint_interval, 0);
+
+    // A fresh pipeline resumes from it and finishes the remaining steps.
+    config.resume = true;
+    aero::util::Rng rng_b(35);
+    AeroDiffusionPipeline b(config, s, rng_b);
+    int loaded_step = -1;
+    ASSERT_TRUE(b.load_checkpoint(path, &loaded_step));
+    EXPECT_EQ(loaded_step, recorded);
+    const auto stats = b.fit(rng_b);
+    EXPECT_FALSE(stats.diverged);
+    EXPECT_TRUE(std::isfinite(stats.final_loss));
+    remove_checkpoint(path);
+}
+
+TEST(PipelineTest, NanInjectionDuringFitRollsBackAndCompletes) {
+    const Substrate& s = shared_substrate();
+    aero::util::FaultInjector injector(41);
+    injector.arm_nan(4, "param");
+    PipelineConfig config = PipelineConfig::aero_diffusion();
+    config.fault_injector = &injector;
+    config.sentinel.snapshot_interval = 2;
+
+    aero::util::Rng rng(36);
+    AeroDiffusionPipeline pipeline(config, s, rng);
+    const auto stats = pipeline.fit(rng);
+    EXPECT_EQ(injector.injected_count(), 1);
+    EXPECT_EQ(stats.nan_events, 1);
+    EXPECT_GE(stats.rollbacks, 1);
+    EXPECT_FALSE(stats.diverged);
+    EXPECT_TRUE(std::isfinite(stats.tail_loss));
+    EXPECT_GT(stats.tail_loss, 0.0f);
+}
+
+TEST(PipelineTest, PoisonedConditionEncoderDegradesToUnconditional) {
+    const Substrate& s = shared_substrate();
+    aero::util::Rng rng(37);
+    AeroDiffusionPipeline pipeline(PipelineConfig::aero_diffusion(), s, rng);
+    // Parameter Vars share storage with the module, so poisoning the
+    // copies corrupts the encoder exactly like a real numerical fault.
+    for (aero::autograd::Var p : pipeline.condition_encoder().parameters()) {
+        for (float& v : p.mutable_value().values()) {
+            v = std::numeric_limits<float>::quiet_NaN();
+        }
+    }
+    const auto& sample = s.dataset->test()[0];
+    const std::string caption = s.keypoint_test[0].text;
+    const auto img = pipeline.generate(sample, caption, caption, rng, 0);
+    EXPECT_EQ(img.width(), s.budget.image_size);
+    for (float v : img.data()) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
 }
 
 TEST(BaselineModels, AllSixFitAndGenerate) {
