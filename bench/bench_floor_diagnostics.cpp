@@ -8,6 +8,7 @@
 // If the conditioned model does not clearly beat the unconditional one
 // here, no Table I/IV comparison is meaningful.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -131,6 +132,38 @@ int main() {
         util::JsonValue floors = util::JsonValue::object();
         floors.set("ae_recon_fid", r.fid).set("real_fid", real.fid);
         results.set("floors", std::move(floors));
+    }
+
+    // Divergence-sentinel overhead: identical training runs with the
+    // sentinel off vs on (finite-checks + periodic snapshots). The guard
+    // should cost well under 2% of a step.
+    {
+        auto timed_run = [&](bool enabled) {
+            util::Rng rng(1);
+            diffusion::UNet unet(ucfg, rng);
+            diffusion::DiffusionTrainConfig cfg = tcfg;
+            cfg.condition_dropout = 0.1f;
+            cfg.sentinel.enabled = enabled;
+            const auto start = std::chrono::steady_clock::now();
+            diffusion::train_diffusion(unet, schedule, s.train_latents,
+                                       conds, cfg, rng);
+            const auto end = std::chrono::steady_clock::now();
+            return std::chrono::duration<double, std::milli>(end - start)
+                       .count() /
+                   static_cast<double>(cfg.steps);
+        };
+        const double off_ms = timed_run(false);
+        const double on_ms = timed_run(true);
+        const double overhead_pct = (on_ms / off_ms - 1.0) * 100.0;
+        std::printf(
+            "sentinel      : %.2f ms/step off, %.2f ms/step on "
+            "(overhead %+.2f%%)\n",
+            off_ms, on_ms, overhead_pct);
+        util::JsonValue row = util::JsonValue::object();
+        row.set("step_ms_sentinel_off", off_ms)
+            .set("step_ms_sentinel_on", on_ms)
+            .set("overhead_pct", overhead_pct);
+        results.set("sentinel_overhead", std::move(row));
     }
 
     bench::record_results("floor_diagnostics", results);
