@@ -1,0 +1,123 @@
+// Serving quickstart: put the hardened InferenceService in front of a
+// trained pipeline and watch the failure policy work.
+//
+//   1. Build dataset + substrate, train a small AeroDiffusion pipeline.
+//   2. Start the service (2 workers, bounded queue).
+//   3. Submit a mixed batch: valid requests, a garbage caption, a
+//      non-finite reference image, and a request with a 1 ms deadline.
+//   4. Inject a condition-encoder outage, trip the circuit breaker, and
+//      observe degraded (unconditional) fallbacks until the probe heals.
+//
+// Run with AERO_BENCH_SCALE=0 for a fast demo.
+
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "aerodiffusion.hpp"
+#include "serve/service.hpp"
+
+int main() {
+    using namespace aero;
+
+    // 1. Substrate + trained pipeline ---------------------------------------
+    const core::Budget budget = core::Budget::from_scale();
+    scene::DatasetConfig dataset_config;
+    dataset_config.train_size = budget.train_images;
+    dataset_config.test_size = budget.test_images;
+    dataset_config.image_size = budget.image_size;
+    const scene::AerialDataset dataset(dataset_config);
+    util::Rng rng(2025);
+    const core::Substrate substrate =
+        core::build_substrate(dataset, budget, rng);
+    core::AeroDiffusionPipeline pipeline(
+        core::PipelineConfig::aero_diffusion(), substrate, rng);
+    std::printf("training pipeline (%d params, %d steps)...\n",
+                pipeline.parameter_count(), budget.diffusion_steps);
+    pipeline.fit(rng);
+
+    // 2. Service ------------------------------------------------------------
+    util::FaultInjector injector(0xfee1);
+    serve::ServiceConfig config;
+    config.workers = 2;
+    config.queue_capacity = 16;
+    config.fault_injector = &injector;
+    serve::InferenceService service(pipeline, config);
+
+    auto make_request = [&](std::size_t slot) {
+        serve::InferenceRequest request;
+        request.reference = dataset.test()[slot % dataset.test().size()];
+        request.source_caption =
+            substrate.keypoint_test[slot % substrate.keypoint_test.size()]
+                .text;
+        request.target_caption = request.source_caption;
+        request.seed = 40 + slot;
+        return request;
+    };
+    auto show = [](const char* label, const serve::RequestResult& result) {
+        std::printf("  %-22s -> %-8s (%.1f ms, %d attempt%s)%s%s\n", label,
+                    serve::outcome_name(result.outcome), result.latency_ms,
+                    result.attempts, result.attempts == 1 ? "" : "s",
+                    result.message.empty() ? "" : " : ",
+                    result.message.c_str());
+    };
+
+    // 3. Mixed batch --------------------------------------------------------
+    std::printf("mixed batch:\n");
+    {
+        std::vector<std::pair<const char*,
+                              std::future<serve::RequestResult>>> batch;
+        batch.emplace_back("valid generate",
+                           service.submit(make_request(0)));
+
+        serve::InferenceRequest garbage = make_request(1);
+        garbage.target_caption = "\x01\x02 not a caption \xff";
+        batch.emplace_back("garbage caption",
+                           service.submit(std::move(garbage)));
+
+        serve::InferenceRequest poisoned = make_request(2);
+        poisoned.reference.image.at(0, 0, 0) = std::nanf("");
+        batch.emplace_back("NaN reference pixel",
+                           service.submit(std::move(poisoned)));
+
+        serve::InferenceRequest hurried = make_request(3);
+        hurried.deadline_ms = 1.0;  // expires while queued or mid-run
+        batch.emplace_back("1 ms deadline",
+                           service.submit(std::move(hurried)));
+
+        for (auto& [label, future] : batch) show(label, future.get());
+    }
+
+    // 4. Encoder outage: trip the breaker, then heal ------------------------
+    std::printf("condition-encoder outage (fail rate 1.0):\n");
+    injector.set_fail_rate("condition_encoder", 1.0);
+    for (std::size_t i = 0; i < 4; ++i) {
+        show("during outage", service.submit(make_request(10 + i)).get());
+    }
+    std::printf("  breaker state: %s\n",
+                serve::breaker_state_name(service.breaker_state()));
+
+    injector.set_fail_rate("condition_encoder", 0.0);
+    std::printf("encoder healed; probe should close the breaker:\n");
+    for (std::size_t i = 0; i < 4; ++i) {
+        show("after heal", service.submit(make_request(20 + i)).get());
+    }
+    std::printf("  breaker state: %s\n",
+                serve::breaker_state_name(service.breaker_state()));
+
+    service.stop();
+    const serve::ServiceStats stats = service.stats();
+    std::printf("stats: %lld submitted | ok %lld, degraded %lld, invalid "
+                "%lld, timeout %lld, shed %lld, failed %lld | retries %lld "
+                "| breaker trips/recoveries %d/%d | balanced=%s\n",
+                stats.submitted, stats.outcome(serve::Outcome::kOk),
+                stats.outcome(serve::Outcome::kDegraded),
+                stats.outcome(serve::Outcome::kInvalid),
+                stats.outcome(serve::Outcome::kTimeout),
+                stats.outcome(serve::Outcome::kShed),
+                stats.outcome(serve::Outcome::kFailed), stats.retries,
+                stats.breaker_trips, stats.breaker_recoveries,
+                stats.balanced() ? "yes" : "NO");
+    return stats.balanced() ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus one sanitizer pass, for CI and pre-commit use.
+#
+#   1. Plain Release build, full ctest suite        (build-check/)
+#   2. Sanitizer build, full ctest suite            (build-asan/)
+#      AERO_CHECK_SANITIZE picks the sanitizer list; the default
+#      address,undefined catches memory bugs in the fuzz/validation
+#      paths. Set AERO_CHECK_SANITIZE=thread to race-check the
+#      concurrent serving layer (test_serve) instead — TSan cannot be
+#      combined with ASan, hence one list per run.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE="${AERO_CHECK_SANITIZE:-address,undefined}"
+JOBS="${AERO_CHECK_JOBS:-$(nproc)}"
+
+echo "== tier-1: plain build + full test suite =="
+cmake -B build-check -S . >/dev/null
+cmake --build build-check -j "${JOBS}"
+(cd build-check && ctest --output-on-failure -j "${JOBS}" "$@")
+
+echo "== sanitizer pass: AERO_SANITIZE=${SANITIZE} =="
+SAN_DIR="build-san-${SANITIZE//,/-}"
+cmake -B "${SAN_DIR}" -S . -DAERO_SANITIZE="${SANITIZE}" >/dev/null
+cmake --build "${SAN_DIR}" -j "${JOBS}"
+if [ "${SANITIZE}" = "thread" ]; then
+    # TSan run targets the concurrency-heavy suites; the single-threaded
+    # suites add nothing under TSan but cost a full instrumented run.
+    (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" \
+        -R 'test_serve|test_util' "$@")
+else
+    (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
+fi
+
+echo "== all checks passed =="

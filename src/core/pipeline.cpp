@@ -372,34 +372,122 @@ diffusion::DdimConfig ddim_config_for(const PipelineConfig& config,
 
 }  // namespace
 
+bool AeroDiffusionPipeline::validate_reference(
+    const scene::AerialSample& reference, std::string* error) const {
+    const image::Image& img = reference.image;
+    if (img.empty()) {
+        if (error) *error = "reference image is empty";
+        return false;
+    }
+    const int size = substrate_->budget.image_size;
+    if (img.width() != size || img.height() != size) {
+        if (error) {
+            *error = "reference image is " + std::to_string(img.width()) +
+                     "x" + std::to_string(img.height()) + ", expected " +
+                     std::to_string(size) + "x" + std::to_string(size);
+        }
+        return false;
+    }
+    for (const float v : img.data()) {
+        if (!std::isfinite(v)) {
+            if (error) *error = "reference image contains non-finite pixels";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::optional<scene::BoundingBox> AeroDiffusionPipeline::clamp_region(
+    const scene::BoundingBox& region, int image_size, std::string* error) {
+    if (!std::isfinite(region.x) || !std::isfinite(region.y) ||
+        !std::isfinite(region.w) || !std::isfinite(region.h)) {
+        if (error) *error = "region has non-finite coordinates";
+        return std::nullopt;
+    }
+    if (region.w <= 0.0f || region.h <= 0.0f) {
+        if (error) *error = "region has non-positive size";
+        return std::nullopt;
+    }
+    const float s = static_cast<float>(image_size);
+    const float x0 = std::max(region.x, 0.0f);
+    const float y0 = std::max(region.y, 0.0f);
+    const float x1 = std::min(region.x + region.w, s);
+    const float y1 = std::min(region.y + region.h, s);
+    if (x0 >= x1 || y0 >= y1) {
+        if (error) *error = "region lies entirely outside the image";
+        return std::nullopt;
+    }
+    scene::BoundingBox clamped = region;
+    clamped.x = x0;
+    clamped.y = y0;
+    clamped.w = x1 - x0;
+    clamped.h = y1 - y0;
+    return clamped;
+}
+
 Tensor AeroDiffusionPipeline::checked_condition(
-    const ConditionFeatures& features) const {
+    const ConditionFeatures& features, GenerateControl* control) const {
+    if (control && control->force_unconditional) {
+        control->degraded = true;
+        return Tensor();
+    }
+    util::FaultInjector* injector =
+        control ? control->fault_injector : nullptr;
+    if (injector && injector->should_fail("condition_encoder")) {
+        util::log_warn() << config_.name
+                         << ": injected condition-encoder fault; degrading "
+                            "to unconditional sampling";
+        control->degraded = true;
+        return Tensor();
+    }
     Tensor cond = condition_encoder_.encode(features).value();
     for (const float v : cond.values()) {
         if (!std::isfinite(v)) {
             util::log_warn() << config_.name
                              << ": non-finite condition encoding; degrading "
                                 "to unconditional sampling";
+            if (control) control->degraded = true;
             return Tensor();
         }
     }
     return cond;
 }
 
+namespace {
+
+/// Rejection path shared by the generate* entry points.
+image::Image rejected(const std::string& name, const std::string& what,
+                      const std::string& error, GenerateControl* control) {
+    util::log_error() << name << ": " << what << " rejected: " << error;
+    if (control) control->error = error;
+    return image::Image();
+}
+
+}  // namespace
+
 image::Image AeroDiffusionPipeline::generate(
     const scene::AerialSample& reference, const std::string& source_caption,
-    const std::string& target_caption, util::Rng& rng,
-    int sample_index) const {
+    const std::string& target_caption, util::Rng& rng, int sample_index,
+    GenerateControl* control) const {
+    std::string error;
+    if (!validate_reference(reference, &error)) {
+        return rejected(config_.name, "generate", error, control);
+    }
     const ConditionFeatures features = features_for(
         reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = checked_condition(features);
+    const Tensor cond = checked_condition(features, control);
 
-    const diffusion::DdimSampler sampler(
-        unet_, schedule_, ddim_config_for(config_, substrate_->budget));
+    diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
+    if (control) ddim.should_cancel = control->should_cancel;
+    const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     const auto& ae_config = substrate_->autoencoder->config();
     const int s = ae_config.latent_size();
     Tensor latent =
         sampler.sample({ae_config.latent_channels, s, s}, cond, rng);
+    if (latent.empty()) {  // cancelled between denoising steps
+        if (control) control->cancelled = true;
+        return image::Image();
+    }
     // Undo the latent normalisation before decoding.
     latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
     return substrate_->autoencoder->decode_latent(latent);
@@ -408,17 +496,26 @@ image::Image AeroDiffusionPipeline::generate(
 image::Image AeroDiffusionPipeline::generate_edit(
     const scene::AerialSample& reference, const std::string& source_caption,
     const std::string& target_caption, float strength, util::Rng& rng,
-    int sample_index) const {
+    int sample_index, GenerateControl* control) const {
+    std::string error;
+    if (!validate_reference(reference, &error)) {
+        return rejected(config_.name, "generate_edit", error, control);
+    }
     const ConditionFeatures features = features_for(
         reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = checked_condition(features);
+    const Tensor cond = checked_condition(features, control);
 
-    const diffusion::DdimSampler sampler(
-        unet_, schedule_, ddim_config_for(config_, substrate_->budget));
+    diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
+    if (control) ddim.should_cancel = control->should_cancel;
+    const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     const Tensor source = tensor::scale(
         substrate_->autoencoder->encode_image(reference.image),
         substrate_->latent_scale);
     Tensor latent = sampler.edit(source, cond, strength, rng);
+    if (latent.empty()) {
+        if (control) control->cancelled = true;
+        return image::Image();
+    }
     latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
     return substrate_->autoencoder->decode_latent(latent);
 }
@@ -426,10 +523,19 @@ image::Image AeroDiffusionPipeline::generate_edit(
 image::Image AeroDiffusionPipeline::generate_inpaint(
     const scene::AerialSample& reference, const scene::BoundingBox& region,
     const std::string& source_caption, const std::string& target_caption,
-    util::Rng& rng, int sample_index) const {
+    util::Rng& rng, int sample_index, GenerateControl* control) const {
+    std::string error;
+    if (!validate_reference(reference, &error)) {
+        return rejected(config_.name, "generate_inpaint", error, control);
+    }
+    const std::optional<scene::BoundingBox> clamped =
+        clamp_region(region, substrate_->budget.image_size, &error);
+    if (!clamped) {
+        return rejected(config_.name, "generate_inpaint", error, control);
+    }
     const ConditionFeatures features = features_for(
         reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = checked_condition(features);
+    const Tensor cond = checked_condition(features, control);
 
     const auto& ae_config = substrate_->autoencoder->config();
     const int s = ae_config.latent_size();
@@ -437,12 +543,14 @@ image::Image AeroDiffusionPipeline::generate_inpaint(
                         static_cast<float>(substrate_->budget.image_size);
     // Pixel-space box -> latent-space mask (1 = regenerate).
     Tensor mask({ae_config.latent_channels, s, s});
-    const int x0 = std::clamp(static_cast<int>(region.x * scale), 0, s - 1);
-    const int y0 = std::clamp(static_cast<int>(region.y * scale), 0, s - 1);
+    const int x0 = std::clamp(static_cast<int>(clamped->x * scale), 0, s - 1);
+    const int y0 = std::clamp(static_cast<int>(clamped->y * scale), 0, s - 1);
     const int x1 = std::clamp(
-        static_cast<int>(std::ceil((region.x + region.w) * scale)), x0 + 1, s);
+        static_cast<int>(std::ceil((clamped->x + clamped->w) * scale)),
+        x0 + 1, s);
     const int y1 = std::clamp(
-        static_cast<int>(std::ceil((region.y + region.h) * scale)), y0 + 1, s);
+        static_cast<int>(std::ceil((clamped->y + clamped->h) * scale)),
+        y0 + 1, s);
     for (int c = 0; c < ae_config.latent_channels; ++c) {
         for (int y = y0; y < y1; ++y) {
             for (int x = x0; x < x1; ++x) {
@@ -451,12 +559,17 @@ image::Image AeroDiffusionPipeline::generate_inpaint(
         }
     }
 
-    const diffusion::DdimSampler sampler(
-        unet_, schedule_, ddim_config_for(config_, substrate_->budget));
+    diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
+    if (control) ddim.should_cancel = control->should_cancel;
+    const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     const Tensor source = tensor::scale(
         substrate_->autoencoder->encode_image(reference.image),
         substrate_->latent_scale);
     Tensor latent = sampler.inpaint(source, mask, cond, rng);
+    if (latent.empty()) {
+        if (control) control->cancelled = true;
+        return image::Image();
+    }
     latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
     return substrate_->autoencoder->decode_latent(latent);
 }

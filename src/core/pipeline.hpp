@@ -5,6 +5,9 @@
 // encoder; the frozen substrate (CLIP / autoencoder / detector) is
 // shared across models so comparisons isolate the conditioning.
 
+#include <functional>
+#include <optional>
+
 #include "core/condition.hpp"
 #include "diffusion/sampler.hpp"
 #include "diffusion/trainer.hpp"
@@ -71,6 +74,27 @@ struct PipelineConfig {
                                    bool with_object_detection);
 };
 
+/// Per-call control block for the generate* entry points, used by the
+/// serving layer. Inputs: a cancellation predicate polled between
+/// denoising steps, a switch that forces the unconditional path (open
+/// circuit breaker), and a fault injector for the "condition_encoder"
+/// point. Outputs report what actually happened so the caller can type
+/// the outcome instead of inspecting pixels.
+struct GenerateControl {
+    /// Polled between denoising steps; true abandons the run (the
+    /// returned image is empty, never half-rendered).
+    std::function<bool()> should_cancel;
+    /// Skip the condition encoder entirely and sample unconditionally
+    /// (marked degraded). Used while a circuit breaker is open.
+    bool force_unconditional = false;
+    /// Probabilistic "condition_encoder" faults (tests / soak benches).
+    util::FaultInjector* fault_injector = nullptr;
+
+    bool cancelled = false;  ///< run abandoned via should_cancel
+    bool degraded = false;   ///< sampled unconditionally (fallback/forced)
+    std::string error;       ///< non-empty when input validation rejected
+};
+
 class AeroDiffusionPipeline {
 public:
     AeroDiffusionPipeline(const PipelineConfig& config,
@@ -83,10 +107,15 @@ public:
     /// image features / ROIs), its source caption G_i, and the target
     /// caption G'_i (Table III changes G' to move the viewpoint).
     /// `sample_index` feeds variant-specific extras (ARLDM history).
+    /// All generate* entry points validate the reference up front (see
+    /// validate_reference) and return an empty image — with the reason
+    /// in `control->error` when a control block is given — instead of
+    /// propagating non-finite pixels into the encoders.
     image::Image generate(const scene::AerialSample& reference,
                           const std::string& source_caption,
                           const std::string& target_caption, util::Rng& rng,
-                          int sample_index = -1) const;
+                          int sample_index = -1,
+                          GenerateControl* control = nullptr) const;
 
     /// SDEdit-style variant of generate(): anchors the synthesis on the
     /// reference image's latent, re-noised to `strength` * T, so low
@@ -96,7 +125,8 @@ public:
                                const std::string& source_caption,
                                const std::string& target_caption,
                                float strength, util::Rng& rng,
-                               int sample_index = -1) const;
+                               int sample_index = -1,
+                               GenerateControl* control = nullptr) const;
 
     /// Regenerates only the given pixel-space region (RePaint-style
     /// latent inpainting); the rest of the reference is preserved.
@@ -105,7 +135,22 @@ public:
                                   const std::string& source_caption,
                                   const std::string& target_caption,
                                   util::Rng& rng,
-                                  int sample_index = -1) const;
+                                  int sample_index = -1,
+                                  GenerateControl* control = nullptr) const;
+
+    /// Validates a reference sample for the generate* entry points: the
+    /// image must be present, match the substrate budget's dimensions,
+    /// and contain only finite pixels. Fills `error` on failure.
+    bool validate_reference(const scene::AerialSample& reference,
+                            std::string* error) const;
+
+    /// Clamps `region` into an image_size x image_size frame. Rejects
+    /// (nullopt + `error`) non-finite coordinates, non-positive sizes,
+    /// and regions entirely outside the image; partial overlaps are
+    /// clamped to the intersection.
+    static std::optional<scene::BoundingBox> clamp_region(
+        const scene::BoundingBox& region, int image_size,
+        std::string* error);
 
     /// The captions this model trains on (per its captioner choice).
     const std::vector<text::Caption>& train_captions() const;
@@ -145,9 +190,11 @@ private:
     Tensor extra_tokens(const scene::AerialSample& sample, int sample_index,
                         bool is_train) const;
     /// Encodes `features`, but degrades to the unconditional null token
-    /// (empty tensor, logged) when the encoding is non-finite, so a
+    /// (empty tensor, logged) when the encoding is non-finite, the
+    /// control forces it, or the "condition_encoder" fault fires — so a
     /// corrupted encoder yields a plain sample instead of NaN images.
-    Tensor checked_condition(const ConditionFeatures& features) const;
+    Tensor checked_condition(const ConditionFeatures& features,
+                             GenerateControl* control) const;
 
     PipelineConfig config_;
     const Substrate* substrate_;

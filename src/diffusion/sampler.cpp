@@ -73,6 +73,9 @@ Tensor DdimSampler::run(Tensor z, std::size_t first_step,
                         util::Rng& rng) const {
     const std::vector<int> shape = z.shape();
     for (std::size_t k = first_step; k < timesteps.size(); ++k) {
+        if (config_.should_cancel && config_.should_cancel()) {
+            return Tensor();
+        }
         const int t = timesteps[k];
         const int t_prev =
             (k + 1 < timesteps.size()) ? timesteps[k + 1] : -1;

@@ -4,6 +4,8 @@
 //  * DdimSampler -- deterministic subsequence sampling with classifier-
 //    free guidance (the paper: 250 DDIM steps, guidance scale 7.0).
 
+#include <functional>
+
 #include "diffusion/schedule.hpp"
 #include "diffusion/unet.hpp"
 
@@ -38,10 +40,20 @@ struct DdimConfig {
     /// higher-order update; only applies to the deterministic (eta = 0)
     /// path.
     bool use_heun = false;
+    /// Cooperative cancellation, polled before every denoising step
+    /// (serving deadlines). When it returns true the sampler abandons
+    /// the run and returns an empty tensor — never a half-denoised
+    /// latent that could be mistaken for a finished sample.
+    std::function<bool()> should_cancel;
 
     /// The paper's inference configuration.
     static DdimConfig paper() {
-        return {250, 7.0f, 0.0f, Parameterization::kEpsilon};
+        DdimConfig config;
+        config.inference_steps = 250;
+        config.guidance_scale = 7.0f;
+        config.eta = 0.0f;
+        config.parameterization = Parameterization::kEpsilon;
+        return config;
     }
 };
 

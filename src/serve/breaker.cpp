@@ -1,0 +1,79 @@
+#include "serve/breaker.hpp"
+
+namespace aero::serve {
+
+bool CircuitBreaker::allow_conditional() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+        case State::kClosed: return true;
+        case State::kOpen:
+            if (--cooldown_remaining_ <= 0) {
+                state_ = State::kHalfOpen;
+                probe_in_flight_ = true;
+                return true;  // this caller carries the probe
+            }
+            return false;
+        case State::kHalfOpen:
+            if (!probe_in_flight_) {
+                probe_in_flight_ = true;
+                return true;
+            }
+            return false;  // one probe at a time; others stay degraded
+    }
+    return true;
+}
+
+void CircuitBreaker::on_success() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kHalfOpen) {
+        state_ = State::kClosed;
+        probe_in_flight_ = false;
+        ++recoveries_;
+    }
+    consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::on_failure() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kHalfOpen) {
+        state_ = State::kOpen;
+        probe_in_flight_ = false;
+        cooldown_remaining_ = config_.open_cooldown;
+        consecutive_failures_ = 0;
+        ++trips_;
+        return;
+    }
+    if (state_ == State::kClosed &&
+        ++consecutive_failures_ >= config_.failure_threshold) {
+        state_ = State::kOpen;
+        cooldown_remaining_ = config_.open_cooldown;
+        consecutive_failures_ = 0;
+        ++trips_;
+    }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+int CircuitBreaker::trips() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return trips_;
+}
+
+int CircuitBreaker::recoveries() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return recoveries_;
+}
+
+const char* breaker_state_name(CircuitBreaker::State state) {
+    switch (state) {
+        case CircuitBreaker::State::kClosed: return "closed";
+        case CircuitBreaker::State::kOpen: return "open";
+        case CircuitBreaker::State::kHalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+}  // namespace aero::serve

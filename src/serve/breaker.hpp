@@ -1,0 +1,58 @@
+#pragma once
+// Circuit breaker over the condition-encoder path. Repeated encoder
+// failures trip the breaker Open; while Open the service skips the
+// encoder entirely and serves degraded unconditional samples (the
+// fallback introduced with the divergence-sentinel work) instead of
+// burning retries on a known-bad dependency. After `open_cooldown`
+// further requests the breaker turns HalfOpen and grants exactly one
+// probe the conditional path: a successful probe closes the breaker, a
+// failed one re-opens it for another cooldown. All methods are
+// thread-safe behind a single internal mutex; cooldown is counted in
+// requests rather than wall time so tests are deterministic.
+
+#include <mutex>
+
+namespace aero::serve {
+
+struct BreakerConfig {
+    int failure_threshold = 3;  ///< consecutive failures that trip Open
+    int open_cooldown = 4;      ///< requests served Open before HalfOpen
+};
+
+class CircuitBreaker {
+public:
+    enum class State { kClosed, kOpen, kHalfOpen };
+
+    explicit CircuitBreaker(const BreakerConfig& config) : config_(config) {}
+
+    /// Admission decision for one attempt: true = take the conditional
+    /// path (breaker Closed, or this caller just won the HalfOpen probe
+    /// slot); false = serve the degraded unconditional path. While Open
+    /// each call counts down the cooldown.
+    bool allow_conditional();
+
+    /// The conditional path succeeded: resets the failure streak; a
+    /// probe success closes the breaker (recovery).
+    void on_success();
+    /// The condition encoder failed on the conditional path: extends
+    /// the streak / trips Open; a probe failure re-opens.
+    void on_failure();
+
+    State state() const;
+    int trips() const;       ///< transitions into Open
+    int recoveries() const;  ///< HalfOpen -> Closed transitions
+
+private:
+    BreakerConfig config_;
+    mutable std::mutex mutex_;
+    State state_ = State::kClosed;
+    int consecutive_failures_ = 0;
+    int cooldown_remaining_ = 0;
+    bool probe_in_flight_ = false;
+    int trips_ = 0;
+    int recoveries_ = 0;
+};
+
+const char* breaker_state_name(CircuitBreaker::State state);
+
+}  // namespace aero::serve

@@ -1,0 +1,288 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace aero::serve {
+
+InferenceService::InferenceService(
+    const core::AeroDiffusionPipeline& pipeline, const ServiceConfig& config)
+    : pipeline_(&pipeline), config_(config), breaker_(config.breaker) {
+    const int workers = std::max(1, config_.workers);
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+        // Large odd stride keeps per-worker seeds distinct; each worker
+        // owns its Rng outright (the shared util::Rng is not
+        // thread-safe, so it is never shared).
+        const std::uint64_t worker_seed =
+            config_.seed + 0x9e3779b97f4a7c15ull * (i + 1);
+        workers_.emplace_back(&InferenceService::worker_loop, this,
+                              worker_seed);
+    }
+}
+
+InferenceService::~InferenceService() { stop(); }
+
+std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
+    const Clock::time_point now = Clock::now();
+    std::promise<RequestResult> promise;
+    std::future<RequestResult> future = promise.get_future();
+
+    {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.submitted;
+    }
+
+    // Validation rejects before any queueing or tensor math.
+    RequestResult early;
+    std::string message;
+    const InvalidReason reason =
+        validate_request(request, config_.limits, &message);
+    if (reason != InvalidReason::kNone) {
+        early.outcome = Outcome::kInvalid;
+        early.invalid_reason = reason;
+        early.message = message;
+        record(early);
+        promise.set_value(std::move(early));
+        return future;
+    }
+
+    Job job;
+    job.request = std::move(request);
+    job.promise = std::move(promise);
+    job.submitted_at = now;
+    job.has_deadline = job.request.deadline_ms > 0.0;
+    if (job.has_deadline) {
+        job.deadline =
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          job.request.deadline_ms));
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        if (accepting_ && queue_.size() < config_.queue_capacity) {
+            queue_.push_back(std::move(job));
+            lock.unlock();
+            queue_cv_.notify_one();
+            return future;
+        }
+    }
+
+    // Load shedding: a full queue answers immediately instead of letting
+    // latency grow without bound.
+    early.outcome = Outcome::kShed;
+    early.message = "admission queue full or service stopped";
+    record(early);
+    job.promise.set_value(std::move(early));
+    return future;
+}
+
+void InferenceService::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (stopping_ && !accepting_ && workers_.empty()) return;
+        accepting_ = false;
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+}
+
+ServiceStats InferenceService::stats() const {
+    ServiceStats snapshot;
+    {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        snapshot = stats_;
+    }
+    snapshot.breaker_trips = breaker_.trips();
+    snapshot.breaker_recoveries = breaker_.recoveries();
+    return snapshot;
+}
+
+void InferenceService::record(const RequestResult& result) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.by_outcome[static_cast<int>(result.outcome)];
+    stats_.retries += result.retries;
+    if (result.cancelled) ++stats_.cancelled_mid_run;
+}
+
+void InferenceService::worker_loop(std::uint64_t worker_seed) {
+    util::Rng backoff_rng(worker_seed);
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        RequestResult result = process(job, backoff_rng);
+        record(result);
+        job.promise.set_value(std::move(result));
+    }
+}
+
+bool InferenceService::backoff(int attempt, const Job& job,
+                               util::Rng& rng) const {
+    double delay = config_.backoff_base_ms *
+                   static_cast<double>(1u << std::min(attempt - 1, 16));
+    delay = std::min(delay, config_.backoff_max_ms);
+    delay *= 0.5 + rng.uniform();  // jitter in [0.5, 1.5)
+    const Clock::time_point wake =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(delay));
+    if (job.has_deadline && wake >= job.deadline) return false;
+    std::this_thread::sleep_until(wake);
+    return true;
+}
+
+RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
+    RequestResult result;
+    const Clock::time_point picked_up = Clock::now();
+    result.queue_ms =
+        std::chrono::duration<double, std::milli>(picked_up -
+                                                  job.submitted_at)
+            .count();
+    const auto finish = [&](Outcome outcome, const std::string& message) {
+        result.outcome = outcome;
+        result.message = message;
+        result.latency_ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - job.submitted_at)
+                                .count();
+        result.retries = std::max(0, result.attempts - 1);
+        return result;
+    };
+
+    if (job.has_deadline && picked_up >= job.deadline) {
+        return finish(Outcome::kTimeout, "deadline expired while queued");
+    }
+
+    const InferenceRequest& request = job.request;
+    util::FaultInjector* injector = config_.fault_injector;
+
+    for (int attempt = 1; attempt <= std::max(1, config_.max_attempts);
+         ++attempt) {
+        result.attempts = attempt;
+        const bool last_attempt = attempt >= std::max(1, config_.max_attempts);
+
+        // Transient serve-side fault (scheduler hiccup, flaky I/O...):
+        // nothing ran yet, so plain retry-with-backoff is the answer.
+        if (injector && injector->should_fail("serve_transient")) {
+            if (last_attempt) {
+                return finish(Outcome::kFailed,
+                              "transient fault persisted through retries");
+            }
+            if (!backoff(attempt, job, backoff_rng)) {
+                return finish(Outcome::kTimeout,
+                              "deadline expired during retry backoff");
+            }
+            continue;
+        }
+
+        const bool conditional = breaker_.allow_conditional();
+        core::GenerateControl control;
+        control.force_unconditional = !conditional;
+        control.fault_injector = injector;
+        if (job.has_deadline) {
+            const Clock::time_point deadline = job.deadline;
+            control.should_cancel = [deadline] {
+                return Clock::now() >= deadline;
+            };
+        }
+
+        // Per-request determinism: the image depends on the request
+        // seed and the attempt, not on which worker drew the job.
+        util::Rng request_rng(request.seed +
+                              0xd1b54a32d192ed03ull *
+                                  static_cast<std::uint64_t>(attempt));
+        image::Image image;
+        switch (request.task) {
+            case TaskKind::kGenerate:
+                image = pipeline_->generate(request.reference,
+                                            request.source_caption,
+                                            request.target_caption,
+                                            request_rng, -1, &control);
+                break;
+            case TaskKind::kEdit:
+                image = pipeline_->generate_edit(
+                    request.reference, request.source_caption,
+                    request.target_caption, request.strength, request_rng,
+                    -1, &control);
+                break;
+            case TaskKind::kInpaint:
+                image = pipeline_->generate_inpaint(
+                    request.reference, request.region,
+                    request.source_caption, request.target_caption,
+                    request_rng, -1, &control);
+                break;
+        }
+
+        if (control.cancelled) {
+            result.cancelled = true;
+            return finish(Outcome::kTimeout,
+                          "deadline hit; cancelled between denoising steps");
+        }
+        if (!control.error.empty()) {
+            // Pipeline-level rejection: validation should have caught
+            // this, so surface it as invalid rather than crash or loop.
+            result.invalid_reason = InvalidReason::kBadReferenceImage;
+            return finish(Outcome::kInvalid, control.error);
+        }
+
+        bool finite = !image.empty();
+        for (const float v : image.data()) {
+            if (!std::isfinite(v)) {
+                finite = false;
+                break;
+            }
+        }
+        if (!finite) {
+            // A non-finite or missing sample must never leave the
+            // service; treat like a transient and retry on fresh noise.
+            if (last_attempt) {
+                return finish(Outcome::kFailed,
+                              "sampler produced no finite image");
+            }
+            if (!backoff(attempt, job, backoff_rng)) {
+                return finish(Outcome::kTimeout,
+                              "deadline expired during retry backoff");
+            }
+            continue;
+        }
+
+        if (!conditional) {
+            // Breaker open: degraded unconditional sample by design.
+            result.image = std::move(image);
+            return finish(Outcome::kDegraded,
+                          "circuit breaker open; served unconditional");
+        }
+        if (control.degraded) {
+            // Conditional path failed (injected fault or non-finite
+            // encoding); the image in hand is the unconditional
+            // fallback. Tell the breaker, then retry for a conditional
+            // sample while attempts remain.
+            breaker_.on_failure();
+            if (last_attempt || !backoff(attempt, job, backoff_rng)) {
+                result.image = std::move(image);
+                return finish(Outcome::kDegraded,
+                              "condition encoder failed; served "
+                              "unconditional fallback");
+            }
+            continue;
+        }
+        breaker_.on_success();
+        result.image = std::move(image);
+        return finish(Outcome::kOk, "");
+    }
+    return finish(Outcome::kFailed, "attempts exhausted");
+}
+
+}  // namespace aero::serve

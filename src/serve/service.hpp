@@ -1,0 +1,144 @@
+#pragma once
+// Multi-threaded batch inference service in front of a trained
+// AeroDiffusionPipeline — the serving entry point the detector-training
+// consumers (AeroGen-style bulk augmentation) hit. The failure policy,
+// end to end:
+//
+//   submit() --validate--> kInvalid        (typed reason, no tensor math)
+//            --queue full--> kShed         (bounded admission queue)
+//   worker   --deadline already passed--> kTimeout
+//            --transient fault--> retry with exponential backoff + jitter
+//            --condition-encoder failure--> retry; repeated failures trip
+//              the circuit breaker, which serves degraded unconditional
+//              samples until a probe succeeds
+//            --deadline mid-run--> cancelled between denoising steps
+//              (kTimeout; never a half-rendered image)
+//            --all attempts exhausted--> kFailed
+//
+// Every submit() resolves its future with exactly one Outcome, and the
+// stats() snapshot balances: submitted == sum over outcomes once all
+// futures are ready.
+//
+// Locking discipline (TSan-covered by test_serve via scripts/check.sh):
+//   * queue_mutex_ guards queue_, accepting_ and stopping_; sleeps and
+//     wake-ups go through queue_cv_.
+//   * stats_mutex_ guards the ServiceStats counters.
+//   * the breaker carries its own internal mutex.
+//   * the pipeline and substrate are shared strictly read-only —
+//     inference builds its autograd graph on fresh nodes and the
+//     service never calls fit()/backward() — and every worker owns a
+//     private Rng, so model state needs no lock at all.
+//   Never hold two of these mutexes at once (no nesting, no ordering
+//   hazards); the breaker is only called with both released.
+
+#include <condition_variable>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/breaker.hpp"
+#include "serve/validation.hpp"
+#include "util/fault.hpp"
+
+namespace aero::serve {
+
+struct ServiceConfig {
+    int workers = 2;
+    std::size_t queue_capacity = 8;  ///< pending requests before shedding
+    /// Generation attempts per request (first try + retries) for
+    /// transient and condition-encoder faults.
+    int max_attempts = 3;
+    double backoff_base_ms = 0.5;  ///< doubled per retry, jittered
+    double backoff_max_ms = 8.0;
+    ValidationLimits limits;
+    BreakerConfig breaker;
+    /// Optional injector shared with tests/benches; the service draws
+    /// the "serve_transient" point itself and forwards the injector to
+    /// the pipeline for "condition_encoder".
+    util::FaultInjector* fault_injector = nullptr;
+    std::uint64_t seed = 0x5e21e;  ///< forked into per-worker Rngs
+};
+
+/// Monotonic counters; snapshot via InferenceService::stats().
+struct ServiceStats {
+    long long submitted = 0;
+    long long by_outcome[kNumOutcomes] = {};
+    long long retries = 0;            ///< extra attempts across requests
+    long long cancelled_mid_run = 0;  ///< deadline hit between steps
+    int breaker_trips = 0;
+    int breaker_recoveries = 0;
+
+    long long outcome(Outcome o) const {
+        return by_outcome[static_cast<int>(o)];
+    }
+    long long terminal() const {
+        long long sum = 0;
+        for (const long long n : by_outcome) sum += n;
+        return sum;
+    }
+    /// The accounting invariant: once every future is resolved, each
+    /// submitted request has exactly one terminal outcome.
+    bool balanced() const { return submitted == terminal(); }
+};
+
+class InferenceService {
+public:
+    /// The pipeline (and the substrate it references) must outlive the
+    /// service and must not be trained while serving.
+    InferenceService(const core::AeroDiffusionPipeline& pipeline,
+                     const ServiceConfig& config);
+    ~InferenceService();
+    InferenceService(const InferenceService&) = delete;
+    InferenceService& operator=(const InferenceService&) = delete;
+
+    /// Admission control: validates, then either enqueues or resolves
+    /// immediately (kInvalid / kShed). The returned future is always
+    /// eventually satisfied with a terminal outcome.
+    std::future<RequestResult> submit(InferenceRequest request);
+
+    /// Stops admission, drains the queued work, joins the workers.
+    /// Idempotent; the destructor calls it.
+    void stop();
+
+    ServiceStats stats() const;
+    CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Job {
+        InferenceRequest request;
+        std::promise<RequestResult> promise;
+        Clock::time_point submitted_at;
+        Clock::time_point deadline;
+        bool has_deadline = false;
+    };
+
+    void worker_loop(std::uint64_t worker_seed);
+    RequestResult process(Job& job, util::Rng& backoff_rng);
+    void record(const RequestResult& result);
+    /// Sleeps for the attempt's jittered backoff; false when the sleep
+    /// would cross the job's deadline (caller times the request out).
+    bool backoff(int attempt, const Job& job, util::Rng& rng) const;
+
+    const core::AeroDiffusionPipeline* pipeline_;
+    ServiceConfig config_;
+    CircuitBreaker breaker_;
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Job> queue_;
+    bool accepting_ = true;
+    bool stopping_ = false;
+
+    mutable std::mutex stats_mutex_;
+    ServiceStats stats_;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace aero::serve

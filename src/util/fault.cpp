@@ -10,14 +10,17 @@ namespace aero::util {
 FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
 
 void FaultInjector::arm_nan(int step, const std::string& point) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     nan_faults_.push_back({step, point});
 }
 
 void FaultInjector::arm_spike(int step, float factor) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     spike_faults_.push_back({step, factor});
 }
 
 bool FaultInjector::fires(int step, const std::string& point) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     for (NanFault& fault : nan_faults_) {
         if (!fault.delivered && fault.step == step && fault.point == point) {
             fault.delivered = true;
@@ -29,6 +32,7 @@ bool FaultInjector::fires(int step, const std::string& point) {
 }
 
 float FaultInjector::spike_factor(int step) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     for (SpikeFault& fault : spike_faults_) {
         if (!fault.delivered && fault.step == step) {
             fault.delivered = true;
@@ -37,6 +41,29 @@ float FaultInjector::spike_factor(int step) {
         }
     }
     return 1.0f;
+}
+
+void FaultInjector::set_fail_rate(const std::string& point, double rate) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (rate <= 0.0) {
+        fail_rates_.erase(point);
+    } else {
+        fail_rates_[point] = rate;
+    }
+}
+
+bool FaultInjector::should_fail(const std::string& point) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = fail_rates_.find(point);
+    if (it == fail_rates_.end()) return false;
+    if (!rng_.bernoulli(it->second)) return false;
+    ++injected_;
+    return true;
+}
+
+int FaultInjector::injected_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return injected_;
 }
 
 bool FaultInjector::truncate_file(const std::string& path,
@@ -63,6 +90,7 @@ bool FaultInjector::flip_byte(const std::string& path, std::size_t offset,
 
 bool FaultInjector::flip_random_byte(const std::string& path,
                                      std::size_t min_offset) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::error_code ec;
     const auto size = std::filesystem::file_size(path, ec);
     if (ec || size <= min_offset) return false;

@@ -6,8 +6,15 @@
 // with faults scheduled at specific steps; production code paths carry a
 // null injector and pay only a pointer check. File-corruption helpers
 // (truncate / flip-byte) simulate torn or bit-rotted checkpoints.
+//
+// The serving layer adds probabilistic points ("condition_encoder",
+// "serve_transient") hit from concurrent worker threads, so every
+// mutating member is guarded by an internal mutex; one injector can be
+// shared by a whole service.
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,10 +39,20 @@ public:
     /// Multiplier to apply to the loss at `step` (1.0 when unarmed).
     float spike_factor(int step);
 
-    /// Faults actually delivered so far (tests assert full delivery).
-    int injected_count() const { return injected_; }
+    /// Sets the probability that `should_fail(point)` reports a fault.
+    /// Rate <= 0 clears the point. Callable while a service is running
+    /// (tests heal an outage by dropping the rate back to zero).
+    void set_fail_rate(const std::string& point, double rate);
 
-    /// Seeded generator for randomised corruption offsets.
+    /// Seeded Bernoulli draw at `point`'s configured rate (false when
+    /// unconfigured). Counts delivered faults; safe from any thread.
+    bool should_fail(const std::string& point);
+
+    /// Faults actually delivered so far (tests assert full delivery).
+    int injected_count() const;
+
+    /// Seeded generator for randomised corruption offsets. NOT guarded:
+    /// only for single-threaded test setup, never from service workers.
     Rng& rng() { return rng_; }
 
     // ---- file corruption ----------------------------------------------------
@@ -66,9 +83,11 @@ private:
         bool delivered = false;
     };
 
+    mutable std::mutex mutex_;
     Rng rng_;
     std::vector<NanFault> nan_faults_;
     std::vector<SpikeFault> spike_faults_;
+    std::map<std::string, double> fail_rates_;
     int injected_ = 0;
 };
 
