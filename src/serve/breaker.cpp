@@ -2,20 +2,24 @@
 
 namespace aero::serve {
 
-bool CircuitBreaker::allow_conditional() {
+bool CircuitBreaker::allow_conditional(bool* holds_probe,
+                                       bool count_cooldown) {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (holds_probe) *holds_probe = false;
     switch (state_) {
         case State::kClosed: return true;
         case State::kOpen:
-            if (--cooldown_remaining_ <= 0) {
+            if (count_cooldown && --cooldown_remaining_ <= 0) {
                 state_ = State::kHalfOpen;
                 probe_in_flight_ = true;
+                if (holds_probe) *holds_probe = true;
                 return true;  // this caller carries the probe
             }
             return false;
         case State::kHalfOpen:
             if (!probe_in_flight_) {
                 probe_in_flight_ = true;
+                if (holds_probe) *holds_probe = true;
                 return true;
             }
             return false;  // one probe at a time; others stay degraded
@@ -50,6 +54,14 @@ void CircuitBreaker::on_failure() {
         consecutive_failures_ = 0;
         ++trips_;
     }
+}
+
+void CircuitBreaker::on_probe_abandoned() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Only the probe holder calls this; if a racing on_success() /
+    // on_failure() already moved the breaker out of HalfOpen the slot
+    // was released there, so this is a no-op.
+    if (state_ == State::kHalfOpen) probe_in_flight_ = false;
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {

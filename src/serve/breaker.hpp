@@ -6,9 +6,12 @@
 // burning retries on a known-bad dependency. After `open_cooldown`
 // further requests the breaker turns HalfOpen and grants exactly one
 // probe the conditional path: a successful probe closes the breaker, a
-// failed one re-opens it for another cooldown. All methods are
-// thread-safe behind a single internal mutex; cooldown is counted in
-// requests rather than wall time so tests are deterministic.
+// failed one re-opens it for another cooldown, and a probe abandoned
+// without a verdict (deadline cancellation, pipeline rejection) must
+// release the slot via on_probe_abandoned() so the next request can
+// probe. All methods are thread-safe behind a single internal mutex;
+// cooldown is counted in distinct requests rather than wall time so
+// tests are deterministic (retry attempts pass count_cooldown=false).
 
 #include <mutex>
 
@@ -16,7 +19,9 @@ namespace aero::serve {
 
 struct BreakerConfig {
     int failure_threshold = 3;  ///< consecutive failures that trip Open
-    int open_cooldown = 4;      ///< requests served Open before HalfOpen
+    /// Distinct requests served Open before HalfOpen (retry attempts
+    /// within one request do not count).
+    int open_cooldown = 4;
 };
 
 class CircuitBreaker {
@@ -28,8 +33,14 @@ public:
     /// Admission decision for one attempt: true = take the conditional
     /// path (breaker Closed, or this caller just won the HalfOpen probe
     /// slot); false = serve the degraded unconditional path. While Open
-    /// each call counts down the cooldown.
-    bool allow_conditional();
+    /// each call with `count_cooldown` set counts down the cooldown —
+    /// callers pass false on retry attempts so `open_cooldown` counts
+    /// distinct requests, not attempts. When the caller wins the probe
+    /// slot, `*holds_probe` is set; the holder owes the breaker exactly
+    /// one verdict: on_success(), on_failure(), or
+    /// on_probe_abandoned().
+    bool allow_conditional(bool* holds_probe = nullptr,
+                           bool count_cooldown = true);
 
     /// The conditional path succeeded: resets the failure streak; a
     /// probe success closes the breaker (recovery).
@@ -37,6 +48,11 @@ public:
     /// The condition encoder failed on the conditional path: extends
     /// the streak / trips Open; a probe failure re-opens.
     void on_failure();
+    /// The probe holder exited without learning anything about the
+    /// encoder (deadline cancellation, pipeline rejection, non-finite
+    /// sample): frees the probe slot, state unchanged, so the breaker
+    /// cannot wedge HalfOpen with no probe ever completing.
+    void on_probe_abandoned();
 
     State state() const;
     int trips() const;       ///< transitions into Open

@@ -81,9 +81,12 @@ std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
 }
 
 void InferenceService::stop() {
+    // stop_mutex_ serialises concurrent stoppers (an explicit stop()
+    // racing the destructor): exactly one caller runs the join/clear
+    // phase, the other blocks until the workers are gone.
+    const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
     {
         const std::lock_guard<std::mutex> lock(queue_mutex_);
-        if (stopping_ && !accepting_ && workers_.empty()) return;
         accepting_ = false;
         stopping_ = true;
     }
@@ -187,7 +190,33 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
             continue;
         }
 
-        const bool conditional = breaker_.allow_conditional();
+        // Only the first attempt counts toward the Open-state cooldown:
+        // open_cooldown is specified in distinct requests, not retries.
+        bool holds_probe = false;
+        const bool conditional = breaker_.allow_conditional(
+            &holds_probe, /*count_cooldown=*/attempt == 1);
+        // A probe holder owes the breaker exactly one verdict. Exits
+        // that learn nothing about the encoder (cancellation, pipeline
+        // rejection, non-finite sample) must free the slot or the
+        // breaker wedges HalfOpen forever; RAII covers every
+        // continue/return below. Disarmed before on_success/on_failure.
+        struct ProbeRelease {
+            CircuitBreaker* breaker;
+            bool armed;
+            ~ProbeRelease() {
+                if (armed) breaker->on_probe_abandoned();
+            }
+        } probe{&breaker_, holds_probe};
+
+        // Injected stall (GC pause, cold cache, noisy neighbour) inside
+        // the attempt, after breaker admission: makes mid-run deadline
+        // cancellation reachable deterministically in tests.
+        if (injector && injector->should_fail("serve_slow")) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    config_.slow_fault_ms));
+        }
+
         core::GenerateControl control;
         control.force_unconditional = !conditional;
         control.fault_injector = injector;
@@ -269,6 +298,7 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
             // encoding); the image in hand is the unconditional
             // fallback. Tell the breaker, then retry for a conditional
             // sample while attempts remain.
+            probe.armed = false;
             breaker_.on_failure();
             if (last_attempt || !backoff(attempt, job, backoff_rng)) {
                 result.image = std::move(image);
@@ -278,6 +308,7 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
             }
             continue;
         }
+        probe.armed = false;
         breaker_.on_success();
         result.image = std::move(image);
         return finish(Outcome::kOk, "");

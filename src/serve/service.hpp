@@ -23,13 +23,16 @@
 //   * queue_mutex_ guards queue_, accepting_ and stopping_; sleeps and
 //     wake-ups go through queue_cv_.
 //   * stats_mutex_ guards the ServiceStats counters.
+//   * stop_mutex_ serialises concurrent stop() callers (explicit stop
+//     racing the destructor) across the join/clear phase.
 //   * the breaker carries its own internal mutex.
 //   * the pipeline and substrate are shared strictly read-only —
 //     inference builds its autograd graph on fresh nodes and the
 //     service never calls fit()/backward() — and every worker owns a
 //     private Rng, so model state needs no lock at all.
-//   Never hold two of these mutexes at once (no nesting, no ordering
-//   hazards); the breaker is only called with both released.
+//   The only nesting is stop_mutex_ -> queue_mutex_ inside stop();
+//   everywhere else at most one of these mutexes is held, and the
+//   breaker is only called with all of them released.
 
 #include <condition_variable>
 #include <chrono>
@@ -57,9 +60,12 @@ struct ServiceConfig {
     ValidationLimits limits;
     BreakerConfig breaker;
     /// Optional injector shared with tests/benches; the service draws
-    /// the "serve_transient" point itself and forwards the injector to
-    /// the pipeline for "condition_encoder".
+    /// the "serve_transient" and "serve_slow" points itself and
+    /// forwards the injector to the pipeline for "condition_encoder".
     util::FaultInjector* fault_injector = nullptr;
+    /// Stall injected when the "serve_slow" point fires: slept inside
+    /// the attempt, after breaker admission and before generation.
+    double slow_fault_ms = 50.0;
     std::uint64_t seed = 0x5e21e;  ///< forked into per-worker Rngs
 };
 
@@ -101,7 +107,8 @@ public:
     std::future<RequestResult> submit(InferenceRequest request);
 
     /// Stops admission, drains the queued work, joins the workers.
-    /// Idempotent; the destructor calls it.
+    /// Idempotent and safe against concurrent callers; the destructor
+    /// calls it.
     void stop();
 
     ServiceStats stats() const;
@@ -138,6 +145,7 @@ private:
     mutable std::mutex stats_mutex_;
     ServiceStats stats_;
 
+    std::mutex stop_mutex_;  ///< serialises stop()'s join/clear phase
     std::vector<std::thread> workers_;
 };
 

@@ -8,7 +8,7 @@
 // (truncate / flip-byte) simulate torn or bit-rotted checkpoints.
 //
 // The serving layer adds probabilistic points ("condition_encoder",
-// "serve_transient") hit from concurrent worker threads, so every
+// "serve_transient", "serve_slow") hit from concurrent worker threads, so every
 // mutating member is guarded by an internal mutex; one injector can be
 // shared by a whole service.
 

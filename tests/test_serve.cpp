@@ -10,6 +10,7 @@
 #include <future>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -334,6 +335,50 @@ TEST(CircuitBreakerTest, TripCooldownProbeRecover) {
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
 }
 
+TEST(CircuitBreakerTest, AbandonedProbeFreesTheSlot) {
+    CircuitBreaker breaker({/*failure_threshold=*/1, /*open_cooldown=*/1});
+    breaker.on_failure();  // trips immediately
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+    bool probe = false;
+    EXPECT_TRUE(breaker.allow_conditional(&probe));
+    EXPECT_TRUE(probe);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    EXPECT_FALSE(breaker.allow_conditional(&probe));
+    EXPECT_FALSE(probe);
+
+    // The holder bails without a verdict (deadline cancellation): the
+    // slot frees, the state stays HalfOpen, and the next request
+    // carries a fresh probe instead of the breaker wedging.
+    breaker.on_probe_abandoned();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    EXPECT_TRUE(breaker.allow_conditional(&probe));
+    EXPECT_TRUE(probe);
+    breaker.on_success();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    EXPECT_EQ(breaker.recoveries(), 1);
+}
+
+TEST(CircuitBreakerTest, RetryAttemptsDoNotCountTowardCooldown) {
+    CircuitBreaker breaker({/*failure_threshold=*/1, /*open_cooldown=*/2});
+    breaker.on_failure();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+    // Retry attempts (count_cooldown=false) leave the cooldown alone,
+    // no matter how many a single request burns.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_FALSE(breaker.allow_conditional(nullptr, false));
+    }
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+    // Exactly open_cooldown distinct requests reach the probe.
+    EXPECT_FALSE(breaker.allow_conditional());
+    bool probe = false;
+    EXPECT_TRUE(breaker.allow_conditional(&probe));
+    EXPECT_TRUE(probe);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
 // ---- service ----------------------------------------------------------------
 
 TEST(InferenceServiceTest, HappyPathServesConditionalSamples) {
@@ -526,6 +571,64 @@ TEST(InferenceServiceTest, BreakerTripsThenRecoversViaProbe) {
     EXPECT_TRUE(recovered);
     EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kClosed);
     service.stop();
+    const ServiceStats stats = service.stats();
+    EXPECT_GE(stats.breaker_recoveries, 1);
+    EXPECT_TRUE(stats.balanced());
+}
+
+TEST(InferenceServiceTest, ConcurrentStopJoinsWorkersOnce) {
+    InferenceService service(shared_pipeline(), basic_config());
+    std::future<RequestResult> pending =
+        service.submit(valid_request(800, 0));
+    // An explicit stop() racing another (stands in for the destructor):
+    // exactly one caller may join each worker thread.
+    std::thread racer([&service] { service.stop(); });
+    service.stop();
+    racer.join();
+    // stop() drains queued work before joining, so the request still
+    // resolves with a real outcome.
+    EXPECT_EQ(pending.get().outcome, Outcome::kOk);
+    EXPECT_TRUE(service.stats().balanced());
+}
+
+TEST(InferenceServiceTest, AbandonedProbeDoesNotWedgeBreaker) {
+    util::FaultInjector injector(0xabcd);
+    injector.set_fail_rate("condition_encoder", 1.0);
+
+    ServiceConfig config = basic_config();
+    config.workers = 1;
+    config.max_attempts = 1;
+    config.breaker.failure_threshold = 1;
+    config.breaker.open_cooldown = 1;
+    config.slow_fault_ms = 100.0;
+    config.fault_injector = &injector;
+    InferenceService service(shared_pipeline(), config);
+
+    // One failed conditional attempt trips the breaker.
+    EXPECT_EQ(service.submit(valid_request(700, 0)).get().outcome,
+              Outcome::kDegraded);
+    EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kOpen);
+
+    // The next request wins the half-open probe, then stalls past its
+    // deadline (injected slow step) and is cancelled between denoising
+    // steps — an exit that once leaked the probe slot forever.
+    injector.set_fail_rate("serve_slow", 1.0);
+    InferenceRequest stalled = valid_request(701, 1);
+    stalled.deadline_ms = 30.0;
+    const RequestResult cancelled = service.submit(std::move(stalled)).get();
+    EXPECT_EQ(cancelled.outcome, Outcome::kTimeout) << cancelled.message;
+    EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kHalfOpen);
+
+    // Everything heals: the freed slot lets the very next request
+    // probe, succeed, and close the breaker.
+    injector.set_fail_rate("serve_slow", 0.0);
+    injector.set_fail_rate("condition_encoder", 0.0);
+    const RequestResult recovered =
+        service.submit(valid_request(702, 2)).get();
+    EXPECT_EQ(recovered.outcome, Outcome::kOk) << recovered.message;
+    EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kClosed);
+    service.stop();
+
     const ServiceStats stats = service.stats();
     EXPECT_GE(stats.breaker_recoveries, 1);
     EXPECT_TRUE(stats.balanced());
