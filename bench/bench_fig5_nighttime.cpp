@@ -72,7 +72,7 @@ int main() {
         if (sample.scene.time != scene::TimeOfDay::kNight) continue;
         const std::string caption = harness.substrate.keypoint_test[i].text;
 
-        util::Rng gen_rng(7000 + static_cast<std::uint64_t>(i));
+        util::Rng gen_rng(7000 + i);
         const image::Image generated = pipeline.generate(
             sample, caption, caption, gen_rng, static_cast<int>(i));
         image::write_ppm(sample.image,

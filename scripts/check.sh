@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus one sanitizer pass, for CI and pre-commit use.
+# Full gate: tier-1, one sanitizer pass, and static analysis.
 #
 #   1. Plain Release build, full ctest suite        (build-check/)
-#   2. Sanitizer build, full ctest suite            (build-asan/)
+#   2. Sanitizer build, full ctest suite            (build-san-*/)
 #      AERO_CHECK_SANITIZE picks the sanitizer list; the default
 #      address,undefined catches memory bugs in the fuzz/validation
 #      paths. Set AERO_CHECK_SANITIZE=thread to race-check the
 #      concurrent serving layer (test_serve) instead — TSan cannot be
 #      combined with ASan, hence one list per run.
+#   3. scripts/analyze.sh                           (build-analyze/)
+#      Strict -Werror build, clang-tidy when available, aero_lint.
+#      The analyze build dir is cached across runs, so repeat
+#      invocations only pay for incremental compilation.
 #
 # Usage: scripts/check.sh [extra ctest args...]
+#   Set AERO_CHECK_ANALYZE=0 to skip stage 3 (e.g. in a sanitizer-only
+#   sweep where another job runs the analysis).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +39,11 @@ if [ "${SANITIZE}" = "thread" ]; then
         -R 'test_serve|test_util' "$@")
 else
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
+fi
+
+if [ "${AERO_CHECK_ANALYZE:-1}" != "0" ]; then
+    echo "== static analysis =="
+    scripts/analyze.sh
 fi
 
 echo "== all checks passed =="

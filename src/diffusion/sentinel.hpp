@@ -7,6 +7,12 @@
 // reduced learning rate. After `max_rollbacks` recoveries the run is
 // declared diverged so callers can stop instead of burning budget on a
 // poisoned model.
+//
+// Thread confinement: the sentinel, its snapshots, and the trainer/
+// checkpoint state it restores are owned by the single training thread —
+// no AERO_GUARDED_BY annotations, by design (DESIGN.md section 10). The
+// serving layer only ever shares a pipeline read-only after training
+// completes; do not call observe()/rollback concurrently with serving.
 
 #include <vector>
 

@@ -4,7 +4,7 @@ namespace aero::serve {
 
 bool CircuitBreaker::allow_conditional(bool* holds_probe,
                                        bool count_cooldown) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (holds_probe) *holds_probe = false;
     switch (state_) {
         case State::kClosed: return true;
@@ -27,55 +27,64 @@ bool CircuitBreaker::allow_conditional(bool* holds_probe,
     return true;
 }
 
-void CircuitBreaker::on_success() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (state_ == State::kHalfOpen) {
-        state_ = State::kClosed;
-        probe_in_flight_ = false;
-        ++recoveries_;
-    }
+void CircuitBreaker::trip_open() {
+    state_ = State::kOpen;
+    probe_in_flight_ = false;
+    cooldown_remaining_ = config_.open_cooldown;
     consecutive_failures_ = 0;
+    ++trips_;
 }
 
-void CircuitBreaker::on_failure() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (state_ == State::kHalfOpen) {
-        state_ = State::kOpen;
+void CircuitBreaker::on_success(bool held_probe) {
+    const util::MutexLock lock(mutex_);
+    if (state_ == State::kHalfOpen && held_probe) {
+        state_ = State::kClosed;
         probe_in_flight_ = false;
-        cooldown_remaining_ = config_.open_cooldown;
         consecutive_failures_ = 0;
-        ++trips_;
+        ++recoveries_;
+        return;
+    }
+    if (state_ == State::kClosed) consecutive_failures_ = 0;
+    // Otherwise the verdict is stale: this attempt was admitted before
+    // the breaker tripped, and the sampling-speed encoder state it saw
+    // says nothing about recovery now. Leave the probe to decide.
+}
+
+void CircuitBreaker::on_failure(bool held_probe) {
+    const util::MutexLock lock(mutex_);
+    if (state_ == State::kHalfOpen && held_probe) {
+        trip_open();  // probe failed: re-open for another cooldown
         return;
     }
     if (state_ == State::kClosed &&
         ++consecutive_failures_ >= config_.failure_threshold) {
-        state_ = State::kOpen;
-        cooldown_remaining_ = config_.open_cooldown;
-        consecutive_failures_ = 0;
-        ++trips_;
+        trip_open();
     }
+    // Open / stale-HalfOpen failures are ignored: the breaker already
+    // knows the encoder is bad, and resetting the cooldown on every
+    // straggler would postpone the probe indefinitely under load.
 }
 
 void CircuitBreaker::on_probe_abandoned() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    // Only the probe holder calls this; if a racing on_success() /
-    // on_failure() already moved the breaker out of HalfOpen the slot
-    // was released there, so this is a no-op.
+    const util::MutexLock lock(mutex_);
+    // Only the probe holder calls this, and only the probe holder can
+    // transition out of HalfOpen, so HalfOpen here means the slot is
+    // still ours to release.
     if (state_ == State::kHalfOpen) probe_in_flight_ = false;
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return state_;
 }
 
 int CircuitBreaker::trips() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return trips_;
 }
 
 int CircuitBreaker::recoveries() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return recoveries_;
 }
 

@@ -9,11 +9,22 @@
 // failed one re-opens it for another cooldown, and a probe abandoned
 // without a verdict (deadline cancellation, pipeline rejection) must
 // release the slot via on_probe_abandoned() so the next request can
-// probe. All methods are thread-safe behind a single internal mutex;
-// cooldown is counted in distinct requests rather than wall time so
-// tests are deterministic (retry attempts pass count_cooldown=false).
+// probe.
+//
+// Probe ownership: verdicts carry a `held_probe` flag (the value
+// allow_conditional() wrote through `holds_probe`). Only the probe
+// holder's verdict may move the breaker out of HalfOpen — a verdict
+// from an attempt admitted back when the breaker was still Closed is
+// stale by the time a trip and cooldown have happened, and must not
+// close or re-open the breaker while the real probe is in flight.
+//
+// All methods are thread-safe behind a single internal mutex (fields
+// are AERO_GUARDED_BY it; see util/annotations.hpp); cooldown is
+// counted in distinct requests rather than wall time so tests are
+// deterministic (retry attempts pass count_cooldown=false).
 
-#include <mutex>
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace aero::serve {
 
@@ -37,36 +48,45 @@ public:
     /// callers pass false on retry attempts so `open_cooldown` counts
     /// distinct requests, not attempts. When the caller wins the probe
     /// slot, `*holds_probe` is set; the holder owes the breaker exactly
-    /// one verdict: on_success(), on_failure(), or
+    /// one verdict: on_success(true), on_failure(true), or
     /// on_probe_abandoned().
     bool allow_conditional(bool* holds_probe = nullptr,
-                           bool count_cooldown = true);
+                           bool count_cooldown = true) AERO_EXCLUDES(mutex_);
 
-    /// The conditional path succeeded: resets the failure streak; a
-    /// probe success closes the breaker (recovery).
-    void on_success();
-    /// The condition encoder failed on the conditional path: extends
-    /// the streak / trips Open; a probe failure re-opens.
-    void on_failure();
+    /// The conditional path succeeded. Pass the `holds_probe` flag from
+    /// the admitting allow_conditional(): a probe success closes the
+    /// breaker (recovery); a Closed-state success resets the failure
+    /// streak; a stale success (admitted pre-trip, breaker has since
+    /// moved on) is ignored.
+    void on_success(bool held_probe = false) AERO_EXCLUDES(mutex_);
+    /// The condition encoder failed on the conditional path. A probe
+    /// failure re-opens; a Closed-state failure extends the streak /
+    /// trips Open; a stale failure is ignored — the in-flight probe
+    /// will deliver its own verdict.
+    void on_failure(bool held_probe = false) AERO_EXCLUDES(mutex_);
     /// The probe holder exited without learning anything about the
     /// encoder (deadline cancellation, pipeline rejection, non-finite
     /// sample): frees the probe slot, state unchanged, so the breaker
     /// cannot wedge HalfOpen with no probe ever completing.
-    void on_probe_abandoned();
+    void on_probe_abandoned() AERO_EXCLUDES(mutex_);
 
-    State state() const;
-    int trips() const;       ///< transitions into Open
-    int recoveries() const;  ///< HalfOpen -> Closed transitions
+    State state() const AERO_EXCLUDES(mutex_);
+    int trips() const AERO_EXCLUDES(mutex_);       ///< transitions into Open
+    int recoveries() const AERO_EXCLUDES(mutex_);  ///< HalfOpen -> Closed
 
 private:
+    /// Open with a fresh cooldown; shared by streak trips and probe
+    /// failures.
+    void trip_open() AERO_REQUIRES(mutex_);
+
     BreakerConfig config_;
-    mutable std::mutex mutex_;
-    State state_ = State::kClosed;
-    int consecutive_failures_ = 0;
-    int cooldown_remaining_ = 0;
-    bool probe_in_flight_ = false;
-    int trips_ = 0;
-    int recoveries_ = 0;
+    mutable util::Mutex mutex_;
+    State state_ AERO_GUARDED_BY(mutex_) = State::kClosed;
+    int consecutive_failures_ AERO_GUARDED_BY(mutex_) = 0;
+    int cooldown_remaining_ AERO_GUARDED_BY(mutex_) = 0;
+    bool probe_in_flight_ AERO_GUARDED_BY(mutex_) = false;
+    int trips_ AERO_GUARDED_BY(mutex_) = 0;
+    int recoveries_ AERO_GUARDED_BY(mutex_) = 0;
 };
 
 const char* breaker_state_name(CircuitBreaker::State state);

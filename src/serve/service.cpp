@@ -10,6 +10,11 @@ namespace aero::serve {
 InferenceService::InferenceService(
     const core::AeroDiffusionPipeline& pipeline, const ServiceConfig& config)
     : pipeline_(&pipeline), config_(config), breaker_(config.breaker) {
+    // workers_ is guarded by stop_mutex_; nothing can race the
+    // constructor, but taking the lock keeps the contract uniform (and
+    // the static analysis satisfied) at the cost of one uncontended
+    // acquisition.
+    const util::MutexLock lock(stop_mutex_);
     const int workers = std::max(1, config_.workers);
     workers_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) {
@@ -31,7 +36,7 @@ std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
     std::future<RequestResult> future = promise.get_future();
 
     {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const util::MutexLock lock(stats_mutex_);
         ++stats_.submitted;
     }
 
@@ -61,14 +66,17 @@ std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
                           job.request.deadline_ms));
     }
 
+    bool enqueued = false;
     {
-        std::unique_lock<std::mutex> lock(queue_mutex_);
+        const util::MutexLock lock(queue_mutex_);
         if (accepting_ && queue_.size() < config_.queue_capacity) {
             queue_.push_back(std::move(job));
-            lock.unlock();
-            queue_cv_.notify_one();
-            return future;
+            enqueued = true;
         }
+    }
+    if (enqueued) {
+        queue_cv_.notify_one();
+        return future;
     }
 
     // Load shedding: a full queue answers immediately instead of letting
@@ -84,9 +92,9 @@ void InferenceService::stop() {
     // stop_mutex_ serialises concurrent stoppers (an explicit stop()
     // racing the destructor): exactly one caller runs the join/clear
     // phase, the other blocks until the workers are gone.
-    const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+    const util::MutexLock stop_lock(stop_mutex_);
     {
-        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        const util::MutexLock lock(queue_mutex_);
         accepting_ = false;
         stopping_ = true;
     }
@@ -100,7 +108,7 @@ void InferenceService::stop() {
 ServiceStats InferenceService::stats() const {
     ServiceStats snapshot;
     {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const util::MutexLock lock(stats_mutex_);
         snapshot = stats_;
     }
     snapshot.breaker_trips = breaker_.trips();
@@ -109,7 +117,7 @@ ServiceStats InferenceService::stats() const {
 }
 
 void InferenceService::record(const RequestResult& result) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++stats_.by_outcome[static_cast<int>(result.outcome)];
     stats_.retries += result.retries;
     if (result.cancelled) ++stats_.cancelled_mid_run;
@@ -120,7 +128,7 @@ void InferenceService::worker_loop(std::uint64_t worker_seed) {
     for (;;) {
         Job job;
         {
-            std::unique_lock<std::mutex> lock(queue_mutex_);
+            std::unique_lock<util::Mutex> lock(queue_mutex_);
             queue_cv_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
             if (queue_.empty()) return;  // stopping_ and drained
@@ -299,7 +307,7 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
             // fallback. Tell the breaker, then retry for a conditional
             // sample while attempts remain.
             probe.armed = false;
-            breaker_.on_failure();
+            breaker_.on_failure(holds_probe);
             if (last_attempt || !backoff(attempt, job, backoff_rng)) {
                 result.image = std::move(image);
                 return finish(Outcome::kDegraded,
@@ -309,7 +317,7 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
             continue;
         }
         probe.armed = false;
-        breaker_.on_success();
+        breaker_.on_success(holds_probe);
         result.image = std::move(image);
         return finish(Outcome::kOk, "");
     }

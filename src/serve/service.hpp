@@ -19,33 +19,37 @@
 // stats() snapshot balances: submitted == sum over outcomes once all
 // futures are ready.
 //
-// Locking discipline (TSan-covered by test_serve via scripts/check.sh):
+// Locking discipline (statically checked by the AERO_GUARDED_BY /
+// AERO_EXCLUDES annotations below under `clang++ -Wthread-safety`, and
+// TSan-covered by test_serve via scripts/check.sh):
 //   * queue_mutex_ guards queue_, accepting_ and stopping_; sleeps and
 //     wake-ups go through queue_cv_.
 //   * stats_mutex_ guards the ServiceStats counters.
 //   * stop_mutex_ serialises concurrent stop() callers (explicit stop
-//     racing the destructor) across the join/clear phase.
+//     racing the destructor) across the join/clear phase and guards
+//     workers_.
 //   * the breaker carries its own internal mutex.
 //   * the pipeline and substrate are shared strictly read-only —
 //     inference builds its autograd graph on fresh nodes and the
 //     service never calls fit()/backward() — and every worker owns a
 //     private Rng, so model state needs no lock at all.
-//   The only nesting is stop_mutex_ -> queue_mutex_ inside stop();
-//   everywhere else at most one of these mutexes is held, and the
-//   breaker is only called with all of them released.
+//   The only nesting is stop_mutex_ -> queue_mutex_ inside stop()
+//   (declared via AERO_ACQUIRED_BEFORE); everywhere else at most one of
+//   these mutexes is held, and the breaker is only called with all of
+//   them released.
 
-#include <condition_variable>
 #include <chrono>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "serve/breaker.hpp"
 #include "serve/validation.hpp"
+#include "util/annotations.hpp"
 #include "util/fault.hpp"
+#include "util/sync.hpp"
 
 namespace aero::serve {
 
@@ -104,14 +108,15 @@ public:
     /// Admission control: validates, then either enqueues or resolves
     /// immediately (kInvalid / kShed). The returned future is always
     /// eventually satisfied with a terminal outcome.
-    std::future<RequestResult> submit(InferenceRequest request);
+    std::future<RequestResult> submit(InferenceRequest request)
+        AERO_EXCLUDES(queue_mutex_, stats_mutex_);
 
     /// Stops admission, drains the queued work, joins the workers.
     /// Idempotent and safe against concurrent callers; the destructor
     /// calls it.
-    void stop();
+    void stop() AERO_EXCLUDES(stop_mutex_, queue_mutex_);
 
-    ServiceStats stats() const;
+    ServiceStats stats() const AERO_EXCLUDES(stats_mutex_);
     CircuitBreaker::State breaker_state() const { return breaker_.state(); }
 
 private:
@@ -125,9 +130,13 @@ private:
         bool has_deadline = false;
     };
 
-    void worker_loop(std::uint64_t worker_seed);
+    /// Dequeue loop. Opted out of the static analysis: the
+    /// condition-variable wait releases and re-acquires queue_mutex_
+    /// through std::unique_lock, which the analysis cannot follow.
+    void worker_loop(std::uint64_t worker_seed)
+        AERO_NO_THREAD_SAFETY_ANALYSIS;
     RequestResult process(Job& job, util::Rng& backoff_rng);
-    void record(const RequestResult& result);
+    void record(const RequestResult& result) AERO_EXCLUDES(stats_mutex_);
     /// Sleeps for the attempt's jittered backoff; false when the sleep
     /// would cross the job's deadline (caller times the request out).
     bool backoff(int attempt, const Job& job, util::Rng& rng) const;
@@ -136,17 +145,19 @@ private:
     ServiceConfig config_;
     CircuitBreaker breaker_;
 
-    mutable std::mutex queue_mutex_;
-    std::condition_variable queue_cv_;
-    std::deque<Job> queue_;
-    bool accepting_ = true;
-    bool stopping_ = false;
+    mutable util::Mutex queue_mutex_;
+    util::CondVar queue_cv_;
+    std::deque<Job> queue_ AERO_GUARDED_BY(queue_mutex_);
+    bool accepting_ AERO_GUARDED_BY(queue_mutex_) = true;
+    bool stopping_ AERO_GUARDED_BY(queue_mutex_) = false;
 
-    mutable std::mutex stats_mutex_;
-    ServiceStats stats_;
+    mutable util::Mutex stats_mutex_;
+    ServiceStats stats_ AERO_GUARDED_BY(stats_mutex_);
 
-    std::mutex stop_mutex_;  ///< serialises stop()'s join/clear phase
-    std::vector<std::thread> workers_;
+    /// Serialises stop()'s join/clear phase; the only lock nesting in
+    /// the service is stop_mutex_ -> queue_mutex_ inside stop().
+    util::Mutex stop_mutex_ AERO_ACQUIRED_BEFORE(queue_mutex_);
+    std::vector<std::thread> workers_ AERO_GUARDED_BY(stop_mutex_);
 };
 
 }  // namespace aero::serve

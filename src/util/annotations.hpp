@@ -1,0 +1,76 @@
+#pragma once
+// Portable Clang thread-safety annotations (no-ops everywhere else).
+//
+// The concurrency contracts of the serving/fault layers are written into
+// the types themselves: fields carry AERO_GUARDED_BY(mutex), locking
+// functions carry AERO_REQUIRES / AERO_EXCLUDES, and the annotated
+// util::Mutex / util::MutexLock wrappers (util/sync.hpp) give the
+// analysis a capability type it understands on any standard library.
+// Under `clang++ -Wthread-safety` (the AERO_ANALYZE=ON configuration,
+// see scripts/analyze.sh) violations are compile errors; under GCC or
+// MSVC every macro expands to nothing and the wrappers cost exactly a
+// std::mutex.
+//
+// Conventions (DESIGN.md §10):
+//   * every field written from more than one thread is either atomic or
+//     AERO_GUARDED_BY exactly one mutex;
+//   * private helpers called with a lock held are AERO_REQUIRES(mutex);
+//   * public entry points that take a lock are AERO_EXCLUDES(mutex) so
+//     re-entrancy deadlocks are caught statically;
+//   * the rare function that manages locks in a way the analysis cannot
+//     follow (condition-variable wait loops) is
+//     AERO_NO_THREAD_SAFETY_ANALYSIS with a comment saying why.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AERO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef AERO_THREAD_ANNOTATION
+#define AERO_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define AERO_CAPABILITY(x) AERO_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII type that acquires in its ctor and releases in its dtor.
+#define AERO_SCOPED_CAPABILITY AERO_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field access requires the named mutex to be held.
+#define AERO_GUARDED_BY(x) AERO_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee access requires the named mutex (the pointer itself is free).
+#define AERO_PT_GUARDED_BY(x) AERO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities (exclusively).
+#define AERO_REQUIRES(...) \
+    AERO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard).
+#define AERO_EXCLUDES(...) AERO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define AERO_ACQUIRE(...) \
+    AERO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability the caller held.
+#define AERO_RELEASE(...) \
+    AERO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define AERO_TRY_ACQUIRE(result, ...) \
+    AERO_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Declares a fixed acquisition order between mutexes.
+#define AERO_ACQUIRED_BEFORE(...) \
+    AERO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define AERO_ACQUIRED_AFTER(...) \
+    AERO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the named capability (for accessors).
+#define AERO_RETURN_CAPABILITY(x) AERO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for lock flows the analysis cannot follow; every use
+/// must carry a comment justifying it.
+#define AERO_NO_THREAD_SAFETY_ANALYSIS \
+    AERO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,16 +1,41 @@
 #include "util/env.hpp"
 
 #include <cstdlib>
+#include <string_view>
+
+#include "util/json.hpp"
 
 namespace aero::util {
 
+namespace {
+
+// Env vars arrive hand-typed; tolerate surrounding whitespace but
+// nothing else (the checked parsers reject partial matches, so
+// "2x" falls back instead of silently reading as 2 the way atoi did).
+std::string_view trimmed(const char* value) {
+    std::string_view view(value);
+    while (!view.empty() && (view.front() == ' ' || view.front() == '\t'))
+        view.remove_prefix(1);
+    while (!view.empty() && (view.back() == ' ' || view.back() == '\t'))
+        view.remove_suffix(1);
+    return view;
+}
+
+}  // namespace
+
 int env_int(const char* name, int fallback) {
-    if (const char* value = std::getenv(name)) return std::atoi(value);
+    if (const char* value = std::getenv(name)) {
+        int parsed = 0;
+        if (parse_int(trimmed(value), &parsed)) return parsed;
+    }
     return fallback;
 }
 
 double env_double(const char* name, double fallback) {
-    if (const char* value = std::getenv(name)) return std::atof(value);
+    if (const char* value = std::getenv(name)) {
+        double parsed = 0.0;
+        if (parse_double(trimmed(value), &parsed)) return parsed;
+    }
     return fallback;
 }
 

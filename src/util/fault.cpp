@@ -1,5 +1,9 @@
 #include "util/fault.hpp"
 
+#include <stdexcept>
+
+#include "util/fault_points.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -7,20 +11,36 @@
 
 namespace aero::util {
 
+namespace {
+
+// Arming an unknown point is a programming error, not a runtime
+// condition: the scheduled fault would silently never fire and the test
+// would pass vacuously. Fail loudly instead.
+void require_registered(const std::string& point) {
+    if (!is_registered_fault_point(point.c_str())) {
+        throw std::invalid_argument(
+            "fault point \"" + point +
+            "\" is not registered in util/fault_points.hpp");
+    }
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
 
 void FaultInjector::arm_nan(int step, const std::string& point) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    require_registered(point);
+    const MutexLock lock(mutex_);
     nan_faults_.push_back({step, point});
 }
 
 void FaultInjector::arm_spike(int step, float factor) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     spike_faults_.push_back({step, factor});
 }
 
 bool FaultInjector::fires(int step, const std::string& point) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (NanFault& fault : nan_faults_) {
         if (!fault.delivered && fault.step == step && fault.point == point) {
             fault.delivered = true;
@@ -32,7 +52,7 @@ bool FaultInjector::fires(int step, const std::string& point) {
 }
 
 float FaultInjector::spike_factor(int step) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (SpikeFault& fault : spike_faults_) {
         if (!fault.delivered && fault.step == step) {
             fault.delivered = true;
@@ -44,7 +64,8 @@ float FaultInjector::spike_factor(int step) {
 }
 
 void FaultInjector::set_fail_rate(const std::string& point, double rate) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    require_registered(point);
+    const MutexLock lock(mutex_);
     if (rate <= 0.0) {
         fail_rates_.erase(point);
     } else {
@@ -53,7 +74,7 @@ void FaultInjector::set_fail_rate(const std::string& point, double rate) {
 }
 
 bool FaultInjector::should_fail(const std::string& point) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = fail_rates_.find(point);
     if (it == fail_rates_.end()) return false;
     if (!rng_.bernoulli(it->second)) return false;
@@ -62,7 +83,7 @@ bool FaultInjector::should_fail(const std::string& point) {
 }
 
 int FaultInjector::injected_count() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return injected_;
 }
 
@@ -90,7 +111,7 @@ bool FaultInjector::flip_byte(const std::string& path, std::size_t offset,
 
 bool FaultInjector::flip_random_byte(const std::string& path,
                                      std::size_t min_offset) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     std::error_code ec;
     const auto size = std::filesystem::file_size(path, ec);
     if (ec || size <= min_offset) return false;

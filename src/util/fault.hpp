@@ -11,14 +11,20 @@
 // "serve_transient", "serve_slow") hit from concurrent worker threads, so every
 // mutating member is guarded by an internal mutex; one injector can be
 // shared by a whole service.
+//
+// Point names are not free-form: arming an injection point whose name is
+// missing from the central registry (util/fault_points.hpp) throws
+// std::invalid_argument, and aero_lint statically checks every literal
+// used at a call site against the same table.
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace aero::util {
 
@@ -27,33 +33,37 @@ public:
     explicit FaultInjector(std::uint64_t seed = 0);
 
     /// Arms a one-shot NaN poke: `fires(step, point)` reports true once.
-    void arm_nan(int step, const std::string& point);
+    /// Throws std::invalid_argument for unregistered point names.
+    void arm_nan(int step, const std::string& point) AERO_EXCLUDES(mutex_);
 
     /// Arms a one-shot loss spike: `spike_factor(step)` returns `factor`
     /// (>= 1) at that step, 1.0 otherwise.
-    void arm_spike(int step, float factor);
+    void arm_spike(int step, float factor) AERO_EXCLUDES(mutex_);
 
     /// True exactly once for an armed (step, point) pair; counts the hit.
-    bool fires(int step, const std::string& point);
+    bool fires(int step, const std::string& point) AERO_EXCLUDES(mutex_);
 
     /// Multiplier to apply to the loss at `step` (1.0 when unarmed).
-    float spike_factor(int step);
+    float spike_factor(int step) AERO_EXCLUDES(mutex_);
 
     /// Sets the probability that `should_fail(point)` reports a fault.
     /// Rate <= 0 clears the point. Callable while a service is running
-    /// (tests heal an outage by dropping the rate back to zero).
-    void set_fail_rate(const std::string& point, double rate);
+    /// (tests heal an outage by dropping the rate back to zero). Throws
+    /// std::invalid_argument for unregistered point names.
+    void set_fail_rate(const std::string& point, double rate)
+        AERO_EXCLUDES(mutex_);
 
     /// Seeded Bernoulli draw at `point`'s configured rate (false when
     /// unconfigured). Counts delivered faults; safe from any thread.
-    bool should_fail(const std::string& point);
+    bool should_fail(const std::string& point) AERO_EXCLUDES(mutex_);
 
     /// Faults actually delivered so far (tests assert full delivery).
-    int injected_count() const;
+    int injected_count() const AERO_EXCLUDES(mutex_);
 
-    /// Seeded generator for randomised corruption offsets. NOT guarded:
-    /// only for single-threaded test setup, never from service workers.
-    Rng& rng() { return rng_; }
+    /// Seeded generator for randomised corruption offsets. Deliberately
+    /// bypasses the guard (hence the analysis opt-out): only for
+    /// single-threaded test setup, never from service workers.
+    Rng& rng() AERO_NO_THREAD_SAFETY_ANALYSIS { return rng_; }
 
     // ---- file corruption ----------------------------------------------------
 
@@ -68,8 +78,8 @@ public:
 
     /// Flips one uniformly random byte strictly after `min_offset`
     /// (use to spare the header and corrupt the payload).
-    bool flip_random_byte(const std::string& path,
-                          std::size_t min_offset = 0);
+    bool flip_random_byte(const std::string& path, std::size_t min_offset = 0)
+        AERO_EXCLUDES(mutex_);
 
 private:
     struct NanFault {
@@ -83,12 +93,12 @@ private:
         bool delivered = false;
     };
 
-    mutable std::mutex mutex_;
-    Rng rng_;
-    std::vector<NanFault> nan_faults_;
-    std::vector<SpikeFault> spike_faults_;
-    std::map<std::string, double> fail_rates_;
-    int injected_ = 0;
+    mutable Mutex mutex_;
+    Rng rng_ AERO_GUARDED_BY(mutex_);
+    std::vector<NanFault> nan_faults_ AERO_GUARDED_BY(mutex_);
+    std::vector<SpikeFault> spike_faults_ AERO_GUARDED_BY(mutex_);
+    std::map<std::string, double> fail_rates_ AERO_GUARDED_BY(mutex_);
+    int injected_ AERO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace aero::util

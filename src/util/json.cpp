@@ -1,9 +1,9 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -246,8 +246,12 @@ private:
             }
             if (exp == 0) return fail("expected exponent digits");
         }
-        const double value = std::strtod(text_.c_str() + start, nullptr);
-        if (!std::isfinite(value)) return fail("number out of range");
+        double value = 0.0;
+        if (!parse_double(
+                std::string_view(text_).substr(start, pos_ - start),
+                &value)) {
+            return fail("number out of range");
+        }
         *out = JsonValue(value);
         return true;
     }
@@ -407,6 +411,29 @@ bool json_parse_file(const std::string& path, JsonValue* out,
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return json_parse(buffer.str(), out, error);
+}
+
+bool parse_int(std::string_view text, int* out) {
+    int value = 0;
+    const char* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+    if (ec != std::errc() || ptr != end) return false;
+    *out = value;
+    return true;
+}
+
+bool parse_double(std::string_view text, double* out) {
+    double value = 0.0;
+    const char* end = text.data() + text.size();
+    // from_chars is locale-free; chars_format::general excludes hex
+    // floats, and ptr == end rejects whitespace and trailing garbage.
+    // It still parses "nan"/"inf" literals, hence the isfinite check.
+    const auto [ptr, ec] = std::from_chars(text.data(), end, value,
+                                           std::chars_format::general);
+    if (ec != std::errc() || ptr != end) return false;
+    if (!std::isfinite(value)) return false;
+    *out = value;
+    return true;
 }
 
 }  // namespace aero::util

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace aero::util {
@@ -96,5 +97,20 @@ bool json_parse(const std::string& text, JsonValue* out,
 /// failure.
 bool json_parse_file(const std::string& path, JsonValue* out,
                      std::string* error = nullptr);
+
+// ---- checked numeric parsing ------------------------------------------------
+// The only sanctioned string->number conversions in the tree (aero_lint
+// bans std::stoi / atoi / atof / strtod outside this module): the whole
+// input must be one well-formed finite number, or the parse fails and
+// `*out` is untouched. No locale, no silent zero on garbage, no
+// accepting "12abc".
+
+/// Strict base-10 integer parse ("-42", "7"). False on empty input,
+/// sign-only input, trailing characters, or overflow of int.
+bool parse_int(std::string_view text, int* out);
+
+/// Strict floating-point parse ("1e-3", "-0.5"). False on empty input,
+/// trailing characters, overflow, or a NaN/Inf literal.
+bool parse_double(std::string_view text, double* out);
 
 }  // namespace aero::util

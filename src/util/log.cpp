@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace aero::util {
 
@@ -11,8 +13,8 @@ namespace {
 
 std::atomic<int> g_threshold = []() {
     if (const char* env = std::getenv("AERO_LOG_LEVEL")) {
-        const int v = std::atoi(env);
-        if (v >= 0 && v <= 3) return v;
+        int v = 0;
+        if (parse_int(env, &v) && v >= 0 && v <= 3) return v;
     }
     return static_cast<int>(LogLevel::kInfo);
 }();
@@ -41,8 +43,8 @@ void log_line(LogLevel level, const std::string& message) {
     // interleave partial lines.
     if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed))
         return;
-    static std::mutex mutex;
-    const std::lock_guard<std::mutex> lock(mutex);
+    static Mutex mutex;
+    const MutexLock lock(mutex);
     std::fprintf(stderr, "[aero %s] %s\n", level_tag(level), message.c_str());
 }
 

@@ -318,13 +318,14 @@ TEST(CircuitBreakerTest, TripCooldownProbeRecover) {
     // Only one probe in flight; concurrent requests stay degraded.
     EXPECT_FALSE(breaker.allow_conditional());
 
-    breaker.on_failure();  // probe failed: re-open for another cooldown
+    // probe failed: re-open for another cooldown
+    breaker.on_failure(/*held_probe=*/true);
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
     EXPECT_EQ(breaker.trips(), 2);
     EXPECT_FALSE(breaker.allow_conditional());
     EXPECT_FALSE(breaker.allow_conditional());
     EXPECT_TRUE(breaker.allow_conditional());  // next probe
-    breaker.on_success();
+    breaker.on_success(/*held_probe=*/true);
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
     EXPECT_EQ(breaker.recoveries(), 1);
 
@@ -354,9 +355,60 @@ TEST(CircuitBreakerTest, AbandonedProbeFreesTheSlot) {
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
     EXPECT_TRUE(breaker.allow_conditional(&probe));
     EXPECT_TRUE(probe);
-    breaker.on_success();
+    breaker.on_success(/*held_probe=*/true);
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
     EXPECT_EQ(breaker.recoveries(), 1);
+}
+
+// Regression (found by the thread-safety annotation pass): a request
+// admitted while the breaker was still Closed can deliver its verdict
+// after a trip + cooldown has moved the breaker to HalfOpen. That stale
+// verdict must neither close the breaker (fake recovery without a
+// probe) nor re-open it (resetting the cooldown under the in-flight
+// probe). Only the probe holder transitions out of HalfOpen.
+TEST(CircuitBreakerTest, StaleVerdictCannotCloseHalfOpenBreaker) {
+    CircuitBreaker breaker({/*failure_threshold=*/1, /*open_cooldown=*/1});
+    // A slow request admitted while Closed...
+    EXPECT_TRUE(breaker.allow_conditional());
+    // ...then the breaker trips and reaches HalfOpen via another request.
+    breaker.on_failure();
+    bool probe = false;
+    EXPECT_TRUE(breaker.allow_conditional(&probe));
+    EXPECT_TRUE(probe);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+    // The slow request's success arrives: stale, ignored.
+    breaker.on_success(/*held_probe=*/false);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    EXPECT_EQ(breaker.recoveries(), 0);
+
+    // And its failure twin would be equally ignored: the cooldown is
+    // not reset and the probe slot stays owned by the real probe.
+    breaker.on_failure(/*held_probe=*/false);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    EXPECT_EQ(breaker.trips(), 1);
+
+    // The real probe's verdict still decides recovery.
+    breaker.on_success(/*held_probe=*/true);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    EXPECT_EQ(breaker.recoveries(), 1);
+}
+
+TEST(CircuitBreakerTest, StaleFailureWhileOpenDoesNotExtendCooldown) {
+    CircuitBreaker breaker({/*failure_threshold=*/1, /*open_cooldown=*/2});
+    EXPECT_TRUE(breaker.allow_conditional());  // slow request, Closed
+    breaker.on_failure();                      // trips Open
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+    // One cooldown request passes, then the slow request's failure
+    // lands. It must not restart the cooldown: the next distinct
+    // request still wins the probe.
+    EXPECT_FALSE(breaker.allow_conditional());
+    breaker.on_failure(/*held_probe=*/false);
+    EXPECT_EQ(breaker.trips(), 1);
+    bool probe = false;
+    EXPECT_TRUE(breaker.allow_conditional(&probe));
+    EXPECT_TRUE(probe);
 }
 
 TEST(CircuitBreakerTest, RetryAttemptsDoNotCountTowardCooldown) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include <fstream>
@@ -9,6 +10,7 @@
 
 #include "util/env.hpp"
 #include "util/fault.hpp"
+#include "util/fault_points.hpp"
 #include "util/hash.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
@@ -379,6 +381,53 @@ TEST(FaultInjector, FileCorruptionHelpers) {
     EXPECT_FALSE(
         aero::util::FaultInjector::truncate_file(path + ".missing", 1));
     std::remove(path.c_str());
+}
+
+TEST(FaultInjector, RejectsUnregisteredPointNames) {
+    // Arming a point that is not in util/fault_points.hpp would schedule
+    // a fault that never fires; fail loudly at arming time instead.
+    aero::util::FaultInjector injector(1);
+    EXPECT_THROW(  // aero-lint: allow(fault-registry)
+        injector.arm_nan(0, "no_such_point"), std::invalid_argument);
+    EXPECT_THROW(  // aero-lint: allow(fault-registry)
+        injector.set_fail_rate("no_such_point", 0.5), std::invalid_argument);
+    // Registered names are accepted, and the registry helper agrees.
+    injector.arm_nan(0, "loss");
+    injector.set_fail_rate("serve_transient", 0.1);
+    EXPECT_TRUE(aero::util::is_registered_fault_point("condition_encoder"));
+    EXPECT_FALSE(aero::util::is_registered_fault_point("no_such_point"));
+    // Unarmed lookups stay cheap no-ops regardless of registration.
+    EXPECT_FALSE(injector.should_fail("serve_slow"));
+}
+
+TEST(ParseNumbers, CheckedIntParsing) {
+    int value = 0;
+    EXPECT_TRUE(aero::util::parse_int("42", &value));
+    EXPECT_EQ(value, 42);
+    EXPECT_TRUE(aero::util::parse_int("-7", &value));
+    EXPECT_EQ(value, -7);
+    value = 99;
+    EXPECT_FALSE(aero::util::parse_int("", &value));
+    EXPECT_FALSE(aero::util::parse_int("-", &value));
+    EXPECT_FALSE(aero::util::parse_int("12abc", &value));
+    EXPECT_FALSE(aero::util::parse_int("4.5", &value));
+    EXPECT_FALSE(aero::util::parse_int("99999999999999999999", &value));
+    EXPECT_EQ(value, 99);  // untouched on failure
+}
+
+TEST(ParseNumbers, CheckedDoubleParsing) {
+    double value = 0.0;
+    EXPECT_TRUE(aero::util::parse_double("2.5", &value));
+    EXPECT_DOUBLE_EQ(value, 2.5);
+    EXPECT_TRUE(aero::util::parse_double("-1e-3", &value));
+    EXPECT_DOUBLE_EQ(value, -1e-3);
+    value = 9.0;
+    EXPECT_FALSE(aero::util::parse_double("", &value));
+    EXPECT_FALSE(aero::util::parse_double("1.0x", &value));
+    EXPECT_FALSE(aero::util::parse_double("nan", &value));
+    EXPECT_FALSE(aero::util::parse_double("inf", &value));
+    EXPECT_FALSE(aero::util::parse_double("1e999", &value));
+    EXPECT_DOUBLE_EQ(value, 9.0);  // untouched on failure
 }
 
 TEST(Log, ConcurrentLoggingDoesNotCrash) {

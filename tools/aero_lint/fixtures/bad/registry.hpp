@@ -1,0 +1,16 @@
+#pragma once
+// Miniature fault-point registry for the failing fixtures.
+
+namespace fixture {
+
+struct FaultPoint {
+    const char* name;
+    const char* fires_at;
+};
+
+inline constexpr FaultPoint kFaultPoints[] = {
+    {"loss", "trainer: loss corrupted"},
+    {"undocumented_point", "registered but missing from DESIGN.md"},
+};
+
+}  // namespace fixture

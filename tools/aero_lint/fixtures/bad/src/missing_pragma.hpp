@@ -1,0 +1,10 @@
+// Violation: public header without #pragma once (an include guard is
+// not the house style).
+#ifndef FIXTURE_MISSING_PRAGMA_HPP
+#define FIXTURE_MISSING_PRAGMA_HPP
+
+namespace fixture {
+inline int guarded_the_old_way() { return 1; }
+}  // namespace fixture
+
+#endif

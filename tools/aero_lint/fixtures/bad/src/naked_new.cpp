@@ -1,0 +1,11 @@
+// Violation: naked new/delete outside the module-ownership core.
+
+namespace fixture {
+
+int* leak_prone() {
+    int* raw = new int(42);
+    delete raw;
+    return new int(7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#pragma once
+// Violation: a *Stats struct exposes balanced() but the accounting
+// comment was dropped from the struct body.
+
+namespace fixture {
+
+struct QueueStats {
+    long long enqueued = 0;
+    long long dequeued = 0;
+    long long shed = 0;
+
+    bool balanced() const { return enqueued == dequeued + shed; }
+};
+
+}  // namespace fixture

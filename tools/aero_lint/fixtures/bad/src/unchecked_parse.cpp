@@ -1,0 +1,14 @@
+// Violation: unchecked string->number conversions.
+
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+int sloppy(const std::string& text) {
+    int a = std::stoi(text);         // silently throws / partial-parses
+    double b = std::atof(text.c_str());  // silent 0.0 on garbage
+    return a + static_cast<int>(b);
+}
+
+}  // namespace fixture

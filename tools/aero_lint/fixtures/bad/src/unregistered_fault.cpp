@@ -1,0 +1,19 @@
+// Violation: arms a fault point missing from the registry.
+
+#include <string>
+
+namespace fixture {
+
+struct Injector {
+    bool should_fail(const std::string&) { return false; }
+    void arm_nan(int, const std::string&) {}
+};
+
+void bad_points() {
+    Injector injector;
+    injector.should_fail("loss");         // registered: fine
+    injector.should_fail("bogus_point");  // NOT registered
+    injector.arm_nan(3, "another_bogus_point");
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#pragma once
+// Miniature fault-point registry for lint fixtures.
+
+namespace fixture {
+
+struct FaultPoint {
+    const char* name;
+    const char* fires_at;
+};
+
+inline constexpr FaultPoint kFaultPoints[] = {
+    {"loss", "trainer: loss corrupted"},
+    {"serve_transient", "service: transient fault"},
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Clean fixture translation unit: registered fault points, checked
+// parsing, one reviewed suppression.
+
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct Injector {
+    bool should_fail(const std::string&) { return false; }
+};
+
+int use_registered_points() {
+    Injector injector;
+    int hits = 0;
+    if (injector.should_fail("loss")) ++hits;
+    if (injector.should_fail("serve_transient")) ++hits;
+    // Comments may mention should_fail("not_a_point") without tripping
+    // the rule, and strings below are not parsed as code: "new X".
+    const std::string text = "delete everything with std::stoi(x)";
+    hits += static_cast<int>(text.size());
+    auto owned = std::make_unique<int>(7);
+    int* raw = new int(3);  // aero-lint: allow(naked-new)
+    hits += *owned + *raw;
+    delete raw;  // aero-lint: allow(naked-new)
+    return hits;
+}
+
+}  // namespace fixture

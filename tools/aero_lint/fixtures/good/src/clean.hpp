@@ -1,0 +1,31 @@
+#pragma once
+// Clean fixture: satisfies every aero_lint rule.
+
+#include <string>
+
+namespace fixture {
+
+/// Counter block with its invariant documented where the fields live.
+struct WorkerStats {
+    long long submitted = 0;
+    long long completed = 0;
+    long long failed = 0;
+
+    /// The accounting invariant: submitted == completed + failed once
+    /// the queue drains.
+    bool balanced() const { return submitted == completed + failed; }
+};
+
+class Widget {
+public:
+    Widget() = default;
+    Widget(const Widget&) = delete;  // `= delete` is not a deallocation
+    Widget& operator=(const Widget&) = delete;
+
+    int parse(const std::string& text) const;
+
+private:
+    int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,77 @@
+#pragma once
+// aero_lint: project-invariant linter for the AeroDiffusion tree.
+//
+// Enforces repo-specific contracts that generic tooling (clang-tidy,
+// -Wthread-safety) cannot know about:
+//
+//   fault-registry   every fault-injection point name used at a
+//                    should_fail / fires / arm_nan / set_fail_rate call
+//                    site is registered in src/util/fault_points.hpp
+//   fault-docs       every registered fault point is documented in
+//                    DESIGN.md
+//   pragma-once      every public header starts with #pragma once
+//   naked-new        no naked new / delete expressions outside the
+//                    module-ownership core (src/nn/module.cpp)
+//   unchecked-parse  no std::stoi / atoi / atof / strtod & friends —
+//                    string->number goes through the checked parsers in
+//                    util/json (parse_int / parse_double)
+//   stats-accounting every *Stats struct that exposes a balanced()
+//                    invariant keeps its accounting comment adjacent to
+//                    the fields it constrains
+//
+// A deliberate exception is suppressed inline with
+//   // aero-lint: allow(<rule>)
+// on the offending line or the line directly above it; suppressions are
+// visible in review and greppable, which is the point.
+
+#include <string>
+#include <vector>
+
+namespace aero::lint {
+
+struct Finding {
+    std::string file;  ///< path relative to the scanned root
+    int line = 1;
+    std::string rule;
+    std::string message;
+};
+
+struct Options {
+    std::string root = ".";  ///< repo root
+    /// Directories (relative to root) where every rule applies.
+    std::vector<std::string> strict_dirs = {"src"};
+    /// Extra directories where only the fault-registry rule applies
+    /// (tests/benches arm fault points too).
+    std::vector<std::string> fault_dirs = {"tests", "bench", "examples"};
+    /// Fault-point registry header, relative to root.
+    std::string registry = "src/util/fault_points.hpp";
+    /// Design doc that must mention every registered point ("" skips
+    /// the fault-docs rule).
+    std::string design_doc = "DESIGN.md";
+    /// Files (relative paths, exact match) where naked new/delete is
+    /// the point of the file.
+    std::vector<std::string> allow_new = {"src/nn/module.cpp"};
+    /// Files allowed to use raw conversions (the checked-parser home).
+    std::vector<std::string> allow_unchecked_parse = {"src/util/json.cpp"};
+};
+
+/// Returns `text` with comments — and, when `keep_strings` is false,
+/// string/char literal contents — blanked to spaces. Length- and
+/// line-preserving, so offsets and line numbers map 1:1 onto the input.
+std::string sanitize(const std::string& text, bool keep_strings);
+
+/// Extracts the registered point names from the registry header text.
+std::vector<std::string> parse_registry(const std::string& registry_text);
+
+/// Lints one file's content. `strict` enables every rule; otherwise
+/// only fault-registry runs. Appends to `out`.
+void lint_file(const std::string& path, const std::string& content,
+               const std::vector<std::string>& registered_points,
+               const Options& options, bool strict,
+               std::vector<Finding>* out);
+
+/// Walks the configured directories and runs every rule. Findings are
+/// sorted by (file, line).
+std::vector<Finding> run_lint(const Options& options);
+
+}  // namespace aero::lint

@@ -1,0 +1,52 @@
+// aero_lint CLI: scans the repo for project-invariant violations and
+// exits non-zero if any remain. Used by scripts/analyze.sh and the
+// `aero_lint_tree` ctest; see lint.hpp for the rule set.
+//
+//   aero_lint --root <repo>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--design FILE] [--registry FILE]\n",
+        argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    aero::lint::Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--root" && has_value) {
+            options.root = argv[++i];
+        } else if (arg == "--design" && has_value) {
+            options.design_doc = argv[++i];
+        } else if (arg == "--registry" && has_value) {
+            options.registry = argv[++i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    const auto findings = aero::lint::run_lint(options);
+    for (const auto& finding : findings) {
+        std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
+                    finding.rule.c_str(), finding.message.c_str());
+    }
+    if (findings.empty()) {
+        std::printf("aero_lint: clean\n");
+        return 0;
+    }
+    std::printf("aero_lint: %zu finding(s)\n", findings.size());
+    return 1;
+}

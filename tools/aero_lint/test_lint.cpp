@@ -1,0 +1,221 @@
+// Unit tests for aero_lint: the sanitizer, the registry parser, each
+// rule against inline snippets, and the end-to-end fixture trees
+// (fixtures/good must pass, fixtures/bad must fail each rule).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using aero::lint::Finding;
+using aero::lint::Options;
+
+std::vector<Finding> lint_snippet(const std::string& path,
+                                  const std::string& content,
+                                  std::vector<std::string> registered = {
+                                      "loss", "serve_transient"}) {
+    std::vector<Finding> findings;
+    Options options;
+    aero::lint::lint_file(path, content, registered, options,
+                          /*strict=*/true, &findings);
+    return findings;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+    return std::any_of(
+        findings.begin(), findings.end(),
+        [&](const Finding& finding) { return finding.rule == rule; });
+}
+
+TEST(Sanitize, BlanksCommentsPreservingLayout) {
+    const std::string text = "int a; // new int\n/* delete */ int b;\n";
+    const std::string out = aero::lint::sanitize(text, true);
+    EXPECT_EQ(out.size(), text.size());
+    EXPECT_EQ(out.find("new"), std::string::npos);
+    EXPECT_EQ(out.find("delete"), std::string::npos);
+    EXPECT_NE(out.find("int a;"), std::string::npos);
+    EXPECT_NE(out.find("int b;"), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Sanitize, KeepsOrBlanksStringLiterals) {
+    const std::string text = "auto s = \"new delete stoi\"; char c = 'x';";
+    const std::string kept = aero::lint::sanitize(text, true);
+    EXPECT_NE(kept.find("new delete stoi"), std::string::npos);
+    const std::string blanked = aero::lint::sanitize(text, false);
+    EXPECT_EQ(blanked.find("stoi"), std::string::npos);
+    EXPECT_EQ(blanked.size(), text.size());
+}
+
+TEST(Sanitize, HandlesDigitSeparatorsAndEscapes) {
+    // The ' in 1'000 is a digit separator, not a char literal: the
+    // trailing code must survive blanking.
+    const std::string text = "int n = 1'000; int m = 2; char q = '\\''; int k;";
+    const std::string out = aero::lint::sanitize(text, false);
+    EXPECT_NE(out.find("int m = 2;"), std::string::npos);
+    EXPECT_NE(out.find("int k;"), std::string::npos);
+}
+
+TEST(Sanitize, HandlesRawStrings) {
+    const std::string text =
+        "auto r = R\"(new delete // not a comment)\"; int after;";
+    const std::string out = aero::lint::sanitize(text, false);
+    EXPECT_EQ(out.find("delete"), std::string::npos);
+    EXPECT_NE(out.find("int after;"), std::string::npos);
+}
+
+TEST(ParseRegistry, ExtractsPointNames) {
+    const std::string registry = R"(
+        inline constexpr FaultPoint kFaultPoints[] = {
+            {"loss", "trainer"},
+            {"serve_slow", "service worker stall"},
+        };
+    )";
+    const auto points = aero::lint::parse_registry(registry);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0], "loss");
+    EXPECT_EQ(points[1], "serve_slow");
+}
+
+TEST(Rules, FaultRegistryFlagsUnknownPoints) {
+    const auto findings = lint_snippet(
+        "src/a.cpp",
+        "void f(I& i) { i.should_fail(\"loss\"); i.arm_nan(1, \"bogus\"); }");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "fault-registry");
+    EXPECT_NE(findings[0].message.find("bogus"), std::string::npos);
+}
+
+TEST(Rules, FaultRegistryIgnoresCommentsAndDeclarations) {
+    const auto findings = lint_snippet(
+        "src/a.hpp",
+        "#pragma once\n"
+        "// i.should_fail(\"commented_bogus\")\n"
+        "struct I { bool should_fail(const std::string& point); };\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Rules, PragmaOnceRequiredInHeaders) {
+    EXPECT_TRUE(has_rule(lint_snippet("src/a.hpp", "int x;\n"),
+                         "pragma-once"));
+    EXPECT_TRUE(lint_snippet("src/a.hpp", "#pragma once\nint x;\n").empty());
+    // Not required in .cpp files.
+    EXPECT_TRUE(lint_snippet("src/a.cpp", "int x;\n").empty());
+    // A commented-out pragma does not count.
+    EXPECT_TRUE(has_rule(
+        lint_snippet("src/a.hpp", "// #pragma once\nint x;\n"),
+        "pragma-once"));
+}
+
+TEST(Rules, NakedNewAndDelete) {
+    EXPECT_TRUE(has_rule(
+        lint_snippet("src/a.cpp", "int* p = new int(1);"), "naked-new"));
+    EXPECT_TRUE(has_rule(lint_snippet("src/a.cpp", "void f(int* p) { delete p; }"),
+                         "naked-new"));
+    // `= delete`, operator new, and strings/comments are fine.
+    EXPECT_TRUE(lint_snippet("src/a.cpp",
+                             "struct S { S(const S&) = delete;\n"
+                             "  S& operator=(const S&)\n      = delete; };\n"
+                             "void* operator new(std::size_t);\n"
+                             "// new in a comment\n"
+                             "const char* s = \"new delete\";\n")
+                    .empty());
+    // The ownership core is exempt by path.
+    EXPECT_TRUE(
+        lint_snippet("src/nn/module.cpp", "int* p = new int(1);").empty());
+    // Inline suppression works, on the same line or the line above.
+    EXPECT_TRUE(lint_snippet("src/a.cpp",
+                             "int* p = new int(1);  // aero-lint: "
+                             "allow(naked-new)\n")
+                    .empty());
+    EXPECT_TRUE(lint_snippet("src/a.cpp",
+                             "// aero-lint: allow(naked-new)\n"
+                             "int* p = new int(1);\n")
+                    .empty());
+    // A marker for a different rule does not suppress.
+    EXPECT_TRUE(has_rule(lint_snippet("src/a.cpp",
+                                      "int* p = new int(1);  // aero-lint: "
+                                      "allow(pragma-once)\n"),
+                         "naked-new"));
+}
+
+TEST(Rules, UncheckedParseBanned) {
+    EXPECT_TRUE(has_rule(
+        lint_snippet("src/a.cpp", "int v = std::stoi(text);"),
+        "unchecked-parse"));
+    EXPECT_TRUE(has_rule(lint_snippet("src/a.cpp", "double d = atof(s);"),
+                         "unchecked-parse"));
+    // The checked-parser home is exempt.
+    EXPECT_TRUE(
+        lint_snippet("src/util/json.cpp", "int v = std::stoi(text);")
+            .empty());
+    // Words containing the token are not matches.
+    EXPECT_TRUE(lint_snippet("src/a.cpp", "int histoire = custom_atoine(1);")
+                    .empty());
+}
+
+TEST(Rules, StatsAccountingComment) {
+    const std::string bad =
+        "struct FooStats {\n"
+        "  long long in = 0;\n"
+        "  long long out = 0;\n"
+        "  bool balanced() const { return in == out; }\n"
+        "};\n";
+    EXPECT_TRUE(has_rule(lint_snippet("src/a.hpp", "#pragma once\n" + bad),
+                         "stats-accounting"));
+    const std::string good =
+        "struct FooStats {\n"
+        "  long long in = 0;\n"
+        "  long long out = 0;\n"
+        "  /// The accounting invariant: in == out after drain.\n"
+        "  bool balanced() const { return in == out; }\n"
+        "};\n";
+    EXPECT_TRUE(lint_snippet("src/a.hpp", "#pragma once\n" + good).empty());
+    // Stats structs without a balanced() invariant are unconstrained.
+    EXPECT_TRUE(lint_snippet("src/a.hpp",
+                             "#pragma once\nstruct BarStats { int n; };\n")
+                    .empty());
+}
+
+// ---- fixture trees ----------------------------------------------------------
+
+Options fixture_options(const std::string& which) {
+    Options options;
+    options.root = std::string(AERO_LINT_FIXTURE_DIR) + "/" + which;
+    options.strict_dirs = {"src"};
+    options.fault_dirs = {};
+    options.registry = "registry.hpp";
+    options.design_doc = "DESIGN.md";
+    return options;
+}
+
+TEST(Fixtures, GoodTreeIsClean) {
+    const auto findings = aero::lint::run_lint(fixture_options("good"));
+    for (const auto& finding : findings) {
+        ADD_FAILURE() << finding.file << ":" << finding.line << " ["
+                      << finding.rule << "] " << finding.message;
+    }
+}
+
+TEST(Fixtures, BadTreeTripsEveryRule) {
+    const auto findings = aero::lint::run_lint(fixture_options("bad"));
+    EXPECT_TRUE(has_rule(findings, "fault-registry"));
+    EXPECT_TRUE(has_rule(findings, "fault-docs"));
+    EXPECT_TRUE(has_rule(findings, "pragma-once"));
+    EXPECT_TRUE(has_rule(findings, "naked-new"));
+    EXPECT_TRUE(has_rule(findings, "unchecked-parse"));
+    EXPECT_TRUE(has_rule(findings, "stats-accounting"));
+    // Both unregistered points are reported with their names.
+    int unregistered = 0;
+    for (const auto& finding : findings) {
+        if (finding.rule == "fault-registry") ++unregistered;
+    }
+    EXPECT_EQ(unregistered, 2);
+}
+
+}  // namespace
