@@ -4,6 +4,7 @@
 // generate-and-score protocol, and prints paper-style tables.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -151,12 +152,27 @@ inline std::string fmt(double v, int decimals = 2) {
     return util::format_fixed(v, decimals);
 }
 
+/// Directory bench result JSON lands in: AERO_RESULTS_DIR when set,
+/// otherwise out/results (relative to the CWD).
+inline std::string results_dir() {
+    return util::env_string("AERO_RESULTS_DIR", "out/results");
+}
+
 /// Writes a machine-readable copy of a bench's results to
-/// out/results/<name>.json.
+/// <results_dir()>/<name>.json. A bench whose numbers never hit disk is
+/// worse than one that fails loudly (read-only CWD, ENOSPC), so a
+/// failed write aborts the bench with a non-zero exit.
 inline void record_results(const std::string& name,
                            const util::JsonValue& payload) {
-    std::filesystem::create_directories("out/results");
-    payload.write_file("out/results/" + name + ".json");
+    const std::string dir = results_dir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/" + name + ".json";
+    if (ec || !payload.write_file(path)) {
+        std::fprintf(stderr, "FATAL: failed to write bench results to %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
 }
 
 }  // namespace aero::bench

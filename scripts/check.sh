@@ -35,8 +35,10 @@ cmake --build "${SAN_DIR}" -j "${JOBS}"
 if [ "${SANITIZE}" = "thread" ]; then
     # TSan run targets the concurrency-heavy suites; the single-threaded
     # suites add nothing under TSan but cost a full instrumented run.
+    # test_parallel/test_diffusion exercise the intra-op thread pool
+    # (DESIGN.md §11) from kernels up through full DDIM sampling.
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_serve|test_util' "$@")
+        -R 'test_serve|test_util|test_parallel|test_diffusion' "$@")
 else
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
 fi

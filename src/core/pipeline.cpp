@@ -344,7 +344,12 @@ diffusion::DiffusionTrainStats AeroDiffusionPipeline::fit(util::Rng& rng) {
         if (!config_.checkpoint_path.empty() &&
             config_.checkpoint_interval > 0 &&
             (step + 1) % config_.checkpoint_interval == 0) {
-            save_checkpoint(config_.checkpoint_path, step + 1);
+            if (!save_checkpoint(config_.checkpoint_path, step + 1)) {
+                util::log_warn()
+                    << config_.name << ": periodic checkpoint at step "
+                    << (step + 1) << " failed to write "
+                    << config_.checkpoint_path << "; training continues";
+            }
         }
     }
     if (tail_count > 0) {

@@ -98,7 +98,11 @@ Tensor DdimSampler::run(Tensor z, std::size_t first_step,
                             ops::scale(noise_estimate, dir_coef));
         };
 
-        if (config_.use_heun && sigma == 0.0f && t_prev >= 0) {
+        // Gate Heun on the *config*, not the per-step sigma: with eta > 0
+        // sigma can still round to exactly 0 on flat stretches of
+        // alpha_bar (tiny beta), and the stochastic path must never
+        // silently take the deterministic predictor-corrector branch.
+        if (config_.use_heun && config_.eta == 0.0f && t_prev >= 0) {
             // Predictor-corrector: evaluate the denoiser again at the
             // Euler endpoint and average the two noise directions.
             const Tensor euler = ddim_update(eps);

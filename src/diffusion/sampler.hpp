@@ -37,8 +37,10 @@ struct DdimConfig {
     Parameterization parameterization = Parameterization::kEpsilon;
     /// Heun's method: a second denoiser evaluation per step (predictor-
     /// corrector on the probability-flow ODE). Doubles the NFE for a
-    /// higher-order update; only applies to the deterministic (eta = 0)
-    /// path.
+    /// higher-order update. Only meaningful on the probability-flow ODE,
+    /// so the sampler IGNORES this flag whenever eta > 0 — the gate is
+    /// the configured eta itself, not the per-step sigma (which can
+    /// round to 0 on flat alpha_bar stretches even with eta > 0).
     bool use_heun = false;
     /// Cooperative cancellation, polled before every denoising step
     /// (serving deadlines). When it returns true the sampler abandons

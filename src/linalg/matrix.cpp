@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+
 namespace aero::linalg {
 
 Matrix Matrix::identity(std::size_t n) {
@@ -48,15 +50,28 @@ Matrix operator-(const Matrix& a, const Matrix& b) {
 Matrix operator*(const Matrix& a, const Matrix& b) {
     assert(a.cols() == b.rows());
     Matrix out(a.rows(), b.cols());
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const double aik = a(i, k);
-            if (aik == 0.0) continue;
-            for (std::size_t j = 0; j < b.cols(); ++j) {
-                out(i, j) += aik * b(k, j);
+    // Row-block partitioning on the thread pool: each chunk owns a band
+    // of output rows and runs the full k-reduction itself, so the
+    // summation order per element never depends on the thread count
+    // (determinism contract, util/thread_pool.hpp).
+    const std::int64_t grain = util::grain_for(
+        static_cast<std::int64_t>(a.cols()) * static_cast<std::int64_t>(
+                                                  b.cols()),
+        1 << 16);
+    util::parallel_for(
+        0, static_cast<std::int64_t>(a.rows()), grain,
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (auto i = static_cast<std::size_t>(i0);
+                 i < static_cast<std::size_t>(i1); ++i) {
+                for (std::size_t k = 0; k < a.cols(); ++k) {
+                    const double aik = a(i, k);
+                    if (aik == 0.0) continue;
+                    for (std::size_t j = 0; j < b.cols(); ++j) {
+                        out(i, j) += aik * b(k, j);
+                    }
+                }
             }
-        }
-    }
+        });
     return out;
 }
 

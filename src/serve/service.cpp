@@ -4,12 +4,19 @@
 #include <cmath>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace aero::serve {
 
 InferenceService::InferenceService(
     const core::AeroDiffusionPipeline& pipeline, const ServiceConfig& config)
     : pipeline_(&pipeline), config_(config), breaker_(config.breaker) {
+    // Warm the process-wide kernel pool before any request arrives.
+    // Every service worker dispatches its tensor kernels onto this one
+    // shared pool (sized by AERO_THREADS, not by config_.workers), so
+    // concurrent requests divide a fixed set of cores instead of each
+    // spawning its own — the no-oversubscription policy of DESIGN.md §11.
+    util::ThreadPool::instance();
     // workers_ is guarded by stop_mutex_; nothing can race the
     // constructor, but taking the lock keeps the contract uniform (and
     // the static analysis satisfied) at the cost of one uncontended

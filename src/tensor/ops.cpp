@@ -2,16 +2,34 @@
 
 #include <cassert>
 #include <cmath>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace aero::tensor {
 
 namespace {
 
+// Chunking floors for the pool dispatches below. Grains derive only
+// from these constants and tensor shapes — never from the thread count
+// — which is what keeps results bitwise identical for any AERO_THREADS
+// (see util/thread_pool.hpp and DESIGN.md §11). Values are work-per-
+// chunk floors so tiny tensors take the serial single-chunk fast path.
+constexpr std::int64_t kElemGrain = 16384;        ///< cheap elementwise ops
+constexpr std::int64_t kMinChunkFlops = 1 << 16;  ///< mul-adds per chunk
+constexpr std::int64_t kMinChunkExp = 1 << 11;    ///< transcendentals/chunk
+
 /// Applies `fn` elementwise producing a fresh tensor.
 template <typename Fn>
 Tensor map(const Tensor& a, Fn fn) {
     Tensor out = a;
-    for (float& v : out.values()) v = fn(v);
+    float* po = out.data();
+    util::parallel_for(0, out.size(), kElemGrain,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                               po[i] = fn(po[i]);
+                           }
+                       });
     return out;
 }
 
@@ -22,8 +40,23 @@ Tensor zip(const Tensor& a, const Tensor& b, Fn fn) {
     Tensor out = a;
     const float* pb = b.data();
     float* po = out.data();
-    for (int i = 0; i < out.size(); ++i) po[i] = fn(po[i], pb[i]);
+    util::parallel_for(0, out.size(), kElemGrain,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                               po[i] = fn(po[i], pb[i]);
+                           }
+                       });
     return out;
+}
+
+/// Overflow-proof logistic: the exp argument is always <= 0, so extreme
+/// logits saturate to exactly 0/1 without an inf intermediate (the
+/// naive 1/(1+exp(-x)) form computes exp(+big) = inf for very negative
+/// x before the division collapses it).
+float stable_sigmoid(float x) {
+    if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
+    const float e = std::exp(x);
+    return e / (1.0f + e);
 }
 
 /// Product of extents before `axis` (outer) and after `axis` (inner).
@@ -78,12 +111,12 @@ Tensor relu_backward(const Tensor& grad, const Tensor& input) {
 }
 
 Tensor silu(const Tensor& a) {
-    return map(a, [](float x) { return x / (1.0f + std::exp(-x)); });
+    return map(a, [](float x) { return x * stable_sigmoid(x); });
 }
 
 Tensor silu_backward(const Tensor& grad, const Tensor& input) {
     return zip(grad, input, [](float g, float x) {
-        const float s = 1.0f / (1.0f + std::exp(-x));
+        const float s = stable_sigmoid(x);
         return g * (s + x * s * (1.0f - s));
     });
 }
@@ -98,7 +131,7 @@ Tensor tanh_backward(const Tensor& grad, const Tensor& output) {
 }
 
 Tensor sigmoid(const Tensor& a) {
-    return map(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+    return map(a, [](float x) { return stable_sigmoid(x); });
 }
 
 Tensor sigmoid_backward(const Tensor& grad, const Tensor& output) {
@@ -115,15 +148,22 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int i = 0; i < m; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-            const float aik = pa[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            float* orow = po + i * n;
-            for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    // Row-block partitioning: each chunk owns a disjoint band of output
+    // rows and runs the full k-reduction itself, so the float summation
+    // order per element never depends on the thread count.
+    const std::int64_t grain =
+        util::grain_for(static_cast<std::int64_t>(k) * n, kMinChunkFlops);
+    util::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+            for (int kk = 0; kk < k; ++kk) {
+                const float aik = pa[i * k + kk];
+                if (aik == 0.0f) continue;
+                const float* brow = pb + kk * n;
+                float* orow = po + i * n;
+                for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -136,15 +176,19 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int i = 0; i < m; ++i) {
-        const float* arow = pa + i * k;
-        for (int j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            float acc = 0.0f;
-            for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            po[i * n + j] = acc;
+    const std::int64_t grain =
+        util::grain_for(static_cast<std::int64_t>(k) * n, kMinChunkFlops);
+    util::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+            const float* arow = pa + i * k;
+            for (int j = 0; j < n; ++j) {
+                const float* brow = pb + j * k;
+                float acc = 0.0f;
+                for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+                po[i * n + j] = acc;
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -157,16 +201,22 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int kk = 0; kk < k; ++kk) {
-        const float* arow = pa + kk * m;
-        const float* brow = pb + kk * n;
-        for (int i = 0; i < m; ++i) {
-            const float aki = arow[i];
-            if (aki == 0.0f) continue;
+    // Output rows are the parallel axis (k cannot be: every kk writes
+    // all of out). Per element the kk-ascending accumulation order is
+    // the same as the serial kernel's, just grouped by row.
+    const std::int64_t grain =
+        util::grain_for(static_cast<std::int64_t>(k) * n, kMinChunkFlops);
+    util::parallel_for(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
             float* orow = po + i * n;
-            for (int j = 0; j < n; ++j) orow[j] += aki * brow[j];
+            for (int kk = 0; kk < k; ++kk) {
+                const float aki = pa[kk * m + i];
+                if (aki == 0.0f) continue;
+                const float* brow = pb + kk * n;
+                for (int j = 0; j < n; ++j) orow[j] += aki * brow[j];
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -188,9 +238,14 @@ Tensor add_row_bias(const Tensor& a, const Tensor& bias) {
     const int n = a.dim(1);
     float* po = out.data();
     const float* pb = bias.data();
-    for (int i = 0; i < m; ++i) {
-        for (int j = 0; j < n; ++j) po[i * n + j] += pb[j];
-    }
+    util::parallel_for(0, m, util::grain_for(n, kElemGrain),
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                               for (int j = 0; j < n; ++j) {
+                                   po[i * n + j] += pb[j];
+                               }
+                           }
+                       });
     return out;
 }
 
@@ -199,16 +254,45 @@ Tensor sum_rows(const Tensor& a) {
     const int m = a.dim(0);
     const int n = a.dim(1);
     Tensor out({n});
-    for (int i = 0; i < m; ++i) {
-        for (int j = 0; j < n; ++j) out[j] += a[i * n + j];
-    }
+    const float* pa = a.data();
+    float* po = out.data();
+    // Columns are the parallel axis; each column sums its rows in
+    // ascending order, matching the serial kernel element-for-element.
+    util::parallel_for(0, n, util::grain_for(m, kElemGrain),
+                       [&](std::int64_t j0, std::int64_t j1) {
+                           for (std::int64_t j = j0; j < j1; ++j) {
+                               float acc = 0.0f;
+                               for (int i = 0; i < m; ++i) {
+                                   acc += pa[i * n + j];
+                               }
+                               po[j] = acc;
+                           }
+                       });
     return out;
 }
 
 float sum_all(const Tensor& a) {
-    double acc = 0.0;
-    for (float v : a.values()) acc += v;
-    return static_cast<float>(acc);
+    // Deterministic parallel reduction: fixed-size chunk partials (the
+    // boundaries depend only on the element count) reduced in ascending
+    // chunk order — never atomics, whose arrival order would make the
+    // float result depend on scheduling.
+    const std::int64_t size = a.size();
+    if (size == 0) return 0.0f;
+    const std::int64_t chunks = (size + kElemGrain - 1) / kElemGrain;
+    std::vector<double> partials(static_cast<std::size_t>(chunks), 0.0);
+    const float* pa = a.data();
+    util::parallel_for(0, size, kElemGrain,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                           double acc = 0.0;
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                               acc += pa[i];
+                           }
+                           partials[static_cast<std::size_t>(
+                               lo / kElemGrain)] = acc;
+                       });
+    double total = 0.0;
+    for (const double partial : partials) total += partial;
+    return static_cast<float>(total);
 }
 
 float mean_all(const Tensor& a) {
@@ -221,18 +305,24 @@ Tensor softmax_rows(const Tensor& a) {
     const int n = a.dim(1);
     Tensor out = a;
     float* po = out.data();
-    for (int i = 0; i < m; ++i) {
-        float* row = po + i * n;
-        float max_v = row[0];
-        for (int j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
-        float sum = 0.0f;
-        for (int j = 0; j < n; ++j) {
-            row[j] = std::exp(row[j] - max_v);
-            sum += row[j];
-        }
-        const float inv = 1.0f / sum;
-        for (int j = 0; j < n; ++j) row[j] *= inv;
-    }
+    // Rows are independent; exp dominates, so the grain floor counts
+    // transcendentals rather than flops.
+    util::parallel_for(
+        0, m, util::grain_for(n, kMinChunkExp),
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
+                float* row = po + i * n;
+                float max_v = row[0];
+                for (int j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+                float sum = 0.0f;
+                for (int j = 0; j < n; ++j) {
+                    row[j] = std::exp(row[j] - max_v);
+                    sum += row[j];
+                }
+                const float inv = 1.0f / sum;
+                for (int j = 0; j < n; ++j) row[j] *= inv;
+            }
+        });
     return out;
 }
 
@@ -241,14 +331,22 @@ Tensor softmax_rows_backward(const Tensor& grad, const Tensor& output) {
     const int m = grad.dim(0);
     const int n = grad.dim(1);
     Tensor out({m, n});
-    for (int i = 0; i < m; ++i) {
-        const float* g = grad.data() + i * n;
-        const float* y = output.data() + i * n;
-        float dot = 0.0f;
-        for (int j = 0; j < n; ++j) dot += g[j] * y[j];
-        float* o = out.data() + i * n;
-        for (int j = 0; j < n; ++j) o[j] = y[j] * (g[j] - dot);
-    }
+    const float* pg = grad.data();
+    const float* py = output.data();
+    float* po = out.data();
+    util::parallel_for(0, m, util::grain_for(n, kElemGrain),
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                               const float* g = pg + i * n;
+                               const float* y = py + i * n;
+                               float dot = 0.0f;
+                               for (int j = 0; j < n; ++j) dot += g[j] * y[j];
+                               float* o = po + i * n;
+                               for (int j = 0; j < n; ++j) {
+                                   o[j] = y[j] * (g[j] - dot);
+                               }
+                           }
+                       });
     return out;
 }
 
@@ -281,32 +379,42 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     const float* pw = weight.data();
     float* po = out.data();
 
-    for (int b = 0; b < n; ++b) {
-        for (int o = 0; o < oc; ++o) {
-            const float bias_v = bias.empty() ? 0.0f : bias[o];
-            for (int y = 0; y < oh; ++y) {
-                for (int x = 0; x < ow; ++x) {
-                    float acc = bias_v;
-                    const int iy0 = y * spec.stride - spec.pad;
-                    const int ix0 = x * spec.stride - spec.pad;
-                    for (int ch = 0; ch < c; ++ch) {
-                        const float* in_ch = pi + ((b * c + ch) * h) * w;
-                        const float* w_ch = pw + ((o * c + ch) * kh) * kw;
-                        for (int ky = 0; ky < kh; ++ky) {
-                            const int iy = iy0 + ky;
-                            if (iy < 0 || iy >= h) continue;
-                            for (int kx = 0; kx < kw; ++kx) {
-                                const int ix = ix0 + kx;
-                                if (ix < 0 || ix >= w) continue;
-                                acc += in_ch[iy * w + ix] * w_ch[ky * kw + kx];
+    // Each (batch, out-channel) plane is a disjoint output slab with its
+    // own accumulators, so the n*oc planes are the parallel axis.
+    const std::int64_t plane_flops =
+        static_cast<std::int64_t>(oh) * ow * c * kh * kw;
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n) * oc,
+        util::grain_for(plane_flops, kMinChunkFlops),
+        [&](std::int64_t bo0, std::int64_t bo1) {
+            for (std::int64_t bo = bo0; bo < bo1; ++bo) {
+                const int b = static_cast<int>(bo / oc);
+                const int o = static_cast<int>(bo % oc);
+                const float bias_v = bias.empty() ? 0.0f : bias[o];
+                for (int y = 0; y < oh; ++y) {
+                    for (int x = 0; x < ow; ++x) {
+                        float acc = bias_v;
+                        const int iy0 = y * spec.stride - spec.pad;
+                        const int ix0 = x * spec.stride - spec.pad;
+                        for (int ch = 0; ch < c; ++ch) {
+                            const float* in_ch = pi + ((b * c + ch) * h) * w;
+                            const float* w_ch = pw + ((o * c + ch) * kh) * kw;
+                            for (int ky = 0; ky < kh; ++ky) {
+                                const int iy = iy0 + ky;
+                                if (iy < 0 || iy >= h) continue;
+                                for (int kx = 0; kx < kw; ++kx) {
+                                    const int ix = ix0 + kx;
+                                    if (ix < 0 || ix >= w) continue;
+                                    acc += in_ch[iy * w + ix] *
+                                           w_ch[ky * kw + kx];
+                                }
                             }
                         }
+                        po[(bo * oh + y) * ow + x] = acc;
                     }
-                    po[((b * oc + o) * oh + y) * ow + x] = acc;
                 }
             }
-        }
-    }
+        });
     return out;
 }
 
@@ -330,32 +438,43 @@ Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
     const float* pw = weight.data();
     float* po = grad_in.data();
 
-    for (int b = 0; b < n; ++b) {
-        for (int o = 0; o < oc; ++o) {
-            const float* g_ch = pg + ((b * oc + o) * oh) * ow;
-            for (int y = 0; y < oh; ++y) {
-                for (int x = 0; x < ow; ++x) {
-                    const float g = g_ch[y * ow + x];
-                    if (g == 0.0f) continue;
-                    const int iy0 = y * spec.stride - spec.pad;
-                    const int ix0 = x * spec.stride - spec.pad;
-                    for (int ch = 0; ch < c; ++ch) {
-                        float* in_ch = po + ((b * c + ch) * h) * w;
-                        const float* w_ch = pw + ((o * c + ch) * kh) * kw;
-                        for (int ky = 0; ky < kh; ++ky) {
-                            const int iy = iy0 + ky;
-                            if (iy < 0 || iy >= h) continue;
-                            for (int kx = 0; kx < kw; ++kx) {
-                                const int ix = ix0 + kx;
-                                if (ix < 0 || ix >= w) continue;
-                                in_ch[iy * w + ix] += g * w_ch[ky * kw + kx];
+    // Every output channel scatters into the same per-batch grad slab,
+    // so the batch is the only safe parallel axis; the inner o/y/x
+    // accumulation order per batch matches the serial kernel exactly.
+    const std::int64_t batch_flops =
+        static_cast<std::int64_t>(oc) * oh * ow * c * kh * kw;
+    util::parallel_for(
+        0, n, util::grain_for(batch_flops, kMinChunkFlops),
+        [&](std::int64_t b0, std::int64_t b1) {
+            for (std::int64_t b = b0; b < b1; ++b) {
+                for (int o = 0; o < oc; ++o) {
+                    const float* g_ch = pg + ((b * oc + o) * oh) * ow;
+                    for (int y = 0; y < oh; ++y) {
+                        for (int x = 0; x < ow; ++x) {
+                            const float g = g_ch[y * ow + x];
+                            if (g == 0.0f) continue;
+                            const int iy0 = y * spec.stride - spec.pad;
+                            const int ix0 = x * spec.stride - spec.pad;
+                            for (int ch = 0; ch < c; ++ch) {
+                                float* in_ch = po + ((b * c + ch) * h) * w;
+                                const float* w_ch =
+                                    pw + ((o * c + ch) * kh) * kw;
+                                for (int ky = 0; ky < kh; ++ky) {
+                                    const int iy = iy0 + ky;
+                                    if (iy < 0 || iy >= h) continue;
+                                    for (int kx = 0; kx < kw; ++kx) {
+                                        const int ix = ix0 + kx;
+                                        if (ix < 0 || ix >= w) continue;
+                                        in_ch[iy * w + ix] +=
+                                            g * w_ch[ky * kw + kx];
+                                    }
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-    }
+        });
     return grad_in;
 }
 
@@ -379,32 +498,45 @@ Tensor conv2d_backward_weight(const Tensor& grad_out, const Tensor& input,
     const float* pi = input.data();
     float* po = grad_w.data();
 
-    for (int b = 0; b < n; ++b) {
-        for (int o = 0; o < oc; ++o) {
-            const float* g_ch = pg + ((b * oc + o) * oh) * ow;
-            for (int y = 0; y < oh; ++y) {
-                for (int x = 0; x < ow; ++x) {
-                    const float g = g_ch[y * ow + x];
-                    if (g == 0.0f) continue;
-                    const int iy0 = y * spec.stride - spec.pad;
-                    const int ix0 = x * spec.stride - spec.pad;
-                    for (int ch = 0; ch < c; ++ch) {
-                        const float* in_ch = pi + ((b * c + ch) * h) * w;
-                        float* w_ch = po + ((o * c + ch) * kh) * kw;
-                        for (int ky = 0; ky < kh; ++ky) {
-                            const int iy = iy0 + ky;
-                            if (iy < 0 || iy >= h) continue;
-                            for (int kx = 0; kx < kw; ++kx) {
-                                const int ix = ix0 + kx;
-                                if (ix < 0 || ix >= w) continue;
-                                w_ch[ky * kw + kx] += g * in_ch[iy * w + ix];
+    // Out-channel is the parallel axis: each o owns a disjoint weight
+    // slab. Relative to the old b-outer loop the o/b loops are swapped,
+    // but every weight element still accumulates its (b, y, x)
+    // contributions in the same ascending order, so the restructure is
+    // bitwise neutral.
+    const std::int64_t per_oc_flops =
+        static_cast<std::int64_t>(n) * oh * ow * c * kh * kw;
+    util::parallel_for(
+        0, oc, util::grain_for(per_oc_flops, kMinChunkFlops),
+        [&](std::int64_t o0, std::int64_t o1) {
+            for (std::int64_t o = o0; o < o1; ++o) {
+                for (int b = 0; b < n; ++b) {
+                    const float* g_ch = pg + ((b * oc + o) * oh) * ow;
+                    for (int y = 0; y < oh; ++y) {
+                        for (int x = 0; x < ow; ++x) {
+                            const float g = g_ch[y * ow + x];
+                            if (g == 0.0f) continue;
+                            const int iy0 = y * spec.stride - spec.pad;
+                            const int ix0 = x * spec.stride - spec.pad;
+                            for (int ch = 0; ch < c; ++ch) {
+                                const float* in_ch =
+                                    pi + ((b * c + ch) * h) * w;
+                                float* w_ch = po + ((o * c + ch) * kh) * kw;
+                                for (int ky = 0; ky < kh; ++ky) {
+                                    const int iy = iy0 + ky;
+                                    if (iy < 0 || iy >= h) continue;
+                                    for (int kx = 0; kx < kw; ++kx) {
+                                        const int ix = ix0 + kx;
+                                        if (ix < 0 || ix >= w) continue;
+                                        w_ch[ky * kw + kx] +=
+                                            g * in_ch[iy * w + ix];
+                                    }
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-    }
+        });
     return grad_w;
 }
 
@@ -415,14 +547,22 @@ Tensor conv2d_backward_bias(const Tensor& grad_out) {
     const int spatial = grad_out.dim(2) * grad_out.dim(3);
     Tensor grad_b({oc});
     const float* pg = grad_out.data();
-    for (int b = 0; b < n; ++b) {
-        for (int o = 0; o < oc; ++o) {
-            const float* base = pg + (b * oc + o) * spatial;
-            float acc = 0.0f;
-            for (int s = 0; s < spatial; ++s) acc += base[s];
-            grad_b[o] += acc;
-        }
-    }
+    float* pb = grad_b.data();
+    // o-outer (parallel), b-inner: each bias element still sums its
+    // per-batch partials in ascending b order, as the serial loop did.
+    util::parallel_for(
+        0, oc, util::grain_for(static_cast<std::int64_t>(n) * spatial,
+                               kElemGrain),
+        [&](std::int64_t o0, std::int64_t o1) {
+            for (std::int64_t o = o0; o < o1; ++o) {
+                for (int b = 0; b < n; ++b) {
+                    const float* base = pg + (b * oc + o) * spatial;
+                    float acc = 0.0f;
+                    for (int s = 0; s < spatial; ++s) acc += base[s];
+                    pb[o] += acc;
+                }
+            }
+        });
     return grad_b;
 }
 
@@ -433,15 +573,22 @@ Tensor upsample_nearest2x(const Tensor& input) {
     const int h = input.dim(2);
     const int w = input.dim(3);
     Tensor out({n, c, h * 2, w * 2});
-    for (int bc = 0; bc < n * c; ++bc) {
-        const float* src = input.data() + bc * h * w;
-        float* dst = out.data() + bc * h * w * 4;
-        for (int y = 0; y < h * 2; ++y) {
-            for (int x = 0; x < w * 2; ++x) {
-                dst[y * w * 2 + x] = src[(y / 2) * w + (x / 2)];
+    const float* pi = input.data();
+    float* po = out.data();
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n) * c,
+        util::grain_for(static_cast<std::int64_t>(h) * w * 4, kElemGrain),
+        [&](std::int64_t bc0, std::int64_t bc1) {
+            for (std::int64_t bc = bc0; bc < bc1; ++bc) {
+                const float* src = pi + bc * h * w;
+                float* dst = po + bc * h * w * 4;
+                for (int y = 0; y < h * 2; ++y) {
+                    for (int x = 0; x < w * 2; ++x) {
+                        dst[y * w * 2 + x] = src[(y / 2) * w + (x / 2)];
+                    }
+                }
             }
-        }
-    }
+        });
     return out;
 }
 
@@ -455,15 +602,22 @@ Tensor upsample_nearest2x_backward(const Tensor& grad_out) {
     const int h = oh / 2;
     const int w = ow / 2;
     Tensor grad_in({n, c, h, w});
-    for (int bc = 0; bc < n * c; ++bc) {
-        const float* src = grad_out.data() + bc * oh * ow;
-        float* dst = grad_in.data() + bc * h * w;
-        for (int y = 0; y < oh; ++y) {
-            for (int x = 0; x < ow; ++x) {
-                dst[(y / 2) * w + (x / 2)] += src[y * ow + x];
+    const float* pg = grad_out.data();
+    float* po = grad_in.data();
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n) * c,
+        util::grain_for(static_cast<std::int64_t>(oh) * ow, kElemGrain),
+        [&](std::int64_t bc0, std::int64_t bc1) {
+            for (std::int64_t bc = bc0; bc < bc1; ++bc) {
+                const float* src = pg + bc * oh * ow;
+                float* dst = po + bc * h * w;
+                for (int y = 0; y < oh; ++y) {
+                    for (int x = 0; x < ow; ++x) {
+                        dst[(y / 2) * w + (x / 2)] += src[y * ow + x];
+                    }
+                }
             }
-        }
-    }
+        });
     return grad_in;
 }
 
@@ -475,19 +629,26 @@ Tensor avg_pool2x(const Tensor& input) {
     const int w = input.dim(3);
     assert(h % 2 == 0 && w % 2 == 0);
     Tensor out({n, c, h / 2, w / 2});
-    for (int bc = 0; bc < n * c; ++bc) {
-        const float* src = input.data() + bc * h * w;
-        float* dst = out.data() + bc * (h / 2) * (w / 2);
-        for (int y = 0; y < h / 2; ++y) {
-            for (int x = 0; x < w / 2; ++x) {
-                const float sum = src[(2 * y) * w + 2 * x] +
-                                  src[(2 * y) * w + 2 * x + 1] +
-                                  src[(2 * y + 1) * w + 2 * x] +
-                                  src[(2 * y + 1) * w + 2 * x + 1];
-                dst[y * (w / 2) + x] = 0.25f * sum;
+    const float* pi = input.data();
+    float* po = out.data();
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n) * c,
+        util::grain_for(static_cast<std::int64_t>(h) * w, kElemGrain),
+        [&](std::int64_t bc0, std::int64_t bc1) {
+            for (std::int64_t bc = bc0; bc < bc1; ++bc) {
+                const float* src = pi + bc * h * w;
+                float* dst = po + bc * (h / 2) * (w / 2);
+                for (int y = 0; y < h / 2; ++y) {
+                    for (int x = 0; x < w / 2; ++x) {
+                        const float sum = src[(2 * y) * w + 2 * x] +
+                                          src[(2 * y) * w + 2 * x + 1] +
+                                          src[(2 * y + 1) * w + 2 * x] +
+                                          src[(2 * y + 1) * w + 2 * x + 1];
+                        dst[y * (w / 2) + x] = 0.25f * sum;
+                    }
+                }
             }
-        }
-    }
+        });
     return out;
 }
 
@@ -498,15 +659,23 @@ Tensor avg_pool2x_backward(const Tensor& grad_out) {
     const int oh = grad_out.dim(2);
     const int ow = grad_out.dim(3);
     Tensor grad_in({n, c, oh * 2, ow * 2});
-    for (int bc = 0; bc < n * c; ++bc) {
-        const float* src = grad_out.data() + bc * oh * ow;
-        float* dst = grad_in.data() + bc * oh * ow * 4;
-        for (int y = 0; y < oh * 2; ++y) {
-            for (int x = 0; x < ow * 2; ++x) {
-                dst[y * ow * 2 + x] = 0.25f * src[(y / 2) * ow + (x / 2)];
+    const float* pg = grad_out.data();
+    float* po = grad_in.data();
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n) * c,
+        util::grain_for(static_cast<std::int64_t>(oh) * ow * 4, kElemGrain),
+        [&](std::int64_t bc0, std::int64_t bc1) {
+            for (std::int64_t bc = bc0; bc < bc1; ++bc) {
+                const float* src = pg + bc * oh * ow;
+                float* dst = po + bc * oh * ow * 4;
+                for (int y = 0; y < oh * 2; ++y) {
+                    for (int x = 0; x < ow * 2; ++x) {
+                        dst[y * ow * 2 + x] =
+                            0.25f * src[(y / 2) * ow + (x / 2)];
+                    }
+                }
             }
-        }
-    }
+        });
     return grad_in;
 }
 
@@ -517,12 +686,18 @@ Tensor global_avg_pool(const Tensor& input) {
     const int spatial = input.dim(2) * input.dim(3);
     Tensor out({n, c});
     const float inv = 1.0f / static_cast<float>(spatial);
-    for (int bc = 0; bc < n * c; ++bc) {
-        const float* src = input.data() + bc * spatial;
-        float acc = 0.0f;
-        for (int s = 0; s < spatial; ++s) acc += src[s];
-        out[bc] = acc * inv;
-    }
+    const float* pi = input.data();
+    float* po = out.data();
+    util::parallel_for(0, static_cast<std::int64_t>(n) * c,
+                       util::grain_for(spatial, kElemGrain),
+                       [&](std::int64_t bc0, std::int64_t bc1) {
+                           for (std::int64_t bc = bc0; bc < bc1; ++bc) {
+                               const float* src = pi + bc * spatial;
+                               float acc = 0.0f;
+                               for (int s = 0; s < spatial; ++s) acc += src[s];
+                               po[bc] = acc * inv;
+                           }
+                       });
     return out;
 }
 
@@ -534,11 +709,17 @@ Tensor global_avg_pool_backward(const Tensor& grad_out,
     const int spatial = input_shape[2] * input_shape[3];
     Tensor grad_in(input_shape);
     const float inv = 1.0f / static_cast<float>(spatial);
-    for (int bc = 0; bc < n * c; ++bc) {
-        const float g = grad_out[bc] * inv;
-        float* dst = grad_in.data() + bc * spatial;
-        for (int s = 0; s < spatial; ++s) dst[s] = g;
-    }
+    const float* pg = grad_out.data();
+    float* po = grad_in.data();
+    util::parallel_for(0, static_cast<std::int64_t>(n) * c,
+                       util::grain_for(spatial, kElemGrain),
+                       [&](std::int64_t bc0, std::int64_t bc1) {
+                           for (std::int64_t bc = bc0; bc < bc1; ++bc) {
+                               const float g = pg[bc] * inv;
+                               float* dst = po + bc * spatial;
+                               for (int s = 0; s < spatial; ++s) dst[s] = g;
+                           }
+                       });
     return grad_in;
 }
 
@@ -550,11 +731,14 @@ Tensor add_spatial_bias(const Tensor& x, const Tensor& bias) {
     Tensor out = x;
     float* po = out.data();
     const float* pb = bias.data();
-    for (int bc = 0; bc < nc; ++bc) {
-        const float b = pb[bc];
-        float* base = po + bc * spatial;
-        for (int s = 0; s < spatial; ++s) base[s] += b;
-    }
+    util::parallel_for(0, nc, util::grain_for(spatial, kElemGrain),
+                       [&](std::int64_t bc0, std::int64_t bc1) {
+                           for (std::int64_t bc = bc0; bc < bc1; ++bc) {
+                               const float b = pb[bc];
+                               float* base = po + bc * spatial;
+                               for (int s = 0; s < spatial; ++s) base[s] += b;
+                           }
+                       });
     return out;
 }
 
@@ -565,12 +749,19 @@ Tensor add_spatial_bias_backward_bias(const Tensor& grad_out) {
     const int spatial = grad_out.dim(2) * grad_out.dim(3);
     Tensor grad_bias({n, c});
     const float* pg = grad_out.data();
-    for (int bc = 0; bc < n * c; ++bc) {
-        const float* base = pg + bc * spatial;
-        float acc = 0.0f;
-        for (int s = 0; s < spatial; ++s) acc += base[s];
-        grad_bias[bc] = acc;
-    }
+    float* po = grad_bias.data();
+    util::parallel_for(0, static_cast<std::int64_t>(n) * c,
+                       util::grain_for(spatial, kElemGrain),
+                       [&](std::int64_t bc0, std::int64_t bc1) {
+                           for (std::int64_t bc = bc0; bc < bc1; ++bc) {
+                               const float* base = pg + bc * spatial;
+                               float acc = 0.0f;
+                               for (int s = 0; s < spatial; ++s) {
+                                   acc += base[s];
+                               }
+                               po[bc] = acc;
+                           }
+                       });
     return grad_bias;
 }
 

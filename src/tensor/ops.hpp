@@ -4,6 +4,12 @@
 // state themselves. All functions validate shapes with asserts (logic
 // errors) and keep allocation patterns simple: each op returns a fresh
 // tensor.
+//
+// Parallelism: the hot kernels dispatch onto util::ThreadPool
+// (AERO_THREADS) with chunk boundaries derived only from tensor shapes,
+// and per-element floating-point accumulation order identical to the
+// serial kernel — so every op here is bitwise identical for any thread
+// count (determinism contract: util/thread_pool.hpp, DESIGN.md §11).
 
 #include <vector>
 
@@ -19,15 +25,26 @@ Tensor mul(const Tensor& a, const Tensor& b);
 Tensor scale(const Tensor& a, float s);
 Tensor add_scalar(const Tensor& a, float s);
 Tensor neg(const Tensor& a);
+/// Elementwise e^x with plain IEEE semantics: inputs above ~88.73
+/// overflow to +inf (and below ~-87.3 underflow to 0). Deliberately NOT
+/// clamped — callers that need bounded exponentials go through
+/// softmax_rows (max-subtracted) or sigmoid/silu (stable forms below);
+/// the serving layer's finite-checks reject any inf that escapes.
 Tensor exp(const Tensor& a);
 Tensor relu(const Tensor& a);
 /// dL/dx for relu given upstream grad and the forward input.
 Tensor relu_backward(const Tensor& grad, const Tensor& input);
+/// x * sigmoid(x), computed with the overflow-proof sigmoid form:
+/// finite output for every finite input (extreme logits saturate to
+/// 0 / x without inf intermediates).
 Tensor silu(const Tensor& a);
 Tensor silu_backward(const Tensor& grad, const Tensor& input);
 Tensor tanh(const Tensor& a);
 /// Backward from the forward *output* (y = tanh x): g * (1 - y^2).
 Tensor tanh_backward(const Tensor& grad, const Tensor& output);
+/// Logistic 1/(1+e^-x) via the sign-split stable form: the exp argument
+/// is always <= 0, so extreme inputs saturate to exactly 0/1 and the
+/// output is finite (in [0,1]) for every finite input.
 Tensor sigmoid(const Tensor& a);
 Tensor sigmoid_backward(const Tensor& grad, const Tensor& output);
 

@@ -31,6 +31,8 @@ inline constexpr FaultPoint kFaultPoints[] = {
      "service worker: transient fault before an attempt starts (retryable)"},
     {"serve_slow",
      "service worker: stall inside an attempt, after breaker admission"},
+    {"pool_slow",
+     "thread pool: worker stalls ~1ms before executing a claimed chunk"},
 };
 
 inline constexpr int kNumFaultPoints =

@@ -1,0 +1,199 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/env.hpp"
+#include "util/fault.hpp"
+
+namespace aero::util {
+
+namespace {
+
+/// True on threads that are pool workers: a parallel_for issued from
+/// inside a chunk runs serially inline instead of re-entering the queue
+/// (which could deadlock a fully busy pool and would oversubscribe it).
+thread_local bool t_inside_pool_worker = false;
+
+std::int64_t chunk_count(std::int64_t begin, std::int64_t end,
+                         std::int64_t grain) {
+    if (end <= begin) return 0;
+    return (end - begin + grain - 1) / grain;
+}
+
+}  // namespace
+
+int ThreadPool::default_threads() {
+    const int hardware =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    const int requested = env_int("AERO_THREADS", hardware);
+    return std::clamp(requested, 1, kMaxThreads);
+}
+
+ThreadPool& ThreadPool::instance() {
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool(int threads) {
+    const MutexLock lock(control_mutex_);
+    start_workers(std::clamp(threads, 1, kMaxThreads));
+}
+
+ThreadPool::~ThreadPool() {
+    const MutexLock lock(control_mutex_);
+    join_workers();
+}
+
+int ThreadPool::size() const {
+    return threads_.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::set_fault_injector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+}
+
+void ThreadPool::resize(int threads) {
+    const MutexLock lock(control_mutex_);
+    const int clamped = std::clamp(threads, 1, kMaxThreads);
+    if (clamped == threads_.load(std::memory_order_relaxed)) return;
+    join_workers();
+    start_workers(clamped);
+}
+
+void ThreadPool::start_workers(int threads) {
+    threads_.store(threads, std::memory_order_relaxed);
+    {
+        const MutexLock lock(queue_mutex_);
+        stopping_ = false;
+    }
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int i = 0; i < threads - 1; ++i) {
+        workers_.emplace_back(&ThreadPool::worker_loop, this);
+    }
+}
+
+void ThreadPool::join_workers() {
+    {
+        const MutexLock lock(queue_mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+}
+
+void ThreadPool::run_chunks(Task& task) {
+    FaultInjector* injector = injector_.load(std::memory_order_acquire);
+    for (;;) {
+        const std::int64_t chunk =
+            task.next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= task.chunks) return;
+        if (injector != nullptr && injector->should_fail("pool_slow")) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        const std::int64_t lo = task.begin + chunk * task.grain;
+        const std::int64_t hi = std::min(lo + task.grain, task.end);
+        try {
+            (*task.fn)(lo, hi);
+        } catch (...) {
+            const MutexLock lock(queue_mutex_);
+            if (!task.error) task.error = std::current_exception();
+        }
+        // Release pairs with the caller's acquire load: the RMW chain on
+        // `remaining` forms one release sequence, so the caller seeing 0
+        // sees every chunk's writes.
+        if (task.remaining.fetch_sub(1, std::memory_order_release) == 1) {
+            const MutexLock lock(queue_mutex_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+// Opted out of the static analysis (see header): the condition-variable
+// wait hands queue_mutex_ to std::unique_lock.
+void ThreadPool::worker_loop() {
+    t_inside_pool_worker = true;
+    std::unique_lock<Mutex> lock(queue_mutex_);
+    for (;;) {
+        Task* task = nullptr;
+        for (;;) {
+            // Drop fully claimed tasks from the head; their owner erases
+            // them too, but a fast caller may still be inside done_cv_.
+            while (!tasks_.empty() &&
+                   tasks_.front()->next.load(std::memory_order_relaxed) >=
+                       tasks_.front()->chunks) {
+                tasks_.erase(tasks_.begin());
+            }
+            for (Task* candidate : tasks_) {
+                if (candidate->next.load(std::memory_order_relaxed) <
+                    candidate->chunks) {
+                    task = candidate;
+                    break;
+                }
+            }
+            if (task != nullptr) break;
+            if (stopping_) return;
+            work_cv_.wait(lock);
+        }
+        // The caller's stack frame owns the task; it waits for
+        // workers_inside to drop to zero before returning, so the
+        // pointer stays valid throughout run_chunks.
+        ++task->workers_inside;
+        lock.unlock();
+        run_chunks(*task);
+        lock.lock();
+        if (--task->workers_inside == 0) done_cv_.notify_all();
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    if (grain < 1) grain = 1;
+    const std::int64_t chunks = chunk_count(begin, end, grain);
+    if (chunks == 0) return;
+
+    // Serial path: same chunks, ascending order, no pool machinery. Used
+    // when the pool is size 1 (AERO_THREADS=1), when the range is a
+    // single chunk, or when already running inside a pool worker.
+    if (chunks == 1 || size() == 1 || t_inside_pool_worker) {
+        for (std::int64_t c = 0; c < chunks; ++c) {
+            const std::int64_t lo = begin + c * grain;
+            fn(lo, std::min(lo + grain, end));
+        }
+        return;
+    }
+
+    Task task;
+    task.fn = &fn;
+    task.begin = begin;
+    task.end = end;
+    task.grain = grain;
+    task.chunks = chunks;
+    task.remaining.store(chunks, std::memory_order_relaxed);
+    {
+        const MutexLock lock(queue_mutex_);
+        tasks_.push_back(&task);
+    }
+    work_cv_.notify_all();
+
+    // The caller is one of the pool's N threads: it executes chunks too,
+    // so a size-1 pool is exactly the serial loop above.
+    run_chunks(task);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<Mutex> lock(queue_mutex_);
+        done_cv_.wait(lock, [&task] {
+            return task.remaining.load(std::memory_order_acquire) == 0 &&
+                   task.workers_inside == 0;
+        });
+        tasks_.erase(std::remove(tasks_.begin(), tasks_.end(), &task),
+                     tasks_.end());
+        error = task.error;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace aero::util

@@ -1,0 +1,155 @@
+#pragma once
+// Intra-op worker pool behind the hot numeric kernels (tensor/ops,
+// linalg) — the CPU stand-in for the batched GPU kernels the reference
+// diffusion systems lean on. One process-wide pool (instance()) is
+// shared by every caller, including all serve::InferenceService worker
+// threads, so concurrent requests divide the same fixed set of cores
+// instead of oversubscribing the machine.
+//
+// Determinism contract (DESIGN.md §11): parallel_for splits [begin,end)
+// into fixed chunks derived ONLY from (begin, end, grain) — never from
+// the thread count or from runtime load — and the serial path runs those
+// exact chunks in ascending order. A kernel that (a) writes disjoint
+// outputs per chunk or (b) reduces per-chunk partials in chunk order is
+// therefore bitwise identical for every AERO_THREADS value, which the
+// test_parallel suite asserts for AERO_THREADS ∈ {1, 2, 7}. Kernels must
+// not accumulate across chunks through atomics or locks — that reorders
+// floating-point sums and breaks the guarantee.
+//
+// Sizing: AERO_THREADS (util/env) caps the pool; the default is
+// hardware_concurrency. A pool of size N owns N-1 persistent workers —
+// the thread that calls parallel_for always participates, so
+// AERO_THREADS=1 spawns no workers at all and parallel_for degrades to a
+// plain chunked loop with zero locking or queueing.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace aero::util {
+
+class FaultInjector;
+
+class ThreadPool {
+public:
+    /// Spawns `threads - 1` workers (clamped to >= 1 thread total).
+    /// Prefer instance(); direct construction is for tests that need a
+    /// pool with a lifetime narrower than the process.
+    explicit ThreadPool(int threads = default_threads());
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// The process-wide pool every kernel dispatches to, sized from
+    /// AERO_THREADS on first use.
+    static ThreadPool& instance();
+
+    /// AERO_THREADS when set (clamped to [1, kMaxThreads]), otherwise
+    /// hardware_concurrency.
+    static int default_threads();
+
+    /// Total threads that execute chunks: workers + the calling thread.
+    int size() const AERO_EXCLUDES(control_mutex_);
+
+    /// Rebuilds the pool at a new size. Joins the current workers, so
+    /// every in-flight parallel_for must have returned; callers are the
+    /// determinism tests and bench_parallel, which resize between
+    /// single-threaded measurement phases. Serialised against concurrent
+    /// resize()/set_fault_injector() by control_mutex_.
+    void resize(int threads) AERO_EXCLUDES(control_mutex_, queue_mutex_);
+
+    /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into
+    /// ceil((end-begin)/grain) chunks of `grain` indices (the last chunk
+    /// may be short). Chunk boundaries depend only on the arguments, so
+    /// any thread count produces the same call set; execution order
+    /// across chunks is unspecified. Blocks until every chunk finished;
+    /// rethrows the first exception a chunk threw. Safe to call from
+    /// multiple threads at once (the serving workers do); a call from
+    /// inside a pool worker runs serially inline rather than deadlocking
+    /// on its own pool.
+    void parallel_for(std::int64_t begin, std::int64_t end,
+                      std::int64_t grain,
+                      const std::function<void(std::int64_t, std::int64_t)>&
+                          fn) AERO_EXCLUDES(queue_mutex_);
+
+    /// Test hook: when set, workers draw the "pool_slow" fault point
+    /// before each chunk and sleep ~1ms on a hit, widening race windows
+    /// for the TSan stress tests. Not for production paths.
+    void set_fault_injector(FaultInjector* injector)
+        AERO_EXCLUDES(control_mutex_);
+
+private:
+    /// One parallel_for invocation; lives on the caller's stack. Chunks
+    /// are claimed via `next`; `remaining` counts unfinished chunks and
+    /// `workers_inside` counts pool workers still touching the task, so
+    /// the caller frees the stack frame only when both reach zero.
+    struct Task {
+        const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+        std::int64_t begin = 0;
+        std::int64_t end = 0;
+        std::int64_t grain = 1;
+        std::int64_t chunks = 0;
+        std::atomic<std::int64_t> next{0};
+        std::atomic<std::int64_t> remaining{0};
+        int workers_inside = 0;  // guarded by the owning pool's queue_mutex_
+        std::exception_ptr error;  // guarded by the owning pool's queue_mutex_
+    };
+
+    /// Dequeue loop. Opted out of the static analysis: the
+    /// condition-variable wait releases and re-acquires queue_mutex_
+    /// through std::unique_lock, which the analysis cannot follow.
+    void worker_loop() AERO_NO_THREAD_SAFETY_ANALYSIS;
+
+    /// Claims and runs chunks of `task` until none remain.
+    void run_chunks(Task& task) AERO_EXCLUDES(queue_mutex_);
+
+    void start_workers(int threads) AERO_REQUIRES(control_mutex_)
+        AERO_EXCLUDES(queue_mutex_);
+    void join_workers() AERO_REQUIRES(control_mutex_)
+        AERO_EXCLUDES(queue_mutex_);
+
+    /// Serialises resize()/destruction against each other; never held
+    /// while executing chunks.
+    mutable Mutex control_mutex_ AERO_ACQUIRED_BEFORE(queue_mutex_);
+    std::vector<std::thread> workers_ AERO_GUARDED_BY(control_mutex_);
+
+    mutable Mutex queue_mutex_;
+    CondVar work_cv_;  ///< workers sleep here waiting for tasks
+    CondVar done_cv_;  ///< callers sleep here waiting for completion
+    std::vector<Task*> tasks_ AERO_GUARDED_BY(queue_mutex_);  ///< FIFO
+    bool stopping_ AERO_GUARDED_BY(queue_mutex_) = false;
+
+    /// size() reads this from kernel threads while resize() writes it;
+    /// atomic instead of guarded so the hot path stays lock-free.
+    std::atomic<int> threads_{1};
+    std::atomic<FaultInjector*> injector_{nullptr};
+};
+
+/// Upper bound on pool size; AERO_THREADS beyond this is clamped (a
+/// typo like AERO_THREADS=100000 must not try to spawn 100k threads).
+inline constexpr int kMaxThreads = 256;
+
+/// Convenience forwarding to the global pool: the one call sites use.
+inline void parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    ThreadPool::instance().parallel_for(begin, end, grain, fn);
+}
+
+/// Grain that packs at least `min_items_per_chunk`-worth of per-item
+/// cost `work_per_item` into each chunk (both in arbitrary consistent
+/// units, e.g. flops). Depends only on its arguments — callers derive
+/// them from tensor shapes — so chunking stays thread-count independent.
+inline std::int64_t grain_for(std::int64_t work_per_item,
+                              std::int64_t min_work_per_chunk) {
+    if (work_per_item <= 0) work_per_item = 1;
+    const std::int64_t grain = min_work_per_chunk / work_per_item;
+    return grain > 1 ? grain : 1;
+}
+
+}  // namespace aero::util

@@ -501,6 +501,52 @@ TEST(Samplers, HeunIsDeterministicAndDiffersFromEuler) {
     EXPECT_GT(diff, 1e-4f);
 }
 
+TEST(Samplers, StochasticEtaNeverTakesHeunBranch) {
+    // Regression: the Heun gate used to test the *per-step* sigma
+    // (`sigma == 0`), but sigma is a rounded float product — with a
+    // positive eta it can still underflow to exactly 0 on steps where
+    // the schedule factors are small. This setup makes that concrete:
+    // beta_start = 6e-8 puts alpha_bar(0) one ulp below 1, and a
+    // denormal eta keeps every sigma numerically irrelevant while the
+    // t=1 -> t=0 step's sigma rounds to exactly 0.0f. The old gate
+    // silently ran the Heun corrector on that step of a stochastic
+    // (eta > 0) trajectory; the fixed gate (config eta) must make
+    // use_heun a strict no-op, i.e. bitwise-identical samples.
+    aero::util::Rng rng(23);
+    UNet unet(tiny_unet_config(), rng);
+    const NoiseSchedule schedule({8, 6e-8f, 0.02f, 8});
+    const float eta = 1e-44f;
+    ASSERT_GT(eta, 0.0f);
+    const float ab0 = schedule.alpha_bar(0);
+    const float ab1 = schedule.alpha_bar(1);
+    ASSERT_LT(ab0, 1.0f);  // no 0/0 anywhere in the sigma formula
+    // The sampler's own sigma expression for the t=1 -> t=0 step
+    // underflows to exactly zero despite eta > 0 — the precondition the
+    // old gate mishandled.
+    const float sigma10 = eta *
+                          std::sqrt((1.0f - ab0) / (1.0f - ab1)) *
+                          std::sqrt(1.0f - ab1 / ab0);
+    ASSERT_EQ(sigma10, 0.0f);
+
+    DdimConfig stochastic;
+    stochastic.inference_steps = 8;
+    stochastic.guidance_scale = 1.0f;
+    stochastic.eta = eta;
+    DdimConfig stochastic_heun = stochastic;
+    stochastic_heun.use_heun = true;
+
+    const Tensor cond = Tensor::randn({2, 8}, rng);
+    aero::util::Rng a(9);
+    aero::util::Rng b(9);
+    const Tensor plain =
+        DdimSampler(unet, schedule, stochastic).sample({4, 8, 8}, cond, a);
+    const Tensor with_heun = DdimSampler(unet, schedule, stochastic_heun)
+                                 .sample({4, 8, 8}, cond, b);
+    for (int i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i], with_heun[i]) << "at " << i;
+    }
+}
+
 TEST(Samplers, EditStrengthControlsDeviation) {
     // Low-strength SDEdit stays closer to the source latent than
     // high-strength.

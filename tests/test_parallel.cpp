@@ -1,0 +1,163 @@
+// Determinism suite for the intra-op thread pool (DESIGN.md §11): every
+// parallelized kernel must produce BITWISE-identical outputs for any
+// AERO_THREADS value. Each test runs the same computation with the
+// process-wide pool resized to 1, 2, and 7 threads and compares float
+// bit patterns, not approximate values — the contract is exact.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "diffusion/sampler.hpp"
+#include "diffusion/schedule.hpp"
+#include "diffusion/unet.hpp"
+#include "nn/attention.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace ops = aero::tensor;
+using aero::autograd::Var;
+using aero::tensor::Tensor;
+using aero::util::ThreadPool;
+
+/// Thread counts the suite sweeps: serial, even split, and a prime that
+/// never divides the chunk counts evenly.
+const int kThreadCounts[] = {1, 2, 7};
+
+/// Restores the global pool to its default size when a test ends, so
+/// suites running after this one see the configured AERO_THREADS.
+class PoolSizeGuard {
+public:
+    PoolSizeGuard() = default;
+    ~PoolSizeGuard() {
+        ThreadPool::instance().resize(ThreadPool::default_threads());
+    }
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+    if (!a.same_shape(b)) return false;
+    return std::memcmp(a.data(), b.data(),
+                       sizeof(float) * static_cast<std::size_t>(a.size())) ==
+           0;
+}
+
+/// Runs `compute` at every thread count and asserts each result is
+/// bitwise identical to the single-threaded one.
+template <typename Fn>
+void expect_thread_count_invariant(const char* label, Fn compute) {
+    const PoolSizeGuard guard;
+    ThreadPool::instance().resize(1);
+    const Tensor reference = compute();
+    for (const int threads : kThreadCounts) {
+        ThreadPool::instance().resize(threads);
+        const Tensor result = compute();
+        EXPECT_TRUE(bitwise_equal(reference, result))
+            << label << ": output differs at " << threads << " threads";
+    }
+}
+
+TEST(Determinism, Matmul) {
+    aero::util::Rng rng(11);
+    const Tensor a = Tensor::randn({64, 96}, rng);
+    const Tensor b = Tensor::randn({96, 80}, rng);
+    expect_thread_count_invariant("matmul",
+                                  [&] { return ops::matmul(a, b); });
+    expect_thread_count_invariant("matmul_nt", [&] {
+        return ops::matmul_nt(a, ops::transpose2d(b));
+    });
+    expect_thread_count_invariant("matmul_tn", [&] {
+        return ops::matmul_tn(ops::transpose2d(a), b);
+    });
+}
+
+TEST(Determinism, ElementwiseAndReductions) {
+    aero::util::Rng rng(12);
+    const Tensor x = Tensor::randn({100000}, rng);
+    const Tensor y = Tensor::randn({100000}, rng);
+    expect_thread_count_invariant("silu", [&] { return ops::silu(x); });
+    expect_thread_count_invariant("mul", [&] { return ops::mul(x, y); });
+    // Scalar reductions wrapped in a 1-element tensor for the comparator.
+    expect_thread_count_invariant("sum_all", [&] {
+        Tensor s({1});
+        s[0] = ops::sum_all(x);
+        return s;
+    });
+    const Tensor m = Tensor::randn({37, 53}, rng);
+    expect_thread_count_invariant("sum_rows",
+                                  [&] { return ops::sum_rows(m); });
+}
+
+TEST(Determinism, Softmax) {
+    aero::util::Rng rng(13);
+    const Tensor logits = Tensor::randn({64, 512}, rng);
+    expect_thread_count_invariant("softmax_rows", [&] {
+        return ops::softmax_rows(logits);
+    });
+    const Tensor grad = Tensor::randn({64, 512}, rng);
+    const Tensor probs = ops::softmax_rows(logits);
+    expect_thread_count_invariant("softmax_rows_backward", [&] {
+        return ops::softmax_rows_backward(grad, probs);
+    });
+}
+
+TEST(Determinism, Conv2d) {
+    aero::util::Rng rng(14);
+    const Tensor input = Tensor::randn({2, 3, 12, 12}, rng);
+    const Tensor weight = Tensor::randn({8, 3, 3, 3}, rng);
+    const Tensor bias = Tensor::randn({8}, rng);
+    const ops::Conv2dSpec spec{1, 1};
+    expect_thread_count_invariant("conv2d", [&] {
+        return ops::conv2d(input, weight, bias, spec);
+    });
+    const Tensor grad_out = Tensor::randn({2, 8, 12, 12}, rng);
+    expect_thread_count_invariant("conv2d_backward_input", [&] {
+        return ops::conv2d_backward_input(grad_out, weight, input.shape(),
+                                          spec);
+    });
+    expect_thread_count_invariant("conv2d_backward_weight", [&] {
+        return ops::conv2d_backward_weight(grad_out, input, weight.shape(),
+                                           spec);
+    });
+    expect_thread_count_invariant("conv2d_backward_bias", [&] {
+        return ops::conv2d_backward_bias(grad_out);
+    });
+}
+
+TEST(Determinism, Attention) {
+    aero::util::Rng rng(15);
+    aero::nn::MultiHeadAttention attention(16, 4, rng);
+    const Tensor query = Tensor::randn({10, 16}, rng);
+    const Tensor context = Tensor::randn({6, 16}, rng);
+    expect_thread_count_invariant("attention", [&] {
+        const Var q = Var::constant(query);
+        const Var ctx = Var::constant(context);
+        return attention.forward(q, ctx).value();
+    });
+}
+
+TEST(Determinism, FullDdimSample) {
+    aero::util::Rng build_rng(16);
+    aero::diffusion::UNetConfig config;
+    config.in_channels = 4;
+    config.base_channels = 8;
+    config.cond_dim = 8;
+    config.heads = 2;
+    config.time_dim = 8;
+    config.groups = 2;
+    const aero::diffusion::UNet unet(config, build_rng);
+    const aero::diffusion::NoiseSchedule schedule({8, 0.001f, 0.012f, 8});
+    aero::diffusion::DdimConfig ddim;
+    ddim.inference_steps = 4;
+    ddim.guidance_scale = 1.0f;
+    const aero::diffusion::DdimSampler sampler(unet, schedule, ddim);
+    expect_thread_count_invariant("ddim_sample", [&] {
+        aero::util::Rng sample_rng(77);  // same noise every run
+        return sampler.sample({4, 8, 8}, Tensor(), sample_rng);
+    });
+}
+
+}  // namespace

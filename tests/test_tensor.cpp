@@ -284,4 +284,64 @@ TEST(Ops, AddRowBias) {
     EXPECT_EQ(y.at({1, 0}), 1.0f);
 }
 
+TEST(Ops, SigmoidFamilySaturatesFinitelyOnExtremeLogits) {
+    // Regression for the overflow audit: the logistic ops use the
+    // sign-split stable form, so even logits far past the float exp
+    // overflow threshold (~88.73) produce finite, saturated outputs
+    // with no inf intermediate.
+    const Tensor extreme =
+        Tensor::from_values({-1e4f, -1000.0f, -100.0f, 0.0f, 100.0f,
+                             1000.0f, 1e4f});
+    const Tensor s = ops::sigmoid(extreme);
+    for (int i = 0; i < s.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(s[i])) << "sigmoid at " << i;
+        EXPECT_GE(s[i], 0.0f);
+        EXPECT_LE(s[i], 1.0f);
+    }
+    EXPECT_EQ(s[0], 0.0f);  // saturates exactly
+    EXPECT_EQ(s[6], 1.0f);
+    EXPECT_EQ(s[3], 0.5f);
+
+    const Tensor y = ops::silu(extreme);
+    for (int i = 0; i < y.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(y[i])) << "silu at " << i;
+    }
+    EXPECT_EQ(y[0], 0.0f);      // x * 0
+    EXPECT_EQ(y[6], 1e4f);      // x * 1
+
+    const Tensor grad = Tensor::full(extreme.shape(), 1.0f);
+    const Tensor gs = ops::silu_backward(grad, extreme);
+    const Tensor gb = ops::sigmoid_backward(grad, s);
+    for (int i = 0; i < extreme.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(gs[i])) << "silu_backward at " << i;
+        EXPECT_TRUE(std::isfinite(gb[i])) << "sigmoid_backward at " << i;
+    }
+}
+
+TEST(Ops, ExpKeepsDocumentedIeeeContract) {
+    // exp is documented as unclamped IEEE: overflow to +inf above the
+    // float threshold, underflow to 0 below it. The contract is
+    // explicit so boundary finite-checks (serving layer) own rejection.
+    const Tensor x = Tensor::from_values({-1000.0f, 0.0f, 88.0f, 1000.0f});
+    const Tensor e = ops::exp(x);
+    EXPECT_EQ(e[0], 0.0f);
+    EXPECT_EQ(e[1], 1.0f);
+    EXPECT_TRUE(std::isfinite(e[2]));
+    EXPECT_TRUE(std::isinf(e[3]));
+}
+
+TEST(Ops, SoftmaxFiniteOnExtremeLogits) {
+    // softmax_rows max-subtracts, so rows mixing huge and tiny logits
+    // stay finite and sum to 1.
+    const Tensor logits = Tensor::from_values({1000.0f, -1000.0f, 999.0f,
+                                               -500.0f, 0.0f, 500.0f});
+    const Tensor rows = logits.reshaped({2, 3});
+    const Tensor p = ops::softmax_rows(rows);
+    for (int i = 0; i < p.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(p[i]));
+    }
+    EXPECT_NEAR(p[0] + p[1] + p[2], 1.0f, 1e-6f);
+    EXPECT_NEAR(p[3] + p[4] + p[5], 1.0f, 1e-6f);
+}
+
 }  // namespace

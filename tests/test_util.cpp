@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include <fstream>
 #include <cstdio>
@@ -16,6 +21,8 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/sync.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -453,6 +460,143 @@ TEST(Env, FallbacksAndScale) {
     // Tests run with AERO_BENCH_SCALE=0 (set by CMake).
     EXPECT_EQ(aero::util::bench_scale(), 0);
     EXPECT_EQ(aero::util::scaled(1, 10, 100), 1);
+}
+
+// ---- thread pool ------------------------------------------------------------
+
+using aero::util::ThreadPool;
+
+/// Chunks seen by one parallel_for, in claim order.
+std::vector<std::pair<std::int64_t, std::int64_t>> collect_chunks(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    std::int64_t grain) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    aero::util::Mutex mutex;
+    pool.parallel_for(begin, end, grain,
+                      [&](std::int64_t lo, std::int64_t hi) {
+                          const aero::util::MutexLock lock(mutex);
+                          chunks.emplace_back(lo, hi);
+                      });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnlyOnArguments) {
+    ThreadPool serial(1);
+    ThreadPool wide(4);
+    for (const auto& [begin, end, grain] :
+         {std::array<std::int64_t, 3>{0, 100, 7},
+          std::array<std::int64_t, 3>{3, 4, 10},
+          std::array<std::int64_t, 3>{0, 64, 64},
+          std::array<std::int64_t, 3>{5, 5, 1}}) {
+        const auto a = collect_chunks(serial, begin, end, grain);
+        const auto b = collect_chunks(wide, begin, end, grain);
+        EXPECT_EQ(a, b) << begin << ".." << end << " grain " << grain;
+        // Chunks tile [begin, end) exactly.
+        std::int64_t expect_lo = begin;
+        for (const auto& [lo, hi] : a) {
+            EXPECT_EQ(lo, expect_lo);
+            EXPECT_GT(hi, lo);
+            EXPECT_LE(hi - lo, grain);
+            expect_lo = hi;
+        }
+        EXPECT_EQ(expect_lo, end > begin ? end : begin);
+    }
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(3);
+    std::vector<int> hits(1000, 0);
+    pool.parallel_for(0, 1000, 17, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+    });
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallel_for(5, 5, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+    pool.parallel_for(9, 3, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+    ThreadPool pool(3);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100, 1,
+                          [](std::int64_t lo, std::int64_t) {
+                              if (lo == 42) {
+                                  throw std::runtime_error("chunk 42");
+                              }
+                          }),
+        std::runtime_error);
+    // The pool stays usable after an exception.
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 10, 1, [&](std::int64_t, std::int64_t) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+    ThreadPool pool(4);
+    std::atomic<int> inner_total{0};
+    pool.parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+        // Must not deadlock: nested calls run serially on this thread.
+        pool.parallel_for(0, 4, 1,
+                          [&](std::int64_t, std::int64_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, ResizeChangesSize) {
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.size(), 2);
+    pool.resize(5);
+    EXPECT_EQ(pool.size(), 5);
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 50, 3, [&](std::int64_t lo, std::int64_t hi) {
+        count += static_cast<int>(hi - lo);
+    });
+    EXPECT_EQ(count.load(), 50);
+    pool.resize(1);
+    EXPECT_EQ(pool.size(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadsClampsToValidRange) {
+    const int threads = ThreadPool::default_threads();
+    EXPECT_GE(threads, 1);
+    EXPECT_LE(threads, aero::util::kMaxThreads);
+}
+
+TEST(ThreadPool, ConcurrentCallersShareThePool) {
+    // Several "service workers" issue parallel_for against one pool at
+    // once — the TSan build of this test is the data-race gate. The
+    // pool_slow fault point widens the race windows.
+    ThreadPool pool(4);
+    aero::util::FaultInjector injector(123);
+    injector.set_fail_rate("pool_slow", 0.2);
+    pool.set_fault_injector(&injector);
+    std::vector<std::thread> callers;
+    std::array<std::int64_t, 6> sums{};
+    for (int t = 0; t < 6; ++t) {
+        callers.emplace_back([&pool, &sums, t] {
+            for (int round = 0; round < 20; ++round) {
+                std::array<std::int64_t, 16> partial{};
+                pool.parallel_for(
+                    0, 160, 10, [&](std::int64_t lo, std::int64_t hi) {
+                        std::int64_t acc = 0;
+                        for (std::int64_t i = lo; i < hi; ++i) acc += i;
+                        partial[static_cast<std::size_t>(lo / 10)] = acc;
+                    });
+                std::int64_t total = 0;
+                for (std::int64_t p : partial) total += p;
+                sums[static_cast<std::size_t>(t)] = total;
+            }
+        });
+    }
+    for (auto& caller : callers) caller.join();
+    pool.set_fault_injector(nullptr);
+    for (std::int64_t sum : sums) EXPECT_EQ(sum, 160 * 159 / 2);
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+// Bad fixture: drops the bool result of a persistence helper.
+
+#include <string>
+
+namespace fixture {
+
+struct Writer {
+    bool write_file(const std::string&) const { return false; }
+};
+
+void record(const Writer& writer) {
+    writer.write_file("out/results/bench.json");
+}
+
+}  // namespace fixture

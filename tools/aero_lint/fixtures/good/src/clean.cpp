@@ -10,6 +10,18 @@ struct Injector {
     bool should_fail(const std::string&) { return false; }
 };
 
+struct Writer {
+    bool write_file(const std::string&) const { return true; }
+};
+
+bool checked_io(const Writer& writer) {
+    // Consuming the result (branch, assignment, return) satisfies the
+    // unchecked-io rule.
+    if (!writer.write_file("a.json")) return false;
+    const bool ok = writer.write_file("b.json");
+    return ok && writer.write_file("c.json");
+}
+
 int use_registered_points() {
     Injector injector;
     int hits = 0;

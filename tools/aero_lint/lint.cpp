@@ -191,6 +191,32 @@ public:
         }
     }
 
+    void check_unchecked_io() {
+        static const std::regex kIoCall(
+            R"(\b(write_file|save_parameters|save_checkpoint)\s*\()");
+        for (auto it = std::sregex_iterator(bare_.begin(), bare_.end(),
+                                            kIoCall);
+             it != std::sregex_iterator(); ++it) {
+            const auto offset = static_cast<std::size_t>(it->position());
+            // Statement prefix: everything after the last ; { or }.
+            std::size_t start = bare_.find_last_of(";{}", offset);
+            start = start == std::string::npos ? 0 : start + 1;
+            const std::string prefix = bare_.substr(start, offset - start);
+            // The value is consumed when the prefix assigns, negates,
+            // nests the call in another call's argument list, or
+            // returns it; a `bool` prefix is the helper's own
+            // declaration/definition, not a call.
+            if (prefix.find_first_of("=(!,?") != std::string::npos) {
+                continue;
+            }
+            static const std::regex kConsumed(R"(\b(return|bool)\b)");
+            if (std::regex_search(prefix, kConsumed)) continue;
+            report(offset, "unchecked-io",
+                   "ignored bool result of `" + (*it)[1].str() +
+                       "`; a failed write must be handled, not dropped");
+        }
+    }
+
     void check_stats_accounting() {
         static const std::regex kStats(R"(\bstruct\s+(\w*Stats)\b)");
         for (auto it = std::sregex_iterator(bare_.begin(), bare_.end(),
@@ -225,6 +251,9 @@ public:
 
     void run(bool strict) {
         check_fault_registry();
+        // IO results matter in benches/tests too — a bench that drops
+        // its results JSON defeats the point of running it.
+        check_unchecked_io();
         if (!strict) return;
         check_pragma_once();
         check_naked_new();

@@ -15,6 +15,12 @@
 //   unchecked-parse  no std::stoi / atoi / atof / strtod & friends —
 //                    string->number goes through the checked parsers in
 //                    util/json (parse_int / parse_double)
+//   unchecked-io     the bool returned by the persistence helpers
+//                    (write_file / save_parameters / save_checkpoint)
+//                    is consumed, not dropped — a silently failed write
+//                    loses bench results or checkpoints. Runs in every
+//                    scanned directory, benches included (the original
+//                    offender was bench_common.hpp's record_results).
 //   stats-accounting every *Stats struct that exposes a balanced()
 //                    invariant keeps its accounting comment adjacent to
 //                    the fields it constrains

@@ -159,6 +159,57 @@ TEST(Rules, UncheckedParseBanned) {
                     .empty());
 }
 
+TEST(Rules, UncheckedIoFlagsDroppedResults) {
+    // The seed case: a bare statement dropping the bool.
+    EXPECT_TRUE(has_rule(
+        lint_snippet("src/a.cpp",
+                     "void f(W& w) { w.write_file(\"x.json\"); }"),
+        "unchecked-io"));
+    EXPECT_TRUE(has_rule(
+        lint_snippet("src/a.cpp",
+                     "void f(M& m) { save_parameters(m, \"p.bin\"); }"),
+        "unchecked-io"));
+    EXPECT_TRUE(has_rule(
+        lint_snippet("src/a.cpp",
+                     "void f(P& p) { p.save_checkpoint(\"c\", 1); }"),
+        "unchecked-io"));
+}
+
+TEST(Rules, UncheckedIoAcceptsConsumedResults) {
+    // Branching, assignment, returning, or nesting in another call all
+    // consume the value; declarations/definitions are not calls.
+    EXPECT_TRUE(lint_snippet("src/a.cpp",
+                             "bool f(W& w) {\n"
+                             "  if (!w.write_file(\"x\")) return false;\n"
+                             "  const bool ok = w.write_file(\"y\");\n"
+                             "  check(w.write_file(\"z\"));\n"
+                             "  return ok && w.write_file(\"w\");\n"
+                             "}\n")
+                    .empty());
+    EXPECT_TRUE(lint_snippet("src/a.hpp",
+                             "#pragma once\n"
+                             "bool write_file(const std::string& path);\n")
+                    .empty());
+    // Inline suppression works as for every rule.
+    EXPECT_TRUE(lint_snippet("src/a.cpp",
+                             "void f(W& w) {\n"
+                             "  // aero-lint: allow(unchecked-io)\n"
+                             "  w.write_file(\"best-effort.json\");\n"
+                             "}\n")
+                    .empty());
+}
+
+TEST(Rules, UncheckedIoRunsInNonStrictDirs) {
+    // Benches/tests are fault_dirs (strict=false); the IO rule still
+    // applies there — bench_common.hpp was the original offender.
+    std::vector<Finding> findings;
+    Options options;
+    aero::lint::lint_file("bench/b.cpp",
+                          "void f(W& w) { w.write_file(\"r.json\"); }",
+                          {"loss"}, options, /*strict=*/false, &findings);
+    EXPECT_TRUE(has_rule(findings, "unchecked-io"));
+}
+
 TEST(Rules, StatsAccountingComment) {
     const std::string bad =
         "struct FooStats {\n"
@@ -209,6 +260,7 @@ TEST(Fixtures, BadTreeTripsEveryRule) {
     EXPECT_TRUE(has_rule(findings, "pragma-once"));
     EXPECT_TRUE(has_rule(findings, "naked-new"));
     EXPECT_TRUE(has_rule(findings, "unchecked-parse"));
+    EXPECT_TRUE(has_rule(findings, "unchecked-io"));
     EXPECT_TRUE(has_rule(findings, "stats-accounting"));
     // Both unregistered points are reported with their names.
     int unregistered = 0;
