@@ -13,9 +13,9 @@
 #include "core/pipeline.hpp"
 #include "core/substrate.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/clock.hpp"
 #include "util/env.hpp"
 #include "util/json.hpp"
-#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 namespace aero::bench {

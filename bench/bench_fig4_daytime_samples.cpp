@@ -41,7 +41,7 @@ double distance_to(const std::vector<double>& feature,
 int main() {
     std::printf("=== Figure 4: daytime qualitative samples (scale %d) ===\n",
                 util::bench_scale());
-    util::Stopwatch total;
+    obs::Stopwatch total;
     // Day-only dataset so every sampled scene matches the figure.
     bench::Harness harness = bench::build_harness(2025, /*night_fraction=*/0.0);
     // Qualitative figure: a reduced training budget keeps the six-model

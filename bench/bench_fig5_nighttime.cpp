@@ -37,7 +37,7 @@ NightStats night_stats(const image::Image& img) {
 int main() {
     std::printf("=== Figure 5: nighttime synthesis (scale %d) ===\n",
                 util::bench_scale());
-    util::Stopwatch total;
+    obs::Stopwatch total;
     // Night-heavy training mixture so the model learns the conditions.
     bench::Harness harness = bench::build_harness(4077, /*night_fraction=*/0.5);
 

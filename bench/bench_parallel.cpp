@@ -20,8 +20,8 @@
 #include "diffusion/unet.hpp"
 #include "serve/service.hpp"
 #include "tensor/ops.hpp"
+#include "obs/clock.hpp"
 #include "util/rng.hpp"
-#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -48,7 +48,7 @@ template <typename Fn>
 double time_best_ms(int iters, Fn&& fn) {
     double best = 0.0;
     for (int i = 0; i < iters; ++i) {
-        util::Stopwatch watch;
+        obs::Stopwatch watch;
         fn();
         const double ms = watch.seconds() * 1000.0;
         if (i == 0 || ms < best) best = ms;

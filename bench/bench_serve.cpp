@@ -62,7 +62,7 @@ ScenarioReport run_scenario(const bench::Harness& harness,
     const auto& test = harness.dataset->test();
     const auto& captions = harness.substrate.keypoint_test;
 
-    util::Stopwatch watch;
+    obs::Stopwatch watch;
     std::vector<std::future<serve::RequestResult>> futures;
     futures.reserve(static_cast<std::size_t>(requests));
     for (int i = 0; i < requests; ++i) {

@@ -16,7 +16,7 @@ int main() {
 
     std::printf("=== Table I: SOTA comparison (scale %d) ===\n",
                 util::bench_scale());
-    util::Stopwatch total;
+    obs::Stopwatch total;
 
     bench::Harness harness = bench::build_harness(2025);
     util::Rng rng(31337);
@@ -29,7 +29,7 @@ int main() {
     std::vector<Row> rows;
 
     for (auto& model : models) {
-        util::Stopwatch timer;
+        obs::Stopwatch timer;
         util::Rng fit_rng = rng.fork(std::hash<std::string>{}(model->name()));
         model->fit(fit_rng);
         util::Rng gen_rng = fit_rng.fork(99);

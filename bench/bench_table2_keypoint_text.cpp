@@ -15,7 +15,7 @@ int main() {
 
     std::printf("=== Table II: keypoint-aware text generation (scale %d) ===\n",
                 util::bench_scale());
-    util::Stopwatch total;
+    obs::Stopwatch total;
     bench::Harness harness = bench::build_harness(2025);
     const core::Substrate& substrate = harness.substrate;
 
@@ -44,7 +44,7 @@ int main() {
 
     util::Rng rng(777);
     for (const Backend& backend : backends) {
-        util::Stopwatch timer;
+        obs::Stopwatch timer;
         util::Rng caption_rng = rng.fork(std::hash<std::string>{}(backend.label));
         const auto train_captions = core::caption_split(
             harness.dataset->train(), backend.llm, backend.prompt,

@@ -32,7 +32,7 @@ double feature_distance(const metrics::FeatureNet& net,
 int main() {
     std::printf("=== Table III: viewpoint-transition synthesis (scale %d) ===\n",
                 util::bench_scale());
-    util::Stopwatch total;
+    obs::Stopwatch total;
     bench::Harness harness = bench::build_harness(2025);
     const core::Substrate& substrate = harness.substrate;
 

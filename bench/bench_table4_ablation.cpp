@@ -16,7 +16,7 @@ int main() {
 
     std::printf("=== Table IV: ablation study (scale %d) ===\n",
                 util::bench_scale());
-    util::Stopwatch total;
+    obs::Stopwatch total;
     bench::Harness harness = bench::build_harness(2025);
 
     struct RowSpec {
@@ -40,7 +40,7 @@ int main() {
 
     util::Rng rng(4242);
     for (const RowSpec& spec : specs) {
-        util::Stopwatch timer;
+        obs::Stopwatch timer;
         core::PipelineConfig config =
             core::PipelineConfig::ablation(spec.blip, spec.our_llm, spec.od);
         config.name = spec.label;

@@ -7,6 +7,9 @@
 //      non-finite reference image, and a request with a 1 ms deadline.
 //   4. Inject a condition-encoder outage, trip the circuit breaker, and
 //      observe degraded (unconditional) fallbacks until the probe heals.
+//   5. Dump the process-wide metrics registry in Prometheus text format:
+//      queue depth/wait, latency histograms, breaker state, and the
+//      per-stage span summary collected by the tracer.
 //
 // Run with AERO_BENCH_SCALE=0 for a fast demo.
 
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "aerodiffusion.hpp"
+#include "obs/exposition.hpp"
 #include "serve/service.hpp"
 
 int main() {
@@ -119,5 +123,9 @@ int main() {
                 stats.outcome(serve::Outcome::kFailed), stats.retries,
                 stats.breaker_trips, stats.breaker_recoveries,
                 stats.balanced() ? "yes" : "NO");
+
+    // 5. Prometheus dump ----------------------------------------------------
+    std::printf("\nmetrics (Prometheus text exposition):\n%s",
+                obs::render_text().c_str());
     return stats.balanced() ? 0 : 1;
 }

@@ -5,9 +5,10 @@
 #   2. Sanitizer build, full ctest suite            (build-san-*/)
 #      AERO_CHECK_SANITIZE picks the sanitizer list; the default
 #      address,undefined catches memory bugs in the fuzz/validation
-#      paths. Set AERO_CHECK_SANITIZE=thread to race-check the
-#      concurrent serving layer (test_serve) instead — TSan cannot be
-#      combined with ASan, hence one list per run.
+#      paths and is followed by a TSan pass over the concurrent
+#      obs/serve suites (TSan cannot be combined with ASan, hence two
+#      builds). Set AERO_CHECK_SANITIZE=thread to race-check the full
+#      concurrency-heavy suite list instead.
 #   3. scripts/analyze.sh                           (build-analyze/)
 #      Strict -Werror build, clang-tidy when available, aero_lint.
 #      The analyze build dir is cached across runs, so repeat
@@ -36,11 +37,22 @@ if [ "${SANITIZE}" = "thread" ]; then
     # TSan run targets the concurrency-heavy suites; the single-threaded
     # suites add nothing under TSan but cost a full instrumented run.
     # test_parallel/test_diffusion exercise the intra-op thread pool
-    # (DESIGN.md §11) from kernels up through full DDIM sampling.
+    # (DESIGN.md §11) from kernels up through full DDIM sampling;
+    # test_obs races metric writers, span recording and live dumps
+    # against the fault-injected service (DESIGN.md §12).
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_serve|test_util|test_parallel|test_diffusion' "$@")
+        -R 'test_serve|test_util|test_parallel|test_diffusion|test_obs' \
+        "$@")
 else
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
+    # The observability fast paths are lock-free atomics: memory
+    # sanitizers cannot see ordering bugs there, so always race-check
+    # the obs + serve suites under TSan as well.
+    echo "== sanitizer pass: AERO_SANITIZE=thread (obs/serve) =="
+    cmake -B build-san-thread -S . -DAERO_SANITIZE=thread >/dev/null
+    cmake --build build-san-thread -j "${JOBS}"
+    (cd build-san-thread && ctest --output-on-failure -j "${JOBS}" \
+        -R 'test_obs|test_serve' "$@")
 fi
 
 if [ "${AERO_CHECK_ANALYZE:-1}" != "0" ]; then

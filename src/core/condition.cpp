@@ -2,11 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace aero::core {
 
 namespace ag = aero::autograd;
+
+namespace {
+
+obs::Histogram& roi_fusion_histogram() {
+    static obs::Histogram& histogram =
+        obs::MetricsRegistry::instance().histogram(
+            "aero_pipeline_roi_fusion_ms",
+            "detection + ROI feature extraction, ms",
+            obs::default_ms_buckets());
+    return histogram;
+}
+
+}  // namespace
 
 ConditionFeatures compute_condition_features(const Substrate& substrate,
                                              const scene::AerialSample& sample,
@@ -36,6 +51,7 @@ ConditionFeatures compute_condition_features(const Substrate& substrate,
         clip.image_encoder().forward(image_var).value();
 
     if (use_object_detection && substrate.detector) {
+        const obs::Span span("roi_fusion", &roi_fusion_histogram());
         std::vector<scene::BoundingBox> boxes =
             substrate.detector->detect(sample.image);
         std::sort(boxes.begin(), boxes.end(),

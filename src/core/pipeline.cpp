@@ -6,6 +6,8 @@
 
 #include "nn/ema.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
@@ -468,6 +470,33 @@ image::Image rejected(const std::string& name, const std::string& what,
     return image::Image();
 }
 
+/// Per-stage latency histograms, resolved once; the spans below feed
+/// them and attach to whatever obs::Trace the caller (a serve worker)
+/// has active.
+struct StageMetrics {
+    obs::Histogram* condition;
+    obs::Histogram* sample;
+    obs::Histogram* decode;
+};
+
+const StageMetrics& stage_metrics() {
+    static const StageMetrics metrics = [] {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+        StageMetrics m;
+        m.condition = &reg.histogram("aero_pipeline_condition_ms",
+                                     "condition encode stage, ms",
+                                     obs::default_ms_buckets());
+        m.sample = &reg.histogram("aero_pipeline_sample_ms",
+                                  "DDIM sampling loop, ms",
+                                  obs::default_ms_buckets());
+        m.decode = &reg.histogram("aero_pipeline_decode_ms",
+                                  "latent -> image decode, ms",
+                                  obs::default_ms_buckets());
+        return m;
+    }();
+    return metrics;
+}
+
 }  // namespace
 
 image::Image AeroDiffusionPipeline::generate(
@@ -478,21 +507,29 @@ image::Image AeroDiffusionPipeline::generate(
     if (!validate_reference(reference, &error)) {
         return rejected(config_.name, "generate", error, control);
     }
-    const ConditionFeatures features = features_for(
-        reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = checked_condition(features, control);
+    Tensor cond;
+    {
+        const obs::Span span("condition", stage_metrics().condition);
+        const ConditionFeatures features = features_for(
+            reference, source_caption, target_caption, sample_index, false);
+        cond = checked_condition(features, control);
+    }
 
     diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
     if (control) ddim.should_cancel = control->should_cancel;
     const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     const auto& ae_config = substrate_->autoencoder->config();
     const int s = ae_config.latent_size();
-    Tensor latent =
-        sampler.sample({ae_config.latent_channels, s, s}, cond, rng);
+    Tensor latent;
+    {
+        const obs::Span span("sample", stage_metrics().sample);
+        latent = sampler.sample({ae_config.latent_channels, s, s}, cond, rng);
+    }
     if (latent.empty()) {  // cancelled between denoising steps
         if (control) control->cancelled = true;
         return image::Image();
     }
+    const obs::Span span("decode", stage_metrics().decode);
     // Undo the latent normalisation before decoding.
     latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
     return substrate_->autoencoder->decode_latent(latent);
@@ -506,21 +543,30 @@ image::Image AeroDiffusionPipeline::generate_edit(
     if (!validate_reference(reference, &error)) {
         return rejected(config_.name, "generate_edit", error, control);
     }
-    const ConditionFeatures features = features_for(
-        reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = checked_condition(features, control);
+    Tensor cond;
+    {
+        const obs::Span span("condition", stage_metrics().condition);
+        const ConditionFeatures features = features_for(
+            reference, source_caption, target_caption, sample_index, false);
+        cond = checked_condition(features, control);
+    }
 
     diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
     if (control) ddim.should_cancel = control->should_cancel;
     const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
-    const Tensor source = tensor::scale(
-        substrate_->autoencoder->encode_image(reference.image),
-        substrate_->latent_scale);
-    Tensor latent = sampler.edit(source, cond, strength, rng);
+    Tensor latent;
+    {
+        const obs::Span span("sample", stage_metrics().sample);
+        const Tensor source = tensor::scale(
+            substrate_->autoencoder->encode_image(reference.image),
+            substrate_->latent_scale);
+        latent = sampler.edit(source, cond, strength, rng);
+    }
     if (latent.empty()) {
         if (control) control->cancelled = true;
         return image::Image();
     }
+    const obs::Span span("decode", stage_metrics().decode);
     latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
     return substrate_->autoencoder->decode_latent(latent);
 }
@@ -538,9 +584,13 @@ image::Image AeroDiffusionPipeline::generate_inpaint(
     if (!clamped) {
         return rejected(config_.name, "generate_inpaint", error, control);
     }
-    const ConditionFeatures features = features_for(
-        reference, source_caption, target_caption, sample_index, false);
-    const Tensor cond = checked_condition(features, control);
+    Tensor cond;
+    {
+        const obs::Span span("condition", stage_metrics().condition);
+        const ConditionFeatures features = features_for(
+            reference, source_caption, target_caption, sample_index, false);
+        cond = checked_condition(features, control);
+    }
 
     const auto& ae_config = substrate_->autoencoder->config();
     const int s = ae_config.latent_size();
@@ -567,14 +617,19 @@ image::Image AeroDiffusionPipeline::generate_inpaint(
     diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
     if (control) ddim.should_cancel = control->should_cancel;
     const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
-    const Tensor source = tensor::scale(
-        substrate_->autoencoder->encode_image(reference.image),
-        substrate_->latent_scale);
-    Tensor latent = sampler.inpaint(source, mask, cond, rng);
+    Tensor latent;
+    {
+        const obs::Span span("sample", stage_metrics().sample);
+        const Tensor source = tensor::scale(
+            substrate_->autoencoder->encode_image(reference.image),
+            substrate_->latent_scale);
+        latent = sampler.inpaint(source, mask, cond, rng);
+    }
     if (latent.empty()) {
         if (control) control->cancelled = true;
         return image::Image();
     }
+    const obs::Span span("decode", stage_metrics().decode);
     latent = tensor::scale(latent, 1.0f / substrate_->latent_scale);
     return substrate_->autoencoder->decode_latent(latent);
 }

@@ -1,8 +1,8 @@
 #include "core/substrate.hpp"
 
+#include "obs/clock.hpp"
 #include "tensor/ops.hpp"
 #include "util/log.hpp"
-#include "util/stopwatch.hpp"
 
 namespace aero::core {
 
@@ -20,7 +20,7 @@ std::vector<text::Caption> caption_split(
 
 Substrate build_substrate(const scene::AerialDataset& dataset,
                           const Budget& budget, util::Rng& rng) {
-    util::Stopwatch timer;
+    obs::Stopwatch timer;
     Substrate substrate;
     substrate.dataset = &dataset;
     substrate.budget = budget;

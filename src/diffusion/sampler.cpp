@@ -4,11 +4,25 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 
 namespace aero::diffusion {
 
 namespace ops = aero::tensor;
+
+namespace {
+
+obs::Histogram& step_histogram() {
+    static obs::Histogram& histogram =
+        obs::MetricsRegistry::instance().histogram(
+            "aero_diffusion_step_ms", "single DDIM denoising step, ms",
+            obs::default_ms_buckets());
+    return histogram;
+}
+
+}  // namespace
 
 Tensor DdpmSampler::sample(const std::vector<int>& shape,
                            const Tensor& condition_tokens,
@@ -72,10 +86,16 @@ Tensor DdimSampler::run(Tensor z, std::size_t first_step,
                         const Tensor* keep_mask, const Tensor* source,
                         util::Rng& rng) const {
     const std::vector<int> shape = z.shape();
+    // Per-step timing feeds the aero_diffusion_step_ms histogram; raw
+    // clock reads rather than an obs::Span because one span per
+    // denoising step would flood the trace ring.
+    const bool timed = obs::enabled();
     for (std::size_t k = first_step; k < timesteps.size(); ++k) {
         if (config_.should_cancel && config_.should_cancel()) {
             return Tensor();
         }
+        const std::int64_t step_start =
+            timed ? obs::default_clock().now_ns() : 0;
         const int t = timesteps[k];
         const int t_prev =
             (k + 1 < timesteps.size()) ? timesteps[k + 1] : -1;
@@ -131,6 +151,12 @@ Tensor DdimSampler::run(Tensor z, std::size_t first_step,
             next = ops::add(kept, imposed);
         }
         z = std::move(next);
+        if (timed) {
+            step_histogram().observe(
+                static_cast<double>(obs::default_clock().now_ns() -
+                                    step_start) *
+                1e-6);
+        }
     }
     return z;
 }

@@ -3,13 +3,38 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace aero::diffusion {
 
 namespace {
 constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+/// Process-wide training-health counters; the per-run exact counts stay
+/// on the sentinel itself (DiffusionTrainStats reads those).
+struct SentinelMetrics {
+    obs::Counter* nan_events;
+    obs::Counter* spike_events;
+    obs::Counter* rollbacks;
+};
+
+const SentinelMetrics& sentinel_metrics() {
+    static const SentinelMetrics metrics = [] {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+        SentinelMetrics m;
+        m.nan_events = &reg.counter("aero_train_nan_events_total",
+                                    "non-finite loss/gradient events");
+        m.spike_events = &reg.counter("aero_train_spike_events_total",
+                                      "loss spike events");
+        m.rollbacks = &reg.counter("aero_train_rollbacks_total",
+                                   "sentinel snapshot rollbacks applied");
+        return m;
+    }();
+    return metrics;
 }
+
+}  // namespace
 
 void inject_param_fault(util::FaultInjector* injector, int step,
                         std::vector<autograd::Var>& params) {
@@ -75,6 +100,7 @@ DivergenceSentinel::Action DivergenceSentinel::rollback(int step,
         params_[i].mutable_value() = good_state_[i];
     }
     ++rollbacks_;
+    sentinel_metrics().rollbacks->inc();
     const float new_lr = opt_->config().lr * config_.lr_decay;
     opt_->set_lr(new_lr);
     util::log_warn() << "sentinel: " << reason << " at step " << step
@@ -89,11 +115,13 @@ DivergenceSentinel::Action DivergenceSentinel::observe(int step, float loss,
 
     if (!std::isfinite(loss) || !std::isfinite(grad_norm)) {
         ++nan_events_;
+        sentinel_metrics().nan_events->inc();
         return rollback(step, "non-finite loss/gradient");
     }
     if (healthy_steps_ >= config_.warmup_steps && ema_primed_ &&
         loss > config_.spike_factor * ema_) {
         ++spike_events_;
+        sentinel_metrics().spike_events->inc();
         return rollback(step, "loss spike");
     }
 

@@ -1,0 +1,39 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+
+#include "util/env.hpp"
+
+namespace aero::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled = [] {
+    return util::env_int("AERO_OBS", 1) != 0;
+}();
+
+SteadyClock& steady_clock_instance() {
+    static SteadyClock clock;
+    return clock;
+}
+
+std::atomic<Clock*> g_default_clock{nullptr};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Clock& default_clock() {
+    Clock* clock = g_default_clock.load(std::memory_order_acquire);
+    return clock != nullptr ? *clock : steady_clock_instance();
+}
+
+void set_default_clock(Clock* clock) {
+    g_default_clock.store(clock, std::memory_order_release);
+}
+
+}  // namespace aero::obs

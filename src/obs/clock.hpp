@@ -1,0 +1,93 @@
+#pragma once
+// Time source for the observability layer (DESIGN.md §12), plus the
+// process-wide enable switch. Everything that timestamps — spans, the
+// latency histograms, obs::Stopwatch — reads an obs::Clock instead of
+// calling std::chrono directly, so tests install a ManualClock and
+// assert exact durations without a single wall-clock read.
+//
+// The enable switch (AERO_OBS, default on) gates every *measurement*:
+// with obs disabled, Span construction does nothing, histograms skip
+// their observe, and no clock is read on the hot paths. Counters and
+// gauges stay plain relaxed atomics either way — they are cheaper than
+// the branch that would skip them. None of this touches floating-point
+// tensor math, so kernel outputs are bitwise identical with AERO_OBS=0
+// (bench_obs asserts it).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace aero::obs {
+
+/// Whether the observability layer records measurements. Initialised
+/// once from AERO_OBS (0 disables; anything else, or unset, enables).
+bool enabled();
+/// Test/bench hook; takes effect immediately on all threads.
+void set_enabled(bool on);
+
+/// Monotonic nanosecond time source. Implementations must be safe to
+/// call from any thread.
+class Clock {
+public:
+    virtual ~Clock() = default;
+    virtual std::int64_t now_ns() const = 0;
+};
+
+/// Production clock: std::chrono::steady_clock.
+class SteadyClock : public Clock {
+public:
+    std::int64_t now_ns() const override {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+};
+
+/// Deterministic clock for tests: time moves only when told to.
+class ManualClock : public Clock {
+public:
+    std::int64_t now_ns() const override {
+        return ns_.load(std::memory_order_relaxed);
+    }
+    void set_ns(std::int64_t ns) { ns_.store(ns, std::memory_order_relaxed); }
+    void advance_ns(std::int64_t delta) {
+        ns_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    void advance_ms(double ms) {
+        advance_ns(static_cast<std::int64_t>(ms * 1e6));
+    }
+
+private:
+    std::atomic<std::int64_t> ns_{0};
+};
+
+/// The clock every default-constructed Span/Stopwatch reads. A process
+/// has one; tests swap in a ManualClock around the code under test.
+Clock& default_clock();
+/// Installs `clock` as the default (nullptr restores the SteadyClock).
+/// The caller keeps ownership and must outlive all readers.
+void set_default_clock(Clock* clock);
+
+/// Wall-time stopwatch over an injectable Clock; the replacement for
+/// the deleted util::Stopwatch. Reads the default clock unless given
+/// one, so benches stay one-liners and tests stay deterministic.
+class Stopwatch {
+public:
+    explicit Stopwatch(const Clock* clock = nullptr)
+        : clock_(clock != nullptr ? clock : &default_clock()),
+          start_ns_(clock_->now_ns()) {}
+
+    void reset() { start_ns_ = clock_->now_ns(); }
+    double seconds() const {
+        return static_cast<double>(clock_->now_ns() - start_ns_) * 1e-9;
+    }
+    double ms() const {
+        return static_cast<double>(clock_->now_ns() - start_ns_) * 1e-6;
+    }
+
+private:
+    const Clock* clock_;
+    std::int64_t start_ns_;
+};
+
+}  // namespace aero::obs

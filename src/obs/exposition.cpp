@@ -1,0 +1,308 @@
+#include "obs/exposition.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/sync.hpp"
+
+namespace aero::obs {
+
+namespace {
+
+/// One fixed number formatter so dumps are byte-stable: integers print
+/// bare, everything else through %.10g (shortest round-ish form).
+std::string format_number(double v) {
+    if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+        return std::to_string(static_cast<long long>(v));
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+    return buffer;
+}
+
+/// Prometheus HELP escaping: backslash and newline.
+std::string escape_help(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string escape_label(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '"') {
+            out += "\\\"";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// Per-span-name aggregate over a TraceBuffer snapshot, name-sorted
+/// (std::map) for deterministic output.
+struct SpanAggregate {
+    long long count = 0;
+    double total_ms = 0.0;
+};
+
+std::map<std::string, SpanAggregate> aggregate_spans(
+    const TraceBuffer& trace) {
+    std::map<std::string, SpanAggregate> spans;
+    for (const SpanRecord& record : trace.snapshot()) {
+        SpanAggregate& agg = spans[record.name];
+        ++agg.count;
+        agg.total_ms +=
+            static_cast<double>(record.end_ns - record.start_ns) * 1e-6;
+    }
+    return spans;
+}
+
+}  // namespace
+
+std::string render_text(MetricsRegistry& registry,
+                        const TraceBuffer* trace) {
+    std::string out;
+    for (const MetricSample& sample : registry.collect()) {
+        out += "# HELP " + sample.name + " " + escape_help(sample.help) +
+               "\n";
+        out += "# TYPE " + sample.name + " " +
+               metric_kind_name(sample.kind) + "\n";
+        switch (sample.kind) {
+            case MetricKind::kCounter:
+                out += sample.name + " " +
+                       format_number(static_cast<double>(sample.counter)) +
+                       "\n";
+                break;
+            case MetricKind::kGauge:
+                out += sample.name + " " + format_number(sample.gauge) +
+                       "\n";
+                break;
+            case MetricKind::kHistogram: {
+                const Histogram::Snapshot& h = sample.histogram;
+                for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+                    out += sample.name + "_bucket{le=\"" +
+                           format_number(h.bounds[i]) + "\"} " +
+                           format_number(
+                               static_cast<double>(h.cumulative[i])) +
+                           "\n";
+                }
+                out += sample.name + "_bucket{le=\"+Inf\"} " +
+                       format_number(static_cast<double>(h.count)) + "\n";
+                out += sample.name + "_sum " + format_number(h.sum) + "\n";
+                out += sample.name + "_count " +
+                       format_number(static_cast<double>(h.count)) + "\n";
+                break;
+            }
+        }
+    }
+    if (trace != nullptr) {
+        out += "# HELP aero_trace_spans_recorded_total spans recorded into "
+               "the ring\n";
+        out += "# TYPE aero_trace_spans_recorded_total counter\n";
+        out += "aero_trace_spans_recorded_total " +
+               format_number(static_cast<double>(trace->recorded())) + "\n";
+        out += "# HELP aero_trace_spans_dropped_total spans overwritten "
+               "before being read (ring overflow)\n";
+        out += "# TYPE aero_trace_spans_dropped_total counter\n";
+        out += "aero_trace_spans_dropped_total " +
+               format_number(static_cast<double>(trace->dropped())) + "\n";
+        out += "# HELP aero_trace_span_ms per-span-name cumulative time "
+               "and count\n";
+        out += "# TYPE aero_trace_span_ms summary\n";
+        for (const auto& [name, agg] : aggregate_spans(*trace)) {
+            const std::string label = "{span=\"" + escape_label(name) +
+                                      "\"} ";
+            out += "aero_trace_span_ms_sum" + label +
+                   format_number(agg.total_ms) + "\n";
+            out += "aero_trace_span_ms_count" + label +
+                   format_number(static_cast<double>(agg.count)) + "\n";
+        }
+    }
+    return out;
+}
+
+std::string render_text() {
+    return render_text(MetricsRegistry::instance(),
+                       &TraceBuffer::instance());
+}
+
+std::string render_json(MetricsRegistry& registry,
+                        const TraceBuffer* trace) {
+    util::JsonValue root = util::JsonValue::object();
+    util::JsonValue metrics = util::JsonValue::object();
+    for (const MetricSample& sample : registry.collect()) {
+        util::JsonValue metric = util::JsonValue::object();
+        metric.set("type", metric_kind_name(sample.kind));
+        metric.set("help", sample.help);
+        switch (sample.kind) {
+            case MetricKind::kCounter:
+                metric.set("value",
+                           static_cast<double>(sample.counter));
+                break;
+            case MetricKind::kGauge:
+                metric.set("value", sample.gauge);
+                break;
+            case MetricKind::kHistogram: {
+                const Histogram::Snapshot& h = sample.histogram;
+                util::JsonValue buckets = util::JsonValue::array();
+                for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+                    util::JsonValue bucket = util::JsonValue::object();
+                    bucket.set("le", h.bounds[i]);
+                    bucket.set("cumulative",
+                               static_cast<double>(h.cumulative[i]));
+                    buckets.push(std::move(bucket));
+                }
+                util::JsonValue inf = util::JsonValue::object();
+                inf.set("le", "+Inf");
+                inf.set("cumulative", static_cast<double>(h.count));
+                buckets.push(std::move(inf));
+                metric.set("buckets", std::move(buckets));
+                metric.set("sum", h.sum);
+                metric.set("count", static_cast<double>(h.count));
+                break;
+            }
+        }
+        metrics.set(sample.name, std::move(metric));
+    }
+    root.set("metrics", std::move(metrics));
+    if (trace != nullptr) {
+        util::JsonValue tracing = util::JsonValue::object();
+        tracing.set("recorded", static_cast<double>(trace->recorded()));
+        tracing.set("dropped", static_cast<double>(trace->dropped()));
+        util::JsonValue spans = util::JsonValue::object();
+        for (const auto& [name, agg] : aggregate_spans(*trace)) {
+            util::JsonValue span = util::JsonValue::object();
+            span.set("count", static_cast<double>(agg.count));
+            span.set("total_ms", agg.total_ms);
+            spans.set(name, std::move(span));
+        }
+        tracing.set("spans", std::move(spans));
+        root.set("trace", std::move(tracing));
+    }
+    return root.dump();
+}
+
+std::string render_json() {
+    return render_json(MetricsRegistry::instance(),
+                       &TraceBuffer::instance());
+}
+
+void dump_text(const std::string& path) {
+    const std::string text = render_text();
+    if (path.empty()) {
+        std::fprintf(stderr, "%s", text.c_str());
+        return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    if (!out) {
+        util::log_warn() << "obs: failed to write metrics dump to " << path;
+    }
+}
+
+// ---- periodic dump thread ---------------------------------------------------
+
+namespace {
+
+struct Dumper {
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::thread thread AERO_GUARDED_BY(mutex);
+    bool running AERO_GUARDED_BY(mutex) = false;
+    bool stop AERO_GUARDED_BY(mutex) = false;
+    int period_ms AERO_GUARDED_BY(mutex) = 0;
+    std::string path AERO_GUARDED_BY(mutex);
+
+    /// Process-exit cleanup; explicit stop_periodic_dump() is the
+    /// normal path.
+    ~Dumper() { stop_periodic_dump(); }
+};
+
+Dumper& dumper() {
+    static Dumper instance;
+    return instance;
+}
+
+// Opted out of the static analysis: the condition-variable wait hands
+// the mutex to std::unique_lock.
+void dump_loop() AERO_NO_THREAD_SAFETY_ANALYSIS {
+    Dumper& d = dumper();
+    std::unique_lock<util::Mutex> lock(d.mutex);
+    for (;;) {
+        d.cv.wait_for(lock, std::chrono::milliseconds(d.period_ms),
+                      [&d] { return d.stop; });
+        if (d.stop) return;
+        const std::string path = d.path;
+        lock.unlock();
+        dump_text(path);
+        lock.lock();
+    }
+}
+
+}  // namespace
+
+bool start_periodic_dump(int period_ms, const std::string& path) {
+    if (period_ms <= 0) return false;
+    // Touch the singletons the dump thread reads so they are
+    // constructed before the Dumper and therefore destroyed after its
+    // joining destructor at process exit.
+    MetricsRegistry::instance();
+    TraceBuffer::instance();
+    Dumper& d = dumper();
+    const util::MutexLock lock(d.mutex);
+    if (d.running) return false;
+    d.stop = false;
+    d.period_ms = period_ms;
+    d.path = path;
+    d.thread = std::thread(dump_loop);
+    d.running = true;
+    return true;
+}
+
+void stop_periodic_dump() {
+    Dumper& d = dumper();
+    std::thread joinable;
+    {
+        const util::MutexLock lock(d.mutex);
+        if (!d.running) return;
+        d.stop = true;
+        d.running = false;
+        joinable = std::move(d.thread);
+    }
+    d.cv.notify_all();
+    joinable.join();
+}
+
+void maybe_start_periodic_dump() {
+    const int period_ms = util::env_int("AERO_OBS_DUMP_MS", 0);
+    if (period_ms <= 0) return;
+    start_periodic_dump(period_ms,
+                        util::env_string("AERO_OBS_DUMP_PATH", ""));
+}
+
+}  // namespace aero::obs

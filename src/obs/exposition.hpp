@@ -1,0 +1,56 @@
+#pragma once
+// Exposition (DESIGN.md §12): renders a MetricsRegistry + TraceBuffer
+// snapshot as Prometheus text or JSON. Three ways a dump leaves the
+// process:
+//
+//   * on demand      — render_text()/render_json() (serve_quickstart
+//                      prints one after its batch),
+//   * periodically   — an env-gated background thread (AERO_OBS_DUMP_MS
+//                      > 0; AERO_OBS_DUMP_PATH targets a file, default
+//                      stderr), the SIGUSR1 stand-in for a process that
+//                      cannot host an HTTP endpoint,
+//   * at shutdown    — InferenceService::stop() dumps when
+//                      AERO_OBS_DUMP=1, so a batch job's final state is
+//                      never lost.
+//
+// Output is deterministic: metrics in ascending name order (the
+// registry guarantees it), span aggregates in ascending name order,
+// numbers through one fixed formatter — so the golden-file tests in
+// test_obs can compare whole documents byte for byte.
+
+#include <string>
+
+namespace aero::obs {
+
+class MetricsRegistry;
+class TraceBuffer;
+
+/// Prometheus text format (# HELP / # TYPE / samples). Histograms emit
+/// cumulative `_bucket{le="..."}` series plus `_sum` / `_count`; the
+/// trace buffer contributes recorded/dropped totals and per-span-name
+/// `aero_trace_span_ms` aggregates. `trace` may be null to omit spans.
+std::string render_text(MetricsRegistry& registry,
+                        const TraceBuffer* trace);
+/// Same over the process-wide registry and trace buffer.
+std::string render_text();
+
+/// JSON rendering of the same snapshot (machine-readable twin).
+std::string render_json(MetricsRegistry& registry,
+                        const TraceBuffer* trace);
+std::string render_json();
+
+/// Writes render_text() to `path` ("" = stderr). A failed file write is
+/// logged, never fatal — observability must not take the service down.
+void dump_text(const std::string& path);
+
+/// Starts the periodic dump thread (idempotent; false when already
+/// running or period_ms <= 0). Stopped by stop_periodic_dump() or at
+/// process exit.
+bool start_periodic_dump(int period_ms, const std::string& path);
+void stop_periodic_dump();
+
+/// Reads AERO_OBS_DUMP_MS / AERO_OBS_DUMP_PATH and starts the thread
+/// when configured. Safe to call repeatedly (the service ctor does).
+void maybe_start_periodic_dump();
+
+}  // namespace aero::obs

@@ -1,0 +1,213 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metric_names.hpp"
+#include "util/thread_pool.hpp"
+
+namespace aero::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+    switch (kind) {
+        case MetricKind::kCounter: return "counter";
+        case MetricKind::kGauge: return "gauge";
+        case MetricKind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+bool valid_metric_name(const char* name) {
+    if (name == nullptr) return false;
+    const std::string text(name);
+    if (text.rfind("aero_", 0) != 0) return false;
+    int segments = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == '_') {
+            if (i == start) return false;  // empty segment / trailing _
+            ++segments;
+            start = i + 1;
+            continue;
+        }
+        const char c = text[i];
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+        if (!ok) return false;
+    }
+    return segments >= 3;  // aero + <area> + <name>
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1) {  // trailing +Inf bucket
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+        throw std::invalid_argument("histogram bounds must be ascending");
+    }
+}
+
+void Histogram::observe(double v) {
+    std::size_t bucket = bounds_.size();
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (v <= bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+    Snapshot snap;
+    snap.bounds = bounds_;
+    snap.cumulative.reserve(buckets_.size());
+    long long running = 0;
+    for (const std::atomic<long long>& b : buckets_) {
+        running += b.load(std::memory_order_relaxed);
+        snap.cumulative.push_back(running);
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.count = count_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+std::vector<double> default_ms_buckets() {
+    return {0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+            1000.0, 2500.0, 5000.0};
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+    static MetricsRegistry registry(/*enforce_registered_names=*/true);
+    // The thread pool sits below obs in the layering, so it cannot push
+    // into the registry itself; a collector pulls its plain atomics into
+    // gauges at every collect(). Wired once, here, so a dump shows pool
+    // health without any call-site plumbing.
+    static const bool pool_collector_wired = [] {
+        MetricsRegistry& r = registry;
+        Gauge& tasks = r.gauge("aero_pool_tasks",
+                               "parallel_for invocations since start");
+        Gauge& chunks =
+            r.gauge("aero_pool_chunks", "chunks executed since start");
+        Gauge& caller_chunks = r.gauge(
+            "aero_pool_caller_chunks", "chunks executed by calling threads");
+        Gauge& caller_share = r.gauge(
+            "aero_pool_caller_share", "caller-executed fraction of chunks");
+        Gauge& queue_wait = r.gauge(
+            "aero_pool_queue_wait_ms",
+            "cumulative task publish -> first-claim wait");
+        r.add_collector([&tasks, &chunks, &caller_chunks, &caller_share,
+                         &queue_wait] {
+            const util::PoolStats stats =
+                util::ThreadPool::instance().stats();
+            tasks.set(static_cast<double>(stats.tasks));
+            chunks.set(static_cast<double>(stats.chunks));
+            caller_chunks.set(static_cast<double>(stats.caller_chunks));
+            caller_share.set(
+                stats.chunks > 0
+                    ? static_cast<double>(stats.caller_chunks) /
+                          static_cast<double>(stats.chunks)
+                    : 0.0);
+            queue_wait.set(static_cast<double>(stats.queue_wait_ns) * 1e-6);
+        });
+        return true;
+    }();
+    (void)pool_collector_wired;
+    return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const char* name, const char* help, MetricKind kind,
+    std::vector<double> bounds) {
+    if (!valid_metric_name(name)) {
+        throw std::invalid_argument(
+            std::string("metric name \"") + (name ? name : "<null>") +
+            "\" does not match aero_<area>_<name>");
+    }
+    if (enforce_registered_ && !is_registered_metric(name)) {
+        throw std::invalid_argument(
+            std::string("metric \"") + name +
+            "\" is not declared in src/obs/metric_names.hpp");
+    }
+    const util::MutexLock lock(mutex_);
+    auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+        if (it->second.kind != kind) {
+            throw std::invalid_argument(
+                std::string("metric \"") + name + "\" already registered as " +
+                metric_kind_name(it->second.kind));
+        }
+        return it->second;
+    }
+    Entry entry;
+    entry.kind = kind;
+    entry.help = help != nullptr ? help : "";
+    switch (kind) {
+        case MetricKind::kCounter:
+            entry.counter = std::make_unique<Counter>();
+            break;
+        case MetricKind::kGauge:
+            entry.gauge = std::make_unique<Gauge>();
+            break;
+        case MetricKind::kHistogram:
+            entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+            break;
+    }
+    return metrics_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const char* name, const char* help) {
+    return *find_or_create(name, help, MetricKind::kCounter, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const char* name, const char* help) {
+    return *find_or_create(name, help, MetricKind::kGauge, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const char* name, const char* help,
+                                      std::vector<double> bounds) {
+    return *find_or_create(name, help, MetricKind::kHistogram,
+                           std::move(bounds))
+                .histogram;
+}
+
+void MetricsRegistry::add_collector(std::function<void()> fn) {
+    const util::MutexLock lock(mutex_);
+    collectors_.push_back(std::move(fn));
+}
+
+std::vector<MetricSample> MetricsRegistry::collect() {
+    // Collectors run unlocked: they call gauge() / set() themselves and
+    // must not deadlock against the registration mutex.
+    std::vector<std::function<void()>> collectors;
+    {
+        const util::MutexLock lock(mutex_);
+        collectors = collectors_;
+    }
+    for (const std::function<void()>& fn : collectors) fn();
+
+    std::vector<MetricSample> samples;
+    const util::MutexLock lock(mutex_);
+    samples.reserve(metrics_.size());
+    for (const auto& [name, entry] : metrics_) {
+        MetricSample sample;
+        sample.name = name;
+        sample.kind = entry.kind;
+        sample.help = entry.help;
+        switch (entry.kind) {
+            case MetricKind::kCounter:
+                sample.counter = entry.counter->value();
+                break;
+            case MetricKind::kGauge:
+                sample.gauge = entry.gauge->value();
+                break;
+            case MetricKind::kHistogram:
+                sample.histogram = entry.histogram->snapshot();
+                break;
+        }
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+}  // namespace aero::obs

@@ -1,0 +1,155 @@
+#pragma once
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms
+// (DESIGN.md §12). The fast path — inc/set/observe on a metric handle —
+// is lock-free relaxed atomics; only registration (finding or creating
+// a metric by name) takes the registry mutex, and call sites do that
+// once and cache the reference (handles stay valid for the registry's
+// lifetime; the process-wide instance() never dies).
+//
+// Naming contract: every name matches `aero_<area>_<name>` (lowercase,
+// digits, underscores). The process-wide instance() additionally
+// requires the name to be declared in obs/metric_names.hpp — the same
+// declare-then-use discipline as the fault-point registry — while local
+// registries (hermetic golden-file tests) skip the table. Violations
+// throw std::invalid_argument: a misnamed metric is a programming
+// error, not a runtime condition.
+//
+// Dumps are deterministic: collect() returns samples in ascending name
+// order, so render_text()/render_json() output is stable run to run.
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace aero::obs {
+
+class Counter {
+public:
+    void inc(long long n = 1) {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    long long value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<long long> value_{0};
+};
+
+class Gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed upper-bound bucket histogram. observe() is a handful of
+/// relaxed atomic RMWs; the bucket layout is fixed at registration so
+/// there is nothing to resize or lock. The cumulative `sum` uses
+/// C++20's atomic<double>::fetch_add — metrics are outside the §11
+/// bitwise-determinism contract, which only bans atomic FP reductions
+/// inside tensor kernels.
+class Histogram {
+public:
+    /// `bounds` are ascending, finite upper bucket edges; an implicit
+    /// +Inf bucket is appended.
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    struct Snapshot {
+        std::vector<double> bounds;       ///< finite edges, ascending
+        std::vector<long long> cumulative;  ///< per-edge cumulative counts
+        double sum = 0.0;
+        long long count = 0;
+    };
+    Snapshot snapshot() const;
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<long long>> buckets_;  ///< bounds_.size() + 1
+    std::atomic<long long> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket edges for millisecond latencies; shared by the serve
+/// and pipeline histograms so dashboards line up.
+std::vector<double> default_ms_buckets();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+const char* metric_kind_name(MetricKind kind);
+
+/// One rendered metric: name, kind, help, and the value snapshot.
+struct MetricSample {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    long long counter = 0;
+    double gauge = 0.0;
+    Histogram::Snapshot histogram;
+};
+
+class MetricsRegistry {
+public:
+    /// A local registry (tests). Pass enforce_registered_names=true to
+    /// get the process-wide instance()'s declare-then-use guard.
+    explicit MetricsRegistry(bool enforce_registered_names = false)
+        : enforce_registered_(enforce_registered_names) {}
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// The process-wide registry every production call site uses.
+    static MetricsRegistry& instance();
+
+    /// Find-or-create. Throws std::invalid_argument on a malformed
+    /// name, an undeclared name (instance() only), or a kind clash with
+    /// an existing registration. The returned reference stays valid for
+    /// the registry's lifetime — cache it.
+    Counter& counter(const char* name, const char* help)
+        AERO_EXCLUDES(mutex_);
+    Gauge& gauge(const char* name, const char* help) AERO_EXCLUDES(mutex_);
+    Histogram& histogram(const char* name, const char* help,
+                         std::vector<double> bounds) AERO_EXCLUDES(mutex_);
+
+    /// Runs before every collect(): pulls state that lives below the
+    /// obs layer (e.g. ThreadPool's plain atomics) into gauges. Called
+    /// without the registry mutex held, so collectors may register.
+    void add_collector(std::function<void()> fn) AERO_EXCLUDES(mutex_);
+
+    /// Deterministic snapshot: collectors first, then every metric in
+    /// ascending name order.
+    std::vector<MetricSample> collect() AERO_EXCLUDES(mutex_);
+
+private:
+    struct Entry {
+        MetricKind kind;
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry& find_or_create(const char* name, const char* help,
+                          MetricKind kind, std::vector<double> bounds)
+        AERO_EXCLUDES(mutex_);
+
+    const bool enforce_registered_;
+    mutable util::Mutex mutex_;
+    /// std::map: ascending-name iteration gives the stable dump order.
+    std::map<std::string, Entry> metrics_ AERO_GUARDED_BY(mutex_);
+    std::vector<std::function<void()>> collectors_ AERO_GUARDED_BY(mutex_);
+};
+
+/// True when `name` matches `aero_<area>_<name>` (lowercase alnum +
+/// underscore, at least three segments). Exposed for the lint rule's
+/// unit tests.
+bool valid_metric_name(const char* name);
+
+}  // namespace aero::obs

@@ -1,0 +1,172 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace aero::obs {
+
+namespace {
+
+/// Innermost live Trace on this thread (nullptr outside any request).
+thread_local Trace* t_active_trace = nullptr;
+
+std::atomic<std::uint64_t> g_next_request_id{1};
+
+}  // namespace
+
+std::uint64_t next_request_id() {
+    return g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---- TraceBuffer ------------------------------------------------------------
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+TraceBuffer& TraceBuffer::instance() {
+    static TraceBuffer buffer;
+    return buffer;
+}
+
+void TraceBuffer::record(const SpanRecord& record) {
+    const util::MutexLock lock(mutex_);
+    ++recorded_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(record);
+        next_ = ring_.size() % capacity_;
+        return;
+    }
+    // Full: overwrite the oldest record and account for the loss.
+    ring_[next_] = record;
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+}
+
+std::vector<SpanRecord> TraceBuffer::snapshot() const {
+    const util::MutexLock lock(mutex_);
+    std::vector<SpanRecord> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+        out = ring_;
+        return out;
+    }
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+    return out;
+}
+
+long long TraceBuffer::recorded() const {
+    const util::MutexLock lock(mutex_);
+    return recorded_;
+}
+
+long long TraceBuffer::dropped() const {
+    const util::MutexLock lock(mutex_);
+    return dropped_;
+}
+
+void TraceBuffer::clear() {
+    const util::MutexLock lock(mutex_);
+    ring_.clear();
+    next_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+}
+
+// ---- SpanSummary ------------------------------------------------------------
+
+std::string SpanSummary::to_string() const {
+    std::string out;
+    for (const SpanSummaryEntry& entry : entries) {
+        if (!out.empty()) out += ' ';
+        out += entry.name;
+        out += '=';
+        out += std::to_string(entry.count);
+        out += 'x';
+        out += util::format_fixed(entry.total_ms, 2);
+        out += "ms";
+    }
+    return out;
+}
+
+// ---- Trace ------------------------------------------------------------------
+
+Trace::Trace(std::uint64_t trace_id, TraceBuffer* buffer, const Clock* clock)
+    : trace_id_(trace_id),
+      buffer_(buffer != nullptr ? buffer : &TraceBuffer::instance()),
+      clock_(clock != nullptr ? clock : &default_clock()),
+      prev_active_(t_active_trace),
+      prev_rid_(util::thread_rid()) {
+    t_active_trace = this;
+    util::set_thread_rid(trace_id_);
+}
+
+Trace::~Trace() {
+    t_active_trace = prev_active_;
+    util::set_thread_rid(prev_rid_);
+}
+
+SpanSummary Trace::summary() const { return summary_; }
+
+// ---- Span -------------------------------------------------------------------
+
+Span::Span(const char* name, Histogram* histogram)
+    : name_(name), histogram_(histogram) {
+    if (!enabled()) return;
+    active_ = true;
+    Trace* trace = t_active_trace;
+    const Clock& clock = trace != nullptr ? *trace->clock_ : default_clock();
+    start_ns_ = clock.now_ns();
+    if (trace != nullptr) {
+        span_id_ = trace->next_span_id_++;
+        prev_parent_ = trace->open_parent_;
+        trace->open_parent_ = span_id_;
+        depth_ = trace->open_depth_++;
+    }
+}
+
+Span::~Span() {
+    if (!active_) return;
+    Trace* trace = t_active_trace;
+    const Clock& clock = trace != nullptr ? *trace->clock_ : default_clock();
+    const std::int64_t end_ns = clock.now_ns();
+    const double ms = static_cast<double>(end_ns - start_ns_) * 1e-6;
+
+    SpanRecord record;
+    record.name = name_;
+    record.start_ns = start_ns_;
+    record.end_ns = end_ns;
+    if (trace != nullptr) {
+        record.trace_id = trace->trace_id_;
+        record.span_id = span_id_;
+        record.parent_id = prev_parent_;
+        trace->open_parent_ = prev_parent_;
+        trace->open_depth_ = depth_;
+        trace->buffer_->record(record);
+        // Fold into the per-request summary, keyed by (name, depth) in
+        // first-open order so repeated stages (e.g. retries) aggregate.
+        SpanSummaryEntry* entry = nullptr;
+        for (SpanSummaryEntry& e : trace->summary_.entries) {
+            if (e.depth == depth_ && std::strcmp(e.name, name_) == 0) {
+                entry = &e;
+                break;
+            }
+        }
+        if (entry == nullptr) {
+            trace->summary_.entries.push_back({name_, depth_, 0, 0.0});
+            entry = &trace->summary_.entries.back();
+        }
+        ++entry->count;
+        entry->total_ms += ms;
+    } else {
+        TraceBuffer::instance().record(record);
+    }
+    if (histogram_ != nullptr) histogram_->observe(ms);
+}
+
+}  // namespace aero::obs

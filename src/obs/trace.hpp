@@ -1,0 +1,142 @@
+#pragma once
+// Trace spans (DESIGN.md §12): RAII timers that form a per-request tree.
+//
+//   obs::Trace trace(rid);              // per request, on the worker
+//   {
+//       obs::Span condition("condition", &condition_histogram);
+//       ...                             // nested Spans become children
+//   }                                   // close: record + observe
+//   result.spans = trace.summary();     // aggregated per-stage totals
+//
+// Span lifecycle: a Span opened on a thread with an active Trace gets a
+// span id, its parent is the innermost open Span, and closing it writes
+// one SpanRecord into the Trace's ring buffer and folds the duration
+// into the Trace's summary. A Span with no active Trace (pipeline used
+// directly, training) still times itself, feeds its histogram, and
+// records with trace_id 0 into the process buffer. With obs disabled
+// (AERO_OBS=0) Span construction is a single relaxed load and nothing
+// else — no clock read, no record.
+//
+// The ring buffer is bounded: when full, the oldest record is
+// overwritten and counted as dropped, so a stalled reader costs memory
+// nothing and the drop count makes the loss visible in every dump.
+//
+// Trace also installs its request id as the util::log thread rid, so
+// any log_line emitted underneath carries `rid=<id>` and logs, spans
+// and RequestResults correlate on one key.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace aero::obs {
+
+class Histogram;
+
+/// One closed span. `name` must be a string literal (stored unowned).
+struct SpanRecord {
+    std::uint64_t trace_id = 0;  ///< 0 = outside any Trace
+    std::uint32_t span_id = 0;
+    std::uint32_t parent_id = 0;  ///< 0 = root of its trace
+    const char* name = "";
+    std::int64_t start_ns = 0;
+    std::int64_t end_ns = 0;
+};
+
+/// Bounded ring of closed spans with drop accounting.
+class TraceBuffer {
+public:
+    explicit TraceBuffer(std::size_t capacity = 4096);
+    TraceBuffer(const TraceBuffer&) = delete;
+    TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+    /// The process-wide buffer Spans default to.
+    static TraceBuffer& instance();
+
+    void record(const SpanRecord& record) AERO_EXCLUDES(mutex_);
+    /// Oldest-to-newest copy of the retained records.
+    std::vector<SpanRecord> snapshot() const AERO_EXCLUDES(mutex_);
+    long long recorded() const AERO_EXCLUDES(mutex_);
+    long long dropped() const AERO_EXCLUDES(mutex_);
+    void clear() AERO_EXCLUDES(mutex_);
+
+private:
+    mutable util::Mutex mutex_;
+    std::vector<SpanRecord> ring_ AERO_GUARDED_BY(mutex_);
+    const std::size_t capacity_;
+    std::size_t next_ AERO_GUARDED_BY(mutex_) = 0;  ///< next write slot
+    long long recorded_ AERO_GUARDED_BY(mutex_) = 0;
+    long long dropped_ AERO_GUARDED_BY(mutex_) = 0;
+};
+
+/// Aggregated view of one Trace, cheap enough to attach to every
+/// serve::RequestResult: per (name, depth) totals in first-open order.
+struct SpanSummaryEntry {
+    const char* name = "";
+    int depth = 0;  ///< 0 = opened directly under the Trace
+    int count = 0;
+    double total_ms = 0.0;
+};
+
+struct SpanSummary {
+    std::vector<SpanSummaryEntry> entries;
+    /// "condition=1x2.10ms sample=1x31.40ms" — for logs and quickstarts.
+    std::string to_string() const;
+};
+
+/// Process-wide monotonically increasing request/trace id (never 0).
+std::uint64_t next_request_id();
+
+/// RAII per-request trace context, created on the thread that runs the
+/// request. Not movable; Spans opened on the same thread during its
+/// lifetime attach to it. Also sets the util::log thread rid.
+class Trace {
+public:
+    explicit Trace(std::uint64_t trace_id, TraceBuffer* buffer = nullptr,
+                   const Clock* clock = nullptr);
+    ~Trace();
+    Trace(const Trace&) = delete;
+    Trace& operator=(const Trace&) = delete;
+
+    std::uint64_t id() const { return trace_id_; }
+    /// Aggregation over the spans closed so far.
+    SpanSummary summary() const;
+
+private:
+    friend class Span;
+
+    std::uint64_t trace_id_;
+    TraceBuffer* buffer_;
+    const Clock* clock_;
+    std::uint32_t next_span_id_ = 1;
+    std::uint32_t open_parent_ = 0;
+    int open_depth_ = 0;
+    SpanSummary summary_;
+    Trace* prev_active_;
+    std::uint64_t prev_rid_;
+};
+
+/// RAII stage timer. `name` must outlive the process (string literal).
+/// Optionally feeds its duration (ms) into a histogram on close.
+class Span {
+public:
+    explicit Span(const char* name, Histogram* histogram = nullptr);
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    const char* name_;
+    Histogram* histogram_;
+    std::int64_t start_ns_ = 0;
+    std::uint32_t span_id_ = 0;
+    std::uint32_t prev_parent_ = 0;
+    int depth_ = 0;
+    bool active_ = false;
+};
+
+}  // namespace aero::obs

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "image/image.hpp"
+#include "obs/trace.hpp"
 #include "scene/dataset.hpp"
 
 namespace aero::serve {
@@ -71,6 +72,11 @@ struct RequestResult {
     int attempts = 0;         ///< generation attempts actually made
     int retries = 0;          ///< attempts beyond the first
     bool cancelled = false;   ///< deadline hit between denoising steps
+    std::uint64_t request_id = 0;  ///< rid correlating logs and spans
+    /// Per-request span tree summary (stage -> count x total time),
+    /// folded from the obs::Trace the worker wrapped this request in.
+    /// Empty when AERO_OBS=0.
+    obs::SpanSummary spans;
 };
 
 }  // namespace aero::serve

@@ -3,14 +3,65 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/exposition.hpp"
+#include "obs/trace.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aero::serve {
 
+/// Global-registry counter per terminal Outcome, same order as the
+/// Outcome enum. Names live in obs/metric_names.hpp.
+InferenceService::Metrics InferenceService::resolve_metrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    Metrics m;
+    m.submitted = &reg.counter("aero_serve_submitted_total",
+                               "requests accepted by submit()");
+    m.outcome[static_cast<int>(Outcome::kOk)] =
+        &reg.counter("aero_serve_ok_total", "conditional samples delivered");
+    m.outcome[static_cast<int>(Outcome::kDegraded)] = &reg.counter(
+        "aero_serve_degraded_total", "unconditional fallbacks delivered");
+    m.outcome[static_cast<int>(Outcome::kShed)] =
+        &reg.counter("aero_serve_shed_total", "requests shed at admission");
+    m.outcome[static_cast<int>(Outcome::kInvalid)] = &reg.counter(
+        "aero_serve_invalid_total", "requests rejected by validation");
+    m.outcome[static_cast<int>(Outcome::kTimeout)] = &reg.counter(
+        "aero_serve_timeout_total", "requests past their deadline");
+    m.outcome[static_cast<int>(Outcome::kFailed)] = &reg.counter(
+        "aero_serve_failed_total", "requests that exhausted every attempt");
+    m.retries = &reg.counter("aero_serve_retries_total",
+                             "generation attempts beyond the first");
+    m.cancelled =
+        &reg.counter("aero_serve_cancelled_midrun_total",
+                     "requests cancelled between denoising steps");
+    m.queue_depth = &reg.gauge("aero_serve_queue_depth",
+                               "requests waiting in the admission queue");
+    m.breaker_state =
+        &reg.gauge("aero_serve_breaker_state",
+                   "circuit breaker state (0 closed, 1 open, 2 half-open)");
+    m.breaker_trips =
+        &reg.gauge("aero_serve_breaker_trips", "transitions into Open");
+    m.breaker_recoveries = &reg.gauge("aero_serve_breaker_recoveries",
+                                      "HalfOpen -> Closed transitions");
+    m.queue_ms = &reg.histogram("aero_serve_queue_ms",
+                                "admission -> worker pickup, ms",
+                                obs::default_ms_buckets());
+    m.latency_ms = &reg.histogram("aero_serve_latency_ms",
+                                  "admission -> terminal outcome, ms",
+                                  obs::default_ms_buckets());
+    return m;
+}
+
 InferenceService::InferenceService(
     const core::AeroDiffusionPipeline& pipeline, const ServiceConfig& config)
-    : pipeline_(&pipeline), config_(config), breaker_(config.breaker) {
+    : pipeline_(&pipeline),
+      config_(config),
+      breaker_(config.breaker),
+      metrics_(resolve_metrics()) {
+    // First service in the process arms the env-gated periodic metrics
+    // dump (AERO_OBS_DUMP_MS); a no-op when the knob is unset.
+    obs::maybe_start_periodic_dump();
     // Warm the process-wide kernel pool before any request arrives.
     // Every service worker dispatches its tensor kernels onto this one
     // shared pool (sized by AERO_THREADS, not by config_.workers), so
@@ -46,6 +97,7 @@ std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
         const util::MutexLock lock(stats_mutex_);
         ++stats_.submitted;
     }
+    metrics_.submitted->inc();
 
     // Validation rejects before any queueing or tensor math.
     RequestResult early;
@@ -79,6 +131,7 @@ std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
         if (accepting_ && queue_.size() < config_.queue_capacity) {
             queue_.push_back(std::move(job));
             enqueued = true;
+            metrics_.queue_depth->set(static_cast<double>(queue_.size()));
         }
     }
     if (enqueued) {
@@ -106,10 +159,17 @@ void InferenceService::stop() {
         stopping_ = true;
     }
     queue_cv_.notify_all();
+    const bool drained = !workers_.empty();
     for (std::thread& worker : workers_) {
         if (worker.joinable()) worker.join();
     }
     workers_.clear();
+    // Shutdown dump (AERO_OBS_DUMP=1): one Prometheus-text snapshot to
+    // AERO_OBS_DUMP_PATH (stderr when unset) from whichever caller
+    // actually drained the service; repeated stop() calls stay silent.
+    if (drained && util::env_int("AERO_OBS_DUMP", 0) != 0) {
+        obs::dump_text(util::env_string("AERO_OBS_DUMP_PATH", ""));
+    }
 }
 
 ServiceStats InferenceService::stats() const {
@@ -124,10 +184,23 @@ ServiceStats InferenceService::stats() const {
 }
 
 void InferenceService::record(const RequestResult& result) {
-    const util::MutexLock lock(stats_mutex_);
-    ++stats_.by_outcome[static_cast<int>(result.outcome)];
-    stats_.retries += result.retries;
-    if (result.cancelled) ++stats_.cancelled_mid_run;
+    {
+        const util::MutexLock lock(stats_mutex_);
+        ++stats_.by_outcome[static_cast<int>(result.outcome)];
+        stats_.retries += result.retries;
+        if (result.cancelled) ++stats_.cancelled_mid_run;
+    }
+    metrics_.outcome[static_cast<int>(result.outcome)]->inc();
+    if (result.retries > 0) metrics_.retries->inc(result.retries);
+    if (result.cancelled) metrics_.cancelled->inc();
+}
+
+void InferenceService::publish_breaker_metrics() {
+    metrics_.breaker_state->set(static_cast<double>(
+        static_cast<int>(breaker_.state())));
+    metrics_.breaker_trips->set(static_cast<double>(breaker_.trips()));
+    metrics_.breaker_recoveries->set(
+        static_cast<double>(breaker_.recoveries()));
 }
 
 void InferenceService::worker_loop(std::uint64_t worker_seed) {
@@ -141,8 +214,22 @@ void InferenceService::worker_loop(std::uint64_t worker_seed) {
             if (queue_.empty()) return;  // stopping_ and drained
             job = std::move(queue_.front());
             queue_.pop_front();
+            metrics_.queue_depth->set(static_cast<double>(queue_.size()));
         }
-        RequestResult result = process(job, backoff_rng);
+        // One Trace per request: spans opened anywhere below (pipeline
+        // stages, sampler steps) attach to it, log lines carry its rid,
+        // and the folded summary rides back on the result.
+        const std::uint64_t rid = obs::next_request_id();
+        RequestResult result;
+        {
+            obs::Trace trace(rid);
+            result = process(job, backoff_rng);
+            result.spans = trace.summary();
+        }
+        result.request_id = rid;
+        metrics_.queue_ms->observe(result.queue_ms);
+        metrics_.latency_ms->observe(result.latency_ms);
+        publish_breaker_metrics();
         record(result);
         job.promise.set_value(std::move(result));
     }

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "serve/breaker.hpp"
 #include "serve/validation.hpp"
 #include "util/annotations.hpp"
@@ -140,10 +141,31 @@ private:
     /// Sleeps for the attempt's jittered backoff; false when the sleep
     /// would cross the job's deadline (caller times the request out).
     bool backoff(int attempt, const Job& job, util::Rng& rng) const;
+    /// Refreshes the breaker state/trips/recoveries gauges.
+    void publish_breaker_metrics();
+
+    /// Handles into the global obs registry (obs/metric_names.hpp),
+    /// resolved once in the constructor so the hot path is pure relaxed
+    /// atomics. These are process-wide cumulative metrics; the exact
+    /// per-service accounting stays in ServiceStats.
+    struct Metrics {
+        obs::Counter* submitted = nullptr;
+        obs::Counter* outcome[kNumOutcomes] = {};
+        obs::Counter* retries = nullptr;
+        obs::Counter* cancelled = nullptr;
+        obs::Gauge* queue_depth = nullptr;
+        obs::Gauge* breaker_state = nullptr;
+        obs::Gauge* breaker_trips = nullptr;
+        obs::Gauge* breaker_recoveries = nullptr;
+        obs::Histogram* queue_ms = nullptr;
+        obs::Histogram* latency_ms = nullptr;
+    };
+    static Metrics resolve_metrics();
 
     const core::AeroDiffusionPipeline* pipeline_;
     ServiceConfig config_;
     CircuitBreaker breaker_;
+    Metrics metrics_;
 
     mutable util::Mutex queue_mutex_;
     util::CondVar queue_cv_;

@@ -19,6 +19,8 @@ std::atomic<int> g_threshold = []() {
     return static_cast<int>(LogLevel::kInfo);
 }();
 
+thread_local std::uint64_t t_rid = 0;
+
 const char* level_tag(LogLevel level) {
     switch (level) {
         case LogLevel::kDebug: return "DEBUG";
@@ -37,15 +39,27 @@ void set_log_threshold(LogLevel level) {
     g_threshold.store(static_cast<int>(level));
 }
 
-void log_line(LogLevel level, const std::string& message) {
+void set_thread_rid(std::uint64_t rid) { t_rid = rid; }
+
+std::uint64_t thread_rid() { return t_rid; }
+
+void log_line(LogLevel level, const std::string& message,
+              std::uint64_t rid) {
     // One atomic threshold read, then a mutex so concurrent callers
     // (e.g. a sentinel logging from parallel training loops) never
     // interleave partial lines.
     if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed))
         return;
+    if (rid == 0) rid = t_rid;
     static Mutex mutex;
     const MutexLock lock(mutex);
-    std::fprintf(stderr, "[aero %s] %s\n", level_tag(level), message.c_str());
+    if (rid != 0) {
+        std::fprintf(stderr, "[aero %s] rid=%llu %s\n", level_tag(level),
+                     static_cast<unsigned long long>(rid), message.c_str());
+    } else {
+        std::fprintf(stderr, "[aero %s] %s\n", level_tag(level),
+                     message.c_str());
+    }
 }
 
 }  // namespace aero::util

@@ -1,7 +1,15 @@
 #pragma once
 // Minimal leveled logger. Experiments print structured tables to stdout;
 // the logger is reserved for progress / diagnostics on stderr.
+//
+// Request correlation: a line logged with a non-zero request id carries
+// a structured `rid=<id>` field, the same id obs spans and
+// serve::RequestResult summaries use, so one grep joins logs, spans and
+// outcomes. Code deep in the pipeline does not thread the id through —
+// the serving layer installs it per worker thread (set_thread_rid, via
+// obs::Trace) and every log_line underneath picks it up.
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -14,8 +22,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
 
+/// Request id attached to this thread's log lines (0 = none). Set on a
+/// serving worker for the duration of one request.
+void set_thread_rid(std::uint64_t rid);
+std::uint64_t thread_rid();
+
 /// Emits one formatted line to stderr if `level` passes the threshold.
-void log_line(LogLevel level, const std::string& message);
+/// `rid` tags the line with a structured `rid=` field; 0 (the default)
+/// falls back to the thread's rid, so callers only pass it explicitly
+/// when logging about a request from outside its worker thread.
+void log_line(LogLevel level, const std::string& message,
+              std::uint64_t rid = 0);
 
 namespace detail {
 

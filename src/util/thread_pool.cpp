@@ -15,6 +15,12 @@ namespace {
 /// (which could deadlock a fully busy pool and would oversubscribe it).
 thread_local bool t_inside_pool_worker = false;
 
+std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 std::int64_t chunk_count(std::int64_t begin, std::int64_t end,
                          std::int64_t grain) {
     if (end <= begin) return 0;
@@ -85,10 +91,22 @@ void ThreadPool::join_workers() {
 
 void ThreadPool::run_chunks(Task& task) {
     FaultInjector* injector = injector_.load(std::memory_order_acquire);
+    // Stats are accumulated locally and flushed once on exit: a constant
+    // number of shared RMWs per run_chunks call, independent of how
+    // many chunks this thread claims.
+    std::int64_t claimed = 0;
     for (;;) {
         const std::int64_t chunk =
             task.next.fetch_add(1, std::memory_order_relaxed);
-        if (chunk >= task.chunks) return;
+        if (chunk >= task.chunks) break;
+        if (chunk == 0) {
+            // First claim of the task: publish -> pickup is the queue
+            // wait (zero-ish when the caller claims it itself).
+            queue_wait_ns_total_.fetch_add(
+                steady_now_ns() - task.publish_ns,
+                std::memory_order_relaxed);
+        }
+        ++claimed;
         if (injector != nullptr && injector->should_fail("pool_slow")) {
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
@@ -108,6 +126,24 @@ void ThreadPool::run_chunks(Task& task) {
             done_cv_.notify_all();
         }
     }
+    if (claimed > 0) {
+        chunks_total_.fetch_add(claimed, std::memory_order_relaxed);
+        if (!t_inside_pool_worker) {
+            caller_chunks_total_.fetch_add(claimed,
+                                           std::memory_order_relaxed);
+        }
+    }
+}
+
+PoolStats ThreadPool::stats() const {
+    PoolStats stats;
+    stats.tasks = tasks_total_.load(std::memory_order_relaxed);
+    stats.chunks = chunks_total_.load(std::memory_order_relaxed);
+    stats.caller_chunks =
+        caller_chunks_total_.load(std::memory_order_relaxed);
+    stats.queue_wait_ns =
+        queue_wait_ns_total_.load(std::memory_order_relaxed);
+    return stats;
 }
 
 // Opted out of the static analysis (see header): the condition-variable
@@ -162,9 +198,13 @@ void ThreadPool::parallel_for(
             const std::int64_t lo = begin + c * grain;
             fn(lo, std::min(lo + grain, end));
         }
+        tasks_total_.fetch_add(1, std::memory_order_relaxed);
+        chunks_total_.fetch_add(chunks, std::memory_order_relaxed);
+        caller_chunks_total_.fetch_add(chunks, std::memory_order_relaxed);
         return;
     }
 
+    tasks_total_.fetch_add(1, std::memory_order_relaxed);
     Task task;
     task.fn = &fn;
     task.begin = begin;
@@ -172,6 +212,7 @@ void ThreadPool::parallel_for(
     task.grain = grain;
     task.chunks = chunks;
     task.remaining.store(chunks, std::memory_order_relaxed);
+    task.publish_ns = steady_now_ns();
     {
         const MutexLock lock(queue_mutex_);
         tasks_.push_back(&task);

@@ -35,6 +35,17 @@ namespace aero::util {
 
 class FaultInjector;
 
+/// Cumulative pool activity since process start; snapshot via
+/// ThreadPool::stats(). The pool sits below the obs layer, so these are
+/// plain relaxed atomics the obs registry pulls into gauges via a
+/// collector — the pool itself never calls into obs.
+struct PoolStats {
+    long long tasks = 0;          ///< parallel_for invocations with work
+    long long chunks = 0;         ///< chunks executed (pooled + serial)
+    long long caller_chunks = 0;  ///< chunks run by the calling thread
+    long long queue_wait_ns = 0;  ///< publish -> first chunk claim, summed
+};
+
 class ThreadPool {
 public:
     /// Spawns `threads - 1` workers (clamped to >= 1 thread total).
@@ -77,6 +88,11 @@ public:
                       const std::function<void(std::int64_t, std::int64_t)>&
                           fn) AERO_EXCLUDES(queue_mutex_);
 
+    /// Cumulative activity counters (see PoolStats). Relaxed reads of
+    /// relaxed counters: values are eventually consistent, which is all
+    /// a metrics dump needs.
+    PoolStats stats() const;
+
     /// Test hook: when set, workers draw the "pool_slow" fault point
     /// before each chunk and sleep ~1ms on a hit, widening race windows
     /// for the TSan stress tests. Not for production paths.
@@ -98,6 +114,7 @@ private:
         std::atomic<std::int64_t> remaining{0};
         int workers_inside = 0;  // guarded by the owning pool's queue_mutex_
         std::exception_ptr error;  // guarded by the owning pool's queue_mutex_
+        std::int64_t publish_ns = 0;  ///< queue-wait measurement origin
     };
 
     /// Dequeue loop. Opted out of the static analysis: the
@@ -128,6 +145,15 @@ private:
     /// atomic instead of guarded so the hot path stays lock-free.
     std::atomic<int> threads_{1};
     std::atomic<FaultInjector*> injector_{nullptr};
+
+    /// PoolStats counters. Updated with a constant number of relaxed
+    /// RMWs per parallel_for call (per-chunk counts are accumulated
+    /// locally first), so the determinism contract and the serial-path
+    /// zero-overhead promise are untouched.
+    std::atomic<long long> tasks_total_{0};
+    std::atomic<long long> chunks_total_{0};
+    std::atomic<long long> caller_chunks_total_{0};
+    std::atomic<long long> queue_wait_ns_total_{0};
 };
 
 /// Upper bound on pool size; AERO_THREADS beyond this is clamped (a

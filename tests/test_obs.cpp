@@ -1,0 +1,669 @@
+// Observability-layer tests: metric registry semantics (naming contract,
+// kind clashes, deterministic collection order), bucket math, golden
+// Prometheus-text and JSON renders over a hermetic registry + manual
+// clock, trace span trees and ring-overflow drop accounting, the
+// periodic dump thread, rid-tagged logging, service integration
+// (per-request span summaries on RequestResult), bitwise neutrality of
+// the enable switch, and a TSan stress over concurrent writers,
+// renderers and a fault-injected service.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/substrate.hpp"
+#include "obs/clock.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/service.hpp"
+#include "util/fault.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace aero;
+using namespace aero::obs;
+using aero::core::AeroDiffusionPipeline;
+using aero::core::Budget;
+using aero::core::PipelineConfig;
+using aero::core::Substrate;
+using aero::scene::AerialDataset;
+using aero::scene::DatasetConfig;
+
+/// Restores the process-wide enable switch no matter how a test exits.
+class EnabledGuard {
+public:
+    explicit EnabledGuard(bool on) : prev_(obs::enabled()) {
+        obs::set_enabled(on);
+    }
+    ~EnabledGuard() { obs::set_enabled(prev_); }
+
+private:
+    bool prev_;
+};
+
+const Substrate& shared_substrate() {
+    static const Substrate substrate = [] {
+        Budget budget = Budget::smoke();
+        DatasetConfig config;
+        config.train_size = budget.train_images;
+        config.test_size = budget.test_images;
+        config.image_size = budget.image_size;
+        static const AerialDataset dataset(config);
+        util::Rng rng(2025);
+        return core::build_substrate(dataset, budget, rng);
+    }();
+    return substrate;
+}
+
+/// Untrained pipeline: finite weights are all these tests need.
+const AeroDiffusionPipeline& shared_pipeline() {
+    static const AeroDiffusionPipeline pipeline = [] {
+        util::Rng rng(7);
+        return AeroDiffusionPipeline(PipelineConfig::aero_diffusion(),
+                                     shared_substrate(), rng);
+    }();
+    return pipeline;
+}
+
+serve::InferenceRequest valid_request(std::uint64_t seed = 1,
+                                      std::size_t sample = 0) {
+    const Substrate& s = shared_substrate();
+    serve::InferenceRequest request;
+    request.reference = s.dataset->test()[sample % s.dataset->test().size()];
+    request.source_caption =
+        s.keypoint_test[sample % s.keypoint_test.size()].text;
+    request.target_caption = request.source_caption;
+    request.seed = seed;
+    return request;
+}
+
+serve::ServiceConfig basic_config() {
+    serve::ServiceConfig config;
+    config.limits.image_size = Budget::smoke().image_size;
+    return config;
+}
+
+// ---- clock ------------------------------------------------------------------
+
+TEST(ObsClockTest, ManualClockDrivesStopwatchExactly) {
+    ManualClock clock;
+    clock.set_ns(1'000);
+    Stopwatch watch(&clock);
+    EXPECT_DOUBLE_EQ(watch.ms(), 0.0);
+    clock.advance_ms(2.5);
+    EXPECT_DOUBLE_EQ(watch.ms(), 2.5);
+    EXPECT_DOUBLE_EQ(watch.seconds(), 2.5e-3);
+    watch.reset();
+    EXPECT_DOUBLE_EQ(watch.ms(), 0.0);
+    clock.advance_ns(1'000'000);
+    EXPECT_DOUBLE_EQ(watch.ms(), 1.0);
+}
+
+TEST(ObsClockTest, DefaultClockIsSwappable) {
+    ManualClock manual;
+    manual.set_ns(5'000'000);
+    obs::set_default_clock(&manual);
+    Stopwatch watch;  // no explicit clock: must read the manual one
+    manual.advance_ms(7.0);
+    EXPECT_DOUBLE_EQ(watch.ms(), 7.0);
+    obs::set_default_clock(nullptr);
+    // Back on the steady clock: time moves on its own again.
+    Stopwatch steady;
+    EXPECT_GE(steady.ms(), 0.0);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramBasics) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("aero_demo_ops_total", "ops");
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5);
+    // Find-or-create: same name returns the same handle.
+    EXPECT_EQ(&reg.counter("aero_demo_ops_total", "ops"), &c);
+
+    Gauge& g = reg.gauge("aero_demo_queue_depth", "depth");
+    g.set(3.0);
+    g.add(0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+
+    Histogram& h =
+        reg.histogram("aero_demo_latency_ms", "latency", {1.0, 2.5});
+    h.observe(0.5);   // first bucket (le=1)
+    h.observe(1.0);   // boundary lands in its bucket, not the next
+    h.observe(2.0);   // second bucket (le=2.5)
+    h.observe(99.0);  // +Inf bucket
+    const Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.bounds.size(), 2u);
+    ASSERT_EQ(snap.cumulative.size(), 3u);
+    EXPECT_EQ(snap.cumulative[0], 2);  // cumulative: 0.5 and 1.0
+    EXPECT_EQ(snap.cumulative[1], 3);
+    EXPECT_EQ(snap.cumulative[2], 4);
+    EXPECT_EQ(snap.count, 4);
+    EXPECT_DOUBLE_EQ(snap.sum, 102.5);
+}
+
+TEST(MetricsRegistryTest, NamingContractIsEnforced) {
+    EXPECT_TRUE(valid_metric_name("aero_serve_ok_total"));
+    EXPECT_TRUE(valid_metric_name("aero_pool_tasks"));
+    EXPECT_FALSE(valid_metric_name(nullptr));
+    EXPECT_FALSE(valid_metric_name(""));
+    EXPECT_FALSE(valid_metric_name("requests_total"));  // no aero_ prefix
+    EXPECT_FALSE(valid_metric_name("aero_serve"));      // two segments
+    EXPECT_FALSE(valid_metric_name("aero__depth"));     // empty segment
+    EXPECT_FALSE(valid_metric_name("aero_serve_"));     // trailing _
+    EXPECT_FALSE(valid_metric_name("aero_Serve_ok"));   // uppercase
+    EXPECT_FALSE(valid_metric_name("aero_serve_ok-2")); // dash
+
+    MetricsRegistry reg;
+    EXPECT_THROW(reg.counter("requestCount", "bad"), std::invalid_argument);
+    EXPECT_THROW(reg.gauge("aero_demo", "bad"), std::invalid_argument);
+    // Kind clash on re-registration.
+    reg.counter("aero_demo_ops_total", "ops");
+    EXPECT_THROW(reg.gauge("aero_demo_ops_total", "clash"),
+                 std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, ProcessInstanceRequiresDeclaredNames) {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    // Declared in obs/metric_names.hpp: fine (and stable handle).
+    Counter& c = reg.counter("aero_serve_submitted_total",
+                             "requests accepted by submit()");
+    EXPECT_EQ(&reg.counter("aero_serve_submitted_total", ""), &c);
+    // Pattern-conformant but undeclared: declare-then-use violation.
+    EXPECT_THROW(reg.counter("aero_demo_undeclared_total", "nope"),
+                 std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, CollectIsNameSortedAndRunsCollectors) {
+    MetricsRegistry reg;
+    reg.counter("aero_zz_last_total", "z");
+    reg.gauge("aero_aa_first_depth", "a");
+    reg.histogram("aero_mm_mid_ms", "m", {1.0});
+    int collector_runs = 0;
+    Gauge& pulled = reg.gauge("aero_aa_pulled_depth", "pulled");
+    reg.add_collector([&collector_runs, &pulled] {
+        ++collector_runs;
+        pulled.set(static_cast<double>(collector_runs));
+    });
+
+    const std::vector<MetricSample> samples = reg.collect();
+    ASSERT_EQ(samples.size(), 4u);
+    EXPECT_EQ(samples[0].name, "aero_aa_first_depth");
+    EXPECT_EQ(samples[1].name, "aero_aa_pulled_depth");
+    EXPECT_EQ(samples[2].name, "aero_mm_mid_ms");
+    EXPECT_EQ(samples[3].name, "aero_zz_last_total");
+    EXPECT_EQ(collector_runs, 1);
+    EXPECT_DOUBLE_EQ(samples[1].gauge, 1.0);
+    (void)reg.collect();
+    EXPECT_EQ(collector_runs, 2);
+}
+
+TEST(MetricsRegistryTest, PoolCollectorExportsThreadPoolGauges) {
+    // Drive the pool, then check the collector mirrors its counters.
+    std::atomic<long long> sink{0};
+    util::ThreadPool::instance().parallel_for(
+        0, 1024, /*grain=*/64, [&sink](std::int64_t lo, std::int64_t hi) {
+            sink.fetch_add(hi - lo, std::memory_order_relaxed);
+        });
+    EXPECT_EQ(sink.load(), 1024);
+    const std::string text = obs::render_text();
+    EXPECT_NE(text.find("# TYPE aero_pool_tasks gauge"), std::string::npos);
+    EXPECT_NE(text.find("aero_pool_chunks "), std::string::npos);
+    EXPECT_NE(text.find("aero_pool_caller_share "), std::string::npos);
+    const util::PoolStats stats = util::ThreadPool::instance().stats();
+    EXPECT_GE(stats.tasks, 1);
+    EXPECT_GE(stats.chunks, stats.caller_chunks);
+}
+
+// ---- trace ------------------------------------------------------------------
+
+TEST(TraceTest, SpanTreeRecordsIdsParentsAndOrder) {
+    TraceBuffer buffer(16);
+    ManualClock clock;
+    {
+        Trace trace(42, &buffer, &clock);
+        EXPECT_EQ(trace.id(), 42u);
+        {
+            Span outer("condition");
+            clock.advance_ms(2.0);
+            {
+                Span inner("roi_fusion");
+                clock.advance_ms(1.0);
+            }
+        }
+        {
+            Span sibling("sample");
+            clock.advance_ms(30.0);
+        }
+    }
+    const std::vector<SpanRecord> records = buffer.snapshot();
+    ASSERT_EQ(records.size(), 3u);  // close order: inner, outer, sibling
+    EXPECT_STREQ(records[0].name, "roi_fusion");
+    EXPECT_STREQ(records[1].name, "condition");
+    EXPECT_STREQ(records[2].name, "sample");
+    for (const SpanRecord& r : records) EXPECT_EQ(r.trace_id, 42u);
+    // The nested span's parent is the outer span; roots have parent 0.
+    EXPECT_EQ(records[0].parent_id, records[1].span_id);
+    EXPECT_EQ(records[1].parent_id, 0u);
+    EXPECT_EQ(records[2].parent_id, 0u);
+    EXPECT_NE(records[1].span_id, records[2].span_id);
+    // Durations come straight off the manual clock.
+    EXPECT_EQ(records[0].end_ns - records[0].start_ns, 1'000'000);
+    EXPECT_EQ(records[1].end_ns - records[1].start_ns, 3'000'000);
+    EXPECT_EQ(records[2].end_ns - records[2].start_ns, 30'000'000);
+    EXPECT_EQ(buffer.recorded(), 3);
+    EXPECT_EQ(buffer.dropped(), 0);
+}
+
+TEST(TraceTest, SummaryFoldsRepeatedStagesByNameAndDepth) {
+    TraceBuffer buffer(16);
+    ManualClock clock;
+    Trace trace(7, &buffer, &clock);
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        Span span("sample");
+        clock.advance_ms(4.0);
+    }
+    {
+        Span span("decode");
+        clock.advance_ms(1.5);
+    }
+    const SpanSummary summary = trace.summary();
+    ASSERT_EQ(summary.entries.size(), 2u);  // first-open order
+    EXPECT_STREQ(summary.entries[0].name, "sample");
+    EXPECT_EQ(summary.entries[0].count, 3);
+    EXPECT_EQ(summary.entries[0].depth, 0);
+    EXPECT_NEAR(summary.entries[0].total_ms, 12.0, 1e-9);
+    EXPECT_STREQ(summary.entries[1].name, "decode");
+    EXPECT_EQ(summary.entries[1].count, 1);
+    EXPECT_EQ(summary.to_string(), "sample=3x12.00ms decode=1x1.50ms");
+}
+
+TEST(TraceTest, RingOverflowDropsOldestAndCounts) {
+    TraceBuffer buffer(4);
+    for (int i = 0; i < 10; ++i) {
+        SpanRecord record;
+        record.trace_id = static_cast<std::uint64_t>(i);
+        record.name = "overflow";
+        buffer.record(record);
+    }
+    EXPECT_EQ(buffer.recorded(), 10);
+    EXPECT_EQ(buffer.dropped(), 6);
+    const std::vector<SpanRecord> kept = buffer.snapshot();
+    ASSERT_EQ(kept.size(), 4u);
+    // Oldest-to-newest: the last four records survive.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(kept[static_cast<std::size_t>(i)].trace_id,
+                  static_cast<std::uint64_t>(6 + i));
+    }
+    buffer.clear();
+    EXPECT_EQ(buffer.recorded(), 0);
+    EXPECT_EQ(buffer.dropped(), 0);
+    EXPECT_TRUE(buffer.snapshot().empty());
+}
+
+TEST(TraceTest, SpanWithoutTraceRecordsToProcessBufferWithIdZero) {
+    const long long before = TraceBuffer::instance().recorded();
+    {
+        Span span("orphan_stage");
+    }
+    EXPECT_EQ(TraceBuffer::instance().recorded(), before + 1);
+    const std::vector<SpanRecord> records =
+        TraceBuffer::instance().snapshot();
+    ASSERT_FALSE(records.empty());
+    EXPECT_EQ(records.back().trace_id, 0u);
+    EXPECT_STREQ(records.back().name, "orphan_stage");
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+    const EnabledGuard off(false);
+    TraceBuffer buffer(8);
+    ManualClock clock;
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("aero_demo_stage_ms", "stage", {1.0});
+    {
+        Trace trace(9, &buffer, &clock);
+        Span span("stage", &h);
+        clock.advance_ms(5.0);
+    }
+    EXPECT_EQ(buffer.recorded(), 0);
+    EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST(TraceTest, RequestIdsAreMonotonicAndNonZero) {
+    const std::uint64_t a = next_request_id();
+    const std::uint64_t b = next_request_id();
+    EXPECT_GT(a, 0u);
+    EXPECT_GT(b, a);
+}
+
+TEST(TraceTest, TraceInstallsAndRestoresLogRid) {
+    EXPECT_EQ(util::thread_rid(), 0u);
+    {
+        Trace outer(11);
+        EXPECT_EQ(util::thread_rid(), 11u);
+        {
+            Trace inner(12);
+            EXPECT_EQ(util::thread_rid(), 12u);
+        }
+        EXPECT_EQ(util::thread_rid(), 11u);
+    }
+    EXPECT_EQ(util::thread_rid(), 0u);
+}
+
+// ---- exposition -------------------------------------------------------------
+
+/// Hermetic fixture the golden tests share: a local registry + a local
+/// trace driven by a manual clock, so both renders are exact bytes.
+struct GoldenFixture {
+    MetricsRegistry registry;
+    TraceBuffer buffer{8};
+    ManualClock clock;
+
+    GoldenFixture() {
+        Counter& requests = registry.counter(
+            "aero_demo_requests_total", "line one\nwith \\ backslash");
+        requests.inc(2);
+        registry.gauge("aero_demo_queue_depth", "queued requests").set(3.5);
+        Histogram& latency = registry.histogram("aero_demo_latency_ms",
+                                                "request latency",
+                                                {1.0, 2.5});
+        latency.observe(0.5);
+        latency.observe(2.0);
+        latency.observe(99.0);
+
+        Trace trace(1, &buffer, &clock);
+        {
+            Span span("condition");
+            clock.advance_ms(2.0);
+        }
+        {
+            Span span("sample");
+            clock.advance_ms(30.0);
+        }
+    }
+};
+
+TEST(ExpositionTest, GoldenPrometheusText) {
+    GoldenFixture fixture;
+    const std::string expected =
+        "# HELP aero_demo_latency_ms request latency\n"
+        "# TYPE aero_demo_latency_ms histogram\n"
+        "aero_demo_latency_ms_bucket{le=\"1\"} 1\n"
+        "aero_demo_latency_ms_bucket{le=\"2.5\"} 2\n"
+        "aero_demo_latency_ms_bucket{le=\"+Inf\"} 3\n"
+        "aero_demo_latency_ms_sum 101.5\n"
+        "aero_demo_latency_ms_count 3\n"
+        "# HELP aero_demo_queue_depth queued requests\n"
+        "# TYPE aero_demo_queue_depth gauge\n"
+        "aero_demo_queue_depth 3.5\n"
+        "# HELP aero_demo_requests_total line one\\nwith \\\\ backslash\n"
+        "# TYPE aero_demo_requests_total counter\n"
+        "aero_demo_requests_total 2\n"
+        "# HELP aero_trace_spans_recorded_total spans recorded into the "
+        "ring\n"
+        "# TYPE aero_trace_spans_recorded_total counter\n"
+        "aero_trace_spans_recorded_total 2\n"
+        "# HELP aero_trace_spans_dropped_total spans overwritten before "
+        "being read (ring overflow)\n"
+        "# TYPE aero_trace_spans_dropped_total counter\n"
+        "aero_trace_spans_dropped_total 0\n"
+        "# HELP aero_trace_span_ms per-span-name cumulative time and "
+        "count\n"
+        "# TYPE aero_trace_span_ms summary\n"
+        "aero_trace_span_ms_sum{span=\"condition\"} 2\n"
+        "aero_trace_span_ms_count{span=\"condition\"} 1\n"
+        "aero_trace_span_ms_sum{span=\"sample\"} 30\n"
+        "aero_trace_span_ms_count{span=\"sample\"} 1\n";
+    EXPECT_EQ(render_text(fixture.registry, &fixture.buffer), expected);
+    // Determinism: rendering twice gives identical bytes.
+    EXPECT_EQ(render_text(fixture.registry, &fixture.buffer),
+              render_text(fixture.registry, &fixture.buffer));
+    // Omitting the trace drops exactly the span appendix.
+    const std::string no_trace = render_text(fixture.registry, nullptr);
+    EXPECT_EQ(no_trace,
+              expected.substr(0, expected.find("# HELP aero_trace_")));
+}
+
+TEST(ExpositionTest, GoldenJsonRoundTrips) {
+    GoldenFixture fixture;
+    const std::string text =
+        render_json(fixture.registry, &fixture.buffer);
+    EXPECT_EQ(text, render_json(fixture.registry, &fixture.buffer));
+
+    util::JsonValue root;
+    std::string error;
+    ASSERT_TRUE(util::json_parse(text, &root, &error)) << error;
+    const util::JsonValue* metrics = root.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_EQ(metrics->size(), 3u);
+
+    const util::JsonValue* counter =
+        metrics->find("aero_demo_requests_total");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_EQ(counter->find("type")->as_string(), "counter");
+    EXPECT_EQ(counter->find("help")->as_string(),
+              "line one\nwith \\ backslash");
+    EXPECT_DOUBLE_EQ(counter->find("value")->as_number(), 2.0);
+
+    const util::JsonValue* histogram =
+        metrics->find("aero_demo_latency_ms");
+    ASSERT_NE(histogram, nullptr);
+    EXPECT_EQ(histogram->find("type")->as_string(), "histogram");
+    const util::JsonValue* buckets = histogram->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->size(), 3u);
+    EXPECT_DOUBLE_EQ(buckets->at(0).find("le")->as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(buckets->at(0).find("cumulative")->as_number(), 1.0);
+    EXPECT_EQ(buckets->at(2).find("le")->as_string(), "+Inf");
+    EXPECT_DOUBLE_EQ(buckets->at(2).find("cumulative")->as_number(), 3.0);
+    EXPECT_DOUBLE_EQ(histogram->find("sum")->as_number(), 101.5);
+    EXPECT_DOUBLE_EQ(histogram->find("count")->as_number(), 3.0);
+
+    const util::JsonValue* trace = root.find("trace");
+    ASSERT_NE(trace, nullptr);
+    EXPECT_DOUBLE_EQ(trace->find("recorded")->as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(trace->find("dropped")->as_number(), 0.0);
+    const util::JsonValue* spans = trace->find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_EQ(spans->size(), 2u);
+    EXPECT_DOUBLE_EQ(spans->find("sample")->find("total_ms")->as_number(),
+                     30.0);
+}
+
+TEST(ExpositionTest, PeriodicDumpWritesFileAndStops) {
+    const std::string path = "test_obs_periodic_dump.prom";
+    std::remove(path.c_str());
+    EXPECT_FALSE(start_periodic_dump(0, path));  // disabled period
+    ASSERT_TRUE(start_periodic_dump(2, path));
+    EXPECT_FALSE(start_periodic_dump(2, path));  // already running
+    // Wait for at least one dump cycle to land on disk.
+    std::string content;
+    for (int i = 0; i < 200 && content.empty(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        std::ifstream in(path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        content = buffer.str();
+    }
+    stop_periodic_dump();
+    stop_periodic_dump();  // idempotent
+    EXPECT_NE(content.find("aero_trace_spans_recorded_total"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ---- service integration ----------------------------------------------------
+
+TEST(ObsServiceTest, RequestResultsCarrySpanSummariesAndRequestIds) {
+    serve::ServiceConfig config = basic_config();
+    config.workers = 2;
+    serve::InferenceService service(shared_pipeline(), config);
+    const serve::RequestResult a = service.submit(valid_request(50, 0)).get();
+    const serve::RequestResult b = service.submit(valid_request(51, 1)).get();
+    service.stop();
+
+    ASSERT_EQ(a.outcome, serve::Outcome::kOk) << a.message;
+    EXPECT_GT(a.request_id, 0u);
+    EXPECT_GT(b.request_id, a.request_id);
+    ASSERT_FALSE(a.spans.entries.empty());
+    bool saw_condition = false;
+    bool saw_sample = false;
+    bool saw_decode = false;
+    for (const SpanSummaryEntry& entry : a.spans.entries) {
+        const std::string name = entry.name;
+        saw_condition |= name == "condition";
+        saw_sample |= name == "sample";
+        saw_decode |= name == "decode";
+        EXPECT_GE(entry.count, 1);
+        EXPECT_GE(entry.total_ms, 0.0);
+    }
+    EXPECT_TRUE(saw_condition);
+    EXPECT_TRUE(saw_sample);
+    EXPECT_TRUE(saw_decode);
+    EXPECT_FALSE(a.spans.to_string().empty());
+
+    // The process-wide dump now shows the serve metrics the request fed.
+    const std::string text = obs::render_text();
+    EXPECT_NE(text.find("# TYPE aero_serve_latency_ms histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("aero_serve_latency_ms_bucket{le=\""),
+              std::string::npos);
+    EXPECT_NE(text.find("aero_serve_submitted_total"), std::string::npos);
+    EXPECT_NE(text.find("aero_serve_breaker_state"), std::string::npos);
+    EXPECT_NE(text.find("aero_trace_span_ms_sum{span=\"sample\"}"),
+              std::string::npos);
+}
+
+TEST(ObsServiceTest, DisablingObsIsBitwiseNeutralOnGeneratedImages) {
+    const AeroDiffusionPipeline& pipeline = shared_pipeline();
+    const auto& sample = shared_substrate().dataset->test()[0];
+    const std::string caption =
+        shared_substrate().keypoint_test[0].text;
+
+    image::Image enabled_img;
+    image::Image disabled_img;
+    {
+        const EnabledGuard on(true);
+        util::Rng rng(1234);
+        enabled_img = pipeline.generate(sample, caption, caption, rng);
+    }
+    {
+        const EnabledGuard off(false);
+        util::Rng rng(1234);
+        disabled_img = pipeline.generate(sample, caption, caption, rng);
+    }
+    ASSERT_FALSE(enabled_img.empty());
+    ASSERT_EQ(enabled_img.data().size(), disabled_img.data().size());
+    // Bitwise: the enable switch gates only measurement, never math.
+    EXPECT_TRUE(enabled_img.data() == disabled_img.data());
+}
+
+// ---- concurrency stress (run under TSan via scripts/check.sh) ---------------
+
+TEST(ObsStressTest, ConcurrentWritersTracesAndRenders) {
+    MetricsRegistry reg;
+    Counter& ops = reg.counter("aero_demo_stress_total", "ops");
+    Gauge& depth = reg.gauge("aero_demo_stress_depth", "depth");
+    Histogram& lat =
+        reg.histogram("aero_demo_stress_ms", "latency", {1.0, 10.0});
+    TraceBuffer buffer(64);  // small: forces overflow under contention
+
+    constexpr int kThreads = 4;
+    constexpr int kIterations = 400;
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&, t] {
+            for (int i = 0; i < kIterations; ++i) {
+                ops.inc();
+                depth.set(static_cast<double>(i));
+                lat.observe(static_cast<double>(i % 20));
+                Trace trace(static_cast<std::uint64_t>(t * kIterations + i +
+                                                       1),
+                            &buffer);
+                Span outer("stress_outer");
+                Span inner("stress_inner");
+            }
+        });
+    }
+    // Concurrent readers: registry collection + trace snapshots.
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            (void)render_text(reg, &buffer);
+            (void)render_json(reg, &buffer);
+        }
+    });
+    for (std::thread& w : writers) w.join();
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(ops.value(), kThreads * kIterations);
+    EXPECT_EQ(lat.snapshot().count, kThreads * kIterations);
+    EXPECT_EQ(buffer.recorded(), 2LL * kThreads * kIterations);
+    EXPECT_EQ(buffer.dropped(), buffer.recorded() - 64);
+}
+
+TEST(ObsStressTest, ServiceUnderSlowFaultsWithLiveDumps) {
+    util::FaultInjector injector(0x0b5e);
+    injector.set_fail_rate("serve_slow", 0.4);
+    injector.set_fail_rate("pool_slow", 0.4);
+
+    serve::ServiceConfig config = basic_config();
+    config.workers = 3;
+    config.queue_capacity = 8;
+    config.fault_injector = &injector;
+    serve::InferenceService service(shared_pipeline(), config);
+
+    std::atomic<bool> done{false};
+    std::thread renderer([&done] {
+        while (!done.load(std::memory_order_acquire)) {
+            (void)obs::render_text();
+            (void)obs::render_json();
+        }
+    });
+
+    const int total = 12;
+    std::vector<std::future<serve::RequestResult>> futures;
+    futures.reserve(total);
+    for (int i = 0; i < total; ++i) {
+        futures.push_back(service.submit(
+            valid_request(900 + static_cast<std::uint64_t>(i),
+                          static_cast<std::size_t>(i))));
+    }
+    int resolved = 0;
+    for (auto& future : futures) {
+        const serve::RequestResult result = future.get();
+        if (result.outcome == serve::Outcome::kOk ||
+            result.outcome == serve::Outcome::kShed) {
+            ++resolved;
+        }
+        if (result.outcome == serve::Outcome::kOk) {
+            EXPECT_GT(result.request_id, 0u);
+            EXPECT_FALSE(result.spans.entries.empty());
+        }
+    }
+    service.stop();
+    done.store(true, std::memory_order_release);
+    renderer.join();
+    EXPECT_EQ(resolved, total);
+    EXPECT_TRUE(service.stats().balanced());
+}
+
+}  // namespace

@@ -1,0 +1,15 @@
+#pragma once
+// Miniature metric-name registry for the failing fixtures.
+
+namespace fixture {
+
+struct MetricName {
+    const char* name;
+    const char* help;
+};
+
+inline constexpr MetricName kMetricNames[] = {
+    {"aero_serve_ok_total", "requests resolved ok"},
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: metric registrations that violate the naming contract — one
+// name outside the aero_<area>_<name> pattern, one well-formed but not
+// declared in the metric registry.
+
+#include <string>
+
+namespace fixture {
+
+struct Registry {
+    int& counter(const std::string& name, const std::string& help);
+    int& gauge(const std::string& name, const std::string& help);
+};
+
+void register_metrics(Registry& registry) {
+    registry.counter("requestCount", "bad: not aero_<area>_<name>");
+    registry.gauge("aero_serve_undeclared_depth", "bad: not in registry");
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#pragma once
+// Miniature metric-name registry for lint fixtures.
+
+namespace fixture {
+
+struct MetricName {
+    const char* name;
+    const char* help;
+};
+
+inline constexpr MetricName kMetricNames[] = {
+    {"aero_serve_ok_total", "requests resolved ok"},
+    {"aero_pool_tasks", "parallel_for invocations"},
+};
+
+}  // namespace fixture

@@ -77,6 +77,7 @@ class FileLinter {
 public:
     FileLinter(const std::string& path, const std::string& content,
                const std::vector<std::string>& registered,
+               const std::vector<std::string>& registered_metrics,
                const Options& options, std::vector<Finding>* out)
         : path_(path),
           content_(content),
@@ -85,6 +86,7 @@ public:
           lines_(content),
           allows_(allow_markers(content)),
           registered_(registered),
+          registered_metrics_(registered_metrics),
           options_(options),
           out_(out) {}
 
@@ -134,6 +136,51 @@ public:
                        "fault-registry",
                        "fault point \"" + literal +
                            "\" is not registered in " + options_.registry);
+            }
+        }
+    }
+
+    void check_metric_naming() {
+        if (registered_metrics_.empty()) return;
+        static const std::regex kCall(R"(\b(counter|gauge|histogram)\s*\()");
+        for (auto it = std::sregex_iterator(code_.begin(), code_.end(),
+                                            kCall);
+             it != std::sregex_iterator(); ++it) {
+            // First string literal inside the call's parentheses, same
+            // extraction as fault-registry. Declarations and calls that
+            // pass a variable carry no literal; the registry's runtime
+            // guard covers those.
+            std::size_t pos = static_cast<std::size_t>(it->position()) +
+                              it->length() - 1;
+            int depth = 0;
+            std::string literal;
+            for (std::size_t i = pos; i < code_.size(); ++i) {
+                const char c = code_[i];
+                if (c == '(') ++depth;
+                if (c == ')' && --depth == 0) break;
+                if (c == '"') {
+                    const std::size_t close = code_.find('"', i + 1);
+                    if (close == std::string::npos) break;
+                    literal = code_.substr(i + 1, close - i - 1);
+                    break;
+                }
+            }
+            if (literal.empty()) continue;
+            if (!valid_metric_name(literal)) {
+                report(static_cast<std::size_t>(it->position()),
+                       "metric-naming",
+                       "metric name \"" + literal +
+                           "\" does not match aero_<area>_<name>");
+                continue;
+            }
+            if (std::find(registered_metrics_.begin(),
+                          registered_metrics_.end(),
+                          literal) == registered_metrics_.end()) {
+                report(static_cast<std::size_t>(it->position()),
+                       "metric-naming",
+                       "metric \"" + literal +
+                           "\" is not declared in " +
+                           options_.metric_registry);
             }
         }
     }
@@ -259,6 +306,9 @@ public:
         check_naked_new();
         check_unchecked_parse();
         check_stats_accounting();
+        // Strict-only: tests exercise hermetic local registries with
+        // synthetic names, which the runtime pattern guard still covers.
+        check_metric_naming();
     }
 
 private:
@@ -269,6 +319,7 @@ private:
     LineIndex lines_;
     std::vector<std::pair<int, std::string>> allows_;
     const std::vector<std::string>& registered_;
+    const std::vector<std::string>& registered_metrics_;
     const Options& options_;
     std::vector<Finding>* out_;
 };
@@ -289,6 +340,7 @@ bool lintable_extension(const fs::path& path) {
 
 void scan_dir(const Options& options, const std::string& dir, bool strict,
               const std::vector<std::string>& registered,
+              const std::vector<std::string>& registered_metrics,
               std::vector<Finding>* out) {
     const fs::path base = fs::path(options.root) / dir;
     std::error_code ec;
@@ -310,7 +362,8 @@ void scan_dir(const Options& options, const std::string& dir, bool strict,
         }
         const std::string rel =
             fs::relative(file, options.root, ec).generic_string();
-        FileLinter linter(rel, content, registered, options, out);
+        FileLinter linter(rel, content, registered, registered_metrics,
+                          options, out);
         linter.run(strict);
     }
 }
@@ -422,11 +475,29 @@ std::vector<std::string> parse_registry(const std::string& registry_text) {
     return points;
 }
 
+bool valid_metric_name(const std::string& name) {
+    if (name.compare(0, 5, "aero_") != 0) return false;
+    int segments = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= name.size(); ++i) {
+        if (i == name.size() || name[i] == '_') {
+            if (i > start) ++segments;
+            start = i + 1;
+            continue;
+        }
+        const char c = name[i];
+        if ((c < 'a' || c > 'z') && (c < '0' || c > '9')) return false;
+    }
+    return segments >= 3;
+}
+
 void lint_file(const std::string& path, const std::string& content,
                const std::vector<std::string>& registered_points,
+               const std::vector<std::string>& registered_metrics,
                const Options& options, bool strict,
                std::vector<Finding>* out) {
-    FileLinter linter(path, content, registered_points, options, out);
+    FileLinter linter(path, content, registered_points, registered_metrics,
+                      options, out);
     linter.run(strict);
 }
 
@@ -447,11 +518,31 @@ std::vector<Finding> run_lint(const Options& options) {
         }
     }
 
+    std::vector<std::string> registered_metrics;
+    if (!options.metric_registry.empty()) {
+        std::string metric_text;
+        const fs::path metric_path =
+            fs::path(options.root) / options.metric_registry;
+        if (!read_file(metric_path, &metric_text)) {
+            findings.push_back({options.metric_registry, 1, "metric-naming",
+                                "cannot read metric-name registry"});
+        } else {
+            registered_metrics = parse_registry(metric_text);
+            if (registered_metrics.empty()) {
+                findings.push_back(
+                    {options.metric_registry, 1, "metric-naming",
+                     "registry parsed to zero metric names"});
+            }
+        }
+    }
+
     for (const std::string& dir : options.strict_dirs) {
-        scan_dir(options, dir, /*strict=*/true, registered, &findings);
+        scan_dir(options, dir, /*strict=*/true, registered,
+                 registered_metrics, &findings);
     }
     for (const std::string& dir : options.fault_dirs) {
-        scan_dir(options, dir, /*strict=*/false, registered, &findings);
+        scan_dir(options, dir, /*strict=*/false, registered,
+                 registered_metrics, &findings);
     }
 
     if (!options.design_doc.empty() && !registered.empty()) {

@@ -24,6 +24,10 @@
 //   stats-accounting every *Stats struct that exposes a balanced()
 //                    invariant keeps its accounting comment adjacent to
 //                    the fields it constrains
+//   metric-naming    every metric name used at a counter / gauge /
+//                    histogram registration site follows the
+//                    `aero_<area>_<name>` pattern and is declared in
+//                    src/obs/metric_names.hpp
 //
 // A deliberate exception is suppressed inline with
 //   // aero-lint: allow(<rule>)
@@ -51,6 +55,9 @@ struct Options {
     std::vector<std::string> fault_dirs = {"tests", "bench", "examples"};
     /// Fault-point registry header, relative to root.
     std::string registry = "src/util/fault_points.hpp";
+    /// Metric-name registry header, relative to root ("" skips the
+    /// metric-naming rule).
+    std::string metric_registry = "src/obs/metric_names.hpp";
     /// Design doc that must mention every registered point ("" skips
     /// the fault-docs rule).
     std::string design_doc = "DESIGN.md";
@@ -66,13 +73,20 @@ struct Options {
 /// line-preserving, so offsets and line numbers map 1:1 onto the input.
 std::string sanitize(const std::string& text, bool keep_strings);
 
-/// Extracts the registered point names from the registry header text.
+/// Extracts the registered names from a registry header text (both the
+/// fault-point and the metric-name tables use the `{"name", ...}` row
+/// shape).
 std::vector<std::string> parse_registry(const std::string& registry_text);
+
+/// True when `name` follows the `aero_<area>_<name>` metric pattern
+/// (lowercase alnum + underscore, at least three non-empty segments).
+bool valid_metric_name(const std::string& name);
 
 /// Lints one file's content. `strict` enables every rule; otherwise
 /// only fault-registry runs. Appends to `out`.
 void lint_file(const std::string& path, const std::string& content,
                const std::vector<std::string>& registered_points,
+               const std::vector<std::string>& registered_metrics,
                const Options& options, bool strict,
                std::vector<Finding>* out);
 

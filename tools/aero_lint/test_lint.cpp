@@ -15,14 +15,15 @@ namespace {
 using aero::lint::Finding;
 using aero::lint::Options;
 
-std::vector<Finding> lint_snippet(const std::string& path,
-                                  const std::string& content,
-                                  std::vector<std::string> registered = {
-                                      "loss", "serve_transient"}) {
+std::vector<Finding> lint_snippet(
+    const std::string& path, const std::string& content,
+    std::vector<std::string> registered = {"loss", "serve_transient"},
+    std::vector<std::string> registered_metrics = {"aero_serve_ok_total",
+                                                   "aero_pool_tasks"}) {
     std::vector<Finding> findings;
     Options options;
-    aero::lint::lint_file(path, content, registered, options,
-                          /*strict=*/true, &findings);
+    aero::lint::lint_file(path, content, registered, registered_metrics,
+                          options, /*strict=*/true, &findings);
     return findings;
 }
 
@@ -206,7 +207,8 @@ TEST(Rules, UncheckedIoRunsInNonStrictDirs) {
     Options options;
     aero::lint::lint_file("bench/b.cpp",
                           "void f(W& w) { w.write_file(\"r.json\"); }",
-                          {"loss"}, options, /*strict=*/false, &findings);
+                          {"loss"}, {}, options, /*strict=*/false,
+                          &findings);
     EXPECT_TRUE(has_rule(findings, "unchecked-io"));
 }
 
@@ -233,6 +235,51 @@ TEST(Rules, StatsAccountingComment) {
                     .empty());
 }
 
+TEST(Rules, MetricNamingPattern) {
+    EXPECT_TRUE(aero::lint::valid_metric_name("aero_serve_ok_total"));
+    EXPECT_TRUE(aero::lint::valid_metric_name("aero_pool_queue_wait_ms"));
+    EXPECT_FALSE(aero::lint::valid_metric_name("serve_ok_total"));
+    EXPECT_FALSE(aero::lint::valid_metric_name("aero_serve"));  // 2 segments
+    EXPECT_FALSE(aero::lint::valid_metric_name("aero_Serve_ok"));
+    EXPECT_FALSE(aero::lint::valid_metric_name("aero_serve_ok-total"));
+    EXPECT_FALSE(aero::lint::valid_metric_name("aero__serve"));
+}
+
+TEST(Rules, MetricNamingFlagsPatternAndRegistryViolations) {
+    // Malformed name.
+    auto findings = lint_snippet(
+        "src/a.cpp", "void f(R& r) { r.counter(\"requestCount\", \"h\"); }");
+    ASSERT_TRUE(has_rule(findings, "metric-naming"));
+    // Well-formed but undeclared.
+    findings = lint_snippet(
+        "src/a.cpp",
+        "void f(R& r) { r.gauge(\"aero_serve_bogus_depth\", \"h\"); }");
+    EXPECT_TRUE(has_rule(findings, "metric-naming"));
+    // Declared names pass, for all three registration kinds.
+    EXPECT_TRUE(lint_snippet("src/a.cpp",
+                             "void f(R& r) {\n"
+                             "  r.counter(\"aero_serve_ok_total\", \"h\");\n"
+                             "  r.histogram(\"aero_pool_tasks\", \"h\", b);\n"
+                             "}\n")
+                    .empty());
+    // Declarations (no literal) and suppressions are quiet.
+    EXPECT_TRUE(lint_snippet("src/a.hpp",
+                             "#pragma once\n"
+                             "Counter& counter(const char* name);\n")
+                    .empty());
+    EXPECT_TRUE(lint_snippet("src/a.cpp",
+                             "// aero-lint: allow(metric-naming)\n"
+                             "void f(R& r) { r.counter(\"bad\", \"h\"); }\n")
+                    .empty());
+    // An empty metric table disables the rule (local-registry mode).
+    std::vector<Finding> none;
+    Options options;
+    aero::lint::lint_file("src/a.cpp",
+                          "void f(R& r) { r.counter(\"bad\", \"h\"); }",
+                          {"loss"}, {}, options, /*strict=*/true, &none);
+    EXPECT_FALSE(has_rule(none, "metric-naming"));
+}
+
 // ---- fixture trees ----------------------------------------------------------
 
 Options fixture_options(const std::string& which) {
@@ -241,6 +288,7 @@ Options fixture_options(const std::string& which) {
     options.strict_dirs = {"src"};
     options.fault_dirs = {};
     options.registry = "registry.hpp";
+    options.metric_registry = "metric_registry.hpp";
     options.design_doc = "DESIGN.md";
     return options;
 }
@@ -268,6 +316,12 @@ TEST(Fixtures, BadTreeTripsEveryRule) {
         if (finding.rule == "fault-registry") ++unregistered;
     }
     EXPECT_EQ(unregistered, 2);
+    // Both metric violations (pattern + undeclared) are reported.
+    int metric_findings = 0;
+    for (const auto& finding : findings) {
+        if (finding.rule == "metric-naming") ++metric_findings;
+    }
+    EXPECT_EQ(metric_findings, 2);
 }
 
 }  // namespace
