@@ -39,9 +39,11 @@ if [ "${SANITIZE}" = "thread" ]; then
     # test_parallel/test_diffusion exercise the intra-op thread pool
     # (DESIGN.md §11) from kernels up through full DDIM sampling;
     # test_obs races metric writers, span recording and live dumps
-    # against the fault-injected service (DESIGN.md §12).
+    # against the fault-injected service (DESIGN.md §12);
+    # test_router races dispatchers, hedges and the replica-lifecycle
+    # supervisor through crash/restart chaos (DESIGN.md §13).
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_serve|test_util|test_parallel|test_diffusion|test_obs' \
+        -R 'test_serve|test_router|test_util|test_parallel|test_diffusion|test_obs' \
         "$@")
 else
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
@@ -52,7 +54,7 @@ else
     cmake -B build-san-thread -S . -DAERO_SANITIZE=thread >/dev/null
     cmake --build build-san-thread -j "${JOBS}"
     (cd build-san-thread && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_obs|test_serve' "$@")
+        -R 'test_obs|test_serve|test_router' "$@")
 fi
 
 if [ "${AERO_CHECK_ANALYZE:-1}" != "0" ]; then

@@ -1,0 +1,212 @@
+#include "serve/replica.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace aero::serve {
+
+namespace {
+
+constexpr std::size_t kDeadQueueDepth =
+    std::numeric_limits<std::size_t>::max() / 2;
+
+int warm_stride_from(double fraction) {
+    const double clamped = std::clamp(fraction, 0.01, 1.0);
+    return std::max(1, static_cast<int>(std::lround(1.0 / clamped)));
+}
+
+}  // namespace
+
+const char* replica_state_name(ReplicaState state) {
+    switch (state) {
+        case ReplicaState::kHealthy: return "healthy";
+        case ReplicaState::kSuspect: return "suspect";
+        case ReplicaState::kDown: return "down";
+        case ReplicaState::kRestarting: return "restarting";
+        case ReplicaState::kWarming: return "warming";
+    }
+    return "unknown";
+}
+
+Replica::Replica(int index, const core::AeroDiffusionPipeline& pipeline,
+                 const ServiceConfig& service_config,
+                 const ReplicaHealthConfig& health, std::uint64_t seed)
+    : index_(index),
+      pipeline_(&pipeline),
+      service_config_(service_config),
+      health_(health),
+      warm_stride_(warm_stride_from(health.warmup_admit_fraction)),
+      rng_(seed) {
+    const util::MutexLock lock(mutex_);
+    service_ = std::make_shared<InferenceService>(*pipeline_, service_config_);
+}
+
+Replica::~Replica() {
+    std::shared_ptr<InferenceService> service;
+    {
+        const util::MutexLock lock(mutex_);
+        service = std::move(service_);
+    }
+    if (service) service->stop();
+}
+
+ReplicaState Replica::state() const {
+    const util::MutexLock lock(mutex_);
+    return state_;
+}
+
+ReplicaSnapshot Replica::snapshot() const {
+    const util::MutexLock lock(mutex_);
+    ReplicaSnapshot snap;
+    snap.state = state_;
+    snap.restarts = restarts_;
+    snap.routed = routed_;
+    snap.fail_streak = fail_streak_;
+    snap.queue_depth = service_ ? service_->queue_depth() : 0;
+    return snap;
+}
+
+std::shared_ptr<InferenceService> Replica::service() const {
+    const util::MutexLock lock(mutex_);
+    return service_;
+}
+
+std::size_t Replica::queue_depth() const {
+    std::shared_ptr<InferenceService> service;
+    {
+        const util::MutexLock lock(mutex_);
+        service = service_;
+    }
+    return service ? service->queue_depth() : kDeadQueueDepth;
+}
+
+bool Replica::admissible() const {
+    const util::MutexLock lock(mutex_);
+    return (state_ == ReplicaState::kHealthy ||
+            state_ == ReplicaState::kSuspect ||
+            state_ == ReplicaState::kWarming) &&
+           service_ != nullptr;
+}
+
+bool Replica::admit_warm() {
+    const util::MutexLock lock(mutex_);
+    if (state_ != ReplicaState::kWarming) return true;
+    return (warm_counter_++ % warm_stride_) == 0;
+}
+
+void Replica::count_routed() {
+    const util::MutexLock lock(mutex_);
+    ++routed_;
+}
+
+void Replica::mark_down_locked() {
+    state_ = ReplicaState::kDown;
+    clean_probes_ = 0;
+    // Exponential, jittered restart backoff; consecutive_restarts_ only
+    // resets once the replica makes it all the way back to Healthy, so
+    // a crash-looping replica backs off further each round.
+    const double base = std::max(0.1, health_.restart_backoff_base_ms);
+    double delay =
+        base * static_cast<double>(1ull << std::min(consecutive_restarts_, 16));
+    delay = std::min(delay, health_.restart_backoff_max_ms);
+    delay *= rng_.uniform(0.5, 1.0);
+    restart_at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double, std::milli>(
+                                         delay));
+}
+
+void Replica::on_outcome(bool ok) {
+    const util::MutexLock lock(mutex_);
+    if (ok) {
+        fail_streak_ = 0;
+        return;
+    }
+    ++fail_streak_;
+    clean_probes_ = 0;
+    if (state_ == ReplicaState::kHealthy &&
+        fail_streak_ >= health_.suspect_threshold) {
+        state_ = ReplicaState::kSuspect;
+    }
+    if ((state_ == ReplicaState::kSuspect ||
+         state_ == ReplicaState::kWarming) &&
+        fail_streak_ >= health_.down_threshold) {
+        mark_down_locked();
+    }
+}
+
+void Replica::on_probe(bool clean) {
+    const util::MutexLock lock(mutex_);
+    if (state_ == ReplicaState::kDown || state_ == ReplicaState::kRestarting) {
+        return;  // stale probe verdict from before a kill
+    }
+    if (!clean) {
+        clean_probes_ = 0;
+        ++fail_streak_;
+        if (state_ == ReplicaState::kHealthy &&
+            fail_streak_ >= health_.suspect_threshold) {
+            state_ = ReplicaState::kSuspect;
+        }
+        if ((state_ == ReplicaState::kSuspect ||
+             state_ == ReplicaState::kWarming) &&
+            fail_streak_ >= health_.down_threshold) {
+            mark_down_locked();
+        }
+        return;
+    }
+    fail_streak_ = 0;
+    ++clean_probes_;
+    if (clean_probes_ >= health_.probe_window && !breaker_open_ &&
+        (state_ == ReplicaState::kSuspect ||
+         state_ == ReplicaState::kWarming)) {
+        state_ = ReplicaState::kHealthy;
+        consecutive_restarts_ = 0;
+    }
+}
+
+void Replica::set_breaker_open(bool open) {
+    const util::MutexLock lock(mutex_);
+    breaker_open_ = open;
+    // An open breaker means the condition encoder is failing but the
+    // replica still serves degraded unconditional samples: park it at
+    // Suspect so routing deprioritises it, never escalate it to Down.
+    if (open && state_ == ReplicaState::kHealthy) {
+        state_ = ReplicaState::kSuspect;
+    }
+}
+
+std::shared_ptr<InferenceService> Replica::reap(bool force) {
+    const util::MutexLock lock(mutex_);
+    if (force && state_ != ReplicaState::kDown) mark_down_locked();
+    if (state_ != ReplicaState::kDown) return nullptr;
+    return std::exchange(service_, nullptr);
+}
+
+bool Replica::restart_due() const {
+    const util::MutexLock lock(mutex_);
+    return state_ == ReplicaState::kDown && service_ == nullptr &&
+           Clock::now() >= restart_at_;
+}
+
+void Replica::restart() {
+    {
+        const util::MutexLock lock(mutex_);
+        if (state_ != ReplicaState::kDown || service_ != nullptr) return;
+        state_ = ReplicaState::kRestarting;
+    }
+    // Service construction spawns worker threads; keep it outside the
+    // replica lock so routing never blocks on a restart.
+    auto service =
+        std::make_shared<InferenceService>(*pipeline_, service_config_);
+    const util::MutexLock lock(mutex_);
+    service_ = std::move(service);
+    state_ = ReplicaState::kWarming;
+    fail_streak_ = 0;
+    clean_probes_ = 0;
+    warm_counter_ = 0;
+    ++restarts_;
+    ++consecutive_restarts_;
+}
+
+}  // namespace aero::serve

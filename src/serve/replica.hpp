@@ -1,0 +1,153 @@
+#pragma once
+// One supervised InferenceService replica inside serve::Router
+// (DESIGN.md §13). The Replica owns the per-replica health state
+// machine; the Router's dispatcher threads feed it data-path outcomes
+// and its supervisor thread feeds it synthetic probe results, breaker
+// observations, kill orders and restarts:
+//
+//   Healthy --consecutive failures--> Suspect --more failures--> Down
+//      ^  ^                              |                         |
+//      |  +---- clean probe window ------+            (service killed,
+//      |                                               jittered backoff)
+//      +-- clean probe window -- Warming <-- Restarting <------------+
+//
+// Suspect replicas keep serving (an open condition-encoder breaker
+// parks a replica at Suspect while it serves degraded unconditional
+// samples — it must NOT be escalated to Down for that); Down and
+// Restarting replicas take no traffic; Warming replicas take a capped
+// fraction of eligible traffic until their probe window is clean.
+//
+// Locking discipline: every mutable field sits behind the single
+// internal mutex_ (AERO_GUARDED_BY, checked under AERO_ANALYZE=ON).
+// The service handle is a shared_ptr so a dispatcher that grabbed the
+// service just before a crash keeps it alive until its futures
+// resolve; the InferenceService itself guarantees every submitted
+// future terminates, so a killed replica can never strand a request.
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "serve/service.hpp"
+#include "util/annotations.hpp"
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+
+namespace aero::serve {
+
+enum class ReplicaState {
+    kHealthy = 0,  ///< full traffic
+    kSuspect,      ///< serving, deprioritised (failures or open breaker)
+    kDown,         ///< service killed; waiting out the restart backoff
+    kRestarting,   ///< new service being constructed
+    kWarming,      ///< restarted; capped traffic until probes are clean
+};
+inline constexpr int kNumReplicaStates = 5;
+const char* replica_state_name(ReplicaState state);
+
+struct ReplicaHealthConfig {
+    int suspect_threshold = 3;  ///< consecutive failures Healthy -> Suspect
+    int down_threshold = 6;     ///< consecutive failures -> Down (kill)
+    int probe_window = 2;       ///< consecutive clean probes to recover
+    /// Fraction of eligible traffic a Warming replica admits (counter
+    /// stride, not a random draw, so tests are deterministic). Clamped
+    /// to [0.01, 1].
+    double warmup_admit_fraction = 0.25;
+    double restart_backoff_base_ms = 5.0;  ///< doubled per consecutive
+                                           ///< restart, jittered
+    double restart_backoff_max_ms = 200.0;
+};
+
+/// Point-in-time view for tests, stats aggregation and the bench.
+struct ReplicaSnapshot {
+    ReplicaState state = ReplicaState::kHealthy;
+    int restarts = 0;         ///< supervised restarts completed
+    long long routed = 0;     ///< requests dispatched to this replica
+    int fail_streak = 0;      ///< consecutive failures (data + probe)
+    std::size_t queue_depth = 0;  ///< live depth; 0 when no service
+};
+
+class Replica {
+public:
+    /// The pipeline must outlive the replica; `service_config` should
+    /// carry a per-replica seed so worker RNG streams stay distinct.
+    Replica(int index, const core::AeroDiffusionPipeline& pipeline,
+            const ServiceConfig& service_config,
+            const ReplicaHealthConfig& health, std::uint64_t seed);
+    ~Replica();
+    Replica(const Replica&) = delete;
+    Replica& operator=(const Replica&) = delete;
+
+    int index() const { return index_; }
+    ReplicaState state() const AERO_EXCLUDES(mutex_);
+    ReplicaSnapshot snapshot() const AERO_EXCLUDES(mutex_);
+
+    /// Live service handle; nullptr while Down/Restarting.
+    std::shared_ptr<InferenceService> service() const AERO_EXCLUDES(mutex_);
+    /// Queued + in-flight requests on the live service; a large
+    /// sentinel when the replica has no service, so power-of-two-
+    /// choices never prefers a dead replica.
+    std::size_t queue_depth() const AERO_EXCLUDES(mutex_);
+
+    /// True for states that may take traffic (Healthy / Suspect /
+    /// Warming). Warming admission is additionally capped: callers must
+    /// pass admit_warm() before dispatching to a Warming replica.
+    bool admissible() const AERO_EXCLUDES(mutex_);
+    /// Warming traffic cap: every warm-stride-th admission attempt
+    /// passes. Always true outside Warming.
+    bool admit_warm() AERO_EXCLUDES(mutex_);
+    /// Counts a dispatched request (routing telemetry).
+    void count_routed() AERO_EXCLUDES(mutex_);
+
+    // ---- health inputs ------------------------------------------------------
+    /// Data-path outcome: ok resets the failure streak; a failure
+    /// extends it and may demote Healthy -> Suspect -> Down. Degraded
+    /// responses are oks here — a replica behind an open breaker keeps
+    /// serving and must not be escalated to Down.
+    void on_outcome(bool ok) AERO_EXCLUDES(mutex_);
+    /// Synthetic probe verdict; a clean window recovers Suspect/Warming
+    /// to Healthy (unless the breaker is open), a failed probe extends
+    /// the failure streak like a data-path failure.
+    void on_probe(bool clean) AERO_EXCLUDES(mutex_);
+    /// Supervisor-observed condition-encoder breaker state. Open parks
+    /// the replica at Suspect and blocks recovery to Healthy.
+    void set_breaker_open(bool open) AERO_EXCLUDES(mutex_);
+
+    // ---- lifecycle (Router supervisor only) ---------------------------------
+    /// Kill path: with `force` the replica is marked Down regardless of
+    /// state (injected crash); otherwise only an already-Down replica
+    /// is reaped. Returns the detached service — the caller drains and
+    /// stops it outside any replica lock — or nullptr if there was
+    /// nothing to kill.
+    std::shared_ptr<InferenceService> reap(bool force) AERO_EXCLUDES(mutex_);
+    /// True when Down and the jittered restart backoff has elapsed.
+    bool restart_due() const AERO_EXCLUDES(mutex_);
+    /// Recreates the service (spawns worker threads) and enters
+    /// Warming. Only call when restart_due().
+    void restart() AERO_EXCLUDES(mutex_);
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    void mark_down_locked() AERO_REQUIRES(mutex_);
+
+    const int index_;
+    const core::AeroDiffusionPipeline* pipeline_;
+    const ServiceConfig service_config_;
+    const ReplicaHealthConfig health_;
+    const int warm_stride_;
+
+    mutable util::Mutex mutex_;
+    std::shared_ptr<InferenceService> service_ AERO_GUARDED_BY(mutex_);
+    ReplicaState state_ AERO_GUARDED_BY(mutex_) = ReplicaState::kHealthy;
+    bool breaker_open_ AERO_GUARDED_BY(mutex_) = false;
+    int fail_streak_ AERO_GUARDED_BY(mutex_) = 0;
+    int clean_probes_ AERO_GUARDED_BY(mutex_) = 0;
+    int restarts_ AERO_GUARDED_BY(mutex_) = 0;
+    int consecutive_restarts_ AERO_GUARDED_BY(mutex_) = 0;
+    long long routed_ AERO_GUARDED_BY(mutex_) = 0;
+    long long warm_counter_ AERO_GUARDED_BY(mutex_) = 0;
+    Clock::time_point restart_at_ AERO_GUARDED_BY(mutex_);
+    util::Rng rng_ AERO_GUARDED_BY(mutex_);  ///< restart-backoff jitter
+};
+
+}  // namespace aero::serve

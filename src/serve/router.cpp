@@ -1,0 +1,679 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+
+#include "obs/trace.hpp"
+#include "util/hash.hpp"
+
+namespace aero::serve {
+
+namespace {
+
+using MillisD = std::chrono::duration<double, std::milli>;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+    return MillisD(std::chrono::steady_clock::now() - start).count();
+}
+
+void append_canonical(std::string& key, const std::string& text) {
+    bool pending_space = false;
+    bool emitted = false;
+    for (const char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            pending_space = emitted;
+            continue;
+        }
+        if (pending_space) {
+            key += ' ';
+            pending_space = false;
+        }
+        key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        emitted = true;
+    }
+}
+
+}  // namespace
+
+std::string canonical_prompt_key(const InferenceRequest& request) {
+    std::string key = task_kind_name(request.task);
+    key += '|';
+    append_canonical(key, request.source_caption);
+    key += '|';
+    append_canonical(key, request.target_caption);
+    return key;
+}
+
+Router::Metrics Router::resolve_metrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    Metrics m;
+    m.submitted = &reg.counter("aero_router_submitted_total",
+                               "requests accepted by Router::submit()");
+    m.failovers = &reg.counter("aero_router_failovers_total",
+                               "re-routes after replica-side failures");
+    m.hedges = &reg.counter("aero_router_hedges_total",
+                            "hedged second dispatches launched");
+    m.hedge_wins = &reg.counter("aero_router_hedge_wins_total",
+                                "hedged dispatches that beat the primary");
+    m.probes = &reg.counter("aero_router_probes_total",
+                            "synthetic health probes completed");
+    m.probe_failures = &reg.counter("aero_router_probe_failures_total",
+                                    "synthetic health probes that failed");
+    m.crashes = &reg.counter("aero_router_crashes_total",
+                             "replica kill events");
+    m.restarts = &reg.counter("aero_router_restarts_total",
+                              "supervised replica restarts completed");
+    m.healthy = &reg.gauge("aero_router_healthy_replicas",
+                           "replicas currently Healthy");
+    m.suspect = &reg.gauge("aero_router_suspect_replicas",
+                           "replicas currently Suspect");
+    m.down = &reg.gauge("aero_router_down_replicas",
+                        "replicas currently Down or Restarting");
+    m.warming = &reg.gauge("aero_router_warming_replicas",
+                           "replicas currently Warming");
+    m.decision_ms = &reg.histogram("aero_router_decision_ms",
+                                   "routing overhead per dispatch, ms",
+                                   obs::default_ms_buckets());
+    return m;
+}
+
+Router::Router(const core::AeroDiffusionPipeline& pipeline,
+               const RouterConfig& config)
+    : pipeline_(&pipeline), config_(config), metrics_(resolve_metrics()) {
+    config_.replicas = std::max(1, config_.replicas);
+    config_.vnodes = std::max(1, config_.vnodes);
+    config_.max_reroutes = std::max(0, config_.max_reroutes);
+    if (config_.queue_capacity == 0) {
+        config_.queue_capacity =
+            static_cast<std::size_t>(config_.replicas) *
+            std::max<std::size_t>(1, config_.service.queue_capacity);
+    }
+    if (config_.dispatchers <= 0) {
+        config_.dispatchers =
+            config_.replicas * std::max(1, config_.service.workers);
+    }
+    config_.service.fault_injector = config_.fault_injector;
+
+    util::Rng seeder(config_.seed);
+    replicas_.reserve(static_cast<std::size_t>(config_.replicas));
+    ring_.reserve(static_cast<std::size_t>(config_.replicas) *
+                  static_cast<std::size_t>(config_.vnodes));
+    for (int r = 0; r < config_.replicas; ++r) {
+        ServiceConfig service_config = config_.service;
+        service_config.seed = seeder.next_u64();
+        replicas_.push_back(std::make_unique<Replica>(
+            r, pipeline, service_config, config_.health, seeder.next_u64()));
+        for (int v = 0; v < config_.vnodes; ++v) {
+            // Ring points are seed-independent so the key -> replica
+            // map is stable across router restarts and configs.
+            const std::uint64_t key[2] = {static_cast<std::uint64_t>(r),
+                                          static_cast<std::uint64_t>(v)};
+            ring_.push_back({util::fnv1a64(key, sizeof(key)), r});
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+    {
+        const util::MutexLock lock(stats_mutex_);
+        latency_ring_.assign(128, 0.0);
+    }
+
+    const util::MutexLock lock(stop_mutex_);
+    dispatchers_.reserve(static_cast<std::size_t>(config_.dispatchers));
+    for (int d = 0; d < config_.dispatchers; ++d) {
+        dispatchers_.emplace_back(&Router::dispatcher_loop, this,
+                                  seeder.next_u64());
+    }
+    supervisor_ = std::thread(&Router::supervisor_loop, this);
+}
+
+Router::~Router() { stop(); }
+
+std::future<RequestResult> Router::submit(InferenceRequest request) {
+    Job job;
+    job.request = std::move(request);
+    job.submitted_at = Clock::now();
+    if (job.request.deadline_ms > 0.0 &&
+        std::isfinite(job.request.deadline_ms)) {
+        job.has_deadline = true;
+        job.deadline = job.submitted_at +
+                       std::chrono::duration_cast<Clock::duration>(
+                           MillisD(job.request.deadline_ms));
+    }
+    job.key_hash = util::fnv1a64(canonical_prompt_key(job.request));
+    std::future<RequestResult> future = job.promise.get_future();
+
+    bool shed = false;
+    bool closed = false;
+    {
+        const util::MutexLock lock(queue_mutex_);
+        if (!accepting_) {
+            shed = true;
+            closed = true;
+        } else if (queue_.size() >= config_.queue_capacity) {
+            shed = true;
+        } else {
+            queue_.push_back(std::move(job));
+        }
+    }
+    {
+        const util::MutexLock lock(stats_mutex_);
+        ++stats_.submitted;
+    }
+    metrics_.submitted->inc();
+    if (shed) {
+        RequestResult result;
+        result.outcome = Outcome::kShed;
+        result.message = closed ? "router stopped" : "router queue full";
+        result.request_id = obs::next_request_id();
+        result.latency_ms = ms_since(job.submitted_at);
+        record(result);
+        job.promise.set_value(std::move(result));
+    } else {
+        queue_cv_.notify_one();
+    }
+    return future;
+}
+
+void Router::dispatcher_loop(std::uint64_t seed) {
+    util::Rng rng(seed);
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<util::Mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and fully drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        RequestResult result = route(job, rng);
+        record(result);
+        job.promise.set_value(std::move(result));
+    }
+}
+
+int Router::ring_lookup(std::uint64_t hash) const {
+    if (ring_.empty()) return -1;
+    const VNode probe{hash, -1};
+    auto it = std::lower_bound(ring_.begin(), ring_.end(), probe);
+    if (it == ring_.end()) it = ring_.begin();
+    return it->replica;
+}
+
+int Router::pick_replica(std::uint64_t hash, const std::vector<char>& tried,
+                         util::Rng& rng) {
+    const std::size_t shed_depth =
+        std::max<std::size_t>(1, config_.service.queue_capacity);
+    const int preferred = ring_lookup(hash);
+    if (preferred >= 0 && !tried[static_cast<std::size_t>(preferred)]) {
+        Replica& replica = *replicas_[static_cast<std::size_t>(preferred)];
+        const ReplicaState state = replica.state();
+        if (state == ReplicaState::kHealthy &&
+            replica.queue_depth() < shed_depth) {
+            return preferred;
+        }
+        // Warm-up admission: a Warming preferred replica takes its
+        // capped fraction of its own keyspace share, so a restarted
+        // replica sees real traffic before it is fully re-admitted.
+        if (state == ReplicaState::kWarming &&
+            replica.queue_depth() < shed_depth && replica.admit_warm()) {
+            return preferred;
+        }
+    }
+    // The preferred replica is unhealthy, shedding or already tried:
+    // power-of-two-choices on queue depth over the best available tier.
+    std::vector<int> healthy, warming, suspect;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        if (tried[i]) continue;
+        switch (replicas_[i]->state()) {
+            case ReplicaState::kHealthy:
+                healthy.push_back(static_cast<int>(i));
+                break;
+            case ReplicaState::kWarming:
+                warming.push_back(static_cast<int>(i));
+                break;
+            case ReplicaState::kSuspect:
+                suspect.push_back(static_cast<int>(i));
+                break;
+            case ReplicaState::kDown:
+            case ReplicaState::kRestarting:
+                break;
+        }
+    }
+    const auto two_choices = [&](const std::vector<int>& tier) {
+        if (tier.size() == 1) return tier[0];
+        const int size = static_cast<int>(tier.size());
+        const int a = tier[static_cast<std::size_t>(
+            rng.uniform_int(0, size - 1))];
+        const int b = tier[static_cast<std::size_t>(
+            rng.uniform_int(0, size - 1))];
+        if (a == b) return a;
+        return replicas_[static_cast<std::size_t>(a)]->queue_depth() <=
+                       replicas_[static_cast<std::size_t>(b)]->queue_depth()
+                   ? a
+                   : b;
+    };
+    if (!healthy.empty()) return two_choices(healthy);
+    std::vector<int> admitted;
+    for (const int i : warming) {
+        if (replicas_[static_cast<std::size_t>(i)]->admit_warm()) {
+            admitted.push_back(i);
+        }
+    }
+    if (!admitted.empty()) return two_choices(admitted);
+    if (!suspect.empty()) return two_choices(suspect);
+    return -1;
+}
+
+std::future<RequestResult> Router::dispatch(
+    const Job& job, const std::shared_ptr<InferenceService>& service) {
+    InferenceRequest request = job.request;
+    if (job.has_deadline) {
+        // Replicas see the time remaining in the router frame, so
+        // re-routes and queueing never stretch the original deadline.
+        const double remaining = MillisD(job.deadline - Clock::now()).count();
+        request.deadline_ms = std::max(remaining, 0.01);
+    }
+    return service->submit(std::move(request));
+}
+
+double Router::hedge_threshold_ms() const {
+    std::vector<double> window;
+    {
+        const util::MutexLock lock(stats_mutex_);
+        if (latency_count_ < config_.hedge_min_samples) return -1.0;
+        const std::size_t n =
+            std::min<std::size_t>(static_cast<std::size_t>(latency_count_),
+                                  latency_ring_.size());
+        window.assign(latency_ring_.begin(),
+                      latency_ring_.begin() + static_cast<long>(n));
+    }
+    const std::size_t idx = static_cast<std::size_t>(
+        0.99 * static_cast<double>(window.size() - 1));
+    std::nth_element(window.begin(), window.begin() + static_cast<long>(idx),
+                     window.end());
+    const double p99 = window[idx];
+    return std::max(config_.hedge_min_ms, config_.hedge_factor * p99);
+}
+
+void Router::note_ok_latency(double ms) {
+    const util::MutexLock lock(stats_mutex_);
+    latency_ring_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+    ++latency_count_;
+}
+
+RequestResult Router::route(Job& job, util::Rng& rng) {
+    const auto picked_up = Clock::now();
+    const double queue_ms = MillisD(picked_up - job.submitted_at).count();
+    util::FaultInjector* injector = config_.fault_injector;
+
+    std::vector<char> tried(replicas_.size(), 0);
+    RequestResult last;
+    last.outcome = Outcome::kShed;
+    last.message = "no replica available";
+    int reroutes = 0;
+    bool hedged_any = false;
+
+    const auto finalize = [&](RequestResult result, int replica) {
+        result.replica = replica;
+        result.reroutes = reroutes;
+        result.hedged = hedged_any;
+        result.queue_ms = queue_ms;
+        result.latency_ms = ms_since(job.submitted_at);
+        if (result.request_id == 0) result.request_id = obs::next_request_id();
+        if (result.outcome == Outcome::kOk ||
+            result.outcome == Outcome::kDegraded) {
+            note_ok_latency(result.latency_ms);
+        }
+        return result;
+    };
+
+    for (;;) {
+        if (job.has_deadline && Clock::now() >= job.deadline) {
+            RequestResult result;
+            result.outcome = Outcome::kTimeout;
+            result.message = "deadline expired during routing";
+            return finalize(std::move(result), last.replica);
+        }
+
+        const auto decision_start = Clock::now();
+        int target = pick_replica(job.key_hash, tried, rng);
+        if (target < 0) {
+            // Every admissible replica was already tried this round:
+            // forget the history (the backoff already separated the
+            // retries) rather than shedding a retryable request.
+            std::fill(tried.begin(), tried.end(), 0);
+            target = pick_replica(job.key_hash, tried, rng);
+        }
+        if (target < 0) {
+            // Nothing admissible at all — every replica Down or
+            // Restarting. Wait (bounded) for the supervisor to bring
+            // one back before giving up.
+            const auto wait_deadline =
+                Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   MillisD(config_.no_replica_wait_ms));
+            while (Clock::now() < wait_deadline && target < 0) {
+                if (job.has_deadline && Clock::now() >= job.deadline) break;
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                target = pick_replica(job.key_hash, tried, rng);
+            }
+            if (target < 0) {
+                RequestResult result;
+                if (job.has_deadline && Clock::now() >= job.deadline) {
+                    result.outcome = Outcome::kTimeout;
+                    result.message = "deadline expired waiting for a replica";
+                } else {
+                    result.outcome = Outcome::kShed;
+                    result.message = "no replica available";
+                }
+                return finalize(std::move(result), -1);
+            }
+        }
+
+        Replica& primary = *replicas_[static_cast<std::size_t>(target)];
+        std::shared_ptr<InferenceService> service = primary.service();
+        RequestResult result;
+        bool dispatched = false;
+        if (service) {
+            primary.count_routed();
+            std::future<RequestResult> fut = dispatch(job, service);
+            metrics_.decision_ms->observe(ms_since(decision_start));
+            dispatched = true;
+
+            // Hedging: when the primary exceeds the p99-derived
+            // threshold, race a second dispatch; first terminal wins.
+            // The "replica_slow" fault point forces an immediate hedge.
+            double threshold =
+                config_.hedging ? hedge_threshold_ms() : -1.0;
+            if (injector && injector->should_fail("replica_slow")) {
+                threshold = 0.0;
+            }
+            bool resolved = false;
+            if (threshold >= 0.0 &&
+                fut.wait_for(MillisD(threshold)) !=
+                    std::future_status::ready) {
+                std::vector<char> hedge_tried = tried;
+                hedge_tried[static_cast<std::size_t>(target)] = 1;
+                const int hedge_target =
+                    pick_replica(job.key_hash, hedge_tried, rng);
+                std::shared_ptr<InferenceService> hedge_service;
+                if (hedge_target >= 0) {
+                    hedge_service =
+                        replicas_[static_cast<std::size_t>(hedge_target)]
+                            ->service();
+                }
+                if (hedge_service) {
+                    hedged_any = true;
+                    {
+                        const util::MutexLock lock(stats_mutex_);
+                        ++stats_.hedges;
+                    }
+                    metrics_.hedges->inc();
+                    replicas_[static_cast<std::size_t>(hedge_target)]
+                        ->count_routed();
+                    std::future<RequestResult> hedge_fut =
+                        dispatch(job, hedge_service);
+                    // Poll both; the loser's future is abandoned — its
+                    // replica resolves it regardless, the result is
+                    // simply not counted by the router (exactly-once).
+                    for (;;) {
+                        if (fut.wait_for(std::chrono::seconds(0)) ==
+                            std::future_status::ready) {
+                            result = fut.get();
+                            break;
+                        }
+                        if (hedge_fut.wait_for(
+                                std::chrono::microseconds(200)) ==
+                            std::future_status::ready) {
+                            result = hedge_fut.get();
+                            target = hedge_target;
+                            {
+                                const util::MutexLock lock(stats_mutex_);
+                                ++stats_.hedge_wins;
+                            }
+                            metrics_.hedge_wins->inc();
+                            break;
+                        }
+                    }
+                    resolved = true;
+                }
+            }
+            if (!resolved) result = fut.get();
+        } else {
+            // The service vanished between pick and grab (crash racing
+            // the dispatch): treat as a shed from that replica.
+            metrics_.decision_ms->observe(ms_since(decision_start));
+            result.outcome = Outcome::kShed;
+            result.message = "replica went down before dispatch";
+        }
+
+        Replica& winner = *replicas_[static_cast<std::size_t>(target)];
+        switch (result.outcome) {
+            case Outcome::kOk:
+            case Outcome::kDegraded:
+                if (dispatched) winner.on_outcome(true);
+                return finalize(std::move(result), target);
+            case Outcome::kInvalid:
+                // Caller error, no replica health signal either way.
+                return finalize(std::move(result), target);
+            case Outcome::kTimeout:
+                if (job.has_deadline && Clock::now() >= job.deadline) {
+                    // Genuine client deadline; health-neutral.
+                    return finalize(std::move(result), target);
+                }
+                // Replica-induced (drain/crash cancelled it before the
+                // client deadline): retry elsewhere, health-neutral —
+                // the replica is already being handled by the
+                // supervisor.
+                break;
+            case Outcome::kShed:
+                // Replica queue full or stopping: retry elsewhere.
+                break;
+            case Outcome::kFailed:
+                if (dispatched) winner.on_outcome(false);
+                break;
+        }
+
+        // Failover: bounded re-routes with jittered backoff inside the
+        // original deadline.
+        last = std::move(result);
+        last.replica = target;
+        tried[static_cast<std::size_t>(target)] = 1;
+        ++reroutes;
+        {
+            const util::MutexLock lock(stats_mutex_);
+            ++stats_.failovers;
+        }
+        metrics_.failovers->inc();
+        if (reroutes > config_.max_reroutes) {
+            return finalize(std::move(last), target);
+        }
+        double delay = config_.reroute_backoff_base_ms *
+                       static_cast<double>(1ull << std::min(reroutes - 1, 16));
+        delay = std::min(delay, config_.reroute_backoff_max_ms);
+        delay *= rng.uniform(0.5, 1.0);
+        if (job.has_deadline) {
+            const double remaining =
+                MillisD(job.deadline - Clock::now()).count();
+            delay = std::min(delay, std::max(remaining, 0.0));
+        }
+        if (delay > 0.0) {
+            std::this_thread::sleep_for(MillisD(delay));
+        }
+    }
+}
+
+void Router::record(const RequestResult& result) {
+    const util::MutexLock lock(stats_mutex_);
+    ++stats_.by_outcome[static_cast<int>(result.outcome)];
+}
+
+void Router::kill_service(const std::shared_ptr<InferenceService>& service) {
+    service->drain(config_.crash_drain_ms);
+    service->stop();
+    {
+        const util::MutexLock lock(stats_mutex_);
+        ++stats_.crashes;
+    }
+    metrics_.crashes->inc();
+}
+
+void Router::supervise_replica(Replica& replica) {
+    util::FaultInjector* injector = config_.fault_injector;
+
+    // Kill path: an injected crash, or reaping a replica the data path
+    // escalated to Down. The detached service is drained (bounded) and
+    // stopped here so its in-flight futures resolve; dispatchers see
+    // the cancellations and fail over.
+    std::shared_ptr<InferenceService> dead;
+    if (injector && injector->should_fail("replica_crash")) {
+        dead = replica.reap(true);
+    }
+    if (!dead && replica.state() == ReplicaState::kDown) {
+        dead = replica.reap(false);
+    }
+    if (dead) kill_service(dead);
+
+    if (replica.restart_due()) {
+        replica.restart();
+        {
+            const util::MutexLock lock(stats_mutex_);
+            ++stats_.restarts;
+        }
+        metrics_.restarts->inc();
+    }
+
+    // Synthetic probe (skipped while Down/Restarting and when probing
+    // is disabled by an empty probe caption).
+    const ReplicaState state = replica.state();
+    const bool probable = state == ReplicaState::kHealthy ||
+                          state == ReplicaState::kSuspect ||
+                          state == ReplicaState::kWarming;
+    if (probable && !config_.probe_request.source_caption.empty()) {
+        bool clean = false;
+        bool verdict_valid = true;
+        if (injector && injector->should_fail("replica_probe_fail")) {
+            clean = false;  // injected: probe lost before the replica
+        } else {
+            const std::shared_ptr<InferenceService> service =
+                replica.service();
+            if (service) {
+                InferenceRequest probe = config_.probe_request;
+                probe.seed = config_.seed ^
+                             (0x9e3779b97f4a7c15ull * ++probe_seq_);
+                probe.deadline_ms = config_.probe_deadline_ms;
+                const RequestResult verdict =
+                    service->submit(std::move(probe)).get();
+                if (verdict.outcome == Outcome::kInvalid) {
+                    // Misconfigured probe prototype: count the failure
+                    // but never poison replica health with it.
+                    verdict_valid = false;
+                } else {
+                    clean = verdict.outcome == Outcome::kOk ||
+                            verdict.outcome == Outcome::kDegraded;
+                }
+            } else {
+                verdict_valid = false;  // raced a kill; skip this round
+            }
+        }
+        {
+            const util::MutexLock lock(stats_mutex_);
+            ++stats_.probes;
+            if (!clean) ++stats_.probe_failures;
+        }
+        metrics_.probes->inc();
+        if (!clean) metrics_.probe_failures->inc();
+        if (verdict_valid) replica.on_probe(clean);
+    }
+
+    // Breaker observation: an open condition-encoder breaker parks the
+    // replica at Suspect (degraded service), never Down.
+    const std::shared_ptr<InferenceService> service = replica.service();
+    if (service) {
+        replica.set_breaker_open(service->breaker_state() ==
+                                 CircuitBreaker::State::kOpen);
+    }
+}
+
+void Router::publish_replica_gauges() {
+    int counts[kNumReplicaStates] = {};
+    for (const auto& replica : replicas_) {
+        ++counts[static_cast<int>(replica->state())];
+    }
+    metrics_.healthy->set(counts[static_cast<int>(ReplicaState::kHealthy)]);
+    metrics_.suspect->set(counts[static_cast<int>(ReplicaState::kSuspect)]);
+    metrics_.down->set(counts[static_cast<int>(ReplicaState::kDown)] +
+                       counts[static_cast<int>(ReplicaState::kRestarting)]);
+    metrics_.warming->set(counts[static_cast<int>(ReplicaState::kWarming)]);
+}
+
+void Router::supervisor_loop() {
+    for (;;) {
+        {
+            std::unique_lock<util::Mutex> lock(supervisor_mutex_);
+            supervisor_cv_.wait_for(lock, MillisD(config_.probe_interval_ms),
+                                    [this] { return supervisor_stop_; });
+            if (supervisor_stop_) return;
+        }
+        for (const auto& replica : replicas_) supervise_replica(*replica);
+        publish_replica_gauges();
+    }
+}
+
+void Router::stop() {
+    {
+        const util::MutexLock lock(queue_mutex_);
+        accepting_ = false;
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    const util::MutexLock stop_lock(stop_mutex_);
+    // Dispatchers drain the queue fully before exiting, and the
+    // supervisor keeps restarting replicas while they do, so every
+    // pending future resolves; only then do the replica services stop.
+    for (std::thread& dispatcher : dispatchers_) {
+        if (dispatcher.joinable()) dispatcher.join();
+    }
+    dispatchers_.clear();
+    {
+        const util::MutexLock lock(supervisor_mutex_);
+        supervisor_stop_ = true;
+    }
+    supervisor_cv_.notify_all();
+    if (supervisor_.joinable()) supervisor_.join();
+    for (const auto& replica : replicas_) {
+        const std::shared_ptr<InferenceService> service = replica->service();
+        if (service) service->stop();
+    }
+}
+
+RouterStats Router::stats() const {
+    const util::MutexLock lock(stats_mutex_);
+    return stats_;
+}
+
+ReplicaState Router::replica_state(int replica) const {
+    return replicas_.at(static_cast<std::size_t>(replica))->state();
+}
+
+ReplicaSnapshot Router::replica_snapshot(int replica) const {
+    return replicas_.at(static_cast<std::size_t>(replica))->snapshot();
+}
+
+bool Router::all_healthy() const {
+    for (const auto& replica : replicas_) {
+        if (replica->state() != ReplicaState::kHealthy) return false;
+    }
+    return true;
+}
+
+void Router::inject_crash(int replica) {
+    const std::shared_ptr<InferenceService> dead =
+        replicas_.at(static_cast<std::size_t>(replica))->reap(true);
+    if (dead) kill_service(dead);
+}
+
+}  // namespace aero::serve

@@ -1,0 +1,249 @@
+#pragma once
+// serve::Router — in-process multi-replica sharded serving front-end
+// (DESIGN.md §13). The router owns N supervised InferenceService
+// replicas and a bounded admission queue drained by dispatcher threads:
+//
+//   submit() --queue full / stopped--> kShed (immediate)
+//   dispatcher --consistent hash of the canonical prompt key--> ring-
+//     preferred replica when Healthy and not shedding; otherwise
+//     power-of-two-choices on queue depth over the best available
+//     health tier (Healthy > Warming-with-cap > Suspect)
+//   --replica-side failure (kFailed / crash-cancelled kTimeout /
+//     replica kShed)--> bounded re-route retries with jittered backoff,
+//     always inside the request's original deadline
+//   --primary slower than the p99-derived hedge threshold--> hedged
+//     re-dispatch to a second replica; first terminal wins
+//
+// A supervisor thread drives the replica lifecycle: synthetic health
+// probes, the "replica_crash" / "replica_probe_fail" fault points,
+// reaping of Down replicas (bounded drain + stop), backoff-scheduled
+// restarts and warm-up re-admission. The accounting invariant carries
+// over from the single service: every Router::submit() resolves its
+// future with exactly one terminal Outcome, whatever replicas crash
+// mid-stream, and RouterStats::balanced() checks it.
+//
+// Determinism: with faults off and every replica Healthy, routing is a
+// pure function of the request key, and each replica derives the image
+// from the request seed alone — so router output is bitwise identical
+// to a single InferenceService for the same requests.
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/replica.hpp"
+#include "util/annotations.hpp"
+#include "util/fault.hpp"
+#include "util/sync.hpp"
+
+namespace aero::serve {
+
+struct RouterConfig {
+    int replicas = 2;
+    /// Per-replica service template; the router derives a distinct
+    /// worker seed per replica from `seed`.
+    ServiceConfig service;
+    /// Router admission queue; 0 derives replicas * service capacity.
+    std::size_t queue_capacity = 0;
+    /// Dispatcher threads; 0 derives replicas * service workers so the
+    /// router can keep every replica worker fed.
+    int dispatchers = 0;
+    int vnodes = 16;  ///< consistent-hash points per replica
+
+    // Failover.
+    int max_reroutes = 2;  ///< re-route retries after the first dispatch
+    double reroute_backoff_base_ms = 0.5;  ///< doubled per retry, jittered
+    double reroute_backoff_max_ms = 8.0;
+    /// With every replica Down, how long a dispatcher waits for a
+    /// restart before shedding (the request deadline still wins).
+    double no_replica_wait_ms = 1000.0;
+
+    // Hedging.
+    bool hedging = true;
+    /// Hedge threshold = hedge_factor * observed p99 ok-latency, floored
+    /// at hedge_min_ms; armed only after hedge_min_samples completions.
+    double hedge_factor = 3.0;
+    double hedge_min_ms = 5.0;
+    int hedge_min_samples = 16;
+
+    // Replica lifecycle.
+    ReplicaHealthConfig health;
+    double probe_interval_ms = 10.0;  ///< supervisor tick period
+    double probe_deadline_ms = 500.0;
+    /// Prototype synthetic probe (a tiny valid generate; the supervisor
+    /// varies the seed per probe). An empty source caption disables
+    /// probing — crash/restart supervision still runs.
+    InferenceRequest probe_request;
+    double crash_drain_ms = 5.0;  ///< drain bound when killing a replica
+
+    /// Shared injector for "replica_crash", "replica_slow" and
+    /// "replica_probe_fail"; also forwarded to every replica service.
+    util::FaultInjector* fault_injector = nullptr;
+    std::uint64_t seed = 0x40375;
+};
+
+/// Monotonic counters; snapshot via Router::stats().
+struct RouterStats {
+    long long submitted = 0;
+    long long by_outcome[kNumOutcomes] = {};
+    long long failovers = 0;    ///< re-dispatches after replica failures
+    long long hedges = 0;       ///< hedged second dispatches launched
+    long long hedge_wins = 0;   ///< hedges whose result was taken
+    long long probes = 0;       ///< synthetic probes completed
+    long long probe_failures = 0;
+    long long crashes = 0;      ///< replica kill events
+    long long restarts = 0;     ///< supervised restarts completed
+
+    long long outcome(Outcome o) const {
+        return by_outcome[static_cast<int>(o)];
+    }
+    long long terminal() const {
+        long long sum = 0;
+        for (const long long n : by_outcome) sum += n;
+        return sum;
+    }
+    /// The accounting invariant, replica crashes included: once every
+    /// future is resolved, each submitted request has exactly one
+    /// terminal outcome — never lost, never double-completed. Probes
+    /// are supervision traffic and live in their own counters.
+    bool balanced() const { return submitted == terminal(); }
+};
+
+/// Canonicalised sharding key: task kind + lower-cased, whitespace-
+/// collapsed captions, so trivially reworded duplicates of a prompt
+/// land on the same replica (the affinity a condition-embedding cache
+/// would want).
+std::string canonical_prompt_key(const InferenceRequest& request);
+
+class Router {
+public:
+    /// The pipeline must outlive the router and must not be trained
+    /// while serving (same contract as InferenceService).
+    Router(const core::AeroDiffusionPipeline& pipeline,
+           const RouterConfig& config);
+    ~Router();
+    Router(const Router&) = delete;
+    Router& operator=(const Router&) = delete;
+
+    /// Admission: enqueues or sheds immediately. The returned future is
+    /// always eventually satisfied with a terminal outcome.
+    std::future<RequestResult> submit(InferenceRequest request)
+        AERO_EXCLUDES(queue_mutex_, stats_mutex_);
+
+    /// Stops admission, lets dispatchers resolve everything in flight,
+    /// joins supervisor + dispatchers, then stops every replica
+    /// service. Idempotent; the destructor calls it.
+    void stop() AERO_EXCLUDES(stop_mutex_, queue_mutex_);
+
+    RouterStats stats() const AERO_EXCLUDES(stats_mutex_);
+    int replica_count() const { return static_cast<int>(replicas_.size()); }
+    ReplicaState replica_state(int replica) const;
+    ReplicaSnapshot replica_snapshot(int replica) const;
+    bool all_healthy() const;
+    /// Test hook: the deterministic kill that the "replica_crash" fault
+    /// point drives probabilistically (drain + stop + schedule restart).
+    void inject_crash(int replica);
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Job {
+        InferenceRequest request;
+        std::promise<RequestResult> promise;
+        Clock::time_point submitted_at;
+        Clock::time_point deadline;
+        bool has_deadline = false;
+        std::uint64_t key_hash = 0;
+    };
+
+    struct VNode {
+        std::uint64_t point;
+        int replica;
+        bool operator<(const VNode& other) const {
+            return point < other.point ||
+                   (point == other.point && replica < other.replica);
+        }
+    };
+
+    /// Queue drain loop (unique_lock + condvar wait; see
+    /// InferenceService::worker_loop for the annotation rationale).
+    void dispatcher_loop(std::uint64_t seed) AERO_NO_THREAD_SAFETY_ANALYSIS;
+    void supervisor_loop() AERO_NO_THREAD_SAFETY_ANALYSIS;
+    /// Full routing policy for one job: replica choice, dispatch,
+    /// hedging, failover. Returns the terminal result.
+    RequestResult route(Job& job, util::Rng& rng);
+    /// One dispatch to one replica; adjusts the request deadline to the
+    /// time remaining in the router frame.
+    std::future<RequestResult> dispatch(
+        const Job& job, const std::shared_ptr<InferenceService>& service);
+    /// Replica choice: ring-preferred when Healthy and not shedding,
+    /// else power-of-two-choices on queue depth over the best health
+    /// tier. -1 when nothing (untried) is admissible.
+    int pick_replica(std::uint64_t hash, const std::vector<char>& tried,
+                     util::Rng& rng);
+    int ring_lookup(std::uint64_t hash) const;
+    double hedge_threshold_ms() const AERO_EXCLUDES(stats_mutex_);
+    void note_ok_latency(double ms) AERO_EXCLUDES(stats_mutex_);
+    void record(const RequestResult& result) AERO_EXCLUDES(stats_mutex_);
+    /// Drains (bounded), stops and accounts one killed replica service.
+    void kill_service(const std::shared_ptr<InferenceService>& service);
+    void supervise_replica(Replica& replica);
+    void publish_replica_gauges();
+
+    /// Handles into the global obs registry (obs/metric_names.hpp),
+    /// resolved once in the constructor. Process-wide cumulative; the
+    /// exact per-router accounting stays in RouterStats.
+    struct Metrics {
+        obs::Counter* submitted = nullptr;
+        obs::Counter* failovers = nullptr;
+        obs::Counter* hedges = nullptr;
+        obs::Counter* hedge_wins = nullptr;
+        obs::Counter* probes = nullptr;
+        obs::Counter* probe_failures = nullptr;
+        obs::Counter* crashes = nullptr;
+        obs::Counter* restarts = nullptr;
+        obs::Gauge* healthy = nullptr;
+        obs::Gauge* suspect = nullptr;
+        obs::Gauge* down = nullptr;
+        obs::Gauge* warming = nullptr;
+        obs::Histogram* decision_ms = nullptr;
+    };
+    static Metrics resolve_metrics();
+
+    const core::AeroDiffusionPipeline* pipeline_;
+    RouterConfig config_;
+    Metrics metrics_;
+    std::vector<std::unique_ptr<Replica>> replicas_;
+    std::vector<VNode> ring_;  ///< sorted; immutable after construction
+
+    mutable util::Mutex queue_mutex_;
+    util::CondVar queue_cv_;
+    std::deque<Job> queue_ AERO_GUARDED_BY(queue_mutex_);
+    bool accepting_ AERO_GUARDED_BY(queue_mutex_) = true;
+    bool stopping_ AERO_GUARDED_BY(queue_mutex_) = false;
+
+    mutable util::Mutex stats_mutex_;
+    RouterStats stats_ AERO_GUARDED_BY(stats_mutex_);
+    /// Recent kOk/kDegraded latencies (ring buffer) feeding the
+    /// p99-derived hedge threshold.
+    std::vector<double> latency_ring_ AERO_GUARDED_BY(stats_mutex_);
+    std::size_t latency_next_ AERO_GUARDED_BY(stats_mutex_) = 0;
+    long long latency_count_ AERO_GUARDED_BY(stats_mutex_) = 0;
+
+    mutable util::Mutex supervisor_mutex_;
+    util::CondVar supervisor_cv_;
+    bool supervisor_stop_ AERO_GUARDED_BY(supervisor_mutex_) = false;
+    /// Touched only by the supervisor thread (probe seed variation).
+    std::uint64_t probe_seq_ = 0;
+
+    /// Serialises stop(); nesting stop_mutex_ -> queue_mutex_ only.
+    util::Mutex stop_mutex_ AERO_ACQUIRED_BEFORE(queue_mutex_);
+    std::vector<std::thread> dispatchers_ AERO_GUARDED_BY(stop_mutex_);
+    std::thread supervisor_ AERO_GUARDED_BY(stop_mutex_);
+};
+
+}  // namespace aero::serve

@@ -183,6 +183,106 @@ ServiceStats InferenceService::stats() const {
     return snapshot;
 }
 
+std::size_t InferenceService::queue_depth() const {
+    const util::MutexLock lock(queue_mutex_);
+    return queue_.size() + static_cast<std::size_t>(active_);
+}
+
+bool InferenceService::accepting() const {
+    const util::MutexLock lock(queue_mutex_);
+    return accepting_;
+}
+
+void InferenceService::wait_idle(Clock::time_point deadline, bool bounded) {
+    std::unique_lock<util::Mutex> lock(queue_mutex_);
+    const auto idle = [this] { return queue_.empty() && active_ == 0; };
+    if (bounded) {
+        queue_cv_.wait_until(lock, deadline, idle);
+    } else {
+        queue_cv_.wait(lock, idle);
+    }
+}
+
+InferenceService::DrainReport InferenceService::drain(double deadline_ms) {
+    // Serialised with stop() and concurrent drains behind stop_mutex_,
+    // so the shed/cancel phase classifies each pending request exactly
+    // once.
+    const util::MutexLock stop_lock(stop_mutex_);
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               std::max(0.0, deadline_ms)));
+    long long cancelled_before = 0;
+    {
+        const util::MutexLock lock(stats_mutex_);
+        cancelled_before = stats_.cancelled_mid_run;
+    }
+    long long pending = 0;
+    {
+        const util::MutexLock lock(queue_mutex_);
+        accepting_ = false;
+        draining_ = true;
+        pending = static_cast<long long>(queue_.size()) + active_;
+    }
+    DrainReport report;
+    if (pending == 0) {
+        const util::MutexLock lock(queue_mutex_);
+        draining_ = false;
+        return report;
+    }
+
+    // Phase 1: workers run normally until the deadline or the backlog
+    // clears.
+    wait_idle(deadline, /*bounded=*/true);
+
+    // Phase 2: arm the drain deadline — in-flight requests cancel at
+    // their next step boundary or before their first step — and shed
+    // whatever is still queued. A job a worker races out of the queue
+    // here resolves through the cancellation path instead; either way
+    // it terminates exactly once.
+    drain_deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+    std::deque<Job> leftovers;
+    {
+        const util::MutexLock lock(queue_mutex_);
+        leftovers.swap(queue_);
+        metrics_.queue_depth->set(0.0);
+    }
+    for (Job& job : leftovers) {
+        RequestResult early;
+        early.outcome = Outcome::kShed;
+        early.message = "shed during drain";
+        early.latency_ms = std::chrono::duration<double, std::milli>(
+                               Clock::now() - job.submitted_at)
+                               .count();
+        early.queue_ms = early.latency_ms;
+        record(early);
+        job.promise.set_value(std::move(early));
+        ++report.shed;
+    }
+    queue_cv_.notify_all();
+
+    // Phase 3: wait for the in-flight requests to resolve — bounded in
+    // practice by one denoising step or one backoff sleep past the
+    // deadline.
+    wait_idle(deadline, /*bounded=*/false);
+    {
+        const util::MutexLock lock(queue_mutex_);
+        draining_ = false;
+    }
+    long long cancelled_after = 0;
+    {
+        const util::MutexLock lock(stats_mutex_);
+        cancelled_after = stats_.cancelled_mid_run;
+    }
+    report.cancelled = cancelled_after - cancelled_before;
+    report.completed = pending - report.shed - report.cancelled;
+    return report;
+}
+
 void InferenceService::record(const RequestResult& result) {
     {
         const util::MutexLock lock(stats_mutex_);
@@ -214,6 +314,7 @@ void InferenceService::worker_loop(std::uint64_t worker_seed) {
             if (queue_.empty()) return;  // stopping_ and drained
             job = std::move(queue_.front());
             queue_.pop_front();
+            ++active_;
             metrics_.queue_depth->set(static_cast<double>(queue_.size()));
         }
         // One Trace per request: spans opened anywhere below (pipeline
@@ -223,7 +324,25 @@ void InferenceService::worker_loop(std::uint64_t worker_seed) {
         RequestResult result;
         {
             obs::Trace trace(rid);
-            result = process(job, backoff_rng);
+            // Exactly-once accounting even on an unexpected throw: a
+            // request that dies mid-process must still resolve with a
+            // typed outcome instead of leaking its promise (the books
+            // would never balance again).
+            try {
+                result = process(job, backoff_rng);
+            } catch (const std::exception& e) {
+                result.outcome = Outcome::kFailed;
+                result.message = std::string("internal error: ") + e.what();
+            } catch (...) {
+                result.outcome = Outcome::kFailed;
+                result.message = "internal error: unknown exception";
+            }
+            if (result.latency_ms <= 0.0) {
+                result.latency_ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - job.submitted_at)
+                        .count();
+            }
             result.spans = trace.summary();
         }
         result.request_id = rid;
@@ -232,6 +351,15 @@ void InferenceService::worker_loop(std::uint64_t worker_seed) {
         publish_breaker_metrics();
         record(result);
         job.promise.set_value(std::move(result));
+        // The in-flight count drops only after the promise resolved, so
+        // drain()'s idle wait implies every pending future is ready.
+        bool wake_drainer = false;
+        {
+            const util::MutexLock lock(queue_mutex_);
+            --active_;
+            wake_drainer = draining_;
+        }
+        if (wake_drainer) queue_cv_.notify_all();
     }
 }
 
@@ -245,8 +373,25 @@ bool InferenceService::backoff(int attempt, const Job& job,
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(delay));
     if (job.has_deadline && wake >= job.deadline) return false;
+    const long long drain_ns =
+        drain_deadline_ns_.load(std::memory_order_relaxed);
+    if (std::chrono::duration_cast<std::chrono::nanoseconds>(
+            wake.time_since_epoch())
+            .count() >= drain_ns) {
+        return false;  // the sleep would outlive the drain deadline
+    }
     std::this_thread::sleep_until(wake);
     return true;
+}
+
+bool InferenceService::cancel_due(const Job& job) const {
+    const Clock::time_point now = Clock::now();
+    if (job.has_deadline && now >= job.deadline) return true;
+    const long long drain_ns =
+        drain_deadline_ns_.load(std::memory_order_relaxed);
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               now.time_since_epoch())
+               .count() >= drain_ns;
 }
 
 RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
@@ -267,6 +412,12 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
     };
 
     if (job.has_deadline && picked_up >= job.deadline) {
+        // The deadline expired while the job sat queued, but the job
+        // has been dequeued by now: account it through the same
+        // cancellation bucket as a between-steps cancel, so the
+        // dequeue -> cancel window never goes missing from
+        // cancelled_mid_run.
+        result.cancelled = true;
         return finish(Outcome::kTimeout, "deadline expired while queued");
     }
 
@@ -275,6 +426,17 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
 
     for (int attempt = 1; attempt <= std::max(1, config_.max_attempts);
          ++attempt) {
+        // Dequeue -> first-step window: the job deadline (or a service
+        // drain) can expire after the pickup check above but before the
+        // sampler's first cancellation poll. Resolve it here, once,
+        // through the same cancelled-mid-run accounting as a
+        // between-steps cancellation — never as a lost or
+        // double-counted request.
+        if (cancel_due(job)) {
+            result.cancelled = true;
+            return finish(Outcome::kTimeout,
+                          "cancelled before the first denoising step");
+        }
         result.attempts = attempt;
         const bool last_attempt = attempt >= std::max(1, config_.max_attempts);
 
@@ -322,12 +484,12 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
         core::GenerateControl control;
         control.force_unconditional = !conditional;
         control.fault_injector = injector;
-        if (job.has_deadline) {
-            const Clock::time_point deadline = job.deadline;
-            control.should_cancel = [deadline] {
-                return Clock::now() >= deadline;
-            };
-        }
+        // Polled between denoising steps: covers the job's own deadline
+        // and a service-wide drain deadline (graceful replica restart /
+        // simulated crash).
+        control.should_cancel = [this, job_ptr = &job] {
+            return cancel_due(*job_ptr);
+        };
 
         // Per-request determinism: the image depends on the request
         // seed and the attempt, not on which worker drew the job.

@@ -30,4 +30,26 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
     return c ^ 0xffffffffu;
 }
 
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ull;
+    }
+    // splitmix64 finaliser: FNV alone clusters short keys in the low
+    // bits, which would bunch vnodes on the consistent-hash ring.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+}
+
+std::uint64_t fnv1a64(const std::string& text, std::uint64_t seed) {
+    return fnv1a64(text.data(), text.size(), seed);
+}
+
 }  // namespace aero::util

@@ -1,0 +1,500 @@
+// Router tests: consistent-hash routing determinism (bitwise-identical
+// to a single service), failover on replica crash, the replica health
+// state machine (breaker-Open == Suspect, never Down), warm-up
+// admission after supervised restart, forced hedging, and a chaos soak
+// with random crash/restart mid-stream. The accounting invariant
+// checked throughout: every Router::submit() resolves with exactly one
+// typed outcome and RouterStats::balanced() holds, whatever replicas
+// die.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/substrate.hpp"
+#include "serve/router.hpp"
+#include "util/fault.hpp"
+#include "util/hash.hpp"
+
+namespace {
+
+using namespace aero;
+using namespace aero::serve;
+using aero::core::AeroDiffusionPipeline;
+using aero::core::Budget;
+using aero::core::PipelineConfig;
+using aero::core::Substrate;
+using aero::scene::AerialDataset;
+using aero::scene::DatasetConfig;
+
+const Substrate& shared_substrate() {
+    static const Substrate substrate = [] {
+        Budget budget = Budget::smoke();
+        DatasetConfig config;
+        config.train_size = budget.train_images;
+        config.test_size = budget.test_images;
+        config.image_size = budget.image_size;
+        static const AerialDataset dataset(config);
+        util::Rng rng(2025);
+        return core::build_substrate(dataset, budget, rng);
+    }();
+    return substrate;
+}
+
+const AeroDiffusionPipeline& shared_pipeline() {
+    static const AeroDiffusionPipeline pipeline = [] {
+        util::Rng rng(7);
+        return AeroDiffusionPipeline(PipelineConfig::aero_diffusion(),
+                                     shared_substrate(), rng);
+    }();
+    return pipeline;
+}
+
+InferenceRequest valid_request(std::uint64_t seed = 1,
+                               std::size_t sample = 0) {
+    const Substrate& s = shared_substrate();
+    InferenceRequest request;
+    request.reference = s.dataset->test()[sample % s.dataset->test().size()];
+    request.source_caption =
+        s.keypoint_test[sample % s.keypoint_test.size()].text;
+    request.target_caption = request.source_caption;
+    request.seed = seed;
+    return request;
+}
+
+/// Base config: 2 replicas, 1 worker each, fast supervisor cadence and
+/// quick restarts so lifecycle tests stay sub-second. Probing is off by
+/// default (empty probe caption); tests that need recovery enable it.
+RouterConfig base_config() {
+    RouterConfig config;
+    config.replicas = 2;
+    config.service.workers = 1;
+    config.service.queue_capacity = 32;
+    config.service.limits.image_size = Budget::smoke().image_size;
+    config.hedging = false;
+    config.probe_interval_ms = 5.0;
+    // Generous: a sanitizer build stretches a probe generate well past
+    // the production 500ms default, and a timed-out probe counts as a
+    // failure — which would pin a Warming replica out of Healthy.
+    config.probe_deadline_ms = 60000.0;
+    config.health.probe_window = 1;
+    config.health.restart_backoff_base_ms = 1.0;
+    config.health.restart_backoff_max_ms = 10.0;
+    config.reroute_backoff_base_ms = 0.1;
+    config.reroute_backoff_max_ms = 1.0;
+    return config;
+}
+
+void expect_finite_image(const image::Image& img, int size) {
+    ASSERT_FALSE(img.empty());
+    EXPECT_EQ(img.width(), size);
+    EXPECT_EQ(img.height(), size);
+    for (const float v : img.data()) ASSERT_TRUE(std::isfinite(v));
+}
+
+bool wait_until(const std::function<bool()>& done, double timeout_ms) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<long long>(timeout_ms));
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (done()) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return done();
+}
+
+// ---- sharding key -----------------------------------------------------------
+
+TEST(RouterKeyTest, CanonicalKeyNormalisesCaseAndWhitespace) {
+    InferenceRequest a = valid_request();
+    a.source_caption = "  Runway   NEAR\tforest ";
+    a.target_caption = "Two  Aircraft";
+    InferenceRequest b = valid_request();
+    b.source_caption = "runway near forest";
+    b.target_caption = "two aircraft";
+    EXPECT_EQ(canonical_prompt_key(a), canonical_prompt_key(b));
+    EXPECT_EQ(util::fnv1a64(canonical_prompt_key(a)),
+              util::fnv1a64(canonical_prompt_key(b)));
+
+    // Task kind and caption content both shard.
+    b.task = TaskKind::kEdit;
+    EXPECT_NE(canonical_prompt_key(a), canonical_prompt_key(b));
+    b.task = a.task;
+    b.target_caption = "three aircraft";
+    EXPECT_NE(canonical_prompt_key(a), canonical_prompt_key(b));
+}
+
+// ---- routing ----------------------------------------------------------------
+
+TEST(RouterTest, ServesAcrossReplicasWithBalancedAccounting) {
+    Router router(shared_pipeline(), base_config());
+    const int total = 8;
+    std::vector<std::future<RequestResult>> futures;
+    for (int i = 0; i < total; ++i) {
+        futures.push_back(router.submit(valid_request(100 + i, i)));
+    }
+    const int size = shared_substrate().budget.image_size;
+    for (auto& future : futures) {
+        const RequestResult result = future.get();
+        ASSERT_EQ(result.outcome, Outcome::kOk) << result.message;
+        expect_finite_image(result.image, size);
+        EXPECT_GE(result.replica, 0);
+        EXPECT_LT(result.replica, 2);
+        EXPECT_EQ(result.reroutes, 0);
+        EXPECT_FALSE(result.hedged);
+    }
+    router.stop();
+    const RouterStats stats = router.stats();
+    EXPECT_EQ(stats.submitted, total);
+    EXPECT_EQ(stats.outcome(Outcome::kOk), total);
+    EXPECT_TRUE(stats.balanced());
+    EXPECT_TRUE(router.all_healthy());
+
+    // Submitting after stop() sheds rather than hangs.
+    EXPECT_EQ(router.submit(valid_request(999)).get().outcome,
+              Outcome::kShed);
+    EXPECT_TRUE(router.stats().balanced());
+}
+
+TEST(RouterTest, FaultFreeRoutingIsDeterministicAndBitwiseIdentical) {
+    RouterConfig config = base_config();
+    // Single service with the identical template: images must match
+    // the router's bitwise, replica placement notwithstanding.
+    InferenceService single(shared_pipeline(), config.service);
+    Router router(shared_pipeline(), config);
+
+    std::vector<int> placement;
+    for (int i = 0; i < 6; ++i) {
+        const InferenceRequest request = valid_request(200 + i, i);
+        const RequestResult via_router = router.submit(request).get();
+        const RequestResult via_single = single.submit(request).get();
+        ASSERT_EQ(via_router.outcome, Outcome::kOk) << via_router.message;
+        ASSERT_EQ(via_single.outcome, Outcome::kOk) << via_single.message;
+        ASSERT_EQ(via_router.image.data().size(),
+                  via_single.image.data().size());
+        // Bitwise: per-request determinism depends only on the request
+        // seed, never on which replica or worker ran it.
+        EXPECT_EQ(std::memcmp(via_router.image.data().data(),
+                              via_single.image.data().data(),
+                              via_router.image.data().size() * sizeof(float)),
+                  0)
+            << "request " << i << " diverged";
+        placement.push_back(via_router.replica);
+    }
+    // Re-submitting the same keys reproduces the same placement: the
+    // ring is a pure function of the canonical prompt key.
+    for (int i = 0; i < 6; ++i) {
+        const RequestResult replay =
+            router.submit(valid_request(200 + i, i)).get();
+        ASSERT_EQ(replay.outcome, Outcome::kOk);
+        EXPECT_EQ(replay.replica, placement[static_cast<std::size_t>(i)]);
+    }
+    router.stop();
+    single.stop();
+    EXPECT_TRUE(router.stats().balanced());
+}
+
+TEST(RouterTest, FailsOverWhenReplicaCrashesMidStream) {
+    util::FaultInjector injector(0xfa11);
+    RouterConfig config = base_config();
+    config.fault_injector = &injector;  // forwarded, all rates zero
+    config.probe_request = valid_request(42, 0);
+    Router router(shared_pipeline(), config);
+
+    const int total = 12;
+    std::vector<std::future<RequestResult>> futures;
+    for (int i = 0; i < total; ++i) {
+        futures.push_back(router.submit(valid_request(300 + i, i)));
+    }
+    // Let work start, then kill replica 0 with most of it in flight;
+    // its queued + running requests must fail over, not get lost.
+    futures[0].wait();
+    router.inject_crash(0);
+
+    const int size = shared_substrate().budget.image_size;
+    for (auto& future : futures) {
+        const RequestResult result = future.get();
+        ASSERT_EQ(result.outcome, Outcome::kOk) << result.message;
+        expect_finite_image(result.image, size);
+    }
+
+    // The supervisor restarts the replica and clean probes re-admit it.
+    EXPECT_TRUE(wait_until([&] { return router.all_healthy(); }, 60000.0))
+        << replica_state_name(router.replica_state(0));
+    const RouterStats stats = router.stats();
+    EXPECT_GE(stats.crashes, 1);
+    EXPECT_GE(stats.restarts, 1);
+    EXPECT_GE(stats.probes, 1);
+    router.stop();
+    EXPECT_TRUE(router.stats().balanced());
+}
+
+TEST(RouterTest, ShedsBoundedWhenEveryReplicaIsDown) {
+    RouterConfig config = base_config();
+    config.replicas = 1;
+    config.no_replica_wait_ms = 30.0;
+    config.health.restart_backoff_base_ms = 5000.0;  // stays Down
+    config.health.restart_backoff_max_ms = 5000.0;
+    Router router(shared_pipeline(), config);
+
+    router.inject_crash(0);
+    EXPECT_EQ(router.replica_state(0), ReplicaState::kDown);
+    const RequestResult result = router.submit(valid_request(400)).get();
+    EXPECT_EQ(result.outcome, Outcome::kShed) << result.message;
+    EXPECT_EQ(result.replica, -1);
+    router.stop();
+    EXPECT_TRUE(router.stats().balanced());
+}
+
+// ---- replica health state machine ------------------------------------------
+
+// A replica whose condition-encoder breaker is Open is degraded, not
+// dead: the supervisor must park it at Suspect — never escalate it to
+// Down — and it keeps serving finite unconditional samples.
+TEST(RouterTest, BreakerOpenReplicaReportsSuspectNotDown) {
+    util::FaultInjector injector(0xb4ea);
+    injector.set_fail_rate("condition_encoder", 1.0);
+
+    RouterConfig config = base_config();
+    config.replicas = 1;
+    config.fault_injector = &injector;
+    config.probe_request = valid_request(42, 0);
+    config.service.max_attempts = 2;
+    config.service.backoff_base_ms = 0.05;
+    config.service.breaker.failure_threshold = 2;
+    config.service.breaker.open_cooldown = 1000;  // stays open
+    Router router(shared_pipeline(), config);
+
+    const int size = shared_substrate().budget.image_size;
+    for (int i = 0; i < 4; ++i) {
+        const RequestResult result =
+            router.submit(valid_request(500 + i, i)).get();
+        ASSERT_EQ(result.outcome, Outcome::kDegraded) << result.message;
+        expect_finite_image(result.image, size);
+    }
+    EXPECT_TRUE(wait_until(
+        [&] { return router.replica_state(0) == ReplicaState::kSuspect; },
+        60000.0))
+        << replica_state_name(router.replica_state(0));
+
+    // Still serving while Suspect, and never killed: degraded samples
+    // and probes are oks to the lifecycle, whatever the breaker says.
+    for (int i = 0; i < 4; ++i) {
+        const RequestResult result =
+            router.submit(valid_request(510 + i, i)).get();
+        ASSERT_EQ(result.outcome, Outcome::kDegraded) << result.message;
+        expect_finite_image(result.image, size);
+        const ReplicaState state = router.replica_state(0);
+        EXPECT_TRUE(state == ReplicaState::kSuspect ||
+                    state == ReplicaState::kHealthy)
+            << replica_state_name(state);
+    }
+    EXPECT_EQ(router.replica_state(0), ReplicaState::kSuspect);
+    router.stop();
+    const RouterStats stats = router.stats();
+    EXPECT_EQ(stats.crashes, 0);
+    EXPECT_EQ(stats.restarts, 0);
+    EXPECT_TRUE(stats.balanced());
+}
+
+// TSan-stress variant: concurrent submitters race the supervisor's
+// probes and breaker observations while the encoder is down. Exercises
+// the Replica state transitions, latency ring and stats counters from
+// many threads at once.
+TEST(RouterTest, BreakerOpenSuspectServesConcurrentLoad) {
+    util::FaultInjector injector(0x5057);
+    injector.set_fail_rate("condition_encoder", 1.0);
+
+    RouterConfig config = base_config();
+    config.fault_injector = &injector;
+    config.probe_request = valid_request(42, 0);
+    config.service.max_attempts = 2;
+    config.service.backoff_base_ms = 0.05;
+    config.service.breaker.failure_threshold = 2;
+    config.service.breaker.open_cooldown = 1000;
+    Router router(shared_pipeline(), config);
+
+    constexpr int kThreads = 3;
+    constexpr int kPerThread = 4;
+    std::atomic<int> degraded{0};
+    std::atomic<int> bad{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const RequestResult result =
+                    router.submit(valid_request(600 + t * 16 + i, i)).get();
+                if (result.outcome == Outcome::kDegraded) {
+                    degraded.fetch_add(1);
+                } else if (result.outcome != Outcome::kShed) {
+                    bad.fetch_add(1);  // kOk impossible: encoder is down
+                }
+            }
+        });
+    }
+    for (std::thread& thread : submitters) thread.join();
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_GE(degraded.load(), kThreads * kPerThread - 2);
+    for (int r = 0; r < router.replica_count(); ++r) {
+        const ReplicaState state = router.replica_state(r);
+        EXPECT_TRUE(state == ReplicaState::kSuspect ||
+                    state == ReplicaState::kHealthy)
+            << replica_state_name(state);
+    }
+    router.stop();
+    const RouterStats stats = router.stats();
+    EXPECT_EQ(stats.crashes, 0);
+    EXPECT_TRUE(stats.balanced());
+}
+
+TEST(RouterTest, WarmingReplicaTakesCappedTraffic) {
+    RouterConfig config = base_config();
+    // No probing: a restarted replica stays Warming, pinning the
+    // admission cap open for observation.
+    config.health.warmup_admit_fraction = 0.25;
+    Router router(shared_pipeline(), config);
+
+    router.inject_crash(0);
+    ASSERT_TRUE(wait_until(
+        [&] { return router.replica_state(0) == ReplicaState::kWarming; },
+        60000.0))
+        << replica_state_name(router.replica_state(0));
+
+    const long long routed0_before = router.replica_snapshot(0).routed;
+    const long long routed1_before = router.replica_snapshot(1).routed;
+    const int total = 40;
+    std::vector<std::future<RequestResult>> futures;
+    for (int i = 0; i < total; ++i) {
+        futures.push_back(router.submit(valid_request(700 + i, i)));
+    }
+    for (auto& future : futures) {
+        ASSERT_EQ(future.get().outcome, Outcome::kOk);
+    }
+    const long long routed0 = router.replica_snapshot(0).routed -
+                              routed0_before;
+    const long long routed1 = router.replica_snapshot(1).routed -
+                              routed1_before;
+    EXPECT_EQ(router.replica_state(0), ReplicaState::kWarming);
+    // The Warming replica sees real traffic — but only its capped
+    // fraction; the Healthy replica carries the bulk.
+    EXPECT_GE(routed0, 1);
+    EXPECT_LT(routed0 * 2, routed1);
+    EXPECT_EQ(routed0 + routed1, total);
+    router.stop();
+    EXPECT_TRUE(router.stats().balanced());
+}
+
+// ---- hedging ----------------------------------------------------------------
+
+TEST(RouterTest, ForcedHedgeRacesASecondReplica) {
+    util::FaultInjector injector(0x43d6);
+    injector.set_fail_rate("replica_slow", 1.0);  // every dispatch hedges
+
+    RouterConfig config = base_config();
+    config.hedging = true;
+    config.fault_injector = &injector;
+    Router router(shared_pipeline(), config);
+
+    const int size = shared_substrate().budget.image_size;
+    const int total = 4;
+    for (int i = 0; i < total; ++i) {
+        const RequestResult result =
+            router.submit(valid_request(800 + i, i)).get();
+        ASSERT_EQ(result.outcome, Outcome::kOk) << result.message;
+        // Same request seed on either replica: the winner's image is
+        // correct whichever side finished first.
+        expect_finite_image(result.image, size);
+        EXPECT_TRUE(result.hedged);
+    }
+    router.stop();
+    const RouterStats stats = router.stats();
+    EXPECT_GE(stats.hedges, total);
+    EXPECT_TRUE(stats.balanced());
+}
+
+// ---- chaos soak -------------------------------------------------------------
+
+// Acceptance soak for the tentpole: random replica crashes and
+// restarts, dropped probes, forced hedges, deadlines and malformed
+// requests, all mid-stream under concurrent load. Afterwards: every
+// request resolved exactly once (balanced accounting, nothing lost or
+// double-completed) and the fleet returns to all-Healthy once the
+// faults stop.
+TEST(RouterTest, ChaosSoakBalancedAccountingAndRecovery) {
+    util::FaultInjector injector(0xc4a0);
+    injector.set_fail_rate("replica_crash", 0.08);
+    injector.set_fail_rate("replica_probe_fail", 0.2);
+    injector.set_fail_rate("replica_slow", 0.1);
+    injector.set_fail_rate("serve_transient", 0.05);
+
+    RouterConfig config = base_config();
+    config.hedging = true;
+    config.fault_injector = &injector;
+    config.probe_request = valid_request(42, 0);
+    config.crash_drain_ms = 2.0;
+    config.no_replica_wait_ms = 2000.0;
+    config.service.backoff_base_ms = 0.1;
+    config.service.backoff_max_ms = 1.0;
+    Router router(shared_pipeline(), config);
+
+    const int total = 36;
+    const int size = shared_substrate().budget.image_size;
+    std::vector<std::future<RequestResult>> futures;
+    for (int i = 0; i < total; ++i) {
+        InferenceRequest request = valid_request(900 + i, i);
+        if (i % 9 == 4) request.source_caption = "   ";     // kInvalid
+        if (i % 9 == 7) request.deadline_ms = 40.0;         // tight
+        futures.push_back(router.submit(std::move(request)));
+        if (i == total / 3) router.inject_crash(0);   // deterministic
+        if (i == total / 2) router.inject_crash(1);   // mid-stream kills
+    }
+
+    int with_image = 0;
+    for (int i = 0; i < total; ++i) {
+        const RequestResult result = futures[static_cast<std::size_t>(i)].get();
+        const int o = static_cast<int>(result.outcome);
+        ASSERT_GE(o, 0);
+        ASSERT_LT(o, kNumOutcomes);
+        if (result.outcome == Outcome::kOk ||
+            result.outcome == Outcome::kDegraded) {
+            expect_finite_image(result.image, size);
+            ++with_image;
+        } else {
+            EXPECT_TRUE(result.image.empty());
+        }
+        if (i % 9 == 4) {
+            EXPECT_EQ(result.outcome, Outcome::kInvalid);
+        }
+    }
+    EXPECT_GT(with_image, 0);
+
+    // Faults stop; the supervisor restarts whatever is down and clean
+    // probes re-admit every replica.
+    injector.set_fail_rate("replica_crash", 0.0);
+    injector.set_fail_rate("replica_probe_fail", 0.0);
+    injector.set_fail_rate("replica_slow", 0.0);
+    injector.set_fail_rate("serve_transient", 0.0);
+    EXPECT_TRUE(wait_until([&] { return router.all_healthy(); }, 60000.0))
+        << replica_state_name(router.replica_state(0)) << "/"
+        << replica_state_name(router.replica_state(1));
+
+    router.stop();
+    const RouterStats stats = router.stats();
+    EXPECT_EQ(stats.submitted, total);
+    EXPECT_TRUE(stats.balanced()) << "submitted=" << stats.submitted
+                                  << " terminal=" << stats.terminal();
+    EXPECT_GE(stats.crashes, 2);
+    EXPECT_GE(stats.restarts, 2);
+    EXPECT_GE(stats.probes, 1);
+}
+
+}  // namespace

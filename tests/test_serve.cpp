@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <limits>
@@ -768,6 +769,152 @@ TEST(InferenceServiceTest, FaultInjectionSoak) {
     // still balance.
     const RequestResult after = service.submit(valid_request(999)).get();
     EXPECT_EQ(after.outcome, Outcome::kShed);
+    EXPECT_TRUE(service.stats().balanced());
+}
+
+// Regression: a request whose deadline expires in the dequeue -> first-
+// step window (worker stalled on the previous job) must count as a
+// cancellation in cancelled_mid_run, not silently fold into the plain
+// queued-timeout bucket — that window once went unaccounted.
+TEST(InferenceServiceTest, DequeueToCancelWindowIsAccounted) {
+    util::FaultInjector injector(0xd3ad);
+    injector.set_fail_rate("serve_slow", 1.0);
+
+    ServiceConfig config = basic_config();
+    config.workers = 1;  // serialise: the stalled job blocks the next
+    config.queue_capacity = 4;
+    config.slow_fault_ms = 60.0;
+    config.fault_injector = &injector;
+    InferenceService service(shared_pipeline(), config);
+
+    // Job A stalls 60ms inside its attempt; job B's 20ms deadline
+    // expires while B waits behind it, so B is dequeued already-dead.
+    std::future<RequestResult> slow = service.submit(valid_request(900, 0));
+    InferenceRequest doomed = valid_request(901, 1);
+    doomed.deadline_ms = 20.0;
+    const RequestResult dead = service.submit(std::move(doomed)).get();
+    EXPECT_EQ(dead.outcome, Outcome::kTimeout) << dead.message;
+    EXPECT_TRUE(dead.cancelled);
+    EXPECT_EQ(dead.attempts, 0);  // never reached a denoising step
+    EXPECT_TRUE(dead.image.empty());
+    EXPECT_EQ(slow.get().outcome, Outcome::kOk);
+
+    service.stop();
+    const ServiceStats stats = service.stats();
+    EXPECT_GE(stats.cancelled_mid_run, 1);
+    EXPECT_EQ(stats.outcome(Outcome::kTimeout), 1);
+    EXPECT_TRUE(stats.balanced());
+}
+
+// drain() with a generous deadline: the whole backlog completes and the
+// report says so — this pins the `completed` leg of the classification
+// without depending on how fast the host (or a sanitizer build) runs.
+TEST(InferenceServiceTest, DrainCompletesBacklogWithinDeadline) {
+    ServiceConfig config = basic_config();
+    config.workers = 1;
+    config.queue_capacity = 16;
+    InferenceService service(shared_pipeline(), config);
+
+    const int total = 3;
+    std::vector<std::future<RequestResult>> futures;
+    for (int i = 0; i < total; ++i) {
+        futures.push_back(service.submit(valid_request(900 + i, i)));
+    }
+
+    const InferenceService::DrainReport report = service.drain(120000.0);
+    EXPECT_EQ(report.total(), total);
+    EXPECT_EQ(report.completed, total);
+    EXPECT_EQ(report.shed, 0);
+    EXPECT_EQ(report.cancelled, 0);
+    const int size = shared_substrate().budget.image_size;
+    for (auto& future : futures) {
+        const RequestResult result = future.get();
+        EXPECT_EQ(result.outcome, Outcome::kOk) << result.message;
+        expect_finite_image(result.image, size);
+    }
+    EXPECT_FALSE(service.accepting());
+    service.stop();
+    EXPECT_TRUE(service.stats().balanced());
+}
+
+// drain() past its deadline: every still-pending request resolves
+// exactly once as completed, shed or cancelled, admission closes, and a
+// later stop() still works (it only joins the already-idle workers).
+// The first job is allowed to finish *before* the drain so the test
+// never races the host speed against the deadline.
+TEST(InferenceServiceTest, DrainShedsAndCancelsPastDeadline) {
+    util::FaultInjector injector(0xd7a1);
+    injector.set_fail_rate("serve_slow", 1.0);
+
+    ServiceConfig config = basic_config();
+    config.workers = 1;
+    config.queue_capacity = 16;
+    config.slow_fault_ms = 30.0;  // every queued job stalls >= 30ms
+    config.fault_injector = &injector;
+    InferenceService service(shared_pipeline(), config);
+
+    const int total = 8;
+    std::vector<std::future<RequestResult>> futures;
+    for (int i = 0; i < total; ++i) {
+        futures.push_back(service.submit(valid_request(910 + i, i)));
+    }
+
+    // Job 0 completes before the drain; jobs 1..7 are still pending
+    // (job 1 needs >= 30ms of stall and the rest sit behind it on the
+    // single worker), so the report covers exactly total - 1 requests.
+    const int size = shared_substrate().budget.image_size;
+    const RequestResult first = futures[0].get();
+    ASSERT_EQ(first.outcome, Outcome::kOk) << first.message;
+    expect_finite_image(first.image, size);
+    // The in-flight count drops just *after* the promise resolves; wait
+    // for it so job 0 is out of the drain's pending census for sure.
+    const auto census_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (service.queue_depth() > static_cast<std::size_t>(total - 1) &&
+           std::chrono::steady_clock::now() < census_deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_LE(service.queue_depth(), static_cast<std::size_t>(total - 1));
+
+    const InferenceService::DrainReport report = service.drain(10.0);
+    EXPECT_EQ(report.total(), total - 1);
+    EXPECT_EQ(report.completed + report.shed + report.cancelled,
+              report.total());
+    // A 10ms deadline cannot outlast even one 30ms stall: most of the
+    // backlog sheds from the queue (an in-flight job cancels instead).
+    EXPECT_GE(report.shed, 1);
+
+    // Every future is already resolvable: drain() returns only after
+    // the last pending request reached its terminal outcome.
+    int completed = 0, shed = 0, cancelled = 0;
+    for (std::size_t i = 1; i < futures.size(); ++i) {
+        const RequestResult result = futures[i].get();
+        switch (result.outcome) {
+            case Outcome::kOk:
+                expect_finite_image(result.image, size);
+                ++completed;
+                break;
+            case Outcome::kShed:
+                ++shed;
+                break;
+            case Outcome::kTimeout:
+                EXPECT_TRUE(result.cancelled);
+                ++cancelled;
+                break;
+            default:
+                ADD_FAILURE() << outcome_name(result.outcome);
+        }
+    }
+    EXPECT_EQ(completed, report.completed);
+    EXPECT_EQ(shed, report.shed);
+    EXPECT_EQ(cancelled, report.cancelled);
+
+    // Admission stays closed; a second drain is a no-op; stop() joins.
+    EXPECT_FALSE(service.accepting());
+    EXPECT_EQ(service.submit(valid_request(990)).get().outcome,
+              Outcome::kShed);
+    EXPECT_EQ(service.drain(10.0).total(), 0);
+    service.stop();
     EXPECT_TRUE(service.stats().balanced());
 }
 
