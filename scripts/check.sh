@@ -41,9 +41,11 @@ if [ "${SANITIZE}" = "thread" ]; then
     # test_obs races metric writers, span recording and live dumps
     # against the fault-injected service (DESIGN.md §12);
     # test_router races dispatchers, hedges and the replica-lifecycle
-    # supervisor through crash/restart chaos (DESIGN.md §13).
+    # supervisor through crash/restart chaos (DESIGN.md §13);
+    # test_overload races the admission controller, priority queues and
+    # the overload_spike/replica_slow chaos soak (DESIGN.md §14).
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_serve|test_router|test_util|test_parallel|test_diffusion|test_obs' \
+        -R 'test_serve|test_router|test_overload|test_util|test_parallel|test_diffusion|test_obs' \
         "$@")
 else
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
@@ -54,7 +56,7 @@ else
     cmake -B build-san-thread -S . -DAERO_SANITIZE=thread >/dev/null
     cmake --build build-san-thread -j "${JOBS}"
     (cd build-san-thread && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_obs|test_serve|test_router' "$@")
+        -R 'test_obs|test_serve|test_router|test_overload' "$@")
 fi
 
 if [ "${AERO_CHECK_ANALYZE:-1}" != "0" ]; then

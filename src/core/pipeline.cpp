@@ -369,9 +369,16 @@ diffusion::DiffusionTrainStats AeroDiffusionPipeline::fit(util::Rng& rng) {
 namespace {
 
 diffusion::DdimConfig ddim_config_for(const PipelineConfig& config,
-                                      const Budget& budget) {
+                                      const Budget& budget,
+                                      const GenerateControl* control) {
     diffusion::DdimConfig ddim_config;
     ddim_config.inference_steps = budget.ddim_steps;
+    // Overload-ladder step cap (reduced-steps rung and below): fewer
+    // denoising steps trade sample quality for latency under load.
+    if (control != nullptr && control->max_steps > 0) {
+        ddim_config.inference_steps =
+            std::min(ddim_config.inference_steps, control->max_steps);
+    }
     ddim_config.guidance_scale = budget.guidance_scale;
     ddim_config.parameterization = config.parameterization;
     return ddim_config;
@@ -515,19 +522,36 @@ image::Image AeroDiffusionPipeline::generate(
         cond = checked_condition(features, control);
     }
 
-    diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
+    diffusion::DdimConfig ddim =
+        ddim_config_for(config_, substrate_->budget, control);
     if (control) ddim.should_cancel = control->should_cancel;
     const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     const auto& ae_config = substrate_->autoencoder->config();
     const int s = ae_config.latent_size();
+    // Overload-ladder reduced-resolution rung: sample a half-size
+    // latent and nearest-upsample it back to the decoder's fixed input
+    // size — quarter the per-step UNet cost for a softer image. Only
+    // when the halved grid still divides cleanly through the UNet's
+    // two-resolution trunk.
+    const bool half = control != nullptr && control->half_resolution &&
+                      s >= 4 && s % 2 == 0;
+    const int sample_s = half ? s / 2 : s;
     Tensor latent;
     {
         const obs::Span span("sample", stage_metrics().sample);
-        latent = sampler.sample({ae_config.latent_channels, s, s}, cond, rng);
+        latent = sampler.sample({ae_config.latent_channels, sample_s,
+                                 sample_s},
+                                cond, rng);
     }
     if (latent.empty()) {  // cancelled between denoising steps
         if (control) control->cancelled = true;
         return image::Image();
+    }
+    if (half) {
+        latent = tensor::upsample_nearest2x(
+                     latent.reshaped({1, ae_config.latent_channels,
+                                      sample_s, sample_s}))
+                     .reshaped({ae_config.latent_channels, s, s});
     }
     const obs::Span span("decode", stage_metrics().decode);
     // Undo the latent normalisation before decoding.
@@ -551,7 +575,8 @@ image::Image AeroDiffusionPipeline::generate_edit(
         cond = checked_condition(features, control);
     }
 
-    diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
+    diffusion::DdimConfig ddim =
+        ddim_config_for(config_, substrate_->budget, control);
     if (control) ddim.should_cancel = control->should_cancel;
     const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     Tensor latent;
@@ -614,7 +639,8 @@ image::Image AeroDiffusionPipeline::generate_inpaint(
         }
     }
 
-    diffusion::DdimConfig ddim = ddim_config_for(config_, substrate_->budget);
+    diffusion::DdimConfig ddim =
+        ddim_config_for(config_, substrate_->budget, control);
     if (control) ddim.should_cancel = control->should_cancel;
     const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     Tensor latent;

@@ -89,6 +89,15 @@ struct GenerateControl {
     bool force_unconditional = false;
     /// Probabilistic "condition_encoder" faults (tests / soak benches).
     util::FaultInjector* fault_injector = nullptr;
+    /// Degradation knobs driven by the serving overload ladder
+    /// (serve/overload.hpp). `max_steps` caps the DDIM step count
+    /// (0 = no cap); `half_resolution` samples a half-size latent and
+    /// nearest-upsamples it back before decoding (generate() only —
+    /// edit/inpaint anchor on the full-resolution source latent, so
+    /// they honour the step cap alone). Both default off, keeping the
+    /// control block bitwise-neutral for callers that never set them.
+    int max_steps = 0;
+    bool half_resolution = false;
 
     bool cancelled = false;  ///< run abandoned via should_cancel
     bool degraded = false;   ///< sampled unconditionally (fallback/forced)

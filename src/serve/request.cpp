@@ -11,6 +11,25 @@ const char* task_kind_name(TaskKind task) {
     return "?";
 }
 
+const char* priority_name(Priority priority) {
+    switch (priority) {
+        case Priority::kInteractive: return "interactive";
+        case Priority::kBatch: return "batch";
+    }
+    return "?";
+}
+
+const char* degrade_rung_name(DegradeRung rung) {
+    switch (rung) {
+        case DegradeRung::kFull: return "full";
+        case DegradeRung::kReducedSteps: return "reduced_steps";
+        case DegradeRung::kReducedResolution: return "reduced_resolution";
+        case DegradeRung::kUnconditional: return "unconditional";
+        case DegradeRung::kShed: return "shed";
+    }
+    return "?";
+}
+
 const char* outcome_name(Outcome outcome) {
     switch (outcome) {
         case Outcome::kOk: return "ok";

@@ -18,6 +18,38 @@ namespace aero::serve {
 enum class TaskKind { kGenerate = 0, kEdit, kInpaint };
 const char* task_kind_name(TaskKind task);
 
+/// Scheduling class of a request. Interactive traffic is dequeued
+/// first; batch traffic (bulk augmentation) yields, but never starves —
+/// a batch job whose head-of-queue wait exceeds the configured bound
+/// wins the next dequeue (overload.hpp, batch_max_wait_ms).
+enum class Priority { kInteractive = 0, kBatch };
+inline constexpr int kNumPriorities = 2;
+const char* priority_name(Priority priority);
+
+/// Degradation ladder rung applied to a request under overload
+/// (DESIGN.md §14). Ordered: each rung is strictly cheaper than the one
+/// before, so comparisons (`rung >= kReducedSteps`) read as "at least
+/// this degraded". Selected per request from the admission controller's
+/// smoothed load index; kFull whenever overload control is off.
+enum class DegradeRung {
+    kFull = 0,            ///< untouched: full steps, full resolution
+    kReducedSteps,        ///< DDIM step count capped
+    kReducedResolution,   ///< half-resolution latent, upsampled back
+    kUnconditional,       ///< condition encoder skipped (kDegraded)
+    kShed,                ///< rejected at admission (kShed)
+};
+inline constexpr int kNumDegradeRungs = 5;
+const char* degrade_rung_name(DegradeRung rung);
+
+/// Caller-supplied scheduling envelope, carried inside the request so
+/// the Router forwards it to replicas untouched.
+struct SubmitOptions {
+    Priority priority = Priority::kInteractive;
+    /// Optional stable client identity for the per-client token-bucket
+    /// rate limiter (util/rate_limit.hpp); empty = exempt.
+    std::string client_id;
+};
+
 /// Terminal state of a request. Exactly one per submit().
 enum class Outcome {
     kOk = 0,    ///< conditional sample delivered
@@ -60,6 +92,7 @@ struct InferenceRequest {
     /// between denoising steps — never returned half-rendered.
     double deadline_ms = 0.0;
     std::uint64_t seed = 0;  ///< per-request determinism across workers
+    SubmitOptions options;   ///< priority class + rate-limit identity
 };
 
 struct RequestResult {
@@ -72,6 +105,9 @@ struct RequestResult {
     int attempts = 0;         ///< generation attempts actually made
     int retries = 0;          ///< attempts beyond the first
     bool cancelled = false;   ///< deadline hit between denoising steps
+    /// Degradation ladder rung the admission controller applied to this
+    /// request (kFull when overload control is off or load was low).
+    DegradeRung rung = DegradeRung::kFull;
     std::uint64_t request_id = 0;  ///< rid correlating logs and spans
     /// Per-request span tree summary (stage -> count x total time),
     /// folded from the obs::Trace the worker wrapped this request in.

@@ -151,10 +151,11 @@ std::future<RequestResult> Router::submit(InferenceRequest request) {
         if (!accepting_) {
             shed = true;
             closed = true;
-        } else if (queue_.size() >= config_.queue_capacity) {
+        } else if (queued_locked() >= config_.queue_capacity) {
             shed = true;
         } else {
-            queue_.push_back(std::move(job));
+            queues_[static_cast<int>(job.request.options.priority)]
+                .push_back(std::move(job));
         }
     }
     {
@@ -176,17 +177,30 @@ std::future<RequestResult> Router::submit(InferenceRequest request) {
     return future;
 }
 
+int Router::pick_queue_locked(Clock::time_point now) const {
+    const int interactive = static_cast<int>(Priority::kInteractive);
+    const int batch = static_cast<int>(Priority::kBatch);
+    if (queues_[batch].empty()) return interactive;
+    if (queues_[interactive].empty()) return batch;
+    const double batch_wait_ms =
+        MillisD(now - queues_[batch].front().submitted_at).count();
+    return batch_wait_ms >= config_.service.overload.batch_max_wait_ms
+               ? batch
+               : interactive;
+}
+
 void Router::dispatcher_loop(std::uint64_t seed) {
     util::Rng rng(seed);
     for (;;) {
         Job job;
         {
             std::unique_lock<util::Mutex> lock(queue_mutex_);
-            queue_cv_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) return;  // stopping_ and fully drained
-            job = std::move(queue_.front());
-            queue_.pop_front();
+            queue_cv_.wait(
+                lock, [this] { return stopping_ || queued_locked() > 0; });
+            if (queued_locked() == 0) return;  // stopping_, fully drained
+            std::deque<Job>& queue = queues_[pick_queue_locked(Clock::now())];
+            job = std::move(queue.front());
+            queue.pop_front();
         }
         RequestResult result = route(job, rng);
         record(result);

@@ -191,6 +191,16 @@ private:
     void record(const RequestResult& result) AERO_EXCLUDES(stats_mutex_);
     /// Drains (bounded), stops and accounts one killed replica service.
     void kill_service(const std::shared_ptr<InferenceService>& service);
+    /// Total queued jobs across both priority classes.
+    std::size_t queued_locked() const AERO_REQUIRES(queue_mutex_) {
+        std::size_t n = 0;
+        for (const std::deque<Job>& q : queues_) n += q.size();
+        return n;
+    }
+    /// Same dequeue policy as InferenceService::pick_queue_locked:
+    /// interactive first, batch past its bounded wait wins.
+    int pick_queue_locked(Clock::time_point now) const
+        AERO_REQUIRES(queue_mutex_);
     void supervise_replica(Replica& replica);
     void publish_replica_gauges();
 
@@ -222,7 +232,10 @@ private:
 
     mutable util::Mutex queue_mutex_;
     util::CondVar queue_cv_;
-    std::deque<Job> queue_ AERO_GUARDED_BY(queue_mutex_);
+    /// One FIFO per Priority class, mirroring InferenceService: the
+    /// router dispatches interactive first, with the same bounded-wait
+    /// guarantee for batch (service.overload.batch_max_wait_ms).
+    std::deque<Job> queues_[kNumPriorities] AERO_GUARDED_BY(queue_mutex_);
     bool accepting_ AERO_GUARDED_BY(queue_mutex_) = true;
     bool stopping_ AERO_GUARDED_BY(queue_mutex_) = false;
 

@@ -35,6 +35,9 @@ InferenceService::Metrics InferenceService::resolve_metrics() {
     m.cancelled =
         &reg.counter("aero_serve_cancelled_midrun_total",
                      "requests cancelled between denoising steps");
+    m.rate_limited =
+        &reg.counter("aero_overload_rate_limited_total",
+                     "requests rejected by the per-client rate limiter");
     m.queue_depth = &reg.gauge("aero_serve_queue_depth",
                                "requests waiting in the admission queue");
     m.breaker_state =
@@ -58,7 +61,9 @@ InferenceService::InferenceService(
     : pipeline_(&pipeline),
       config_(config),
       breaker_(config.breaker),
-      metrics_(resolve_metrics()) {
+      metrics_(resolve_metrics()),
+      controller_(config.overload),
+      limiter_(config.rate_limit) {
     // First service in the process arms the env-gated periodic metrics
     // dump (AERO_OBS_DUMP_MS); a no-op when the knob is unset.
     obs::maybe_start_periodic_dump();
@@ -113,6 +118,23 @@ std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
         return future;
     }
 
+    // Per-client token bucket: an over-quota client is answered
+    // immediately (kShed) so its backlog cannot crowd out others.
+    if (limiter_.enabled() && !request.options.client_id.empty() &&
+        !limiter_.admit(request.options.client_id,
+                        obs::default_clock().now_ns())) {
+        {
+            const util::MutexLock lock(stats_mutex_);
+            ++stats_.rate_limited;
+        }
+        metrics_.rate_limited->inc();
+        early.outcome = Outcome::kShed;
+        early.message = "rate limited: client over per-client quota";
+        record(early);
+        promise.set_value(std::move(early));
+        return future;
+    }
+
     Job job;
     job.request = std::move(request);
     job.promise = std::move(promise);
@@ -125,13 +147,43 @@ std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
                           job.request.deadline_ms));
     }
 
+    // A deadline that has already expired is a timeout, not a shed: the
+    // caller's budget ran out before admission, and classifying it here
+    // keeps the queue-wait accounting window honest (queue_ms stays 0
+    // for a request that never sat in the queue).
+    if (job.has_deadline && Clock::now() >= job.deadline) {
+        early.outcome = Outcome::kTimeout;
+        early.message = "deadline expired at admission";
+        record(early);
+        job.promise.set_value(std::move(early));
+        return future;
+    }
+
+    // Degradation ladder: stamp the rung the current load index earns
+    // this priority class. The top rung sheds at admission — the
+    // cheapest possible answer under the heaviest load. poll() first:
+    // arrivals keep the index decaying even when nothing completes
+    // (a full-shed rung must not latch).
+    controller_.poll();
+    job.rung = controller_.rung_for(job.request.options.priority);
+    if (job.rung == DegradeRung::kShed) {
+        early.outcome = Outcome::kShed;
+        early.rung = DegradeRung::kShed;
+        early.message = "overload: degradation ladder shed";
+        record(early);
+        job.promise.set_value(std::move(early));
+        return future;
+    }
+
     bool enqueued = false;
     {
         const util::MutexLock lock(queue_mutex_);
-        if (accepting_ && queue_.size() < config_.queue_capacity) {
-            queue_.push_back(std::move(job));
+        if (accepting_ && queued_locked() < config_.queue_capacity) {
+            queues_[static_cast<int>(job.request.options.priority)]
+                .push_back(std::move(job));
             enqueued = true;
-            metrics_.queue_depth->set(static_cast<double>(queue_.size()));
+            metrics_.queue_depth->set(
+                static_cast<double>(queued_locked()));
         }
     }
     if (enqueued) {
@@ -142,6 +194,7 @@ std::future<RequestResult> InferenceService::submit(InferenceRequest request) {
     // Load shedding: a full queue answers immediately instead of letting
     // latency grow without bound.
     early.outcome = Outcome::kShed;
+    early.rung = job.rung;
     early.message = "admission queue full or service stopped";
     record(early);
     job.promise.set_value(std::move(early));
@@ -185,7 +238,7 @@ ServiceStats InferenceService::stats() const {
 
 std::size_t InferenceService::queue_depth() const {
     const util::MutexLock lock(queue_mutex_);
-    return queue_.size() + static_cast<std::size_t>(active_);
+    return queued_locked() + static_cast<std::size_t>(active_);
 }
 
 bool InferenceService::accepting() const {
@@ -195,7 +248,7 @@ bool InferenceService::accepting() const {
 
 void InferenceService::wait_idle(Clock::time_point deadline, bool bounded) {
     std::unique_lock<util::Mutex> lock(queue_mutex_);
-    const auto idle = [this] { return queue_.empty() && active_ == 0; };
+    const auto idle = [this] { return queued_locked() == 0 && active_ == 0; };
     if (bounded) {
         queue_cv_.wait_until(lock, deadline, idle);
     } else {
@@ -222,7 +275,7 @@ InferenceService::DrainReport InferenceService::drain(double deadline_ms) {
         const util::MutexLock lock(queue_mutex_);
         accepting_ = false;
         draining_ = true;
-        pending = static_cast<long long>(queue_.size()) + active_;
+        pending = static_cast<long long>(queued_locked()) + active_;
     }
     DrainReport report;
     if (pending == 0) {
@@ -248,15 +301,28 @@ InferenceService::DrainReport InferenceService::drain(double deadline_ms) {
     std::deque<Job> leftovers;
     {
         const util::MutexLock lock(queue_mutex_);
-        leftovers.swap(queue_);
+        for (std::deque<Job>& q : queues_) {
+            for (Job& job : q) leftovers.push_back(std::move(job));
+            q.clear();
+        }
         metrics_.queue_depth->set(0.0);
     }
+    const Clock::time_point shed_now = Clock::now();
     for (Job& job : leftovers) {
         RequestResult early;
-        early.outcome = Outcome::kShed;
-        early.message = "shed during drain";
+        // A leftover whose own deadline has passed timed out, it was
+        // not shed by the drain — the caller's budget expired first.
+        // Both classes count as resolved-unrun in report.shed.
+        if (job.has_deadline && shed_now >= job.deadline) {
+            early.outcome = Outcome::kTimeout;
+            early.message = "deadline expired while queued (drain)";
+        } else {
+            early.outcome = Outcome::kShed;
+            early.message = "shed during drain";
+        }
+        early.rung = job.rung;
         early.latency_ms = std::chrono::duration<double, std::milli>(
-                               Clock::now() - job.submitted_at)
+                               shed_now - job.submitted_at)
                                .count();
         early.queue_ms = early.latency_ms;
         record(early);
@@ -287,6 +353,7 @@ void InferenceService::record(const RequestResult& result) {
     {
         const util::MutexLock lock(stats_mutex_);
         ++stats_.by_outcome[static_cast<int>(result.outcome)];
+        ++stats_.by_rung[static_cast<int>(result.rung)];
         stats_.retries += result.retries;
         if (result.cancelled) ++stats_.cancelled_mid_run;
     }
@@ -303,19 +370,86 @@ void InferenceService::publish_breaker_metrics() {
         static_cast<double>(breaker_.recoveries()));
 }
 
+int InferenceService::pick_queue_locked(Clock::time_point now) const {
+    const int interactive = static_cast<int>(Priority::kInteractive);
+    const int batch = static_cast<int>(Priority::kBatch);
+    if (queues_[batch].empty()) return interactive;
+    if (queues_[interactive].empty()) return batch;
+    // Both classes pending: interactive wins unless the batch head has
+    // waited past the anti-starvation bound (bounded-wait contract).
+    const double batch_wait_ms =
+        std::chrono::duration<double, std::milli>(
+            now - queues_[batch].front().submitted_at)
+            .count();
+    return batch_wait_ms >= config_.overload.batch_max_wait_ms ? batch
+                                                               : interactive;
+}
+
 void InferenceService::worker_loop(std::uint64_t worker_seed) {
     util::Rng backoff_rng(worker_seed);
+    util::FaultInjector* injector = config_.fault_injector;
     for (;;) {
         Job job;
         {
             std::unique_lock<util::Mutex> lock(queue_mutex_);
-            queue_cv_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) return;  // stopping_ and drained
-            job = std::move(queue_.front());
-            queue_.pop_front();
+            // The AIMD limit gates pickup, not admission: queued work
+            // waits (and may CoDel-drop) while active_ is at the limit.
+            // A stop() drains unconditionally so shutdown never wedges
+            // behind a depressed limit.
+            queue_cv_.wait(lock, [this] {
+                if (stopping_) return true;
+                if (queued_locked() == 0) return false;
+                return !controller_.enabled() ||
+                       active_ < controller_.limit();
+            });
+            if (queued_locked() == 0) return;  // stopping_ and drained
+            std::deque<Job>& queue = queues_[pick_queue_locked(Clock::now())];
+            job = std::move(queue.front());
+            queue.pop_front();
             ++active_;
-            metrics_.queue_depth->set(static_cast<double>(queue_.size()));
+            metrics_.queue_depth->set(static_cast<double>(queued_locked()));
+        }
+
+        // Deterministic overload drill: the "overload_spike" point feeds
+        // the controller a synthetic latency spike at dequeue.
+        if (injector && controller_.enabled() &&
+            injector->should_fail("overload_spike")) {
+            controller_.inject_spike();
+        }
+
+        // CoDel: a head that sat over the sojourn target for a full
+        // interval is dropped (fast kShed) instead of served late. A
+        // job whose own deadline has passed skips the verdict and
+        // resolves kTimeout through process() as before.
+        const double sojourn_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      job.submitted_at)
+                .count();
+        const bool expired =
+            job.has_deadline && Clock::now() >= job.deadline;
+        if (!expired && controller_.enabled() &&
+            controller_.codel_drop(sojourn_ms)) {
+            {
+                const util::MutexLock lock(stats_mutex_);
+                ++stats_.codel_dropped;
+            }
+            RequestResult dropped;
+            dropped.outcome = Outcome::kShed;
+            dropped.rung = job.rung;
+            dropped.message = "overload: CoDel drop (queue sojourn over "
+                              "target for a full interval)";
+            dropped.queue_ms = sojourn_ms;
+            dropped.latency_ms = sojourn_ms;
+            record(dropped);
+            job.promise.set_value(std::move(dropped));
+            bool wake = false;
+            {
+                const util::MutexLock lock(queue_mutex_);
+                --active_;
+                wake = draining_ || controller_.enabled();
+            }
+            if (wake) queue_cv_.notify_all();
+            continue;
         }
         // One Trace per request: spans opened anywhere below (pipeline
         // stages, sampler steps) attach to it, log lines carry its rid,
@@ -348,18 +482,27 @@ void InferenceService::worker_loop(std::uint64_t worker_seed) {
         result.request_id = rid;
         metrics_.queue_ms->observe(result.queue_ms);
         metrics_.latency_ms->observe(result.latency_ms);
+        // Only latencies of requests that actually ran feed the AIMD
+        // window; early classifications (timeouts, sheds) would teach
+        // the controller that overload is fast.
+        if (result.outcome == Outcome::kOk ||
+            result.outcome == Outcome::kDegraded) {
+            controller_.on_finish(result.latency_ms);
+        }
         publish_breaker_metrics();
         record(result);
         job.promise.set_value(std::move(result));
         // The in-flight count drops only after the promise resolved, so
         // drain()'s idle wait implies every pending future is ready.
-        bool wake_drainer = false;
+        // With overload control live, every finish may unblock a worker
+        // parked on the limit gate, so those builds wake everyone.
+        bool wake_all = false;
         {
             const util::MutexLock lock(queue_mutex_);
             --active_;
-            wake_drainer = draining_;
+            wake_all = draining_ || controller_.enabled();
         }
-        if (wake_drainer) queue_cv_.notify_all();
+        if (wake_all) queue_cv_.notify_all();
     }
 }
 
@@ -396,6 +539,7 @@ bool InferenceService::cancel_due(const Job& job) const {
 
 RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
     RequestResult result;
+    result.rung = job.rung;
     const Clock::time_point picked_up = Clock::now();
     result.queue_ms =
         std::chrono::duration<double, std::milli>(picked_up -
@@ -454,11 +598,18 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
             continue;
         }
 
+        // Ladder rung kUnconditional skips the condition encoder by
+        // policy, without consulting (or perturbing) the breaker: an
+        // overload fallback is not evidence about encoder health.
+        const bool overload_unconditional =
+            job.rung >= DegradeRung::kUnconditional;
         // Only the first attempt counts toward the Open-state cooldown:
         // open_cooldown is specified in distinct requests, not retries.
         bool holds_probe = false;
-        const bool conditional = breaker_.allow_conditional(
-            &holds_probe, /*count_cooldown=*/attempt == 1);
+        const bool conditional =
+            !overload_unconditional &&
+            breaker_.allow_conditional(&holds_probe,
+                                       /*count_cooldown=*/attempt == 1);
         // A probe holder owes the breaker exactly one verdict. Exits
         // that learn nothing about the encoder (cancellation, pipeline
         // rejection, non-finite sample) must free the slot or the
@@ -484,6 +635,15 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
         core::GenerateControl control;
         control.force_unconditional = !conditional;
         control.fault_injector = injector;
+        // Degradation knobs accumulate down the ladder: reduced steps
+        // first, then also half resolution (generate() only; edit and
+        // inpaint honour the step cap alone).
+        if (job.rung >= DegradeRung::kReducedSteps) {
+            control.max_steps = std::max(1, config_.overload.reduced_steps);
+        }
+        if (job.rung >= DegradeRung::kReducedResolution) {
+            control.half_resolution = true;
+        }
         // Polled between denoising steps: covers the job's own deadline
         // and a service-wide drain deadline (graceful replica restart /
         // simulated crash).
@@ -552,10 +712,12 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
         }
 
         if (!conditional) {
-            // Breaker open: degraded unconditional sample by design.
+            // Unconditional by design: overload ladder or open breaker.
             result.image = std::move(image);
             return finish(Outcome::kDegraded,
-                          "circuit breaker open; served unconditional");
+                          overload_unconditional
+                              ? "overload: unconditional fallback"
+                              : "circuit breaker open; served unconditional");
         }
         if (control.degraded) {
             // Conditional path failed (injected fault or non-finite

@@ -5,8 +5,12 @@
 // end to end:
 //
 //   submit() --validate--> kInvalid        (typed reason, no tensor math)
+//            --rate limited--> kShed       (per-client token bucket)
+//            --deadline already expired--> kTimeout (never enqueued)
+//            --ladder rung kShed--> kShed  (overload degradation ladder)
 //            --queue full--> kShed         (bounded admission queue)
-//   worker   --deadline already passed--> kTimeout
+//   worker   --CoDel sojourn overage--> kShed (standing-queue defence)
+//            --deadline already passed--> kTimeout
 //            --transient fault--> retry with exponential backoff + jitter
 //            --condition-encoder failure--> retry; repeated failures trip
 //              the circuit breaker, which serves degraded unconditional
@@ -22,7 +26,7 @@
 // Locking discipline (statically checked by the AERO_GUARDED_BY /
 // AERO_EXCLUDES annotations below under `clang++ -Wthread-safety`, and
 // TSan-covered by test_serve via scripts/check.sh):
-//   * queue_mutex_ guards queue_, active_, accepting_, stopping_ and
+//   * queue_mutex_ guards queues_, active_, accepting_, stopping_ and
 //     draining_; sleeps and wake-ups go through queue_cv_.
 //   * stats_mutex_ guards the ServiceStats counters.
 //   * stop_mutex_ serialises concurrent stop() callers (explicit stop
@@ -49,9 +53,11 @@
 #include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "serve/breaker.hpp"
+#include "serve/overload.hpp"
 #include "serve/validation.hpp"
 #include "util/annotations.hpp"
 #include "util/fault.hpp"
+#include "util/rate_limit.hpp"
 #include "util/sync.hpp"
 
 namespace aero::serve {
@@ -73,6 +79,14 @@ struct ServiceConfig {
     /// Stall injected when the "serve_slow" point fires: slept inside
     /// the attempt, after breaker admission and before generation.
     double slow_fault_ms = 50.0;
+    /// Adaptive overload control (serve/overload.hpp): AIMD concurrency
+    /// limit, CoDel queue discipline, degradation ladder. Off by
+    /// default; also gated process-wide by AERO_OVERLOAD.
+    OverloadConfig overload;
+    /// Per-client token-bucket admission (util/rate_limit.hpp), read
+    /// from AERO_RATE_QPS / AERO_RATE_BURST by default (unset = off).
+    /// Requests with an empty client_id are exempt.
+    util::RateLimitConfig rate_limit = util::RateLimitConfig::from_env();
     std::uint64_t seed = 0x5e21e;  ///< forked into per-worker Rngs
 };
 
@@ -84,6 +98,15 @@ struct ServiceStats {
     /// Requests cancelled after dequeue: between denoising steps or in
     /// the dequeue -> first-step window (job deadline or service drain).
     long long cancelled_mid_run = 0;
+    /// Rejections by the per-client token-bucket limiter. These resolve
+    /// kShed, so they are a subset of by_outcome[kShed] and the books
+    /// below stay balanced.
+    long long rate_limited = 0;
+    /// Queued requests dropped by the CoDel sojourn discipline (also a
+    /// subset of by_outcome[kShed]).
+    long long codel_dropped = 0;
+    /// Terminal results per degradation-ladder rung; sums to terminal().
+    long long by_rung[kNumDegradeRungs] = {};
     int breaker_trips = 0;
     int breaker_recoveries = 0;
 
@@ -124,7 +147,9 @@ public:
     /// outcome through the normal worker path).
     struct DrainReport {
         long long completed = 0;  ///< resolved by a worker during the drain
-        long long shed = 0;       ///< queued jobs resolved kShed unrun
+        /// Queued jobs resolved unrun: kShed, or kTimeout when the
+        /// job's own deadline had already expired at shed time.
+        long long shed = 0;
         long long cancelled = 0;  ///< in-flight, cancelled between steps
         long long total() const { return completed + shed + cancelled; }
     };
@@ -165,6 +190,9 @@ private:
         Clock::time_point submitted_at;
         Clock::time_point deadline;
         bool has_deadline = false;
+        /// Ladder rung stamped at admission (kFull when overload
+        /// control is off); process() applies it to GenerateControl.
+        DegradeRung rung = DegradeRung::kFull;
     };
 
     /// Dequeue loop. Opted out of the static analysis: the
@@ -189,6 +217,17 @@ private:
         AERO_NO_THREAD_SAFETY_ANALYSIS;
     /// Refreshes the breaker state/trips/recoveries gauges.
     void publish_breaker_metrics();
+    /// Total queued jobs across both priority classes.
+    std::size_t queued_locked() const AERO_REQUIRES(queue_mutex_) {
+        std::size_t n = 0;
+        for (const std::deque<Job>& q : queues_) n += q.size();
+        return n;
+    }
+    /// Dequeue policy: interactive first, except a batch head that has
+    /// waited past the anti-starvation bound. Returns the queue index
+    /// to pop from; callers guarantee at least one queue is non-empty.
+    int pick_queue_locked(Clock::time_point now) const
+        AERO_REQUIRES(queue_mutex_);
 
     /// Handles into the global obs registry (obs/metric_names.hpp),
     /// resolved once in the constructor so the hot path is pure relaxed
@@ -199,6 +238,7 @@ private:
         obs::Counter* outcome[kNumOutcomes] = {};
         obs::Counter* retries = nullptr;
         obs::Counter* cancelled = nullptr;
+        obs::Counter* rate_limited = nullptr;
         obs::Gauge* queue_depth = nullptr;
         obs::Gauge* breaker_state = nullptr;
         obs::Gauge* breaker_trips = nullptr;
@@ -212,10 +252,21 @@ private:
     ServiceConfig config_;
     CircuitBreaker breaker_;
     Metrics metrics_;
+    /// Adaptive overload control: AIMD limit the workers gate on, CoDel
+    /// verdicts at dequeue, ladder rungs at admission. Inert (identity
+    /// limit, kFull rung) unless config_.overload.enabled and the
+    /// AERO_OVERLOAD switch agree.
+    AdmissionController controller_;
+    /// Per-client token buckets consulted in submit(); the service
+    /// feeds it obs::default_clock() timestamps.
+    util::RateLimiter limiter_;
 
     mutable util::Mutex queue_mutex_;
     util::CondVar queue_cv_;
-    std::deque<Job> queue_ AERO_GUARDED_BY(queue_mutex_);
+    /// One FIFO per Priority class. Dequeue prefers interactive; a
+    /// batch head older than overload.batch_max_wait_ms wins anyway
+    /// (anti-starvation bound).
+    std::deque<Job> queues_[kNumPriorities] AERO_GUARDED_BY(queue_mutex_);
     /// Jobs dequeued by a worker whose terminal outcome has not been
     /// recorded yet — the dequeue -> resolve window drain() waits on.
     long long active_ AERO_GUARDED_BY(queue_mutex_) = 0;

@@ -43,6 +43,10 @@ inline constexpr FaultPoint kFaultPoints[] = {
     {"replica_probe_fail",
      "router supervisor: a synthetic health probe fails without reaching "
      "the replica (probe path outage)"},
+    {"overload_spike",
+     "service worker: feeds the admission controller a synthetic latency "
+     "spike at dequeue (spike_factor x latency target), deterministically "
+     "driving an AIMD decrease and degradation-ladder escalation in soaks"},
 };
 
 inline constexpr int kNumFaultPoints =

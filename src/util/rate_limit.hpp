@@ -1,0 +1,69 @@
+#pragma once
+// Per-client token-bucket rate limiter for the serving admission path
+// (DESIGN.md §14). Each client identity owns a bucket that refills at
+// `qps` tokens per second up to `burst`; a request spends one token or
+// is rejected. Sitting in util (below obs), the limiter never reads a
+// clock itself — callers pass `now_ns` from whatever time source they
+// use (the serve layer passes obs::default_clock(), so ManualClock
+// tests drive refill deterministically).
+//
+// Memory is bounded: identities hash onto a fixed slot array, so a
+// million distinct client ids cost the same as a handful. Colliding
+// clients share a bucket — under attack that errs toward rejecting, the
+// safe direction for an overload defence — and the slot count is a
+// constructor knob for callers that want fewer collisions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace aero::util {
+
+struct RateLimitConfig {
+    /// Sustained admissions per second per client; <= 0 disables the
+    /// limiter entirely (every admit() returns true).
+    double qps = 0.0;
+    /// Bucket capacity (burst headroom); <= 0 derives max(qps, 1).
+    double burst = 0.0;
+
+    /// Reads the AERO_RATE_QPS / AERO_RATE_BURST knobs (integers,
+    /// checked via util::parse_int inside env_int; unset or malformed
+    /// values leave limiting off / derived).
+    static RateLimitConfig from_env();
+};
+
+class RateLimiter {
+public:
+    explicit RateLimiter(const RateLimitConfig& config,
+                         std::size_t slots = 256);
+
+    bool enabled() const { return qps_ > 0.0; }
+
+    /// One admission decision for `client_id` at `now_ns`. Spends a
+    /// token (true) or rejects (false). An empty client_id carries no
+    /// identity to meter and is always admitted — rate limiting is
+    /// opt-in per request, like the priority class.
+    bool admit(const std::string& client_id, std::int64_t now_ns)
+        AERO_EXCLUDES(mutex_);
+
+    /// Cumulative rejections (all clients).
+    long long rejected() const AERO_EXCLUDES(mutex_);
+
+private:
+    struct Bucket {
+        double tokens = 0.0;
+        std::int64_t last_ns = 0;
+        bool used = false;  ///< first touch fills to burst
+    };
+
+    double qps_ = 0.0;
+    double burst_ = 0.0;
+    mutable Mutex mutex_;
+    std::vector<Bucket> buckets_ AERO_GUARDED_BY(mutex_);
+    long long rejected_ AERO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace aero::util

@@ -1,0 +1,14 @@
+// Violation: writes the degradation-ladder rung state with no adjacent
+// aero_overload_* rung-transition counter increment.
+
+#include <atomic>
+
+namespace fixture {
+
+struct Ladder {
+    std::atomic<int> rung_{0};
+
+    void escalate(int rung) { rung_.store(rung); }
+};
+
+}  // namespace fixture

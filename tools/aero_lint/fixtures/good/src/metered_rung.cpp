@@ -1,0 +1,23 @@
+// Fixture: degradation-ladder rung writes metered per the
+// overload-accounting contract — the transition counter increments on
+// the line adjacent to the state write.
+
+#include <atomic>
+
+namespace fixture {
+
+struct Counter {
+    void inc();
+};
+
+struct Ladder {
+    std::atomic<int> rung_{0};
+    Counter* rung_transition[5] = {};
+
+    void set_rung(int rung) {
+        rung_.store(rung);
+        rung_transition[rung]->inc();
+    }
+};
+
+}  // namespace fixture

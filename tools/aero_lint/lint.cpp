@@ -296,6 +296,43 @@ public:
         }
     }
 
+    void check_overload_accounting() {
+        // Every write of the ladder state must be metered: the matching
+        // `aero_overload_*` rung-transition counter increments within
+        // three lines of the write, so a refactor cannot silently
+        // detach the ladder from its telemetry.
+        static const std::regex kRungWrite(
+            R"(\brung_\s*(\.\s*store\s*\(|=[^=]))");
+        static const std::regex kMetered(
+            R"(rung_transition\s*\[[^\]]*\]\s*->\s*inc\s*\(|aero_overload_)");
+        std::vector<std::size_t> line_starts{0};
+        for (std::size_t i = 0; i < code_.size(); ++i) {
+            if (code_[i] == '\n') line_starts.push_back(i + 1);
+        }
+        for (auto it = std::sregex_iterator(bare_.begin(), bare_.end(),
+                                            kRungWrite);
+             it != std::sregex_iterator(); ++it) {
+            const auto offset = static_cast<std::size_t>(it->position());
+            const int line = lines_.line_at(offset);  // 1-based
+            const int first = std::max(1, line - 3);
+            const int last = std::min(static_cast<int>(line_starts.size()),
+                                      line + 3);
+            const std::size_t begin =
+                line_starts[static_cast<std::size_t>(first - 1)];
+            const std::size_t end =
+                last < static_cast<int>(line_starts.size())
+                    ? line_starts[static_cast<std::size_t>(last)]
+                    : code_.size();
+            const std::string window = code_.substr(begin, end - begin);
+            if (!std::regex_search(window, kMetered)) {
+                report(offset, "overload-accounting",
+                       "ladder rung write without an adjacent "
+                       "aero_overload_* rung-transition counter "
+                       "increment (within 3 lines)");
+            }
+        }
+    }
+
     void run(bool strict) {
         check_fault_registry();
         // IO results matter in benches/tests too — a bench that drops
@@ -306,6 +343,7 @@ public:
         check_naked_new();
         check_unchecked_parse();
         check_stats_accounting();
+        check_overload_accounting();
         // Strict-only: tests exercise hermetic local registries with
         // synthetic names, which the runtime pattern guard still covers.
         check_metric_naming();

@@ -28,6 +28,12 @@
 //                    histogram registration site follows the
 //                    `aero_<area>_<name>` pattern and is declared in
 //                    src/obs/metric_names.hpp
+//   overload-accounting
+//                    every write of a degradation-ladder rung state
+//                    (`rung_ = ...` / `rung_.store(...)`) sits within
+//                    three lines of an `aero_overload_*` rung-transition
+//                    counter increment, so ladder moves can never go
+//                    unmetered (DESIGN.md §14)
 //
 // A deliberate exception is suppressed inline with
 //   // aero-lint: allow(<rule>)
