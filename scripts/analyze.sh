@@ -11,9 +11,12 @@
 #      anything left fails the gate. Skipped with a notice when no
 #      clang-tidy binary is on PATH (the gcc-only CI image) — the
 #      -Werror build and aero_lint still gate.
-#   3. tools/aero_lint over the whole tree (project invariants:
-#      fault-point registry, #pragma once, naked new/delete,
-#      unchecked parses, stats accounting comments).
+#   3. tools/aero_lint over the whole tree — all four passes: per-line
+#      rules (fault-point registry, #pragma once, naked new/delete,
+#      unchecked parses, accounting comments), layering vs ARCH.layers,
+#      inter-procedural lock-order cycles, and the determinism lint
+#      (DESIGN.md §15). The machine-readable report is written to
+#      build-analyze/aero_lint_report.json and its path printed.
 #
 # Exits non-zero on any warning, tidy finding, or lint finding.
 #
@@ -54,7 +57,9 @@ else
     echo "[skip] ${TIDY} not found; relying on -Werror build + aero_lint"
 fi
 
-echo "== analyze 3/3: aero_lint =="
-"${BUILD_DIR}/tools/aero_lint/aero_lint" --root .
+echo "== analyze 3/3: aero_lint (rules + layering + lock-order + determinism) =="
+LINT_REPORT="${BUILD_DIR}/aero_lint_report.json"
+"${BUILD_DIR}/tools/aero_lint/aero_lint" --root . --json "${LINT_REPORT}"
+echo "aero_lint report: ${LINT_REPORT}"
 
 echo "== analysis clean =="

@@ -43,9 +43,11 @@ if [ "${SANITIZE}" = "thread" ]; then
     # test_router races dispatchers, hedges and the replica-lifecycle
     # supervisor through crash/restart chaos (DESIGN.md §13);
     # test_overload races the admission controller, priority queues and
-    # the overload_spike/replica_slow chaos soak (DESIGN.md §14).
+    # the overload_spike/replica_slow chaos soak (DESIGN.md §14);
+    # test_sync races the runtime lock-order validator and pins its
+    # consistent-order path TSan-clean (DESIGN.md §15).
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_serve|test_router|test_overload|test_util|test_parallel|test_diffusion|test_obs' \
+        -R 'test_serve|test_router|test_overload|test_util|test_parallel|test_diffusion|test_obs|test_sync' \
         "$@")
 else
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
@@ -56,7 +58,7 @@ else
     cmake -B build-san-thread -S . -DAERO_SANITIZE=thread >/dev/null
     cmake --build build-san-thread -j "${JOBS}"
     (cd build-san-thread && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_obs|test_serve|test_router|test_overload' "$@")
+        -R 'test_obs|test_serve|test_router|test_overload|test_sync' "$@")
 fi
 
 if [ "${AERO_CHECK_ANALYZE:-1}" != "0" ]; then

@@ -24,8 +24,7 @@ RateLimiter::RateLimiter(const RateLimitConfig& config, std::size_t slots)
 
 bool RateLimiter::admit(const std::string& client_id, std::int64_t now_ns) {
     if (!enabled() || client_id.empty()) return true;
-    const std::size_t slot = static_cast<std::size_t>(fnv1a64(client_id)) %
-                             buckets_.size();
+    const std::size_t slot = fnv1a64(client_id) % buckets_.size();
     const MutexLock lock(mutex_);
     Bucket& bucket = buckets_[slot];
     if (!bucket.used) {

@@ -1,0 +1,208 @@
+// Runtime lock-order validator (see sync.hpp for the contract).
+//
+// All internal state is guarded by a plain std::mutex — deliberately
+// NOT a util::Mutex, so the validator never observes (or deadlocks on)
+// itself. The held-lock stack is thread_local; the edge graph and the
+// per-edge stack snapshots are global. The graph is a leaky singleton:
+// mutexes with static storage duration may be destroyed after any
+// function-local static here, so the graph must outlive everything that
+// can call on_destroy().
+
+#include "util/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace aero::util::lock_order {
+
+std::atomic<int> g_state{-1};
+
+bool init_from_env() {
+    const char* value = std::getenv("AERO_LOCK_ORDER");
+    const int enabled = (value != nullptr && value[0] == '1') ? 1 : 0;
+    int expected = -1;
+    g_state.compare_exchange_strong(expected, enabled,
+                                    std::memory_order_relaxed);
+    return g_state.load(std::memory_order_relaxed) != 0;
+}
+
+void set_enabled_for_testing(bool on) {
+    g_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace {
+
+struct HeldLock {
+    const Mutex* mutex;
+    std::string name;
+};
+
+std::vector<HeldLock>& held_stack() {
+    thread_local std::vector<HeldLock> stack;
+    return stack;
+}
+
+/// Snapshot of the acquiring thread's state when an edge was first
+/// recorded, for the "other side" of a violation report.
+struct EdgeInfo {
+    std::vector<std::string> stack;  ///< held names + the acquired name
+    std::string thread_id;
+};
+
+struct Graph {
+    std::mutex mu;
+    // from -> to -> first-acquisition snapshot
+    std::map<const Mutex*, std::map<const Mutex*, EdgeInfo>> edges;
+    std::atomic<int> violations{0};
+    std::string last_report;
+};
+
+Graph& graph() {
+    // aero-lint: allow(naked-new)
+    static Graph* g = new Graph();  // leaky: outlives static mutexes
+    return *g;
+}
+
+std::string display_name(const Mutex* mutex, const char* name) {
+    if (name != nullptr) return name;
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "mutex@%p",
+                  static_cast<const void*>(mutex));
+    return buffer;
+}
+
+std::string this_thread_id() {
+    std::ostringstream out;
+    out << std::this_thread::get_id();
+    return out.str();
+}
+
+std::string join_stack(const std::vector<std::string>& stack) {
+    std::string out;
+    for (const std::string& name : stack) {
+        if (!out.empty()) out += " -> ";
+        out += name;
+    }
+    return out;
+}
+
+/// Depth-first search for a path `from` ~> `to` in the edge graph.
+/// Fills `path` with the node sequence when found. Caller holds g.mu.
+bool find_path(Graph& g, const Mutex* from, const Mutex* to,
+               std::set<const Mutex*>* visited,
+               std::vector<const Mutex*>* path) {
+    if (from == to) {
+        path->push_back(from);
+        return true;
+    }
+    if (!visited->insert(from).second) return false;
+    const auto it = g.edges.find(from);
+    if (it == g.edges.end()) return false;
+    for (const auto& edge : it->second) {
+        if (find_path(g, edge.first, to, visited, path)) {
+            path->insert(path->begin(), from);
+            return true;
+        }
+    }
+    return false;
+}
+
+void record_violation(Graph& g, const std::string& report) {
+    g.violations.fetch_add(1, std::memory_order_relaxed);
+    g.last_report = report;
+    std::fprintf(stderr, "%s", report.c_str());
+}
+
+}  // namespace
+
+void on_acquire(const Mutex* mutex, const char* name) {
+    auto& held = held_stack();
+    const std::string acquired = display_name(mutex, name);
+    if (held.empty()) {
+        held.push_back({mutex, acquired});
+        return;
+    }
+    const HeldLock& top = held.back();
+    Graph& g = graph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    std::vector<std::string> current;
+    for (const HeldLock& h : held) current.push_back(h.name);
+    current.push_back(acquired);
+    if (top.mutex == mutex) {
+        // Re-acquiring a held std::mutex deadlocks unconditionally.
+        std::ostringstream report;
+        report << "aero lock-order: re-acquisition of \"" << acquired
+               << "\" while already held\n  thread " << this_thread_id()
+               << " stack: " << join_stack(current) << "\n";
+        record_violation(g, report.str());
+    } else {
+        auto& out_edges = g.edges[top.mutex];
+        if (out_edges.find(mutex) == out_edges.end()) {
+            // New edge top -> mutex: a pre-existing path mutex ~> top
+            // means some thread acquired in the opposite order.
+            std::set<const Mutex*> visited;
+            std::vector<const Mutex*> path;
+            if (find_path(g, mutex, top.mutex, &visited, &path) &&
+                path.size() > 1) {
+                const EdgeInfo& other = g.edges[path[0]].at(path[1]);
+                std::ostringstream report;
+                report << "aero lock-order: inversion acquiring \""
+                       << acquired << "\" while holding \"" << top.name
+                       << "\"\n  this thread " << this_thread_id()
+                       << " stack: " << join_stack(current)
+                       << "\n  conflicting order by thread "
+                       << other.thread_id
+                       << " stack: " << join_stack(other.stack) << "\n";
+                record_violation(g, report.str());
+            }
+            out_edges[mutex] = EdgeInfo{current, this_thread_id()};
+        }
+    }
+    held.push_back({mutex, acquired});
+}
+
+void on_try_acquire(const Mutex* mutex, const char* name) {
+    held_stack().push_back({mutex, display_name(mutex, name)});
+}
+
+void on_release(const Mutex* mutex) {
+    auto& held = held_stack();
+    for (auto it = held.rbegin(); it != held.rend(); ++it) {
+        if (it->mutex == mutex) {
+            held.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+void on_destroy(const Mutex* mutex) {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    g.edges.erase(mutex);
+    for (auto& entry : g.edges) entry.second.erase(mutex);
+}
+
+int violation_count() {
+    return graph().violations.load(std::memory_order_relaxed);
+}
+
+std::string last_report() {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    return g.last_report;
+}
+
+void reset() {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    g.edges.clear();
+    g.violations.store(0, std::memory_order_relaxed);
+    g.last_report.clear();
+}
+
+}  // namespace aero::util::lock_order

@@ -1,0 +1,154 @@
+#include "determinism.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <regex>
+#include <set>
+
+#include "walk.hpp"
+
+namespace aero::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+char prev_nonspace_char(const std::string& code, std::size_t pos) {
+    while (pos > 0) {
+        const char c = code[--pos];
+        if (!std::isspace(static_cast<unsigned char>(c))) return c;
+    }
+    return '\0';
+}
+
+struct Reporter {
+    const std::string& path;
+    const std::string& code;
+    const std::vector<std::pair<int, std::string>>& allows;
+    std::vector<Finding>* out;
+
+    void report(std::size_t offset, const std::string& rule,
+                const std::string& message) const {
+        const int line = line_of(code, offset);
+        if (is_suppressed(allows, line, rule)) return;
+        out->push_back({path, line, rule, message});
+    }
+};
+
+void check_random(const Reporter& reporter) {
+    static const std::regex kRandom(
+        R"(\b(rand|srand)\s*\(|\b(?:std\s*::\s*)?(random_device)\b)");
+    for (auto it = std::sregex_iterator(reporter.code.begin(),
+                                        reporter.code.end(), kRandom);
+         it != std::sregex_iterator(); ++it) {
+        const auto offset = static_cast<std::size_t>(it->position());
+        const std::string name =
+            (*it)[1].matched ? (*it)[1].str() : (*it)[2].str();
+        // Member calls like cfg.rand() are not the C library.
+        const char before = prev_nonspace_char(reporter.code, offset);
+        if (before == '.' || before == '>') continue;
+        reporter.report(offset, "det-random",
+                        "`" + name +
+                            "` in an output-affecting directory; "
+                            "randomness must flow through a seeded "
+                            "util::Rng");
+    }
+}
+
+void check_wallclock(const Reporter& reporter) {
+    static const std::regex kWallclock(
+        R"(\b(system_clock|gettimeofday|localtime|gmtime|mktime|strftime)\b|\b(ctime|time)\s*\(\s*(?:NULL|nullptr|0|&\s*\w+)?\s*\)|\b(clock)\s*\(\s*\))");
+    for (auto it = std::sregex_iterator(reporter.code.begin(),
+                                        reporter.code.end(), kWallclock);
+         it != std::sregex_iterator(); ++it) {
+        const auto offset = static_cast<std::size_t>(it->position());
+        std::string name;
+        for (int group = 1; group <= 3; ++group) {
+            if ((*it)[group].matched) {
+                name = (*it)[group].str();
+                break;
+            }
+        }
+        // obs::Clock-style member calls (clk.time(), clock())
+        // dispatched through an injected interface are deterministic
+        // under ManualClock; only the global C/chrono reads are banned.
+        const char before = prev_nonspace_char(reporter.code, offset);
+        if (before == '.' || before == '>') continue;
+        reporter.report(offset, "det-wallclock",
+                        "wall-clock read `" + name +
+                            "` in an output-affecting directory; "
+                            "results must not depend on when they run");
+    }
+}
+
+void check_unordered_iteration(const Reporter& reporter) {
+    // Names declared (anywhere in this file) with an unordered type:
+    // members, locals and parameters all match.
+    static const std::regex kDecl(
+        R"(\bunordered_(?:map|set)\s*<[^;{}()]*>\s*[&*]?\s*(\w+)\s*[;,=({)])");
+    std::set<std::string> unordered_names;
+    for (auto it = std::sregex_iterator(reporter.code.begin(),
+                                        reporter.code.end(), kDecl);
+         it != std::sregex_iterator(); ++it) {
+        unordered_names.insert((*it)[1].str());
+    }
+    if (unordered_names.empty()) return;
+
+    // Range-for over an unordered name.
+    static const std::regex kRangeFor(
+        R"(\bfor\s*\([^;()]*?:\s*(?:this\s*->\s*)?(\w+)\s*\))");
+    for (auto it = std::sregex_iterator(reporter.code.begin(),
+                                        reporter.code.end(), kRangeFor);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (unordered_names.count(name) == 0) continue;
+        reporter.report(
+            static_cast<std::size_t>(it->position()), "det-unordered-iter",
+            "range-for over unordered container `" + name +
+                "`; hash order leaks into results — iterate a sorted "
+                "copy or use std::map/std::set");
+    }
+
+    // Explicit iterator walks: name.begin() / name.cbegin().
+    static const std::regex kBegin(R"(\b(\w+)\s*\.\s*c?begin\s*\()");
+    for (auto it = std::sregex_iterator(reporter.code.begin(),
+                                        reporter.code.end(), kBegin);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (unordered_names.count(name) == 0) continue;
+        reporter.report(
+            static_cast<std::size_t>(it->position()), "det-unordered-iter",
+            "iterator over unordered container `" + name +
+                "`; hash order leaks into results — iterate a sorted "
+                "copy or use std::map/std::set");
+    }
+}
+
+}  // namespace
+
+void determinism_file(const std::string& path, const std::string& content,
+                      std::vector<Finding>* out) {
+    // Strings and comments blanked: "random" in a log message is fine.
+    const std::string code = sanitize(content, false);
+    const auto allows = allow_markers(content);
+    const Reporter reporter{path, code, allows, out};
+    check_random(reporter);
+    check_wallclock(reporter);
+    check_unordered_iteration(reporter);
+}
+
+void run_determinism(const Options& options, std::vector<Finding>* out) {
+    for (const std::string& dir : options.determinism_dirs) {
+        for (const std::string& rel :
+             list_source_files(options.root, dir)) {
+            std::string content;
+            if (!read_file_text(fs::path(options.root) / rel, &content)) {
+                out->push_back({rel, 1, "io", "cannot read file"});
+                continue;
+            }
+            determinism_file(rel, content, out);
+        }
+    }
+}
+
+}  // namespace aero::lint

@@ -1,0 +1,36 @@
+#pragma once
+// Determinism pass: output-affecting directories (src/tensor,
+// src/linalg, src/nn, src/diffusion, src/core) carry the repo's
+// bitwise-reproducibility contract — the FID/PSNR tables only reproduce
+// if the same seed yields the same bytes. Three rules:
+//
+//   det-random          rand() / srand() / std::random_device — all
+//                       randomness goes through the seeded util::Rng
+//   det-wallclock       wall-clock reads (system_clock, time(),
+//                       gettimeofday, localtime/gmtime/ctime/strftime,
+//                       bare clock()) — results must not depend on when
+//                       they were computed
+//   det-unordered-iter  iteration over a std::unordered_map /
+//                       unordered_set declared in the same file — hash
+//                       order varies across libraries and runs and must
+//                       never feed results; iterate a sorted copy or
+//                       use std::map/std::set
+//
+// `// aero-lint: allow(<rule>)` suppresses a deliberate exception.
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace aero::lint {
+
+/// Lints one file's content with the determinism rules; `path` is the
+/// root-relative path used in findings.
+void determinism_file(const std::string& path, const std::string& content,
+                      std::vector<Finding>* out);
+
+/// Whole pass over options.determinism_dirs.
+void run_determinism(const Options& options, std::vector<Finding>* out);
+
+}  // namespace aero::lint

@@ -1,0 +1,35 @@
+// Every determinism rule fires here: C-library randomness, a hardware
+// entropy source, wall-clock reads and unordered iteration.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+int entropy() {
+    std::srand(42);
+    std::random_device device;
+    return std::rand() + static_cast<int>(device());
+}
+
+long long wall() {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t stamp = std::time(nullptr);
+    return now.time_since_epoch().count() + stamp;
+}
+
+int hash_order(const std::unordered_map<std::string, int>& weights) {
+    int total = 0;
+    for (const auto& entry : weights) total += entry.second;
+    for (auto it = weights.begin(); it != weights.end(); ++it) {
+        total += it->second;
+    }
+    return total;
+}
+
+int reviewed_exception() {
+    // aero-lint: allow(det-random)
+    return std::rand();
+}

@@ -1,0 +1,31 @@
+// Deterministic by construction: seeded Rng, injected clock, ordered
+// containers — plus near-miss names that must not trip the rules.
+
+#include <map>
+#include <string>
+#include <vector>
+
+struct Rng {
+    unsigned next();
+};
+struct Clock {
+    long long time(int channel);
+};
+struct Tensor {
+    static Tensor randn(int n, Rng* rng);
+};
+
+int run(Rng* rng, Clock* clk) {
+    // randn( contains "rand" but is not the C library call.
+    Tensor noise = Tensor::randn(4, rng);
+    (void)noise;
+    // An injected clock read (member call) is deterministic under a
+    // manual clock; only the global C/chrono reads are banned.
+    long long t = clk->time(0);
+    // "rand" and "system_clock" in strings or comments do not count.
+    const std::string note = "rand() and system_clock are banned";
+    std::map<std::string, int> ordered = {{note, 1}};
+    int total = 0;
+    for (const auto& entry : ordered) total += entry.second;
+    return total + static_cast<int>(t) + static_cast<int>(rng->next());
+}

@@ -1,0 +1,2 @@
+// This module directory has no ARCH.layers entry: layer-undeclared.
+int stray_value() { return 3; }

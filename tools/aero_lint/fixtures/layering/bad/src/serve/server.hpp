@@ -1,0 +1,3 @@
+#pragma once
+#include "util/base.hpp"
+int server_value();

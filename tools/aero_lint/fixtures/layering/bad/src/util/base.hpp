@@ -1,0 +1,2 @@
+#pragma once
+int base_value();

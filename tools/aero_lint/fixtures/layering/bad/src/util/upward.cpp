@@ -1,0 +1,5 @@
+// The deliberate upward edge: util is the bottom layer and must not
+// know about serve.
+#include "serve/server.hpp"
+
+int upward_value() { return 2; }

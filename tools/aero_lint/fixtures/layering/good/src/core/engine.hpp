@@ -1,0 +1,3 @@
+#pragma once
+#include "util/base.hpp"
+inline int engine_value() { return base_value() + 1; }

@@ -1,0 +1,8 @@
+// serve sits on top: the direct core include and the transitive util
+// include are both legal. The commented-out upward edge below must not
+// count — the pass scans sanitized text.
+#include "core/engine.hpp"
+#include "util/base.hpp"
+// #include "rogue/backdoor.hpp"
+
+int serve_value() { return engine_value() + base_value(); }

@@ -1,0 +1,5 @@
+// A deliberate, reviewed upward edge: the marker keeps the tree clean.
+// aero-lint: allow(layer-violation)
+#include "serve/api.hpp"
+
+int suppressed_value() { return 0; }

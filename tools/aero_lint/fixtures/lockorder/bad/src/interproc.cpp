@@ -1,0 +1,32 @@
+// Inter-procedural inversion: grab() holds head_ and calls into a
+// function that locks tail_; reverse() holds tail_ and reaches head_
+// through a non-locking intermediate. Only the may-lock closure over
+// the call graph sees this cycle.
+
+namespace util {
+class Mutex {};
+class MutexLock {
+public:
+    explicit MutexLock(Mutex& m);
+};
+}  // namespace util
+
+class Chain {
+public:
+    void grab() {
+        util::MutexLock l(head_);
+        lock_tail();
+    }
+    void reverse() {
+        util::MutexLock l(tail_);
+        indirection();
+    }
+
+private:
+    void indirection() { lock_head(); }
+    void lock_head() { util::MutexLock l(head_); }
+    void lock_tail() { util::MutexLock l(tail_); }
+
+    util::Mutex head_;
+    util::Mutex tail_;
+};

@@ -1,0 +1,26 @@
+// The classic lexical inversion: one method nests a_ -> b_, the other
+// b_ -> a_.
+
+namespace util {
+class Mutex {};
+class MutexLock {
+public:
+    explicit MutexLock(Mutex& m);
+};
+}  // namespace util
+
+class Inverted {
+public:
+    void forward() {
+        util::MutexLock la(a_);
+        util::MutexLock lb(b_);
+    }
+    void backward() {
+        util::MutexLock lb(b_);
+        util::MutexLock la(a_);
+    }
+
+private:
+    util::Mutex a_;
+    util::Mutex b_;
+};

@@ -1,0 +1,33 @@
+// Two mutexes, always acquired in the same order (front_ before
+// back_), including through a call chain — no cycle.
+
+namespace util {
+class Mutex {};
+class MutexLock {
+public:
+    explicit MutexLock(Mutex& m);
+};
+}  // namespace util
+
+class Pipeline {
+public:
+    void push() {
+        util::MutexLock front(front_);
+        util::MutexLock back(back_);
+        count_ += 1;
+    }
+    void drain() {
+        util::MutexLock front(front_);
+        flush_back();
+    }
+
+private:
+    void flush_back() {
+        util::MutexLock back(back_);
+        count_ = 0;
+    }
+
+    util::Mutex front_;
+    util::Mutex back_;
+    int count_ = 0;
+};

@@ -1,0 +1,249 @@
+#include "layering.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <regex>
+#include <sstream>
+
+#include "walk.hpp"
+
+namespace aero::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string trim(const std::string& text) {
+    std::size_t begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    std::size_t end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+bool valid_module_name(const std::string& name) {
+    if (name.empty()) return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '_';
+        if (!ok) return false;
+    }
+    return true;
+}
+
+/// DFS state for cycle detection: 0 unvisited, 1 on stack, 2 done.
+bool find_cycle(const LayerManifest& manifest, const std::string& node,
+                std::map<std::string, int>* state,
+                std::vector<std::string>* stack,
+                std::vector<std::string>* cycle) {
+    (*state)[node] = 1;
+    stack->push_back(node);
+    const auto it = manifest.deps.find(node);
+    if (it != manifest.deps.end()) {
+        for (const std::string& dep : it->second) {
+            const int dep_state =
+                state->count(dep) != 0 ? (*state)[dep] : 0;
+            if (dep_state == 1) {
+                // Slice the stack from the first occurrence of dep.
+                const auto begin =
+                    std::find(stack->begin(), stack->end(), dep);
+                cycle->assign(begin, stack->end());
+                cycle->push_back(dep);
+                return true;
+            }
+            if (dep_state == 0 &&
+                find_cycle(manifest, dep, state, stack, cycle)) {
+                return true;
+            }
+        }
+    }
+    stack->pop_back();
+    (*state)[node] = 2;
+    return false;
+}
+
+}  // namespace
+
+LayerManifest parse_layer_manifest(const std::string& text,
+                                   const std::string& manifest_path,
+                                   std::vector<Finding>* out) {
+    LayerManifest manifest;
+    std::istringstream stream(text);
+    std::string raw;
+    int line = 0;
+    while (std::getline(stream, raw)) {
+        ++line;
+        const std::size_t hash = raw.find('#');
+        const std::string entry =
+            trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+        if (entry.empty()) continue;
+        const std::size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+            out->push_back({manifest_path, line, "layer-manifest",
+                            "malformed line (expected '<module>: "
+                            "<deps...>'): " +
+                                entry});
+            continue;
+        }
+        const std::string module = trim(entry.substr(0, colon));
+        if (!valid_module_name(module)) {
+            out->push_back({manifest_path, line, "layer-manifest",
+                            "invalid module name \"" + module + "\""});
+            continue;
+        }
+        if (manifest.deps.count(module) != 0) {
+            out->push_back({manifest_path, line, "layer-manifest",
+                            "duplicate entry for module \"" + module +
+                                "\""});
+            continue;
+        }
+        std::vector<std::string> deps;
+        std::istringstream dep_stream(entry.substr(colon + 1));
+        std::string dep;
+        while (dep_stream >> dep) {
+            if (!valid_module_name(dep)) {
+                out->push_back({manifest_path, line, "layer-manifest",
+                                "invalid dependency name \"" + dep +
+                                    "\" for module \"" + module + "\""});
+                continue;
+            }
+            deps.push_back(dep);
+        }
+        manifest.modules.push_back(module);
+        manifest.deps[module] = std::move(deps);
+    }
+    // Dependencies must themselves be declared, so the DAG is closed.
+    for (const std::string& module : manifest.modules) {
+        for (const std::string& dep : manifest.deps[module]) {
+            if (manifest.deps.count(dep) == 0) {
+                out->push_back(
+                    {manifest_path, 1, "layer-manifest",
+                     "module \"" + module + "\" depends on \"" + dep +
+                         "\" which has no entry of its own"});
+            }
+        }
+    }
+    return manifest;
+}
+
+std::set<std::string> layer_closure(const LayerManifest& manifest,
+                                    const std::string& module) {
+    std::set<std::string> closure;
+    std::vector<std::string> frontier{module};
+    while (!frontier.empty()) {
+        const std::string node = frontier.back();
+        frontier.pop_back();
+        const auto it = manifest.deps.find(node);
+        if (it == manifest.deps.end()) continue;
+        for (const std::string& dep : it->second) {
+            if (closure.insert(dep).second) frontier.push_back(dep);
+        }
+    }
+    closure.erase(module);
+    return closure;
+}
+
+void check_layer_cycles(const LayerManifest& manifest,
+                        const std::string& manifest_path,
+                        std::vector<Finding>* out) {
+    std::map<std::string, int> state;
+    for (const std::string& module : manifest.modules) {
+        if (state.count(module) != 0 && state[module] == 2) continue;
+        std::vector<std::string> stack;
+        std::vector<std::string> cycle;
+        if (find_cycle(manifest, module, &state, &stack, &cycle)) {
+            std::string path;
+            for (const std::string& node : cycle) {
+                if (!path.empty()) path += " -> ";
+                path += node;
+            }
+            out->push_back({manifest_path, 1, "layer-cycle",
+                            "declared layer graph has a cycle: " + path});
+            return;  // one cycle report is enough to fail the gate
+        }
+    }
+}
+
+void run_layering(const Options& options, std::vector<Finding>* out) {
+    if (options.layers_manifest.empty()) return;
+    std::string text;
+    const fs::path manifest_file =
+        fs::path(options.root) / options.layers_manifest;
+    if (!read_file_text(manifest_file, &text)) {
+        out->push_back({options.layers_manifest, 1, "layer-manifest",
+                        "cannot read layer manifest"});
+        return;
+    }
+    const LayerManifest manifest =
+        parse_layer_manifest(text, options.layers_manifest, out);
+    if (manifest.modules.empty()) {
+        out->push_back({options.layers_manifest, 1, "layer-manifest",
+                        "manifest declares zero modules"});
+        return;
+    }
+    check_layer_cycles(manifest, options.layers_manifest, out);
+
+    // Every module directory on disk needs a declared layer.
+    const fs::path src_root = fs::path(options.root) / options.layers_root;
+    std::error_code ec;
+    std::vector<std::string> module_dirs;
+    if (fs::is_directory(src_root, ec)) {
+        for (const auto& entry : fs::directory_iterator(src_root, ec)) {
+            if (!entry.is_directory()) continue;
+            const std::string name = entry.path().filename().string();
+            if (manifest.deps.count(name) == 0) {
+                out->push_back(
+                    {options.layers_root + "/" + name, 1,
+                     "layer-undeclared",
+                     "module directory has no entry in " +
+                         options.layers_manifest +
+                         "; declare its layer before adding code"});
+            } else {
+                module_dirs.push_back(name);
+            }
+        }
+    }
+    std::sort(module_dirs.begin(), module_dirs.end());
+
+    static const std::regex kInclude(
+        R"re([ \t]*#[ \t]*include[ \t]*"([^"]+)")re");
+    for (const std::string& module : module_dirs) {
+        const std::set<std::string> closure =
+            layer_closure(manifest, module);
+        for (const std::string& rel : list_source_files(
+                 options.root, options.layers_root + "/" + module)) {
+            std::string content;
+            if (!read_file_text(fs::path(options.root) / rel, &content)) {
+                out->push_back({rel, 1, "io", "cannot read file"});
+                continue;
+            }
+            // Sanitize with strings kept so real include paths survive
+            // while commented-out includes disappear.
+            const std::string code = sanitize(content, true);
+            const auto allows = allow_markers(content);
+            for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                                kInclude);
+                 it != std::sregex_iterator(); ++it) {
+                const std::string target = (*it)[1].str();
+                const std::size_t slash = target.find('/');
+                if (slash == std::string::npos) continue;  // same-dir
+                const std::string head = target.substr(0, slash);
+                if (head == module) continue;
+                if (manifest.deps.count(head) == 0) continue;
+                if (closure.count(head) != 0) continue;
+                const int line = line_of(
+                    code, static_cast<std::size_t>(it->position()));
+                if (is_suppressed(allows, line, "layer-violation")) {
+                    continue;
+                }
+                out->push_back(
+                    {rel, line, "layer-violation",
+                     "module \"" + module + "\" includes \"" + target +
+                         "\" but \"" + head +
+                         "\" is not in its declared dependency closure (" +
+                         options.layers_manifest + ")"});
+            }
+        }
+    }
+}
+
+}  // namespace aero::lint

@@ -1,0 +1,63 @@
+#pragma once
+// Layering pass: checks the `#include` graph of src/ against the layer
+// DAG declared in the checked-in manifest (ARCH.layers at the repo
+// root).
+//
+// Manifest grammar, one module per line, `#` comments:
+//
+//   <module>: <direct dependency> <direct dependency> ...
+//
+// A module may include itself, any declared direct dependency, and —
+// because layering is about what a layer may *know*, not what it links
+// first-hand — anything in the transitive closure of its dependencies
+// (mirroring how CMake propagates PUBLIC link requirements). Files
+// directly under src/ (the umbrella API header) are the implicit top
+// layer and may include everything.
+//
+// Emitted rules:
+//   layer-manifest    manifest unreadable / malformed line / dep names
+//                     a module with no entry of its own
+//   layer-cycle       the declared dependency graph has a cycle
+//   layer-undeclared  a module directory under src/ has no manifest
+//                     entry (new modules must declare their layer)
+//   layer-violation   a file includes a module outside its closure,
+//                     reported with the including file and line
+//
+// `// aero-lint: allow(layer-violation)` suppresses a single include.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace aero::lint {
+
+struct LayerManifest {
+    /// Declaration order, for deterministic reporting.
+    std::vector<std::string> modules;
+    /// Direct dependencies per module.
+    std::map<std::string, std::vector<std::string>> deps;
+};
+
+/// Parses manifest text; malformed lines and unknown dependency names
+/// become layer-manifest findings attributed to `manifest_path`.
+LayerManifest parse_layer_manifest(const std::string& text,
+                                   const std::string& manifest_path,
+                                   std::vector<Finding>* out);
+
+/// Transitive dependency closure of `module` (not including itself).
+/// Safe on cyclic input (visits each module once).
+std::set<std::string> layer_closure(const LayerManifest& manifest,
+                                    const std::string& module);
+
+/// Appends layer-cycle findings for cycles in the declared graph.
+void check_layer_cycles(const LayerManifest& manifest,
+                        const std::string& manifest_path,
+                        std::vector<Finding>* out);
+
+/// Whole pass: manifest + module dirs + every include edge.
+void run_layering(const Options& options, std::vector<Finding>* out);
+
+}  // namespace aero::lint

@@ -7,6 +7,11 @@
 #include <regex>
 #include <sstream>
 
+#include "determinism.hpp"
+#include "layering.hpp"
+#include "lockorder.hpp"
+#include "walk.hpp"
+
 namespace aero::lint {
 
 namespace {
@@ -55,24 +60,6 @@ private:
     std::vector<std::size_t> newlines_;
 };
 
-/// Lines carrying an `aero-lint: allow(<rule>)` marker, per rule.
-std::vector<std::pair<int, std::string>> allow_markers(
-    const std::string& content) {
-    std::vector<std::pair<int, std::string>> markers;
-    static const std::regex kMarker(R"(aero-lint:\s*allow\(([a-z-]+)\))");
-    int line = 1;
-    std::istringstream stream(content);
-    std::string text;
-    while (std::getline(stream, text)) {
-        std::smatch match;
-        if (std::regex_search(text, match, kMarker)) {
-            markers.emplace_back(line, match[1].str());
-        }
-        ++line;
-    }
-    return markers;
-}
-
 class FileLinter {
 public:
     FileLinter(const std::string& path, const std::string& content,
@@ -93,14 +80,7 @@ public:
     void report(std::size_t offset, const std::string& rule,
                 const std::string& message) {
         const int line = lines_.line_at(offset);
-        for (const auto& allow : allows_) {
-            // A marker suppresses its own line and the next one, so a
-            // long offending expression can carry the marker above it.
-            if ((allow.first == line || allow.first == line - 1) &&
-                allow.second == rule) {
-                return;
-            }
-        }
+        if (is_suppressed(allows_, line, rule)) return;
         out_->push_back({path_, line, rule, message});
     }
 
@@ -408,6 +388,117 @@ void scan_dir(const Options& options, const std::string& dir, bool strict,
 
 }  // namespace
 
+bool pass_enabled(const Options& options, const std::string& pass) {
+    if (options.passes.empty()) return true;
+    return std::find(options.passes.begin(), options.passes.end(), pass) !=
+           options.passes.end();
+}
+
+int line_of(const std::string& text, std::size_t offset) {
+    return LineIndex(text).line_at(offset);
+}
+
+std::vector<std::pair<int, std::string>> allow_markers(
+    const std::string& content) {
+    std::vector<std::pair<int, std::string>> markers;
+    static const std::regex kMarker(R"(aero-lint:\s*allow\(([a-z-]+)\))");
+    int line = 1;
+    std::istringstream stream(content);
+    std::string text;
+    while (std::getline(stream, text)) {
+        std::smatch match;
+        if (std::regex_search(text, match, kMarker)) {
+            markers.emplace_back(line, match[1].str());
+        }
+        ++line;
+    }
+    return markers;
+}
+
+bool is_suppressed(const std::vector<std::pair<int, std::string>>& markers,
+                   int line, const std::string& rule) {
+    for (const auto& marker : markers) {
+        // A marker suppresses its own line and the next one, so a long
+        // offending expression can carry the marker above it.
+        if ((marker.first == line || marker.first == line - 1) &&
+            marker.second == rule) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool read_file_text(const std::filesystem::path& path, std::string* out) {
+    return read_file(path, out);
+}
+
+std::vector<std::string> list_source_files(const std::string& root,
+                                           const std::string& dir) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    std::vector<std::string> files;
+    if (!fs::is_directory(base, ec)) return files;
+    for (const auto& entry :
+         fs::recursive_directory_iterator(base, ec)) {
+        if (entry.is_regular_file() && lintable_extension(entry.path())) {
+            files.push_back(
+                fs::relative(entry.path(), root, ec).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+const std::vector<RuleDoc>& rule_docs() {
+    static const std::vector<RuleDoc> kDocs = {
+        {"det-random",
+         "no rand()/srand()/random_device in output-affecting dirs; "
+         "randomness goes through seeded util::Rng"},
+        {"det-unordered-iter",
+         "no iteration over unordered_map/unordered_set in "
+         "output-affecting dirs (hash order leaks into results)"},
+        {"det-wallclock",
+         "no wall-clock reads (system_clock, time(), localtime, ...) in "
+         "output-affecting dirs"},
+        {"fault-docs",
+         "every registered fault point is documented in DESIGN.md"},
+        {"fault-registry",
+         "every fault-point name at a should_fail/fires/arm_nan/"
+         "set_fail_rate site is registered in util/fault_points.hpp"},
+        {"layer-cycle",
+         "the layer DAG declared in ARCH.layers must be acyclic"},
+        {"layer-manifest",
+         "ARCH.layers parses: '<module>: <deps...>' lines, deps declared"},
+        {"layer-undeclared",
+         "every module directory under src/ has an ARCH.layers entry"},
+        {"layer-violation",
+         "a file only #includes modules its layer may depend on "
+         "(transitively) per ARCH.layers"},
+        {"lock-order",
+         "the approximate inter-procedural util::MutexLock graph "
+         "(syntactic nesting + call edges) has no cycles"},
+        {"metric-naming",
+         "metric registration names match aero_<area>_<name> and are "
+         "declared in src/obs/metric_names.hpp"},
+        {"naked-new",
+         "no naked new/delete outside the module-ownership core"},
+        {"overload-accounting",
+         "degradation-ladder rung writes sit within three lines of an "
+         "aero_overload_* rung-transition counter increment"},
+        {"pragma-once", "every public header starts with #pragma once"},
+        {"stats-accounting",
+         "*Stats structs with balanced() keep the accounting comment "
+         "beside the fields it constrains"},
+        {"unchecked-io",
+         "the bool from write_file/save_parameters/save_checkpoint is "
+         "consumed, not dropped"},
+        {"unchecked-parse",
+         "no stoi/atoi/strtod & friends; use util::parse_int/"
+         "parse_double"},
+    };
+    return kDocs;
+}
+
 std::string sanitize(const std::string& text, bool keep_strings) {
     enum class State {
         kCode,
@@ -541,6 +632,25 @@ void lint_file(const std::string& path, const std::string& content,
 
 std::vector<Finding> run_lint(const Options& options) {
     std::vector<Finding> findings;
+
+    if (pass_enabled(options, "layering")) {
+        run_layering(options, &findings);
+    }
+    if (pass_enabled(options, "lock-order")) {
+        run_lockorder(options, &findings);
+    }
+    if (pass_enabled(options, "determinism")) {
+        run_determinism(options, &findings);
+    }
+    if (!pass_enabled(options, "rules")) {
+        std::sort(findings.begin(), findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                      if (a.file != b.file) return a.file < b.file;
+                      if (a.line != b.line) return a.line < b.line;
+                      return a.rule < b.rule;
+                  });
+        return findings;
+    }
 
     std::string registry_text;
     std::vector<std::string> registered;

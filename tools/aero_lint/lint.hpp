@@ -1,8 +1,8 @@
 #pragma once
-// aero_lint: project-invariant linter for the AeroDiffusion tree.
+// aero_lint: multi-pass project analyzer for the AeroDiffusion tree.
 //
-// Enforces repo-specific contracts that generic tooling (clang-tidy,
-// -Wthread-safety) cannot know about:
+// Pass 1 — per-line rules. Repo-specific contracts that generic tooling
+// (clang-tidy, -Wthread-safety) cannot know about:
 //
 //   fault-registry   every fault-injection point name used at a
 //                    should_fail / fires / arm_nan / set_fail_rate call
@@ -17,10 +17,7 @@
 //                    util/json (parse_int / parse_double)
 //   unchecked-io     the bool returned by the persistence helpers
 //                    (write_file / save_parameters / save_checkpoint)
-//                    is consumed, not dropped — a silently failed write
-//                    loses bench results or checkpoints. Runs in every
-//                    scanned directory, benches included (the original
-//                    offender was bench_common.hpp's record_results).
+//                    is consumed, not dropped
 //   stats-accounting every *Stats struct that exposes a balanced()
 //                    invariant keeps its accounting comment adjacent to
 //                    the fields it constrains
@@ -29,18 +26,34 @@
 //                    `aero_<area>_<name>` pattern and is declared in
 //                    src/obs/metric_names.hpp
 //   overload-accounting
-//                    every write of a degradation-ladder rung state
-//                    (`rung_ = ...` / `rung_.store(...)`) sits within
-//                    three lines of an `aero_overload_*` rung-transition
-//                    counter increment, so ladder moves can never go
-//                    unmetered (DESIGN.md §14)
+//                    every write of a degradation-ladder rung state sits
+//                    within three lines of an `aero_overload_*`
+//                    rung-transition counter increment (DESIGN.md §14)
+//
+// Pass 2 — layering (layering.hpp): the `#include` graph of src/ must
+// respect the layer DAG declared in ARCH.layers (rules layer-violation,
+// layer-cycle, layer-undeclared, layer-manifest).
+//
+// Pass 3 — lock-order (lockorder.hpp): an approximate inter-procedural
+// lock graph over util::MutexLock acquisition sites; cycles are
+// potential deadlocks (rule lock-order). The runtime companion lives in
+// src/util/sync.{hpp,cpp} behind AERO_LOCK_ORDER=1.
+//
+// Pass 4 — determinism (determinism.hpp): output-affecting directories
+// must not read entropy or wall clocks or iterate unordered containers
+// (rules det-random, det-wallclock, det-unordered-iter) — the bitwise
+// reproducibility contract behind the paper's FID/PSNR tables.
 //
 // A deliberate exception is suppressed inline with
 //   // aero-lint: allow(<rule>)
 // on the offending line or the line directly above it; suppressions are
 // visible in review and greppable, which is the point.
+//
+// `aero_lint --list-rules` prints the full table; `--json PATH` writes
+// the machine-readable report consumed by scripts/check.sh.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace aero::lint {
@@ -54,7 +67,7 @@ struct Finding {
 
 struct Options {
     std::string root = ".";  ///< repo root
-    /// Directories (relative to root) where every rule applies.
+    /// Directories (relative to root) where every per-line rule applies.
     std::vector<std::string> strict_dirs = {"src"};
     /// Extra directories where only the fault-registry rule applies
     /// (tests/benches arm fault points too).
@@ -72,7 +85,22 @@ struct Options {
     std::vector<std::string> allow_new = {"src/nn/module.cpp"};
     /// Files allowed to use raw conversions (the checked-parser home).
     std::vector<std::string> allow_unchecked_parse = {"src/util/json.cpp"};
+    /// Layer manifest, relative to root ("" skips the layering pass).
+    std::string layers_manifest = "ARCH.layers";
+    /// Directory whose module subdirectories the layering pass checks.
+    std::string layers_root = "src";
+    /// Directories the lock-order pass scans for acquisition sites.
+    std::vector<std::string> lock_dirs = {"src"};
+    /// Output-affecting directories under the determinism contract.
+    std::vector<std::string> determinism_dirs = {
+        "src/tensor", "src/linalg", "src/nn", "src/diffusion", "src/core"};
+    /// Pass filter: empty runs everything; otherwise a subset of
+    /// {"rules", "layering", "lock-order", "determinism"}.
+    std::vector<std::string> passes;
 };
+
+/// True when `pass` ("rules" / "layering" / ...) should run.
+bool pass_enabled(const Options& options, const std::string& pass);
 
 /// Returns `text` with comments — and, when `keep_strings` is false,
 /// string/char literal contents — blanked to spaces. Length- and
@@ -88,16 +116,39 @@ std::vector<std::string> parse_registry(const std::string& registry_text);
 /// (lowercase alnum + underscore, at least three non-empty segments).
 bool valid_metric_name(const std::string& name);
 
-/// Lints one file's content. `strict` enables every rule; otherwise
-/// only fault-registry runs. Appends to `out`.
+/// 1-based line number of `offset` within `text`.
+int line_of(const std::string& text, std::size_t offset);
+
+/// (line, rule) pairs for every `aero-lint: allow(<rule>)` marker in
+/// the ORIGINAL (un-sanitized) file content.
+std::vector<std::pair<int, std::string>> allow_markers(
+    const std::string& content);
+
+/// True when a marker suppresses `rule` on `line` (the marker's own
+/// line or the line directly above).
+bool is_suppressed(const std::vector<std::pair<int, std::string>>& markers,
+                   int line, const std::string& rule);
+
+/// One row of the `--list-rules` table.
+struct RuleDoc {
+    const char* name;
+    const char* summary;
+};
+
+/// Every rule any pass can emit, sorted by name.
+const std::vector<RuleDoc>& rule_docs();
+
+/// Lints one file's content with the per-line rules. `strict` enables
+/// every rule; otherwise only fault-registry/unchecked-io run. Appends
+/// to `out`.
 void lint_file(const std::string& path, const std::string& content,
                const std::vector<std::string>& registered_points,
                const std::vector<std::string>& registered_metrics,
                const Options& options, bool strict,
                std::vector<Finding>* out);
 
-/// Walks the configured directories and runs every rule. Findings are
-/// sorted by (file, line).
+/// Runs every enabled pass over the configured tree. Findings are
+/// sorted by (file, line, rule).
 std::vector<Finding> run_lint(const Options& options);
 
 }  // namespace aero::lint

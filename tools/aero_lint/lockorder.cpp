@@ -1,0 +1,711 @@
+#include "lockorder.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <map>
+#include <regex>
+#include <set>
+
+#include "walk.hpp"
+
+namespace aero::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+const std::set<std::string>& keyword_set() {
+    static const std::set<std::string> kKeywords = {
+        "if",     "for",    "while",   "switch", "catch",
+        "return", "sizeof", "alignof", "new",    "delete",
+        "do",     "else",   "throw",   "co_await"};
+    return kKeywords;
+}
+
+/// Member-call names that are overwhelmingly STL containers, strings,
+/// atomics or threads — resolving them against domain classes by base
+/// name manufactures edges (ring_.clear() is not TraceBuffer::clear()).
+const std::set<std::string>& stl_member_set() {
+    static const std::set<std::string> kStlMembers = {
+        "append",     "at",          "back",        "begin",
+        "c_str",      "cbegin",      "cend",        "clear",
+        "contains",   "count",       "data",        "detach",
+        "emplace",    "emplace_back", "empty",      "end",
+        "erase",      "exchange",    "fetch_add",   "fetch_sub",
+        "find",       "front",       "get",         "insert",
+        "join",       "joinable",    "load",        "lock",
+        "notify_all", "notify_one",  "pop",         "pop_back",
+        "pop_front",  "push",        "push_back",   "push_front",
+        "release",    "reserve",     "reset",       "resize",
+        "size",       "store",       "str",         "substr",
+        "swap",       "top",         "try_lock",    "unlock",
+        "wait",       "wait_for"};
+    return kStlMembers;
+}
+
+std::string file_stem(const std::string& path) {
+    return fs::path(path).stem().string();
+}
+
+/// Matched brace pairs (open offset -> close offset), single pass.
+std::map<std::size_t, std::size_t> match_braces(const std::string& code) {
+    std::map<std::size_t, std::size_t> pairs;
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i] == '{') {
+            stack.push_back(i);
+        } else if (code[i] == '}' && !stack.empty()) {
+            pairs[stack.back()] = i;
+            stack.pop_back();
+        }
+    }
+    return pairs;
+}
+
+char prev_nonspace_char(const std::string& code, std::size_t pos) {
+    while (pos > 0) {
+        const char c = code[--pos];
+        if (!std::isspace(static_cast<unsigned char>(c))) return c;
+    }
+    return '\0';
+}
+
+/// First identifier token in `text` ("" if none before non-ident).
+std::string first_token(const std::string& text) {
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+    }
+    std::size_t begin = i;
+    while (i < text.size() && is_ident_char(text[i])) ++i;
+    return text.substr(begin, i - begin);
+}
+
+/// Identifier (possibly ::-qualified, possibly ~dtor) ending right
+/// before `pos` in `text`, "" if none.
+std::string qualified_name_before(const std::string& text,
+                                  std::size_t pos) {
+    while (pos > 0 &&
+           std::isspace(static_cast<unsigned char>(text[pos - 1]))) {
+        --pos;
+    }
+    std::size_t end = pos;
+    while (pos > 0) {
+        const char c = text[pos - 1];
+        if (is_ident_char(c) || c == '~') {
+            --pos;
+        } else if (c == ':' && pos > 1 && text[pos - 2] == ':') {
+            pos -= 2;
+        } else {
+            break;
+        }
+    }
+    return text.substr(pos, end - pos);
+}
+
+struct Span {
+    enum Kind { kClass, kFunction, kOther };
+    Kind kind = kOther;
+    std::string name;  ///< class name, or function qualified name
+    std::string cls;   ///< functions: qualifying class
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/// Class name from a class/struct header: last identifier before the
+/// base-clause colon (or the brace).
+std::string class_name_from_header(const std::string& header) {
+    // Find a top-level ':' that is not part of '::'.
+    std::size_t limit = header.size();
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] != ':') continue;
+        const bool double_colon =
+            (i + 1 < header.size() && header[i + 1] == ':') ||
+            (i > 0 && header[i - 1] == ':');
+        if (!double_colon) {
+            limit = i;
+            break;
+        }
+    }
+    std::string name;
+    std::size_t i = 0;
+    while (i < limit) {
+        if (is_ident_char(header[i])) {
+            std::size_t begin = i;
+            while (i < limit && is_ident_char(header[i])) ++i;
+            name = header.substr(begin, i - begin);
+        } else {
+            ++i;
+        }
+    }
+    return name;
+}
+
+/// Classifies the brace at `open` from its header text.
+Span classify_span(const std::string& code, std::size_t open,
+                   std::size_t close) {
+    Span span;
+    span.begin = open;
+    span.end = close;
+    std::size_t hstart = code.find_last_of(";{}", open == 0 ? 0 : open - 1);
+    hstart = hstart == std::string::npos ? 0 : hstart + 1;
+    const std::string header = code.substr(hstart, open - hstart);
+    if (header.find('#') != std::string::npos) return span;
+    const std::string head = first_token(header);
+    if (head == "class" || head == "struct" || head == "union") {
+        const std::string name = class_name_from_header(header);
+        if (!name.empty()) {
+            span.kind = Span::kClass;
+            span.name = name;
+        }
+        return span;
+    }
+    if (head == "namespace" || head == "enum" || head == "extern" ||
+        head == "using") {
+        return span;
+    }
+    const char tail = prev_nonspace_char(code, open);
+    if (tail == '=' || tail == ',' || tail == '(' || tail == ']') {
+        return span;  // initializer / aggregate / lambda capture
+    }
+    const std::size_t paren = header.find('(');
+    if (paren == std::string::npos) return span;
+    const std::string name = qualified_name_before(header, paren);
+    if (name.empty()) return span;
+    const std::string base =
+        name.rfind("::") == std::string::npos
+            ? name
+            : name.substr(name.rfind("::") + 2);
+    if (keyword_set().count(base) != 0 || keyword_set().count(name) != 0) {
+        return span;
+    }
+    span.kind = Span::kFunction;
+    span.name = name;
+    if (name.size() > base.size() + 2) {
+        span.cls = name.substr(0, name.size() - base.size() - 2);
+        // Strip any namespace prefix: keep the last component.
+        const std::size_t sep = span.cls.rfind("::");
+        if (sep != std::string::npos) span.cls = span.cls.substr(sep + 2);
+    }
+    return span;
+}
+
+struct Acquisition {
+    std::string id;       ///< normalized mutex id
+    std::size_t offset = 0;
+    std::size_t match_end = 0;  ///< end of the declaration text
+    std::size_t scope_end = 0;
+    int line = 1;
+    const Span* function = nullptr;
+};
+
+std::string strip_spaces(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+    }
+    return out;
+}
+
+std::string normalize_mutex_expr(std::string expr) {
+    expr = strip_spaces(expr);
+    if (expr.rfind("this->", 0) == 0) expr = expr.substr(6);
+    return expr;
+}
+
+/// True for a plain member-style identifier (trailing underscore).
+bool looks_like_member(const std::string& expr) {
+    if (expr.empty() || expr.back() != '_') return false;
+    for (const char c : expr) {
+        if (!is_ident_char(c)) return false;
+    }
+    return true;
+}
+
+std::string mutex_id(const std::string& path, const Span* function,
+                     const std::string& expr) {
+    if (function != nullptr && !function->cls.empty() &&
+        looks_like_member(expr)) {
+        return function->cls + "::" + expr;
+    }
+    const std::string stem = file_stem(path);
+    if (function != nullptr) {
+        const std::string base =
+            function->name.rfind("::") == std::string::npos
+                ? function->name
+                : function->name.substr(function->name.rfind("::") + 2);
+        return stem + ":" + base + "::" + expr;
+    }
+    return stem + "::" + expr;
+}
+
+}  // namespace
+
+LockFileFacts extract_lock_facts(const std::string& path,
+                                 const std::string& content) {
+    LockFileFacts facts;
+    const std::string code = sanitize(content, true);
+    const auto allows = allow_markers(content);
+    const auto braces = match_braces(code);
+
+    // Spans, in open-brace order. Class nesting resolves unqualified
+    // methods defined inline in a class body.
+    std::vector<Span> spans;
+    spans.reserve(braces.size());
+    for (const auto& pair : braces) {
+        Span span = classify_span(code, pair.first, pair.second);
+        if (span.kind == Span::kFunction && span.cls.empty()) {
+            for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+                if (it->kind == Span::kClass && it->begin < span.begin &&
+                    it->end > span.end) {
+                    span.cls = it->name;
+                    break;
+                }
+            }
+        }
+        spans.push_back(span);
+    }
+    const auto innermost_function =
+        [&spans](std::size_t offset) -> const Span* {
+        const Span* best = nullptr;
+        for (const Span& span : spans) {
+            if (span.kind != Span::kFunction) continue;
+            if (span.begin < offset && offset < span.end &&
+                (best == nullptr || span.begin > best->begin)) {
+                best = &span;
+            }
+        }
+        return best;
+    };
+    // Innermost enclosing brace scope: the largest open offset below
+    // `offset` whose close lies beyond it.
+    const auto innermost_scope_end = [&braces](std::size_t offset) {
+        std::size_t best_open = std::string::npos;
+        std::size_t end = std::string::npos;
+        for (const auto& pair : braces) {
+            if (pair.first >= offset) break;
+            if (pair.second > offset &&
+                (best_open == std::string::npos ||
+                 pair.first > best_open)) {
+                best_open = pair.first;
+                end = pair.second;
+            }
+        }
+        return end;
+    };
+
+    // Acquisition sites.
+    static const std::regex kAcquire(
+        R"(\b(?:util\s*::\s*)?MutexLock\s+(\w+)\s*\(\s*([^()]+?)\s*\)|\bstd\s*::\s*unique_lock\s*<[^>]*>\s+(\w+)\s*\(\s*([^(),]+))");
+    std::vector<Acquisition> acqs;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kAcquire);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t offset = static_cast<std::size_t>(it->position());
+        const bool raii = (*it)[1].matched;
+        const std::string var = raii ? (*it)[1].str() : (*it)[3].str();
+        const std::string expr = normalize_mutex_expr(
+            raii ? (*it)[2].str() : (*it)[4].str());
+        if (expr.empty()) continue;
+        Acquisition acq;
+        acq.offset = offset;
+        acq.match_end = offset + static_cast<std::size_t>(it->length());
+        acq.scope_end = innermost_scope_end(offset);
+        if (acq.scope_end == std::string::npos) acq.scope_end = code.size();
+        // An explicit `<var>.unlock()` ends the hold early; a later
+        // re-lock() in the same scope is treated as not held.
+        const std::regex unlock_call(R"(\b)" + var +
+                                     R"(\s*\.\s*unlock\s*\()");
+        std::smatch unlock_match;
+        const auto body_begin = code.begin() +
+                                static_cast<std::ptrdiff_t>(acq.match_end);
+        const auto body_end =
+            code.begin() + static_cast<std::ptrdiff_t>(acq.scope_end);
+        if (std::regex_search(body_begin, body_end, unlock_match,
+                              unlock_call)) {
+            acq.scope_end =
+                acq.match_end +
+                static_cast<std::size_t>(unlock_match.position());
+        }
+        acq.line = line_of(code, offset);
+        acq.function = innermost_function(offset);
+        acq.id = mutex_id(path, acq.function, expr);
+        acqs.push_back(acq);
+    }
+
+    // Direct locks per function.
+    std::map<const Span*, std::vector<std::string>> locks_by_span;
+    for (const Acquisition& acq : acqs) {
+        locks_by_span[acq.function].push_back(acq.id);
+    }
+
+    // Nesting edges: lexical containment within the holder's scope.
+    for (const Acquisition& outer : acqs) {
+        for (const Acquisition& inner : acqs) {
+            if (inner.offset <= outer.offset ||
+                inner.offset >= outer.scope_end) {
+                continue;
+            }
+            if (is_suppressed(allows, inner.line, "lock-order")) continue;
+            facts.nesting_edges.push_back({outer.id, inner.id, path,
+                                           inner.line,
+                                           "nested acquisition"});
+        }
+    }
+
+    // Calls: everywhere (for may-lock closure) and under held locks
+    // (for inter-procedural edges).
+    static const std::regex kCall(R"(\b([A-Za-z_]\w*)\s*\()");
+    struct RawCall {
+        LockCall call;
+        std::size_t offset = 0;
+        int line = 1;
+        const Span* function = nullptr;
+    };
+    std::vector<RawCall> raw_calls;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t offset = static_cast<std::size_t>(it->position());
+        const std::string name = (*it)[1].str();
+        if (keyword_set().count(name) != 0) continue;
+        if (name == "MutexLock" || name == "unique_lock") continue;
+        // Skip all-caps macro invocations (TEST, AERO_*, EXPECT_*).
+        if (std::none_of(name.begin(), name.end(), [](char c) {
+                return std::islower(static_cast<unsigned char>(c)) != 0;
+            })) {
+            continue;
+        }
+        // Skip matches inside an acquisition declaration (the lock
+        // variable name reads like a call).
+        bool inside_acq = false;
+        for (const Acquisition& acq : acqs) {
+            if (offset >= acq.offset && offset < acq.match_end) {
+                inside_acq = true;
+                break;
+            }
+        }
+        if (inside_acq) continue;
+        RawCall raw;
+        raw.call.base = name;
+        raw.offset = offset;
+        raw.line = line_of(code, offset);
+        raw.function = innermost_function(offset);
+        const char before = offset > 0 ? code[offset - 1] : '\0';
+        if (before == '.' ||
+            (before == '>' && offset > 1 && code[offset - 2] == '-')) {
+            raw.call.kind = LockCall::kMember;
+            if (stl_member_set().count(name) != 0) continue;
+            raw.call.obj = qualified_name_before(
+                code, before == '.' ? offset - 1 : offset - 2);
+        } else if (before == ':' && offset > 1 &&
+                   code[offset - 2] == ':') {
+            raw.call.kind = LockCall::kQualified;
+            raw.call.cls_hint =
+                qualified_name_before(code, offset - 2);
+            const std::size_t sep = raw.call.cls_hint.rfind("::");
+            if (sep != std::string::npos) {
+                raw.call.cls_hint = raw.call.cls_hint.substr(sep + 2);
+            }
+        }
+        raw_calls.push_back(raw);
+    }
+
+    // Functions table.
+    std::map<const Span*, std::vector<LockCall>> calls_by_span;
+    for (const RawCall& raw : raw_calls) {
+        calls_by_span[raw.function].push_back(raw.call);
+    }
+    std::set<const Span*> emitted;
+    for (const Span& span : spans) {
+        if (span.kind != Span::kFunction) continue;
+        const Span* key = &span;
+        if (emitted.count(key) != 0) continue;
+        emitted.insert(key);
+        LockFunction function;
+        function.key = path + "|" + span.name;
+        function.base = span.name.rfind("::") == std::string::npos
+                            ? span.name
+                            : span.name.substr(span.name.rfind("::") + 2);
+        function.cls = span.cls;
+        if (locks_by_span.count(key) != 0) {
+            function.locks = locks_by_span[key];
+        }
+        if (calls_by_span.count(key) != 0) {
+            function.calls = calls_by_span[key];
+        }
+        if (function.locks.empty() && function.calls.empty()) continue;
+        facts.functions.push_back(std::move(function));
+    }
+
+    // Calls under held locks.
+    for (const Acquisition& acq : acqs) {
+        for (const RawCall& raw : raw_calls) {
+            if (raw.offset <= acq.offset || raw.offset >= acq.scope_end) {
+                continue;
+            }
+            if (is_suppressed(allows, raw.line, "lock-order")) continue;
+            HeldCall held;
+            held.holder = acq.id;
+            held.call = raw.call;
+            held.caller_cls =
+                acq.function != nullptr ? acq.function->cls : "";
+            held.file = path;
+            held.line = raw.line;
+            facts.held_calls.push_back(std::move(held));
+        }
+    }
+    return facts;
+}
+
+namespace {
+
+struct EdgeKey {
+    std::string from;
+    std::string to;
+    bool operator<(const EdgeKey& other) const {
+        if (from != other.from) return from < other.from;
+        return to < other.to;
+    }
+};
+
+/// Tarjan strongly-connected components over the mutex-id graph.
+class SccFinder {
+public:
+    explicit SccFinder(
+        const std::map<std::string, std::set<std::string>>& adj)
+        : adj_(adj) {}
+
+    std::vector<std::vector<std::string>> find() {
+        for (const auto& entry : adj_) visit(entry.first);
+        return sccs_;
+    }
+
+private:
+    void visit(const std::string& node) {
+        if (index_.count(node) != 0) return;
+        index_[node] = low_[node] = next_index_++;
+        stack_.push_back(node);
+        on_stack_.insert(node);
+        const auto it = adj_.find(node);
+        if (it != adj_.end()) {
+            for (const std::string& next : it->second) {
+                if (index_.count(next) == 0) {
+                    visit(next);
+                    low_[node] = std::min(low_[node], low_[next]);
+                } else if (on_stack_.count(next) != 0) {
+                    low_[node] = std::min(low_[node], index_[next]);
+                }
+            }
+        }
+        if (low_[node] == index_[node]) {
+            std::vector<std::string> scc;
+            while (true) {
+                const std::string top = stack_.back();
+                stack_.pop_back();
+                on_stack_.erase(top);
+                scc.push_back(top);
+                if (top == node) break;
+            }
+            std::sort(scc.begin(), scc.end());
+            sccs_.push_back(std::move(scc));
+        }
+    }
+
+    const std::map<std::string, std::set<std::string>>& adj_;
+    std::map<std::string, int> index_;
+    std::map<std::string, int> low_;
+    int next_index_ = 0;
+    std::vector<std::string> stack_;
+    std::set<std::string> on_stack_;
+    std::vector<std::vector<std::string>> sccs_;
+};
+
+/// Canonical cycle through `scc` starting at its smallest node,
+/// following the smallest admissible neighbor.
+std::vector<std::string> cycle_path(
+    const std::vector<std::string>& scc,
+    const std::map<std::string, std::set<std::string>>& adj) {
+    const std::set<std::string> members(scc.begin(), scc.end());
+    std::vector<std::string> path{scc.front()};
+    std::set<std::string> seen{scc.front()};
+    std::string node = scc.front();
+    while (true) {
+        const auto it = adj.find(node);
+        if (it == adj.end()) break;
+        std::string next;
+        for (const std::string& candidate : it->second) {
+            if (candidate == scc.front() && path.size() > 1) {
+                path.push_back(candidate);
+                return path;
+            }
+            if (members.count(candidate) != 0 &&
+                seen.count(candidate) == 0 && next.empty()) {
+                next = candidate;
+            }
+        }
+        if (next.empty()) break;
+        path.push_back(next);
+        seen.insert(next);
+        node = next;
+    }
+    path.push_back(scc.front());
+    return path;
+}
+
+}  // namespace
+
+void check_lock_cycles(const std::vector<LockFileFacts>& facts,
+                       std::vector<Finding>* out) {
+    // May-lock fixpoint over the name-resolved call graph.
+    std::map<std::string, const LockFunction*> by_key;
+    std::map<std::string, std::vector<const LockFunction*>> by_base;
+    std::map<std::string, std::map<std::string,
+                                   std::vector<const LockFunction*>>>
+        by_cls_base;
+    for (const LockFileFacts& file : facts) {
+        for (const LockFunction& fn : file.functions) {
+            by_key[fn.key] = &fn;
+            by_base[fn.base].push_back(&fn);
+            if (!fn.cls.empty()) {
+                by_cls_base[fn.cls][fn.base].push_back(&fn);
+            }
+        }
+    }
+    const auto resolve = [&](const LockCall& call,
+                             const std::string& caller_cls)
+        -> std::vector<const LockFunction*> {
+        if (call.kind == LockCall::kQualified &&
+            by_cls_base.count(call.cls_hint) != 0 &&
+            by_cls_base[call.cls_hint].count(call.base) != 0) {
+            return by_cls_base[call.cls_hint][call.base];
+        }
+        const bool prefer_own =
+            call.kind == LockCall::kBare ||
+            (call.kind == LockCall::kMember && call.obj == "this");
+        if (prefer_own && !caller_cls.empty() &&
+            by_cls_base.count(caller_cls) != 0 &&
+            by_cls_base[caller_cls].count(call.base) != 0) {
+            return by_cls_base[caller_cls][call.base];
+        }
+        const auto it = by_base.find(call.base);
+        if (it == by_base.end()) return {};
+        // A member call on some other object is not a recursive call
+        // into this instance: drop caller-class targets (same-class
+        // members already merge by id, so keeping them manufactures
+        // self-deadlocks out of sibling-object calls).
+        const bool exclude_own = call.kind == LockCall::kMember &&
+                                 !call.obj.empty() && call.obj != "this" &&
+                                 !caller_cls.empty();
+        std::vector<const LockFunction*> targets;
+        for (const LockFunction* fn : it->second) {
+            if (exclude_own && fn->cls == caller_cls) continue;
+            targets.push_back(fn);
+        }
+        return targets;
+    };
+
+    std::map<std::string, std::set<std::string>> may_lock;
+    for (const auto& entry : by_key) {
+        may_lock[entry.first].insert(entry.second->locks.begin(),
+                                     entry.second->locks.end());
+    }
+    for (int round = 0; round < 20; ++round) {
+        bool changed = false;
+        for (const auto& entry : by_key) {
+            const LockFunction* fn = entry.second;
+            std::set<std::string>& mine = may_lock[fn->key];
+            for (const LockCall& call : fn->calls) {
+                for (const LockFunction* target :
+                     resolve(call, fn->cls)) {
+                    for (const std::string& id :
+                         may_lock[target->key]) {
+                        changed |= mine.insert(id).second;
+                    }
+                }
+            }
+        }
+        if (!changed) break;
+    }
+
+    // Edge set: nesting + call edges, first provenance per (from, to).
+    std::map<EdgeKey, LockEdge> edges;
+    for (const LockFileFacts& file : facts) {
+        for (const LockEdge& edge : file.nesting_edges) {
+            edges.emplace(EdgeKey{edge.from, edge.to}, edge);
+        }
+    }
+    for (const LockFileFacts& file : facts) {
+        for (const HeldCall& held : file.held_calls) {
+            for (const LockFunction* target :
+                 resolve(held.call, held.caller_cls)) {
+                for (const std::string& id : may_lock[target->key]) {
+                    edges.emplace(
+                        EdgeKey{held.holder, id},
+                        LockEdge{held.holder, id, held.file, held.line,
+                                 "call to " + held.call.base});
+                }
+            }
+        }
+    }
+
+    std::map<std::string, std::set<std::string>> adj;
+    for (const auto& entry : edges) {
+        adj[entry.first.from].insert(entry.first.to);
+        adj[entry.first.to];  // ensure node exists
+    }
+
+    // Self-edges are guaranteed deadlocks on a non-recursive mutex.
+    for (const auto& entry : edges) {
+        if (entry.first.from != entry.first.to) continue;
+        const LockEdge& edge = entry.second;
+        out->push_back(
+            {edge.file, edge.line, "lock-order",
+             "potential self-deadlock: \"" + edge.from +
+                 "\" re-acquired while held (" + edge.via + ")"});
+    }
+
+    for (const auto& scc : SccFinder(adj).find()) {
+        if (scc.size() < 2) continue;
+        const std::vector<std::string> path = cycle_path(scc, adj);
+        std::string description;
+        const LockEdge* first_edge = nullptr;
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const auto it = edges.find(EdgeKey{path[i], path[i + 1]});
+            if (!description.empty()) description += "; ";
+            description += "\"" + path[i] + "\" -> \"" + path[i + 1] + "\"";
+            if (it != edges.end()) {
+                description += " (" + it->second.file + ":" +
+                               std::to_string(it->second.line) + ", " +
+                               it->second.via + ")";
+                if (first_edge == nullptr) first_edge = &it->second;
+            }
+        }
+        out->push_back(
+            {first_edge != nullptr ? first_edge->file : "lock-order",
+             first_edge != nullptr ? first_edge->line : 1, "lock-order",
+             "potential deadlock cycle: " + description});
+    }
+}
+
+void run_lockorder(const Options& options, std::vector<Finding>* out) {
+    std::vector<LockFileFacts> facts;
+    for (const std::string& dir : options.lock_dirs) {
+        for (const std::string& rel :
+             list_source_files(options.root, dir)) {
+            std::string content;
+            if (!read_file_text(fs::path(options.root) / rel, &content)) {
+                out->push_back({rel, 1, "io", "cannot read file"});
+                continue;
+            }
+            facts.push_back(extract_lock_facts(rel, content));
+        }
+    }
+    check_lock_cycles(facts, out);
+}
+
+}  // namespace aero::lint

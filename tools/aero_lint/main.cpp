@@ -1,21 +1,30 @@
-// aero_lint CLI: scans the repo for project-invariant violations and
-// exits non-zero if any remain. Used by scripts/analyze.sh and the
-// `aero_lint_tree` ctest; see lint.hpp for the rule set.
+// aero_lint CLI: multi-pass project analyzer. Scans the repo for
+// invariant violations (per-line rules, layering, lock-order,
+// determinism — see lint.hpp) and exits non-zero if any remain. Used
+// by scripts/analyze.sh, scripts/check.sh and the `aero_lint_tree` /
+// `aero_lint_layers` ctests.
 //
-//   aero_lint --root <repo>
+//   aero_lint --root <repo>                      # everything
+//   aero_lint --root <repo> --pass layering      # one pass
+//   aero_lint --root <repo> --json report.json   # machine-readable
+//   aero_lint --list-rules                       # rule table
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "lint.hpp"
+#include "report.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
     std::fprintf(
         stderr,
-        "usage: %s [--root DIR] [--design FILE] [--registry FILE]\n",
+        "usage: %s [--root DIR] [--design FILE] [--registry FILE]\n"
+        "          [--layers FILE] [--pass NAME]... [--json FILE]\n"
+        "          [--list-rules]\n"
+        "passes: rules, layering, lock-order, determinism (default all)\n",
         argv0);
     return 2;
 }
@@ -24,6 +33,7 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
     aero::lint::Options options;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
@@ -33,6 +43,27 @@ int main(int argc, char** argv) {
             options.design_doc = argv[++i];
         } else if (arg == "--registry" && has_value) {
             options.registry = argv[++i];
+        } else if (arg == "--layers" && has_value) {
+            options.layers_manifest = argv[++i];
+        } else if (arg == "--pass" && has_value) {
+            const std::string pass = argv[++i];
+            // Reject typos: an unknown name would silently disable
+            // every pass and report "clean" — exactly wrong for a CI
+            // gate.
+            if (pass != "rules" && pass != "layering" &&
+                pass != "lock-order" && pass != "determinism") {
+                std::fprintf(stderr, "aero_lint: unknown pass \"%s\"\n",
+                             pass.c_str());
+                return usage(argv[0]);
+            }
+            options.passes.push_back(pass);
+        } else if (arg == "--json" && has_value) {
+            json_path = argv[++i];
+        } else if (arg == "--list-rules") {
+            for (const auto& doc : aero::lint::rule_docs()) {
+                std::printf("%-20s %s\n", doc.name, doc.summary);
+            }
+            return 0;
         } else {
             return usage(argv[0]);
         }
@@ -42,6 +73,12 @@ int main(int argc, char** argv) {
     for (const auto& finding : findings) {
         std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
                     finding.rule.c_str(), finding.message.c_str());
+    }
+    if (!json_path.empty() &&
+        !aero::lint::write_json_report(json_path, findings)) {
+        std::fprintf(stderr, "aero_lint: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
     }
     if (findings.empty()) {
         std::printf("aero_lint: clean\n");

@@ -1,0 +1,76 @@
+#include "report.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace aero::lint {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                    out += buffer;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string render_json_report(const std::vector<Finding>& findings) {
+    std::map<std::string, int> by_rule;
+    for (const Finding& finding : findings) ++by_rule[finding.rule];
+
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"tool\": \"aero_lint\",\n";
+    out << "  \"clean\": " << (findings.empty() ? "true" : "false")
+        << ",\n";
+    out << "  \"finding_count\": " << findings.size() << ",\n";
+    out << "  \"by_rule\": {";
+    bool first = true;
+    for (const auto& entry : by_rule) {
+        if (!first) out << ", ";
+        first = false;
+        out << "\"" << json_escape(entry.first) << "\": " << entry.second;
+    }
+    out << "},\n";
+    out << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& finding = findings[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"file\": \"" << json_escape(finding.file)
+            << "\", \"line\": " << finding.line << ", \"rule\": \""
+            << json_escape(finding.rule) << "\", \"message\": \""
+            << json_escape(finding.message) << "\"}";
+    }
+    out << (findings.empty() ? "]\n" : "\n  ]\n");
+    out << "}\n";
+    return out.str();
+}
+
+bool write_json_report(const std::string& path,
+                       const std::vector<Finding>& findings) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << render_json_report(findings);
+    return static_cast<bool>(out);
+}
+
+}  // namespace aero::lint

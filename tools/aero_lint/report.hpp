@@ -1,0 +1,34 @@
+#pragma once
+// Machine-readable JSON report for aero_lint findings, consumed by
+// scripts/check.sh / scripts/analyze.sh (and anything else that wants
+// to gate on analyzer output without scraping text).
+//
+// Shape (keys sorted, findings in the analyzer's (file, line, rule)
+// order):
+//
+//   {
+//     "tool": "aero_lint",
+//     "clean": false,
+//     "finding_count": 2,
+//     "by_rule": {"layer-violation": 1, "lock-order": 1},
+//     "findings": [
+//       {"file": "src/util/x.cpp", "line": 12,
+//        "rule": "layer-violation", "message": "..."}
+//     ]
+//   }
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace aero::lint {
+
+/// Renders the findings as a JSON document (trailing newline included).
+std::string render_json_report(const std::vector<Finding>& findings);
+
+/// Writes the report to `path`; false on I/O failure.
+bool write_json_report(const std::string& path,
+                       const std::vector<Finding>& findings);
+
+}  // namespace aero::lint

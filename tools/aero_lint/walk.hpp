@@ -1,0 +1,19 @@
+#pragma once
+// Tree-walking helpers shared by the aero_lint passes (implemented in
+// lint.cpp so every pass agrees on what counts as a source file).
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace aero::lint {
+
+/// Reads a whole file into `out`; false when unreadable.
+bool read_file_text(const std::filesystem::path& path, std::string* out);
+
+/// Sorted root-relative generic paths of .hpp/.cpp/.h/.cc files under
+/// `root`/`dir` (empty when the directory does not exist).
+std::vector<std::string> list_source_files(const std::string& root,
+                                           const std::string& dir);
+
+}  // namespace aero::lint
