@@ -45,9 +45,12 @@ if [ "${SANITIZE}" = "thread" ]; then
     # test_overload races the admission controller, priority queues and
     # the overload_spike/replica_slow chaos soak (DESIGN.md §14);
     # test_sync races the runtime lock-order validator and pins its
-    # consistent-order path TSan-clean (DESIGN.md §15).
+    # consistent-order path TSan-clean (DESIGN.md §15);
+    # test_batch races worker threads against the continuous step
+    # batcher's driver thread, including a shutdown-drain stress
+    # (DESIGN.md §16).
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_serve|test_router|test_overload|test_util|test_parallel|test_diffusion|test_obs|test_sync' \
+        -R 'test_serve|test_batch|test_router|test_overload|test_util|test_parallel|test_diffusion|test_obs|test_sync' \
         "$@")
 else
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
@@ -58,7 +61,17 @@ else
     cmake -B build-san-thread -S . -DAERO_SANITIZE=thread >/dev/null
     cmake --build build-san-thread -j "${JOBS}"
     (cd build-san-thread && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_obs|test_serve|test_router|test_overload|test_sync' "$@")
+        -R 'test_obs|test_serve|test_batch|test_router|test_overload|test_sync' "$@")
+fi
+
+# Opt-in bench gates (AERO_CHECK_BENCH=1): self-gating benches whose
+# exit code enforces a floor. bench_continuous_batch asserts bitwise
+# identity between the batched and sequential serve paths at every
+# stream count, and >= 1.5x throughput at 16 streams on >= 4-core
+# hosts.
+if [ "${AERO_CHECK_BENCH:-0}" != "0" ]; then
+    echo "== bench gates =="
+    ./build-check/bench/bench_continuous_batch
 fi
 
 if [ "${AERO_CHECK_ANALYZE:-1}" != "0" ]; then

@@ -486,6 +486,20 @@ struct StageMetrics {
     obs::Histogram* decode;
 };
 
+/// Hands the sampling loop to the control's executor (the serve-side
+/// continuous step batcher) when one is installed; otherwise runs the
+/// job inline on a batch-of-one scheduler — the exact pre-batching code
+/// path, so a null executor is a true no-op.
+tensor::Tensor dispatch_job(const diffusion::UNet& unet,
+                            const diffusion::NoiseSchedule& schedule,
+                            GenerateControl* control,
+                            diffusion::SamplerJob job) {
+    if (control != nullptr && control->executor != nullptr) {
+        return control->executor->execute(std::move(job));
+    }
+    return diffusion::run_sampler_job(unet, schedule, std::move(job));
+}
+
 const StageMetrics& stage_metrics() {
     static const StageMetrics metrics = [] {
         obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
@@ -525,7 +539,6 @@ image::Image AeroDiffusionPipeline::generate(
     diffusion::DdimConfig ddim =
         ddim_config_for(config_, substrate_->budget, control);
     if (control) ddim.should_cancel = control->should_cancel;
-    const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     const auto& ae_config = substrate_->autoencoder->config();
     const int s = ae_config.latent_size();
     // Overload-ladder reduced-resolution rung: sample a half-size
@@ -539,9 +552,13 @@ image::Image AeroDiffusionPipeline::generate(
     Tensor latent;
     {
         const obs::Span span("sample", stage_metrics().sample);
-        latent = sampler.sample({ae_config.latent_channels, sample_s,
-                                 sample_s},
-                                cond, rng);
+        diffusion::SamplerJob job;
+        job.kind = diffusion::SamplerJob::Kind::kSample;
+        job.shape = {ae_config.latent_channels, sample_s, sample_s};
+        job.condition_tokens = cond;
+        job.config = ddim;
+        job.rng = &rng;
+        latent = dispatch_job(unet_, schedule_, control, std::move(job));
     }
     if (latent.empty()) {  // cancelled between denoising steps
         if (control) control->cancelled = true;
@@ -567,6 +584,13 @@ image::Image AeroDiffusionPipeline::generate_edit(
     if (!validate_reference(reference, &error)) {
         return rejected(config_.name, "generate_edit", error, control);
     }
+    // A NaN strength would sail through the sampler's std::clamp into a
+    // size_t start-index cast (UB); reject it here like any other
+    // malformed input, before touching the encoders.
+    if (!std::isfinite(strength)) {
+        return rejected(config_.name, "generate_edit",
+                        "edit strength must be finite", control);
+    }
     Tensor cond;
     {
         const obs::Span span("condition", stage_metrics().condition);
@@ -578,14 +602,19 @@ image::Image AeroDiffusionPipeline::generate_edit(
     diffusion::DdimConfig ddim =
         ddim_config_for(config_, substrate_->budget, control);
     if (control) ddim.should_cancel = control->should_cancel;
-    const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     Tensor latent;
     {
         const obs::Span span("sample", stage_metrics().sample);
-        const Tensor source = tensor::scale(
+        diffusion::SamplerJob job;
+        job.kind = diffusion::SamplerJob::Kind::kEdit;
+        job.source = tensor::scale(
             substrate_->autoencoder->encode_image(reference.image),
             substrate_->latent_scale);
-        latent = sampler.edit(source, cond, strength, rng);
+        job.strength = strength;
+        job.condition_tokens = cond;
+        job.config = ddim;
+        job.rng = &rng;
+        latent = dispatch_job(unet_, schedule_, control, std::move(job));
     }
     if (latent.empty()) {
         if (control) control->cancelled = true;
@@ -642,14 +671,19 @@ image::Image AeroDiffusionPipeline::generate_inpaint(
     diffusion::DdimConfig ddim =
         ddim_config_for(config_, substrate_->budget, control);
     if (control) ddim.should_cancel = control->should_cancel;
-    const diffusion::DdimSampler sampler(unet_, schedule_, ddim);
     Tensor latent;
     {
         const obs::Span span("sample", stage_metrics().sample);
-        const Tensor source = tensor::scale(
+        diffusion::SamplerJob job;
+        job.kind = diffusion::SamplerJob::Kind::kInpaint;
+        job.source = tensor::scale(
             substrate_->autoencoder->encode_image(reference.image),
             substrate_->latent_scale);
-        latent = sampler.inpaint(source, mask, cond, rng);
+        job.mask = mask;
+        job.condition_tokens = cond;
+        job.config = ddim;
+        job.rng = &rng;
+        latent = dispatch_job(unet_, schedule_, control, std::move(job));
     }
     if (latent.empty()) {
         if (control) control->cancelled = true;

@@ -98,6 +98,14 @@ struct GenerateControl {
     /// control block bitwise-neutral for callers that never set them.
     int max_steps = 0;
     bool half_resolution = false;
+    /// When non-null, the sampling loop is handed off to this executor
+    /// as a diffusion::SamplerJob (the serve layer's continuous step
+    /// batcher) instead of running inline. The executor receives the
+    /// caller's Rng by pointer and draws from it in sequential order,
+    /// so output is bitwise identical either way; null (the default)
+    /// keeps the entry points a true no-op relative to the pre-batching
+    /// code path.
+    diffusion::SamplerExecutor* executor = nullptr;
 
     bool cancelled = false;  ///< run abandoned via should_cancel
     bool degraded = false;   ///< sampled unconditionally (fallback/forced)
@@ -188,6 +196,15 @@ public:
 
     const ConditionEncoder& condition_encoder() const {
         return condition_encoder_;
+    }
+
+    /// Read-only access to the denoiser and schedule for serve-side
+    /// batching engines (serve::StepBatcher builds its
+    /// diffusion::BatchedDdimScheduler over them). Safe to share across
+    /// threads: inference never mutates model state.
+    const diffusion::UNet& unet() const { return unet_; }
+    const diffusion::NoiseSchedule& noise_schedule() const {
+        return schedule_;
     }
 
 private:

@@ -100,6 +100,15 @@ inline constexpr MetricName kMetricNames[] = {
     {"aero_train_spike_events_total",
      "loss-spike events seen by the sentinel"},
     {"aero_train_rollbacks_total", "sentinel snapshot rollbacks applied"},
+    // diffusion::BatchedDdimScheduler / serve::StepBatcher (continuous
+    // cross-request step batching)
+    {"aero_batch_size", "requests amortised by one batched denoising step"},
+    {"aero_batch_steps_total", "batched denoising steps executed"},
+    {"aero_batch_joins_total", "sampling jobs admitted into the step batch"},
+    {"aero_batch_retired_total",
+     "sampling jobs retired from the step batch (finished or cancelled)"},
+    {"aero_batch_occupancy",
+     "jobs currently sharing the batched denoising step"},
     // util::ThreadPool (published by a collector; the pool itself sits
     // below obs in the layering and only exports plain atomics)
     {"aero_pool_tasks", "parallel_for invocations since process start"},

@@ -67,6 +67,13 @@ InferenceService::InferenceService(
     // First service in the process arms the env-gated periodic metrics
     // dump (AERO_OBS_DUMP_MS); a no-op when the knob is unset.
     obs::maybe_start_periodic_dump();
+    // Continuous step batching: one driver thread batches the sampling
+    // loops of concurrent requests (serve/batcher.hpp). Only built when
+    // live — otherwise workers keep the inline path untouched.
+    if (step_batching_live(config_.batch)) {
+        batcher_ = std::make_unique<StepBatcher>(
+            pipeline.unet(), pipeline.noise_schedule(), config_.batch);
+    }
     // Warm the process-wide kernel pool before any request arrives.
     // Every service worker dispatches its tensor kernels onto this one
     // shared pool (sized by AERO_THREADS, not by config_.workers), so
@@ -217,6 +224,9 @@ void InferenceService::stop() {
         if (worker.joinable()) worker.join();
     }
     workers_.clear();
+    // After the workers: no execute() caller can be blocked on the
+    // batcher any more, so its driver drains immediately.
+    if (batcher_) batcher_->shutdown();
     // Shutdown dump (AERO_OBS_DUMP=1): one Prometheus-text snapshot to
     // AERO_OBS_DUMP_PATH (stderr when unset) from whichever caller
     // actually drained the service; repeated stop() calls stay silent.
@@ -646,10 +656,18 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
         }
         // Polled between denoising steps: covers the job's own deadline
         // and a service-wide drain deadline (graceful replica restart /
-        // simulated crash).
+        // simulated crash). With the batcher live the poll runs on its
+        // driver thread; the job outlives the call (the worker blocks
+        // inside the pipeline) and the predicate only reads immutable
+        // job fields plus an atomic, so that is safe.
         control.should_cancel = [this, job_ptr = &job] {
             return cancel_due(*job_ptr);
         };
+        // Hand the sampling loop to the continuous step batcher, which
+        // packs concurrent requests into one UNet forward per denoising
+        // step. Bitwise identical to the inline path (the batcher draws
+        // from request_rng below in sequential order).
+        if (batcher_) control.executor = batcher_.get();
 
         // Per-request determinism: the image depends on the request
         // seed and the attempt, not on which worker drew the job.

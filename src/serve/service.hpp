@@ -47,11 +47,13 @@
 #include <deque>
 #include <future>
 #include <limits>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
+#include "serve/batcher.hpp"
 #include "serve/breaker.hpp"
 #include "serve/overload.hpp"
 #include "serve/validation.hpp"
@@ -87,6 +89,12 @@ struct ServiceConfig {
     /// from AERO_RATE_QPS / AERO_RATE_BURST by default (unset = off).
     /// Requests with an empty client_id are exempt.
     util::RateLimitConfig rate_limit = util::RateLimitConfig::from_env();
+    /// Continuous cross-request step batching (serve/batcher.hpp): on
+    /// by default (also gated process-wide by AERO_BATCH), workers hand
+    /// sampling jobs to a shared step batcher. Output is bitwise
+    /// identical to the sequential path; batch_max = 1 (or enabled =
+    /// false) is a true no-op — no driver thread, inline sampling.
+    StepBatcherConfig batch;
     std::uint64_t seed = 0x5e21e;  ///< forked into per-worker Rngs
 };
 
@@ -260,6 +268,11 @@ private:
     /// Per-client token buckets consulted in submit(); the service
     /// feeds it obs::default_clock() timestamps.
     util::RateLimiter limiter_;
+    /// Continuous step batcher the workers hand sampling jobs to via
+    /// GenerateControl::executor. Null when batching is not live
+    /// (config, AERO_BATCH=0, or batch_max <= 1) — the inline path.
+    /// stop() shuts it down after the workers are joined.
+    std::unique_ptr<StepBatcher> batcher_;
 
     mutable util::Mutex queue_mutex_;
     util::CondVar queue_cv_;

@@ -298,6 +298,47 @@ TEST(AdmissionControllerTest, StepHistogramP99DrivesDecreases) {
     EXPECT_LT(controller.limit(), config.max_limit);
 }
 
+TEST(AdmissionControllerTest, StepSignalStaysNormalizedAtBatchGreaterThanOne) {
+    if (!obs::enabled()) GTEST_SKIP() << "obs disabled; no step signal";
+    // A batched denoising step amortises N requests, so the sampler
+    // records elapsed / N once per participant into the step histogram
+    // (sampler.cpp). This pins the contract from the controller's side:
+    // per-request-normalized observations at a benign per-request cost
+    // must NOT trip the AIMD decrease, while the same batch recorded
+    // raw (the pre-normalization bug: one 8x observation per step)
+    // must.
+    OverloadConfig config = live_overload();
+    config.latency_target_ms = 1000.0;  // request latencies look benign
+    config.step_target_ms = 1.5;
+    config.interval_ms = 0.0;
+    obs::ManualClock clock;
+    clock.set_ns(1'000'000);
+    AdmissionController controller(config, &clock);
+
+    obs::Histogram& steps = obs::MetricsRegistry::instance().histogram(
+        "aero_diffusion_step_ms", "single DDIM denoising step, ms",
+        obs::default_ms_buckets());
+    // A batch of 8 whose step took 8 ms of wall time: 8 normalized
+    // observations of 1 ms each. Per-request cost is under target.
+    for (int i = 0; i < 8; ++i) steps.observe(1.0);
+    clock.advance_ms(1.0);
+    controller.on_finish(0.01);
+    EXPECT_LE(controller.step_p99_ms(), config.step_target_ms);
+    EXPECT_EQ(controller.decreases(), 0);
+    EXPECT_EQ(controller.limit(), config.max_limit);
+
+    // Normalization must not dull the signal either: a batch whose
+    // per-request cost genuinely breaches the target (8 ms each — what
+    // the raw pre-normalization recording would also have claimed for
+    // the fast batch above) still trips the decrease.
+    for (int i = 0; i < 8; ++i) steps.observe(8.0);
+    clock.advance_ms(1.0);
+    controller.on_finish(0.01);
+    EXPECT_GT(controller.step_p99_ms(), config.step_target_ms);
+    EXPECT_GE(controller.decreases(), 1);
+    EXPECT_LT(controller.limit(), config.max_limit);
+}
+
 // ---- disabled controller is the identity ------------------------------------
 
 TEST(AdmissionControllerTest, DisabledControllerIsIdentity) {

@@ -160,6 +160,17 @@ TEST(ServeValidationTest, TypedRejections) {
     EXPECT_EQ(validate_request(request, limits, &message),
               InvalidReason::kBadStrength);
 
+    // Non-finite strengths must die here: NaN sails through std::clamp,
+    // and downstream it would reach a float -> size_t cast (UB).
+    request = valid_request();
+    request.task = TaskKind::kEdit;
+    request.strength = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(validate_request(request, limits, &message),
+              InvalidReason::kBadStrength);
+    request.strength = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(validate_request(request, limits, &message),
+              InvalidReason::kBadStrength);
+
     request = valid_request();
     request.task = TaskKind::kInpaint;
     request.region = {200.0f, 200.0f, 4.0f, 4.0f};  // fully outside
@@ -469,6 +480,77 @@ TEST(InferenceServiceTest, DeterministicAcrossWorkerAssignment) {
     ASSERT_EQ(a.outcome, Outcome::kOk);
     ASSERT_EQ(b.outcome, Outcome::kOk);
     EXPECT_EQ(a.image.data(), b.image.data());
+}
+
+TEST(InferenceServiceTest, PipelineRejectsNonFiniteEditStrength) {
+    // Defence in depth below validation: a caller driving the pipeline
+    // directly with a NaN/Inf strength gets a typed rejection, not a
+    // NaN-poisoned clamp feeding a size_t cast.
+    util::Rng rng(9);
+    const scene::AerialSample& reference = shared_substrate().dataset->test()[0];
+    const std::string caption = valid_request().source_caption;
+    for (const float bad : {std::numeric_limits<float>::quiet_NaN(),
+                            std::numeric_limits<float>::infinity()}) {
+        core::GenerateControl control;
+        const image::Image out = shared_pipeline().generate_edit(
+            reference, caption, caption, bad, rng, -1, &control);
+        EXPECT_TRUE(out.empty());
+        EXPECT_FALSE(control.error.empty());
+    }
+}
+
+TEST(InferenceServiceTest, BatchedOutputBitwiseEqualsSequential) {
+    // The tentpole contract end to end: a service whose workers hand
+    // sampling jobs to the continuous step batcher returns images
+    // bitwise identical to a batching-disabled service, per seed,
+    // across generate/edit/inpaint.
+    const bool gate = serve::batching_enabled();
+    serve::set_batching_enabled(true);
+    const auto requests = [] {
+        std::vector<InferenceRequest> batch;
+        for (int i = 0; i < 6; ++i) {
+            InferenceRequest request = valid_request(500 + i, i);
+            if (i % 3 == 1) {
+                request.task = TaskKind::kEdit;
+                request.strength = 0.5f;
+            } else if (i % 3 == 2) {
+                request.task = TaskKind::kInpaint;
+                request.region = {2.0f, 2.0f, 8.0f, 8.0f};
+            }
+            batch.push_back(std::move(request));
+        }
+        return batch;
+    };
+
+    const auto run = [&](bool batched) {
+        ServiceConfig config = basic_config();
+        config.workers = batched ? 4 : 2;
+        config.batch.enabled = batched;
+        config.batch.batch_max = 4;
+        InferenceService service(shared_pipeline(), config);
+        std::vector<std::future<RequestResult>> futures;
+        for (InferenceRequest& request : requests()) {
+            futures.push_back(service.submit(std::move(request)));
+        }
+        std::vector<image::Image> images;
+        for (auto& future : futures) {
+            RequestResult result = future.get();
+            EXPECT_EQ(result.outcome, Outcome::kOk) << result.message;
+            images.push_back(std::move(result.image));
+        }
+        service.stop();
+        EXPECT_TRUE(service.stats().balanced());
+        return images;
+    };
+
+    const std::vector<image::Image> sequential = run(false);
+    const std::vector<image::Image> batched = run(true);
+    serve::set_batching_enabled(gate);
+    ASSERT_EQ(sequential.size(), batched.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+        EXPECT_EQ(sequential[i].data(), batched[i].data())
+            << "request " << i << " diverged under batching";
+    }
 }
 
 TEST(InferenceServiceTest, ShedsWhenQueueIsFull) {
