@@ -48,9 +48,12 @@ if [ "${SANITIZE}" = "thread" ]; then
     # consistent-order path TSan-clean (DESIGN.md §15);
     # test_batch races worker threads against the continuous step
     # batcher's driver thread, including a shutdown-drain stress
-    # (DESIGN.md §16).
+    # (DESIGN.md §16);
+    # test_mem races the arena's bucket free lists / trim path from
+    # multiple threads and the condition cache through the threaded
+    # serve stack (DESIGN.md §17).
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_serve|test_batch|test_router|test_overload|test_util|test_parallel|test_diffusion|test_obs|test_sync' \
+        -R 'test_serve|test_batch|test_router|test_overload|test_util|test_parallel|test_diffusion|test_obs|test_sync|test_mem' \
         "$@")
 else
     (cd "${SAN_DIR}" && ctest --output-on-failure -j "${JOBS}" "$@")
@@ -61,17 +64,23 @@ else
     cmake -B build-san-thread -S . -DAERO_SANITIZE=thread >/dev/null
     cmake --build build-san-thread -j "${JOBS}"
     (cd build-san-thread && ctest --output-on-failure -j "${JOBS}" \
-        -R 'test_obs|test_serve|test_batch|test_router|test_overload|test_sync' "$@")
+        -R 'test_obs|test_serve|test_batch|test_router|test_overload|test_sync|test_mem' "$@")
 fi
 
 # Opt-in bench gates (AERO_CHECK_BENCH=1): self-gating benches whose
 # exit code enforces a floor. bench_continuous_batch asserts bitwise
 # identity between the batched and sequential serve paths at every
 # stream count, and >= 1.5x throughput at 16 streams on >= 4-core
-# hosts.
+# hosts. bench_mem asserts bitwise identity for the arena and
+# condition-cache on/off paths, <= 5% arena overhead with a cold cache
+# (skipped with a report when host noise exceeds the gate), > 0.85
+# steady-state hit rate on the 90%-repeat prompt mix, and >= 1.3x mix
+# throughput when the condition stage is a big enough share of a
+# request for that to be reachable.
 if [ "${AERO_CHECK_BENCH:-0}" != "0" ]; then
     echo "== bench gates =="
     ./build-check/bench/bench_continuous_batch
+    ./build-check/bench/bench_mem
 fi
 
 if [ "${AERO_CHECK_ANALYZE:-1}" != "0" ]; then

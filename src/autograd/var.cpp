@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "mem/arena.hpp"
 #include "tensor/ops.hpp"
 
 namespace aero::autograd {
@@ -323,7 +324,7 @@ Var layer_norm_rows(const Var& x, const Var& gamma, const Var& beta,
     assert(gamma.value().size() == n && beta.value().size() == n);
 
     Tensor normalized({m, n});
-    std::vector<float> inv_std(static_cast<std::size_t>(m));
+    mem::Buffer inv_std(static_cast<std::size_t>(m));
     for (int i = 0; i < m; ++i) {
         const float* row = x.value().data() + i * n;
         float mean = 0.0f;
@@ -407,7 +408,7 @@ Var group_norm(const Var& x, int groups, const Var& gamma, const Var& beta,
     const int group_size = cpg * h * w;  // elements per normalisation group
 
     Tensor normalized(x.value().shape());
-    std::vector<float> inv_std(static_cast<std::size_t>(n * groups));
+    mem::Buffer inv_std(static_cast<std::size_t>(n * groups));
 
     for (int b = 0; b < n; ++b) {
         for (int g0 = 0; g0 < groups; ++g0) {
@@ -577,7 +578,7 @@ Var mse_loss(const Var& prediction, const Var& target) {
     const Tensor diff = ops::sub(prediction.value(), target.value());
     Tensor out({1});
     double acc = 0.0;
-    for (float v : diff.values()) acc += static_cast<double>(v) * v;
+    for (float v : diff) acc += static_cast<double>(v) * v;
     out[0] = static_cast<float>(acc / diff.size());
     const float inv = 2.0f / static_cast<float>(diff.size());
     return Var::make(std::move(out), {prediction, target},

@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 #include "nn/ema.hpp"
 #include "nn/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
+#include "util/hash.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace aero::core {
 
@@ -132,8 +135,11 @@ bool AeroDiffusionPipeline::save(const std::string& path) const {
 }
 
 bool AeroDiffusionPipeline::load(const std::string& path) {
-    return nn::load_parameters(unet_, path + ".unet") &&
-           nn::load_parameters(condition_encoder_, path + ".cond");
+    const bool ok = nn::load_parameters(unet_, path + ".unet") &&
+                    nn::load_parameters(condition_encoder_, path + ".cond");
+    // New encoder weights make every cached condition stale.
+    if (ok) condition_cache_.invalidate_all();
+    return ok;
 }
 
 bool AeroDiffusionPipeline::save_checkpoint(const std::string& path,
@@ -223,6 +229,9 @@ ConditionFeatures AeroDiffusionPipeline::features_for(
 }
 
 diffusion::DiffusionTrainStats AeroDiffusionPipeline::fit(util::Rng& rng) {
+    // Training mutates the encoder from the first step on; drop cached
+    // conditions now and again once the final (EMA-applied) weights land.
+    condition_cache_.invalidate_all();
     const auto& train_split = substrate_->dataset->train();
     const auto& captions = train_captions();
     assert(train_split.size() == captions.size());
@@ -361,6 +370,7 @@ diffusion::DiffusionTrainStats AeroDiffusionPipeline::fit(util::Rng& rng) {
     stats.rollbacks = sentinel.rollbacks();
     stats.diverged = sentinel.diverged();
     if (!stats.diverged) ema.apply();  // sample from the averaged weights
+    condition_cache_.invalidate_all();
     util::log_info() << config_.name << ": diffusion loss "
                      << stats.first_loss << " -> " << stats.tail_loss;
     return stats;
@@ -441,6 +451,60 @@ std::optional<scene::BoundingBox> AeroDiffusionPipeline::clamp_region(
 
 Tensor AeroDiffusionPipeline::checked_condition(
     const ConditionFeatures& features, GenerateControl* control) const {
+    Tensor cond = condition_encoder_.encode(features).value();
+    for (const float v : cond) {
+        if (!std::isfinite(v)) {
+            util::log_warn() << config_.name
+                             << ": non-finite condition encoding; degrading "
+                                "to unconditional sampling";
+            if (control) control->degraded = true;
+            return Tensor();
+        }
+    }
+    return cond;
+}
+
+std::string AeroDiffusionPipeline::condition_cache_key(
+    const scene::AerialSample& reference, const std::string& source_caption,
+    const std::string& target_caption, int sample_index) const {
+    // Canonical captions are semantically lossless for the encoders: the
+    // vocabulary lowercases and splits on whitespace, so canonical twins
+    // tokenise — and therefore encode — identically.
+    std::string key;
+    key.reserve(source_caption.size() + target_caption.size() + 24);
+    util::append_canonical_prompt(key, source_caption);
+    key += '|';
+    util::append_canonical_prompt(key, target_caption);
+    key += '|';
+    // Scene identity: content-hash the reference pixels and annotation
+    // (ROIs and extra tokens derive from them), chaining one fnv1a64.
+    const std::vector<float>& pixels = reference.image.data();
+    const int dims[2] = {reference.image.width(), reference.image.height()};
+    std::uint64_t hash = util::fnv1a64(dims, sizeof(dims));
+    hash = util::fnv1a64(pixels.data(), pixels.size() * sizeof(float), hash);
+    for (const scene::BoundingBox& box : reference.gt_boxes) {
+        const float fields[5] = {box.x, box.y, box.w, box.h, box.score};
+        hash = util::fnv1a64(fields, sizeof(fields), hash);
+        const int cls = static_cast<int>(box.cls);
+        hash = util::fnv1a64(&cls, sizeof(cls), hash);
+    }
+    // sample_index feeds variant-specific extra tokens (ARLDM history).
+    hash = util::fnv1a64(&sample_index, sizeof(sample_index), hash);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    key += hex;
+    return key;
+}
+
+Tensor AeroDiffusionPipeline::condition_for(
+    const scene::AerialSample& reference, const std::string& source_caption,
+    const std::string& target_caption, int sample_index,
+    GenerateControl* control) const {
+    // Forced-unconditional and injected-fault short-circuits come first
+    // and never touch the cache: a degraded call must behave identically
+    // with caching on or off, and the injector must be drawn exactly
+    // once per call.
     if (control && control->force_unconditional) {
         control->degraded = true;
         return Tensor();
@@ -454,15 +518,33 @@ Tensor AeroDiffusionPipeline::checked_condition(
         control->degraded = true;
         return Tensor();
     }
-    Tensor cond = condition_encoder_.encode(features).value();
-    for (const float v : cond.values()) {
-        if (!std::isfinite(v)) {
-            util::log_warn() << config_.name
-                             << ": non-finite condition encoding; degrading "
-                                "to unconditional sampling";
-            if (control) control->degraded = true;
-            return Tensor();
+    const bool use_cache =
+        mem::cond_cache_enabled() &&
+        !(control && control->bypass_condition_cache);
+    std::string key;
+    if (use_cache) {
+        key = condition_cache_key(reference, source_caption, target_caption,
+                                  sample_index);
+        Tensor cached;
+        if (condition_cache_.lookup(key, &cached)) {
+            // The encoders are deterministic (determinism lint dirs
+            // cover this layer), so the hit is bitwise identical to a
+            // recompute — the caller's Rng is untouched either way.
+            if (control) control->condition_cached = true;
+            return cached;
         }
+    }
+    const ConditionFeatures features = features_for(
+        reference, source_caption, target_caption, sample_index, false);
+    Tensor cond = checked_condition(features, control);
+    if (use_cache && !cond.empty()) {
+        // Only finite, non-degraded encodings are cacheable; byte cost
+        // is the value payload plus the key.
+        condition_cache_.insert(
+            key, cond,
+            static_cast<long long>(cond.size()) *
+                    static_cast<long long>(sizeof(float)) +
+                static_cast<long long>(key.size()));
     }
     return cond;
 }
@@ -531,9 +613,8 @@ image::Image AeroDiffusionPipeline::generate(
     Tensor cond;
     {
         const obs::Span span("condition", stage_metrics().condition);
-        const ConditionFeatures features = features_for(
-            reference, source_caption, target_caption, sample_index, false);
-        cond = checked_condition(features, control);
+        cond = condition_for(reference, source_caption, target_caption,
+                             sample_index, control);
     }
 
     diffusion::DdimConfig ddim =
@@ -594,9 +675,8 @@ image::Image AeroDiffusionPipeline::generate_edit(
     Tensor cond;
     {
         const obs::Span span("condition", stage_metrics().condition);
-        const ConditionFeatures features = features_for(
-            reference, source_caption, target_caption, sample_index, false);
-        cond = checked_condition(features, control);
+        cond = condition_for(reference, source_caption, target_caption,
+                             sample_index, control);
     }
 
     diffusion::DdimConfig ddim =
@@ -641,9 +721,8 @@ image::Image AeroDiffusionPipeline::generate_inpaint(
     Tensor cond;
     {
         const obs::Span span("condition", stage_metrics().condition);
-        const ConditionFeatures features = features_for(
-            reference, source_caption, target_caption, sample_index, false);
-        cond = checked_condition(features, control);
+        cond = condition_for(reference, source_caption, target_caption,
+                             sample_index, control);
     }
 
     const auto& ae_config = substrate_->autoencoder->config();

@@ -11,6 +11,7 @@
 #include "core/condition.hpp"
 #include "diffusion/sampler.hpp"
 #include "diffusion/trainer.hpp"
+#include "mem/cache.hpp"
 
 namespace aero::core {
 
@@ -106,9 +107,14 @@ struct GenerateControl {
     /// keeps the entry points a true no-op relative to the pre-batching
     /// code path.
     diffusion::SamplerExecutor* executor = nullptr;
+    /// Skip the condition cache for this call. Circuit-breaker half-open
+    /// probes must exercise the real encoder path — a cache hit would
+    /// report the breaker healthy without testing the thing that broke.
+    bool bypass_condition_cache = false;
 
     bool cancelled = false;  ///< run abandoned via should_cancel
     bool degraded = false;   ///< sampled unconditionally (fallback/forced)
+    bool condition_cached = false;  ///< condition served from the LRU cache
     std::string error;       ///< non-empty when input validation rejected
 };
 
@@ -198,6 +204,12 @@ public:
         return condition_encoder_;
     }
 
+    /// Live entries in this pipeline's condition cache (stats / tests).
+    /// The cache is consulted by every generate* call unless gated off
+    /// (AERO_COND_CACHE=0) or bypassed per-call, and invalidated by
+    /// load()/fit() — see DESIGN.md §17.
+    int condition_cache_entries() const { return condition_cache_.entries(); }
+
     /// Read-only access to the denoiser and schedule for serve-side
     /// batching engines (serve::StepBatcher builds its
     /// diffusion::BatchedDdimScheduler over them). Safe to share across
@@ -216,11 +228,30 @@ private:
     Tensor extra_tokens(const scene::AerialSample& sample, int sample_index,
                         bool is_train) const;
     /// Encodes `features`, but degrades to the unconditional null token
-    /// (empty tensor, logged) when the encoding is non-finite, the
-    /// control forces it, or the "condition_encoder" fault fires — so a
+    /// (empty tensor, logged) when the encoding is non-finite — so a
     /// corrupted encoder yields a plain sample instead of NaN images.
     Tensor checked_condition(const ConditionFeatures& features,
                              GenerateControl* control) const;
+
+    /// The condition span shared by the generate* entry points: handles
+    /// the forced-unconditional and injected-fault short-circuits, then
+    /// consults the condition cache (unless gated off or bypassed), and
+    /// only on a miss runs features_for + checked_condition. Finite,
+    /// non-degraded encodings are inserted for the next identical call.
+    Tensor condition_for(const scene::AerialSample& reference,
+                         const std::string& source_caption,
+                         const std::string& target_caption, int sample_index,
+                         GenerateControl* control) const;
+
+    /// Cache identity of a condition span: canonical captions
+    /// (util::canonical_prompt — the same canonicalisation the serve
+    /// router shards on) + a content hash of the reference scene
+    /// (pixels, ground-truth boxes) + the sample index feeding
+    /// variant-specific extra tokens.
+    std::string condition_cache_key(const scene::AerialSample& reference,
+                                    const std::string& source_caption,
+                                    const std::string& target_caption,
+                                    int sample_index) const;
 
     PipelineConfig config_;
     const Substrate* substrate_;
@@ -228,6 +259,7 @@ private:
     diffusion::UNet unet_;
     ConditionEncoder condition_encoder_;
     std::vector<ConditionFeatures> train_features_;
+    mutable mem::ConditionCache<Tensor> condition_cache_;
 };
 
 }  // namespace aero::core

@@ -118,7 +118,7 @@ AutoencoderTrainStats train_autoencoder(LatentAutoencoder& autoencoder,
     for (std::size_t i = 0; i < tensors.size();
          i += std::max<std::size_t>(1, tensors.size() / 16)) {
         const Var z = autoencoder.encode(Var::constant(tensors[i]));
-        for (float v : z.value().values()) {
+        for (float v : z.value()) {
             sum += v;
             sum_sq += static_cast<double>(v) * v;
             ++count;

@@ -75,7 +75,7 @@ void DivergenceSentinel::snapshot() {
     // good snapshot with a non-finite one.
     if (!good_state_.empty()) {
         for (const autograd::Var& p : params_) {
-            for (const float v : p.value().values()) {
+            for (const float v : p.value()) {
                 if (!std::isfinite(v)) return;
             }
         }

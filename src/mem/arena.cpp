@@ -1,0 +1,287 @@
+#include "mem/arena.hpp"
+
+#include <cstring>
+#include <limits>
+#include <memory>
+
+#include "util/env.hpp"
+
+namespace aero::mem {
+
+namespace {
+
+constexpr std::size_t kMinBucketFloats = 64;
+
+/// -1 = not yet initialised from AERO_ARENA, 0 = off, 1 = on.
+std::atomic<int> g_arena_enabled{-1};
+
+/// Set by ~Arena so Buffers outliving the singleton (static-duration
+/// tensors destroyed after it) fall back to direct frees instead of
+/// touching a dead arena.
+std::atomic<bool> g_arena_destroyed{false};
+
+/// Bucket index whose capacity covers `count`, or -1 when the request
+/// exceeds the largest bucket (direct-allocation path).
+int bucket_for(std::size_t count) {
+    std::size_t cap = kMinBucketFloats;
+    for (int b = 0; b < Arena::kNumBuckets; ++b) {
+        if (cap >= count) return b;
+        cap <<= 1;
+    }
+    return -1;
+}
+
+std::size_t bucket_capacity(int bucket) {
+    return kMinBucketFloats << bucket;
+}
+
+// The naked-new lint rule holds for mem too: raw storage goes through
+// std::allocator, never operator new[].
+float* raw_alloc(std::size_t n) {
+    return std::allocator<float>().allocate(n);
+}
+
+void raw_free(float* ptr, std::size_t n) {
+    std::allocator<float>().deallocate(ptr, n);
+}
+
+}  // namespace
+
+Arena::Arena()
+    : max_resident_bytes_(
+          static_cast<long long>(util::env_int("AERO_ARENA_MAX_MB", 256)) *
+          1024 * 1024) {}
+
+Arena::~Arena() {
+    trim_all();
+    g_arena_destroyed.store(true, std::memory_order_relaxed);
+}
+
+Arena& Arena::instance() {
+    static Arena arena;
+    return arena;
+}
+
+bool Arena::enabled() {
+    int state = g_arena_enabled.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = util::env_int("AERO_ARENA", 1) != 0 ? 1 : 0;
+        g_arena_enabled.store(state, std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void Arena::set_enabled(bool on) {
+    g_arena_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+float* Arena::acquire(std::size_t count, std::size_t* capacity,
+                      bool* arena_owned) {
+    const int bucket = enabled() ? bucket_for(count) : -1;
+    if (bucket < 0) {
+        *capacity = count;
+        *arena_owned = false;
+        return raw_alloc(count);
+    }
+    const std::size_t cap = bucket_capacity(bucket);
+    const long long bytes =
+        static_cast<long long>(cap) * static_cast<long long>(sizeof(float));
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    float* ptr = nullptr;
+    {
+        const util::MutexLock lock(mutex_);
+        std::deque<Block>& list = buckets_[bucket];
+        if (!list.empty()) {
+            ptr = list.back().ptr;  // LIFO: the warmest block
+            list.pop_back();
+        }
+    }
+    if (ptr != nullptr) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        resident_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        ptr = raw_alloc(cap);
+    }
+    outstanding_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    *capacity = cap;
+    *arena_owned = true;
+    return ptr;
+}
+
+void Arena::release(float* ptr, std::size_t capacity) {
+    const long long bytes = static_cast<long long>(capacity) *
+                            static_cast<long long>(sizeof(float));
+    outstanding_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    const int bucket = bucket_for(capacity);
+    if (bucket < 0 || bucket_capacity(bucket) != capacity || !enabled()) {
+        // Gated off (or a capacity the arena never granted): free
+        // directly so a disabled arena drains instead of growing.
+        raw_free(ptr, capacity);
+        return;
+    }
+    std::deque<Block> freed;
+    std::deque<std::size_t> freed_caps;
+    {
+        const util::MutexLock lock(mutex_);
+        buckets_[bucket].push_back(Block{ptr, ++tick_});
+        resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        trim_locked(max_resident_bytes_.load(std::memory_order_relaxed),
+                    &freed, &freed_caps);
+    }
+    for (std::size_t i = 0; i < freed.size(); ++i) {
+        raw_free(freed[i].ptr, freed_caps[i]);
+    }
+}
+
+void Arena::trim_locked(long long cap, std::deque<Block>* freed,
+                        std::deque<std::size_t>* freed_caps) {
+    while (resident_bytes_.load(std::memory_order_relaxed) > cap) {
+        // Per-bucket deques are tick-sorted (push_back appends newer,
+        // pop_back reuses newest), so each front is that bucket's oldest
+        // block; the global LRU victim is the minimum across fronts.
+        int oldest = -1;
+        std::uint64_t oldest_tick = std::numeric_limits<std::uint64_t>::max();
+        for (int b = 0; b < kNumBuckets; ++b) {
+            if (!buckets_[b].empty() && buckets_[b].front().tick < oldest_tick) {
+                oldest_tick = buckets_[b].front().tick;
+                oldest = b;
+            }
+        }
+        if (oldest < 0) break;  // nothing cached
+        const std::size_t victim_cap = bucket_capacity(oldest);
+        freed->push_back(buckets_[oldest].front());
+        freed_caps->push_back(victim_cap);
+        buckets_[oldest].pop_front();
+        resident_bytes_.fetch_sub(
+            static_cast<long long>(victim_cap) *
+                static_cast<long long>(sizeof(float)),
+            std::memory_order_relaxed);
+        trims_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+ArenaStats Arena::stats() const {
+    ArenaStats out;
+    out.requests = requests_.load(std::memory_order_relaxed);
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.trims = trims_.load(std::memory_order_relaxed);
+    out.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+    out.outstanding_bytes = outstanding_bytes_.load(std::memory_order_relaxed);
+    return out;
+}
+
+void Arena::set_max_resident_bytes(long long bytes) {
+    max_resident_bytes_.store(bytes, std::memory_order_relaxed);
+    std::deque<Block> freed;
+    std::deque<std::size_t> freed_caps;
+    {
+        const util::MutexLock lock(mutex_);
+        trim_locked(bytes, &freed, &freed_caps);
+    }
+    for (std::size_t i = 0; i < freed.size(); ++i) {
+        raw_free(freed[i].ptr, freed_caps[i]);
+    }
+}
+
+long long Arena::max_resident_bytes() const {
+    return max_resident_bytes_.load(std::memory_order_relaxed);
+}
+
+void Arena::trim_all() {
+    std::deque<Block> freed;
+    std::deque<std::size_t> freed_caps;
+    {
+        const util::MutexLock lock(mutex_);
+        trim_locked(-1, &freed, &freed_caps);
+    }
+    for (std::size_t i = 0; i < freed.size(); ++i) {
+        raw_free(freed[i].ptr, freed_caps[i]);
+    }
+}
+
+// ---- Buffer ---------------------------------------------------------
+
+Buffer::Buffer(std::size_t n) : Buffer(Uninit{}, n) {
+    if (ptr_ != nullptr) std::memset(ptr_, 0, size_ * sizeof(float));
+}
+
+Buffer::Buffer(Uninit, std::size_t n) : size_(n) {
+    if (n == 0) return;
+    ptr_ = Arena::instance().acquire(n, &capacity_, &arena_owned_);
+}
+
+Buffer Buffer::copy_of(const float* src, std::size_t n) {
+    Buffer out(Uninit{}, n);
+    if (n != 0) std::memcpy(out.ptr_, src, n * sizeof(float));
+    return out;
+}
+
+Buffer::Buffer(const Buffer& other) : Buffer(Uninit{}, other.size_) {
+    if (size_ != 0) std::memcpy(ptr_, other.ptr_, size_ * sizeof(float));
+}
+
+Buffer& Buffer::operator=(const Buffer& other) {
+    if (this == &other) return *this;
+    if (size_ == other.size_) {
+        // Same element count: refill in place, keep the storage.
+        if (size_ != 0) std::memcpy(ptr_, other.ptr_, size_ * sizeof(float));
+        return *this;
+    }
+    release_storage();
+    size_ = other.size_;
+    if (size_ != 0) {
+        ptr_ = Arena::instance().acquire(size_, &capacity_, &arena_owned_);
+        std::memcpy(ptr_, other.ptr_, size_ * sizeof(float));
+    }
+    return *this;
+}
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : ptr_(other.ptr_),
+      size_(other.size_),
+      capacity_(other.capacity_),
+      arena_owned_(other.arena_owned_) {
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.arena_owned_ = false;
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+    if (this == &other) return *this;
+    release_storage();
+    ptr_ = other.ptr_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    arena_owned_ = other.arena_owned_;
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.arena_owned_ = false;
+    return *this;
+}
+
+Buffer::~Buffer() { release_storage(); }
+
+void Buffer::release_storage() {
+    if (ptr_ == nullptr) {
+        size_ = 0;
+        capacity_ = 0;
+        arena_owned_ = false;
+        return;
+    }
+    if (arena_owned_ && !g_arena_destroyed.load(std::memory_order_relaxed)) {
+        Arena::instance().release(ptr_, capacity_);
+    } else {
+        raw_free(ptr_, capacity_);
+    }
+    ptr_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+    arena_owned_ = false;
+}
+
+}  // namespace aero::mem

@@ -1,0 +1,156 @@
+#pragma once
+// mem::Arena + mem::Buffer — size-bucketed caching allocator for tensor
+// storage (DESIGN.md §17). Every DDIM step allocates and frees dozens of
+// identically-shaped activation tensors; the arena recycles those blocks
+// through power-of-two buckets so steady-state sampling stops hitting
+// the system heap (model: CUDAMallocAsyncAllocator's bucketed pools).
+//
+// Contracts:
+//  - Bitwise neutrality. A recycled block is indistinguishable from a
+//    fresh one: Buffer zero-fills (or copy-fills) every visible element,
+//    so arithmetic never observes allocation provenance. AERO_ARENA=0
+//    routes every request straight to the heap — a true no-op.
+//  - Bounded residency. Cached-but-idle bytes are capped
+//    (AERO_ARENA_MAX_MB, default 256); the cap is enforced by trimming
+//    the least-recently-released block across all buckets.
+//  - Layering. mem sits below obs (like util::ThreadPool): stats are
+//    plain relaxed atomics that obs pulls into aero_alloc_* gauges via a
+//    registry collector. mem depends only on util.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace aero::mem {
+
+/// Cumulative allocator activity since process start; snapshot via
+/// Arena::stats(). Gauges (resident/outstanding) are current values,
+/// counters are monotonic.
+struct ArenaStats {
+    long long requests = 0;  ///< acquire() calls routed through the arena
+    long long hits = 0;      ///< served from a bucket free list
+    long long misses = 0;    ///< fell through to the system heap
+    long long trims = 0;     ///< cached blocks freed by the LRU trim
+    long long resident_bytes = 0;     ///< bytes idle in free lists
+    long long outstanding_bytes = 0;  ///< arena bytes currently lent out
+};
+
+/// Thread-safe caching allocator for float blocks. Requests round up to
+/// power-of-two bucket capacities (64 .. 4M floats); larger requests and
+/// all requests while the gate is off bypass the arena entirely. Free
+/// lists are LIFO per bucket (cache-warm reuse); the residency cap
+/// evicts the globally least-recently-released block first.
+class Arena {
+public:
+    Arena();
+    ~Arena();
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// The process-wide arena every Buffer draws from.
+    static Arena& instance();
+
+    /// Gate: AERO_ARENA != 0 (default on), read once. set_enabled is the
+    /// test hook for toggling at runtime; Buffers remember which path
+    /// allocated them, so toggling mid-lifetime is safe.
+    static bool enabled();
+    static void set_enabled(bool on);
+
+    /// Allocates >= count floats. Writes the granted capacity (the
+    /// bucket size, or count exactly on the bypass path) and whether the
+    /// block must be returned via release(). Contents are UNSPECIFIED —
+    /// recycled blocks carry stale data; Buffer owns initialisation.
+    float* acquire(std::size_t count, std::size_t* capacity,
+                   bool* arena_owned) AERO_EXCLUDES(mutex_);
+
+    /// Returns an arena-owned block of exactly `capacity` floats (as
+    /// granted by acquire). If the gate is off it frees directly instead
+    /// of caching, so a disabled arena drains rather than grows.
+    void release(float* ptr, std::size_t capacity) AERO_EXCLUDES(mutex_);
+
+    ArenaStats stats() const;
+
+    /// Residency cap in bytes; shrinking trims immediately.
+    void set_max_resident_bytes(long long bytes) AERO_EXCLUDES(mutex_);
+    long long max_resident_bytes() const;
+
+    /// Frees every cached block (resident_bytes -> 0). Test hook and
+    /// destructor path; outstanding blocks are unaffected.
+    void trim_all() AERO_EXCLUDES(mutex_);
+
+    static constexpr int kNumBuckets = 17;  // 64 .. 64<<16 = 4M floats
+
+private:
+    struct Block {
+        float* ptr;
+        std::uint64_t tick;  ///< release order; front of deque = oldest
+    };
+
+    /// Evicts oldest blocks until resident <= cap. Returns them for the
+    /// caller to free outside the lock.
+    void trim_locked(long long cap, std::deque<Block>* freed,
+                     std::deque<std::size_t>* freed_caps)
+        AERO_REQUIRES(mutex_);
+
+    mutable util::Mutex mutex_;
+    std::deque<Block> buckets_[kNumBuckets] AERO_GUARDED_BY(mutex_);
+    std::uint64_t tick_ AERO_GUARDED_BY(mutex_) = 0;
+
+    std::atomic<long long> max_resident_bytes_;
+    std::atomic<long long> requests_{0};
+    std::atomic<long long> hits_{0};
+    std::atomic<long long> misses_{0};
+    std::atomic<long long> trims_{0};
+    std::atomic<long long> resident_bytes_{0};
+    std::atomic<long long> outstanding_bytes_{0};
+};
+
+/// Storage handle for tensor data: a fixed-size float block drawn from
+/// the Arena (or the heap when gated off / oversized). Value semantics
+/// match std::vector<float> — deep copies, stealing moves — but the
+/// visible size is frozen at construction: there is no resize(), so
+/// storage can never drift out of sync with a tensor's shape (the
+/// Tensor::values() foot-gun this type retires).
+class Buffer {
+public:
+    Buffer() = default;
+    /// Zero-filled block of n floats (matches std::vector<float>(n)).
+    explicit Buffer(std::size_t n);
+    /// Deep copy of [src, src + n).
+    static Buffer copy_of(const float* src, std::size_t n);
+
+    Buffer(const Buffer& other);
+    Buffer& operator=(const Buffer& other);
+    Buffer(Buffer&& other) noexcept;
+    Buffer& operator=(Buffer&& other) noexcept;
+    ~Buffer();
+
+    float* data() { return ptr_; }
+    const float* data() const { return ptr_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    float& operator[](std::size_t i) { return ptr_[i]; }
+    float operator[](std::size_t i) const { return ptr_[i]; }
+
+    float* begin() { return ptr_; }
+    float* end() { return ptr_ + size_; }
+    const float* begin() const { return ptr_; }
+    const float* end() const { return ptr_ + size_; }
+
+private:
+    struct Uninit {};
+    Buffer(Uninit, std::size_t n);  ///< acquire without zero-fill
+    void release_storage();
+
+    float* ptr_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+    bool arena_owned_ = false;
+};
+
+}  // namespace aero::mem

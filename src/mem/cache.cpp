@@ -1,0 +1,61 @@
+#include "mem/cache.hpp"
+
+#include "util/env.hpp"
+
+namespace aero::mem {
+
+namespace {
+
+/// -1 = not yet initialised from AERO_COND_CACHE, 0 = off, 1 = on.
+std::atomic<int> g_cond_cache_enabled{-1};
+
+}  // namespace
+
+namespace detail {
+
+CacheCounters& cache_counters() {
+    static CacheCounters counters;
+    return counters;
+}
+
+}  // namespace detail
+
+CacheStats cache_stats() {
+    const detail::CacheCounters& counters = detail::cache_counters();
+    CacheStats out;
+    out.hits = counters.hits.load(std::memory_order_relaxed);
+    out.misses = counters.misses.load(std::memory_order_relaxed);
+    out.insertions = counters.insertions.load(std::memory_order_relaxed);
+    out.evictions = counters.evictions.load(std::memory_order_relaxed);
+    out.invalidations =
+        counters.invalidations.load(std::memory_order_relaxed);
+    out.entries = counters.entries.load(std::memory_order_relaxed);
+    out.bytes = counters.bytes.load(std::memory_order_relaxed);
+    return out;
+}
+
+bool cond_cache_enabled() {
+    int state = g_cond_cache_enabled.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = util::env_int("AERO_COND_CACHE", 1) != 0 ? 1 : 0;
+        g_cond_cache_enabled.store(state, std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void set_cond_cache_enabled(bool on) {
+    g_cond_cache_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+ConditionCacheConfig ConditionCacheConfig::from_env() {
+    ConditionCacheConfig config;
+    config.max_entries = util::env_int("AERO_COND_CACHE_CAP", 128);
+    if (config.max_entries < 1) config.max_entries = 1;
+    config.max_bytes =
+        static_cast<long long>(util::env_int("AERO_COND_CACHE_MB", 64)) *
+        1024 * 1024;
+    if (config.max_bytes < 1) config.max_bytes = 1;
+    return config;
+}
+
+}  // namespace aero::mem

@@ -23,9 +23,9 @@ Var Linear::forward(const Var& x) const {
 }
 
 void Linear::init_zero() {
-    for (float& v : weight_.mutable_value().values()) v = 0.0f;
+    for (float& v : weight_.mutable_value()) v = 0.0f;
     if (bias_.defined()) {
-        for (float& v : bias_.mutable_value().values()) v = 0.0f;
+        for (float& v : bias_.mutable_value()) v = 0.0f;
     }
 }
 

@@ -50,7 +50,7 @@ float Adam::clip_grad_norm(float max_norm) {
     double total = 0.0;
     for (const autograd::Var& p : params_) {
         const tensor::Tensor& g = p.grad();
-        for (float gv : g.values()) total += static_cast<double>(gv) * gv;
+        for (float gv : g) total += static_cast<double>(gv) * gv;
     }
     const float norm = static_cast<float>(std::sqrt(total));
     if (norm > max_norm && norm > 0.0f) {
@@ -58,7 +58,7 @@ float Adam::clip_grad_norm(float max_norm) {
         for (autograd::Var& p : params_) {
             // Var::grad() is const-read; scale through the node.
             tensor::Tensor& g = const_cast<tensor::Tensor&>(p.grad());
-            for (float& gv : g.values()) gv *= scale;
+            for (float& gv : g) gv *= scale;
         }
     }
     return norm;

@@ -145,7 +145,8 @@ bool load_parameters(Module& module, const std::string& path) {
 
     // Commit: everything validated, now update the module in one sweep.
     for (std::size_t i = 0; i < params.size(); ++i) {
-        params[i].mutable_value().values() = std::move(staged[i]);
+        params[i].mutable_value().copy_from(
+            staged[i].data(), static_cast<int>(staged[i].size()));
     }
     return true;
 }

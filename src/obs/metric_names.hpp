@@ -109,6 +109,23 @@ inline constexpr MetricName kMetricNames[] = {
      "sampling jobs retired from the step batch (finished or cancelled)"},
     {"aero_batch_occupancy",
      "jobs currently sharing the batched denoising step"},
+    // mem::Arena tensor-storage allocator (published by a collector;
+    // mem sits below obs in the layering and only exports plain atomics)
+    {"aero_alloc_requests", "arena acquire() calls since process start"},
+    {"aero_alloc_hits", "arena acquisitions served from a free list"},
+    {"aero_alloc_misses", "arena acquisitions that hit the system heap"},
+    {"aero_alloc_trims", "cached blocks freed by the arena's LRU trim"},
+    {"aero_alloc_resident_bytes", "bytes idle in the arena's free lists"},
+    {"aero_alloc_outstanding_bytes", "arena bytes currently lent out"},
+    // mem::ConditionCache condition/embedding LRU (same collector)
+    {"aero_cache_hits", "condition-cache lookups served from the LRU"},
+    {"aero_cache_misses", "condition-cache lookups that re-encoded"},
+    {"aero_cache_insertions", "condition-cache entries inserted"},
+    {"aero_cache_evictions", "condition-cache entries evicted by bounds"},
+    {"aero_cache_invalidations",
+     "condition-cache invalidate_all() calls (param load / training)"},
+    {"aero_cache_entries", "live condition-cache entries"},
+    {"aero_cache_bytes", "live condition-cache value bytes"},
     // util::ThreadPool (published by a collector; the pool itself sits
     // below obs in the layering and only exports plain atomics)
     {"aero_pool_tasks", "parallel_for invocations since process start"},

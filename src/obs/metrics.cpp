@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mem/arena.hpp"
+#include "mem/cache.hpp"
 #include "obs/metric_names.hpp"
 #include "util/thread_pool.hpp"
 
@@ -113,6 +115,63 @@ MetricsRegistry& MetricsRegistry::instance() {
         return true;
     }();
     (void)pool_collector_wired;
+    // Same pattern for the mem layer (DESIGN.md §17): the arena and the
+    // condition cache export plain atomics; one collector pulls them
+    // into the aero_alloc_* / aero_cache_* gauges.
+    static const bool mem_collector_wired = [] {
+        MetricsRegistry& r = registry;
+        Gauge& alloc_requests =
+            r.gauge("aero_alloc_requests", "arena acquire() calls");
+        Gauge& alloc_hits =
+            r.gauge("aero_alloc_hits", "arena free-list hits");
+        Gauge& alloc_misses =
+            r.gauge("aero_alloc_misses", "arena heap fallbacks");
+        Gauge& alloc_trims =
+            r.gauge("aero_alloc_trims", "arena LRU trims");
+        Gauge& alloc_resident =
+            r.gauge("aero_alloc_resident_bytes", "arena idle bytes");
+        Gauge& alloc_outstanding =
+            r.gauge("aero_alloc_outstanding_bytes", "arena lent-out bytes");
+        Gauge& cache_hits =
+            r.gauge("aero_cache_hits", "condition-cache hits");
+        Gauge& cache_misses =
+            r.gauge("aero_cache_misses", "condition-cache misses");
+        Gauge& cache_insertions =
+            r.gauge("aero_cache_insertions", "condition-cache insertions");
+        Gauge& cache_evictions =
+            r.gauge("aero_cache_evictions", "condition-cache evictions");
+        Gauge& cache_invalidations = r.gauge(
+            "aero_cache_invalidations", "condition-cache invalidations");
+        Gauge& cache_entries =
+            r.gauge("aero_cache_entries", "condition-cache live entries");
+        Gauge& cache_bytes =
+            r.gauge("aero_cache_bytes", "condition-cache live bytes");
+        r.add_collector([&alloc_requests, &alloc_hits, &alloc_misses,
+                         &alloc_trims, &alloc_resident, &alloc_outstanding,
+                         &cache_hits, &cache_misses, &cache_insertions,
+                         &cache_evictions, &cache_invalidations,
+                         &cache_entries, &cache_bytes] {
+            const mem::ArenaStats arena = mem::Arena::instance().stats();
+            alloc_requests.set(static_cast<double>(arena.requests));
+            alloc_hits.set(static_cast<double>(arena.hits));
+            alloc_misses.set(static_cast<double>(arena.misses));
+            alloc_trims.set(static_cast<double>(arena.trims));
+            alloc_resident.set(static_cast<double>(arena.resident_bytes));
+            alloc_outstanding.set(
+                static_cast<double>(arena.outstanding_bytes));
+            const mem::CacheStats cache = mem::cache_stats();
+            cache_hits.set(static_cast<double>(cache.hits));
+            cache_misses.set(static_cast<double>(cache.misses));
+            cache_insertions.set(static_cast<double>(cache.insertions));
+            cache_evictions.set(static_cast<double>(cache.evictions));
+            cache_invalidations.set(
+                static_cast<double>(cache.invalidations));
+            cache_entries.set(static_cast<double>(cache.entries));
+            cache_bytes.set(static_cast<double>(cache.bytes));
+        });
+        return true;
+    }();
+    (void)mem_collector_wired;
     return registry;
 }
 

@@ -1,0 +1,16 @@
+#include "serve/key.hpp"
+
+#include "util/strings.hpp"
+
+namespace aero::serve {
+
+std::string canonical_prompt_key(const InferenceRequest& request) {
+    std::string key = task_kind_name(request.task);
+    key += '|';
+    util::append_canonical_prompt(key, request.source_caption);
+    key += '|';
+    util::append_canonical_prompt(key, request.target_caption);
+    return key;
+}
+
+}  // namespace aero::serve

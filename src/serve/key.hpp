@@ -1,0 +1,20 @@
+#pragma once
+// Canonical prompt key: the ONE canonicalisation of an inference
+// request's identity, shared by the router's consistent-hash sharding
+// (DESIGN.md §13) and the pipeline's condition cache (DESIGN.md §17).
+// Keeping both on the same key means the replica a prompt shards to is
+// exactly the replica whose condition cache is warm for it.
+
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace aero::serve {
+
+/// Canonicalised sharding key: task kind + lower-cased, whitespace-
+/// collapsed captions (util::append_canonical_prompt), so trivially
+/// reworded duplicates of a prompt land on the same replica and hit
+/// the same cache entries.
+std::string canonical_prompt_key(const InferenceRequest& request);
+
+}  // namespace aero::serve

@@ -105,6 +105,9 @@ struct RequestResult {
     int attempts = 0;         ///< generation attempts actually made
     int retries = 0;          ///< attempts beyond the first
     bool cancelled = false;   ///< deadline hit between denoising steps
+    /// The condition span of the final (kOk) attempt was served from the
+    /// pipeline's condition cache (DESIGN.md §17) instead of re-encoded.
+    bool condition_cached = false;
     /// Degradation ladder rung the admission controller applied to this
     /// request (kFull when overload control is off or load was low).
     DegradeRung rung = DegradeRung::kFull;

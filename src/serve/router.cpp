@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "obs/trace.hpp"
+#include "serve/key.hpp"
 #include "util/hash.hpp"
 
 namespace aero::serve {
@@ -18,33 +19,7 @@ double ms_since(std::chrono::steady_clock::time_point start) {
     return MillisD(std::chrono::steady_clock::now() - start).count();
 }
 
-void append_canonical(std::string& key, const std::string& text) {
-    bool pending_space = false;
-    bool emitted = false;
-    for (const char c : text) {
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            pending_space = emitted;
-            continue;
-        }
-        if (pending_space) {
-            key += ' ';
-            pending_space = false;
-        }
-        key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-        emitted = true;
-    }
-}
-
 }  // namespace
-
-std::string canonical_prompt_key(const InferenceRequest& request) {
-    std::string key = task_kind_name(request.task);
-    key += '|';
-    append_canonical(key, request.source_caption);
-    key += '|';
-    append_canonical(key, request.target_caption);
-    return key;
-}
 
 Router::Metrics Router::resolve_metrics() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();

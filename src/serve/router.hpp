@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "serve/key.hpp"
 #include "serve/replica.hpp"
 #include "util/annotations.hpp"
 #include "util/fault.hpp"
@@ -112,12 +113,6 @@ struct RouterStats {
     /// are supervision traffic and live in their own counters.
     bool balanced() const { return submitted == terminal(); }
 };
-
-/// Canonicalised sharding key: task kind + lower-cased, whitespace-
-/// collapsed captions, so trivially reworded duplicates of a prompt
-/// land on the same replica (the affinity a condition-embedding cache
-/// would want).
-std::string canonical_prompt_key(const InferenceRequest& request);
 
 class Router {
 public:

@@ -645,6 +645,10 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
         core::GenerateControl control;
         control.force_unconditional = !conditional;
         control.fault_injector = injector;
+        // A half-open probe exists to test the real encoder path; a
+        // condition-cache hit would skip exactly the thing being probed
+        // and could report a broken encoder healthy.
+        control.bypass_condition_cache = holds_probe;
         // Degradation knobs accumulate down the ladder: reduced steps
         // first, then also half resolution (generate() only; edit and
         // inpaint honour the step cap alone).
@@ -754,6 +758,7 @@ RequestResult InferenceService::process(Job& job, util::Rng& backoff_rng) {
         }
         probe.armed = false;
         breaker_.on_success(holds_probe);
+        result.condition_cached = control.condition_cached;
         result.image = std::move(image);
         return finish(Outcome::kOk, "");
     }

@@ -1,6 +1,7 @@
 #include "tensor/tensor.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -17,7 +18,7 @@ int shape_size(const std::vector<int>& shape) {
 
 Tensor::Tensor(std::vector<int> shape)
     : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_size(shape_)), 0.0f) {}
+      data_(static_cast<std::size_t>(shape_size(shape_))) {}
 
 Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
 
@@ -49,11 +50,29 @@ Tensor Tensor::uniform(std::vector<int> shape, util::Rng& rng, float lo,
     return t;
 }
 
-Tensor Tensor::from_values(std::vector<float> values) {
+// Interop boundary with vector-based callers (tests, serializers); the
+// payload is copied into/out of arena-backed storage immediately.
+Tensor Tensor::from_values(std::vector<float> values) {  // aero-lint: allow(arena-bypass)
     Tensor t;
     t.shape_ = {static_cast<int>(values.size())};
-    t.data_ = std::move(values);
+    t.data_ = mem::Buffer::copy_of(values.data(), values.size());
     return t;
+}
+
+std::vector<float> Tensor::to_vector() const {  // aero-lint: allow(arena-bypass)
+    return std::vector<float>(data_.begin(), data_.end());
+}
+
+void Tensor::copy_from(const float* src, int count) {
+    if (count != size()) {
+        throw std::invalid_argument(
+            "copy_from element count mismatch: got " + std::to_string(count) +
+            " for tensor " + shape_string());
+    }
+    if (count > 0) {
+        std::memcpy(data_.data(), src,
+                    static_cast<std::size_t>(count) * sizeof(float));
+    }
 }
 
 int Tensor::dim(int axis) const {
@@ -74,11 +93,26 @@ int Tensor::flat_index(std::initializer_list<int> index) const {
     return flat;
 }
 
+void Tensor::debug_check() const {
+#ifndef NDEBUG
+    if (shape_.empty()) {
+        assert(data_.empty() && "default tensor must carry no storage");
+        return;
+    }
+    long long expected = 1;
+    for (int extent : shape_) expected *= extent;  // extents of 0 allowed here
+    assert(expected == static_cast<long long>(data_.size()) &&
+           "tensor storage size out of sync with shape");
+#endif
+}
+
 float& Tensor::at(std::initializer_list<int> index) {
+    debug_check();
     return data_[static_cast<std::size_t>(flat_index(index))];
 }
 
 float Tensor::at(std::initializer_list<int> index) const {
+    debug_check();
     return data_[static_cast<std::size_t>(flat_index(index))];
 }
 

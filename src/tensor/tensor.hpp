@@ -2,12 +2,20 @@
 // Dense row-major float32 tensor: the numeric substrate for the neural
 // networks. Value semantics (copies copy the buffer); shapes are small
 // int vectors. Higher layers (autograd, nn) treat this type as plain data.
+//
+// Storage is a mem::Buffer drawn from the size-bucketed caching arena
+// (DESIGN.md §17), so steady-state sampling recycles blocks instead of
+// hitting the heap every step. The buffer's size is frozen at
+// construction — there is no mutable container accessor (the old
+// values() foot-gun let callers resize storage out of sync with the
+// shape); mutate through data()/begin()/end()/copy_from instead.
 
 #include <cstddef>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "mem/arena.hpp"
 #include "util/rng.hpp"
 
 namespace aero::tensor {
@@ -29,7 +37,7 @@ public:
     static Tensor uniform(std::vector<int> shape, util::Rng& rng, float lo,
                           float hi);
     /// 1-D tensor from explicit values.
-    static Tensor from_values(std::vector<float> values);
+    static Tensor from_values(std::vector<float> values);  // aero-lint: allow(arena-bypass)
 
     const std::vector<int>& shape() const { return shape_; }
     int rank() const { return static_cast<int>(shape_.size()); }
@@ -38,10 +46,29 @@ public:
     int size() const { return static_cast<int>(data_.size()); }
     bool empty() const { return data_.empty(); }
 
-    float* data() { return data_.data(); }
-    const float* data() const { return data_.data(); }
-    std::vector<float>& values() { return data_; }
-    const std::vector<float>& values() const { return data_; }
+    float* data() {
+        debug_check();
+        return data_.data();
+    }
+    const float* data() const {
+        debug_check();
+        return data_.data();
+    }
+
+    /// Raw element iteration (range-for works: `for (float v : t)`).
+    float* begin() { return data_.begin(); }
+    float* end() { return data_.end(); }
+    const float* begin() const { return data_.begin(); }
+    const float* end() const { return data_.end(); }
+
+    /// Copies the elements out (boundary/serialisation use only; hot
+    /// paths should iterate data() in place).
+    std::vector<float> to_vector() const;  // aero-lint: allow(arena-bypass)
+
+    /// Overwrites all elements from [src, src + count). Throws when
+    /// `count` disagrees with size() — the checked replacement for the
+    /// removed mutable values() accessor.
+    void copy_from(const float* src, int count);
 
     float& operator[](int flat_index) { return data_[static_cast<std::size_t>(flat_index)]; }
     float operator[](int flat_index) const { return data_[static_cast<std::size_t>(flat_index)]; }
@@ -65,8 +92,13 @@ public:
 private:
     int flat_index(std::initializer_list<int> index) const;
 
+    /// Debug-build invariant: storage size always matches the shape's
+    /// element count (an empty shape means an empty or scalar-free
+    /// tensor). Compiled out under NDEBUG.
+    void debug_check() const;
+
     std::vector<int> shape_;
-    std::vector<float> data_;
+    mem::Buffer data_;
 };
 
 /// Number of elements implied by a shape.

@@ -22,6 +22,30 @@ std::string to_lower(std::string text) {
     return text;
 }
 
+void append_canonical_prompt(std::string& out, const std::string& text) {
+    bool pending_space = false;
+    bool emitted = false;
+    for (const char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            pending_space = emitted;
+            continue;
+        }
+        if (pending_space) {
+            out += ' ';
+            pending_space = false;
+        }
+        out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        emitted = true;
+    }
+}
+
+std::string canonical_prompt(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    append_canonical_prompt(out, text);
+    return out;
+}
+
 std::vector<std::string> split_whitespace(const std::string& text) {
     std::vector<std::string> tokens;
     std::string current;

@@ -155,7 +155,7 @@ TEST(GradCheck, ReluAwayFromKink) {
     aero::util::Rng rng(7);
     const Tensor proj = Tensor::randn({5}, rng);
     Tensor x = Tensor::randn({5}, rng);
-    for (float& v : x.values()) {
+    for (float& v : x) {
         if (std::abs(v) < 0.1f) v = 0.5f;  // keep clear of the kink
     }
     check_gradients(

@@ -75,7 +75,7 @@ TEST(SubstrateTest, LatentsAreNormalised) {
     double sum_sq = 0.0;
     long count = 0;
     for (const auto& z : s.train_latents) {
-        for (float v : z.values()) {
+        for (float v : z) {
             sum_sq += static_cast<double>(v) * v;
             ++count;
         }
@@ -384,7 +384,7 @@ TEST(PipelineTest, PoisonedConditionEncoderDegradesToUnconditional) {
     // Parameter Vars share storage with the module, so poisoning the
     // copies corrupts the encoder exactly like a real numerical fault.
     for (aero::autograd::Var p : pipeline.condition_encoder().parameters()) {
-        for (float& v : p.mutable_value().values()) {
+        for (float& v : p.mutable_value()) {
             v = std::numeric_limits<float>::quiet_NaN();
         }
     }

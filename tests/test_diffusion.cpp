@@ -421,7 +421,7 @@ TEST(Samplers, OutputShapesAndFiniteness) {
     const DdpmSampler ddpm(unet, schedule);
     const Tensor a = ddpm.sample({4, 8, 8}, cond, rng);
     EXPECT_EQ(a.dim(0), 4);
-    for (float v : a.values()) EXPECT_TRUE(std::isfinite(v));
+    for (float v : a) EXPECT_TRUE(std::isfinite(v));
 
     DdimConfig ddim_config;
     ddim_config.inference_steps = 4;
@@ -429,7 +429,7 @@ TEST(Samplers, OutputShapesAndFiniteness) {
     const DdimSampler ddim(unet, schedule, ddim_config);
     const Tensor b = ddim.sample({4, 8, 8}, cond, rng);
     EXPECT_EQ(b.dim(1), 8);
-    for (float v : b.values()) EXPECT_TRUE(std::isfinite(v));
+    for (float v : b) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(Samplers, DdimGuidanceChangesSample) {
@@ -628,7 +628,7 @@ TEST(AutoencoderTest, ShapesRoundTrip) {
     const Var recon = ae.decode(z);
     EXPECT_EQ(recon.value().dim(1), 3);
     EXPECT_EQ(recon.value().dim(2), 32);
-    for (float v : recon.value().values()) {
+    for (float v : recon.value()) {
         EXPECT_GE(v, -1.0f);
         EXPECT_LE(v, 1.0f);
     }

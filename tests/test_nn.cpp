@@ -24,7 +24,7 @@ namespace nn = aero::nn;
 std::vector<std::vector<float>> snapshot_params(const nn::Module& module) {
     std::vector<std::vector<float>> snapshot;
     for (const Var& p : module.parameters()) {
-        snapshot.push_back(p.value().values());
+        snapshot.push_back(p.value().to_vector());
     }
     return snapshot;
 }
@@ -36,7 +36,7 @@ std::vector<std::vector<float>> snapshot_params(const nn::Module& module) {
         return ::testing::AssertionFailure() << "parameter count changed";
     }
     for (std::size_t i = 0; i < params.size(); ++i) {
-        if (params[i].value().values() != snapshot[i]) {
+        if (params[i].value().to_vector() != snapshot[i]) {
             return ::testing::AssertionFailure()
                    << "tensor " << i << " was mutated";
         }
@@ -171,7 +171,7 @@ TEST(Linear, InitZeroAndIdentity) {
     nn::Linear zero(4, 6, rng);
     zero.init_zero();
     const Var z = zero.forward(x);
-    for (float v : z.value().values()) EXPECT_EQ(v, 0.0f);
+    for (float v : z.value()) EXPECT_EQ(v, 0.0f);
 }
 
 TEST(Attention, ZeroOutputProjectionMakesNoOpResidual) {
@@ -180,7 +180,7 @@ TEST(Attention, ZeroOutputProjectionMakesNoOpResidual) {
     attn.init_output_zero();
     const Var x = Var::constant(Tensor::randn({3, 8}, rng));
     const Var out = attn.forward(x);
-    for (float v : out.value().values()) EXPECT_EQ(v, 0.0f);
+    for (float v : out.value()) EXPECT_EQ(v, 0.0f);
 }
 
 // Parameterized attention-dimension sweep.
@@ -196,7 +196,7 @@ TEST_P(AttentionDims, ShapesAndFiniteness) {
     const Var out = attn.forward(q, ctx);
     EXPECT_EQ(out.value().dim(0), tq);
     EXPECT_EQ(out.value().dim(1), dim);
-    for (float v : out.value().values()) EXPECT_TRUE(std::isfinite(v));
+    for (float v : out.value()) EXPECT_TRUE(std::isfinite(v));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -243,7 +243,7 @@ TEST(Adam, ClipGradNorm) {
     const float pre = opt.clip_grad_norm(0.5f);
     EXPECT_GT(pre, 0.5f);
     double norm = 0.0;
-    for (float g : x.grad().values()) norm += static_cast<double>(g) * g;
+    for (float g : x.grad()) norm += static_cast<double>(g) * g;
     EXPECT_NEAR(std::sqrt(norm), 0.5, 1e-4);
 }
 

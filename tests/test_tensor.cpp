@@ -18,7 +18,7 @@ TEST(Tensor, ConstructionAndShape) {
     EXPECT_EQ(t.size(), 24);
     EXPECT_EQ(t.dim(0), 2);
     EXPECT_EQ(t.dim(-1), 4);
-    for (float v : t.values()) EXPECT_EQ(v, 0.0f);
+    for (float v : t) EXPECT_EQ(v, 0.0f);
     EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
 }
 
@@ -41,7 +41,7 @@ TEST(Tensor, FactoryFunctions) {
     EXPECT_EQ(Tensor::ones({3})[2], 1.0f);
     EXPECT_EQ(Tensor::full({2}, 5.0f)[0], 5.0f);
     Tensor u = Tensor::uniform({1000}, rng, -1.0f, 1.0f);
-    for (float v : u.values()) {
+    for (float v : u) {
         EXPECT_GE(v, -1.0f);
         EXPECT_LT(v, 1.0f);
     }

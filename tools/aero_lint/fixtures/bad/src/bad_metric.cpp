@@ -14,6 +14,9 @@ struct Registry {
 void register_metrics(Registry& registry) {
     registry.counter("requestCount", "bad: not aero_<area>_<name>");
     registry.gauge("aero_serve_undeclared_depth", "bad: not in registry");
+    // The mem-layer families added with the arena/cache get the same
+    // coverage: well-formed name, absent from the registry fixture.
+    registry.gauge("aero_alloc_undeclared_bytes", "bad: not in registry");
 }
 
 }  // namespace fixture

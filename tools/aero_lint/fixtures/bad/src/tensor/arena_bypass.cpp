@@ -1,0 +1,13 @@
+// Fixture: float storage declared as std::vector<float> inside a hot
+// tensor-storage directory — the arena-bypass rule must flag it; the
+// fix is mem::Buffer so the caching arena sees the allocation.
+
+#include <vector>
+
+namespace fixture {
+
+struct MiniTensor {
+    std::vector<float> data;
+};
+
+}  // namespace fixture

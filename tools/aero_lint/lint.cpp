@@ -313,6 +313,31 @@ public:
         }
     }
 
+    void check_arena_bypass() {
+        // Only the hot tensor-storage directories are constrained; a
+        // std::vector<float> elsewhere (image rows, schedule tables) is
+        // not arena-managed storage and stays idiomatic.
+        bool covered = false;
+        for (const std::string& dir : options_.arena_dirs) {
+            if (path_.compare(0, dir.size(), dir) == 0 &&
+                (path_.size() == dir.size() || path_[dir.size()] == '/')) {
+                covered = true;
+                break;
+            }
+        }
+        if (!covered) return;
+        static const std::regex kVecFloat(
+            R"(\bstd\s*::\s*vector\s*<\s*float\s*>)");
+        for (auto it = std::sregex_iterator(bare_.begin(), bare_.end(),
+                                            kVecFloat);
+             it != std::sregex_iterator(); ++it) {
+            report(static_cast<std::size_t>(it->position()), "arena-bypass",
+                   "float storage built on std::vector<float> bypasses "
+                   "the caching arena; use mem::Buffer "
+                   "(src/mem/arena.hpp)");
+        }
+    }
+
     void run(bool strict) {
         check_fault_registry();
         // IO results matter in benches/tests too — a bench that drops
@@ -324,6 +349,7 @@ public:
         check_unchecked_parse();
         check_stats_accounting();
         check_overload_accounting();
+        check_arena_bypass();
         // Strict-only: tests exercise hermetic local registries with
         // synthetic names, which the runtime pattern guard still covers.
         check_metric_naming();
@@ -451,6 +477,9 @@ std::vector<std::string> list_source_files(const std::string& root,
 
 const std::vector<RuleDoc>& rule_docs() {
     static const std::vector<RuleDoc> kDocs = {
+        {"arena-bypass",
+         "no std::vector<float> storage in the hot tensor dirs; float "
+         "blocks go through mem::Buffer so the arena can recycle them"},
         {"det-random",
          "no rand()/srand()/random_device in output-affecting dirs; "
          "randomness goes through seeded util::Rng"},

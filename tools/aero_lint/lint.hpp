@@ -29,6 +29,10 @@
 //                    every write of a degradation-ladder rung state sits
 //                    within three lines of an `aero_overload_*`
 //                    rung-transition counter increment (DESIGN.md §14)
+//   arena-bypass     hot tensor-storage directories do not build storage
+//                    on std::vector<float> — float blocks go through
+//                    mem::Buffer so the mem::Arena sees them
+//                    (DESIGN.md §17)
 //
 // Pass 2 — layering (layering.hpp): the `#include` graph of src/ must
 // respect the layer DAG declared in ARCH.layers (rules layer-violation,
@@ -94,6 +98,10 @@ struct Options {
     /// Output-affecting directories under the determinism contract.
     std::vector<std::string> determinism_dirs = {
         "src/tensor", "src/linalg", "src/nn", "src/diffusion", "src/core"};
+    /// Hot tensor-storage directories where float storage must go
+    /// through mem::Buffer rather than std::vector<float>, so the
+    /// mem::Arena can recycle it (rule arena-bypass, DESIGN.md §17).
+    std::vector<std::string> arena_dirs = {"src/tensor", "src/autograd"};
     /// Pass filter: empty runs everything; otherwise a subset of
     /// {"rules", "layering", "lock-order", "determinism"}.
     std::vector<std::string> passes;

@@ -278,6 +278,34 @@ TEST(Rules, OverloadAccountingAcceptsMeteredWritesAndReads) {
                     .empty());
 }
 
+TEST(Rules, ArenaBypassFlagsVectorFloatInHotDirs) {
+    // std::vector<float> in an arena dir is flagged, spacing-insensitive.
+    EXPECT_TRUE(has_rule(
+        lint_snippet("src/tensor/t.cpp", "std::vector<float> data_;"),
+        "arena-bypass"));
+    EXPECT_TRUE(has_rule(
+        lint_snippet("src/autograd/v.cpp",
+                     "std :: vector < float > grad(n);"),
+        "arena-bypass"));
+    // Outside the arena dirs — including prefix near-misses — the
+    // idiom is fine; so are other element types and comments/strings.
+    EXPECT_TRUE(
+        lint_snippet("src/image/i.cpp", "std::vector<float> rows;").empty());
+    EXPECT_TRUE(lint_snippet("src/tensorboard/t.cpp",
+                             "std::vector<float> rows;")
+                    .empty());
+    EXPECT_TRUE(lint_snippet("src/tensor/t.cpp",
+                             "std::vector<double> accum;\n"
+                             "// std::vector<float> in a comment\n"
+                             "const char* s = \"std::vector<float>\";\n")
+                    .empty());
+    // The interop boundary carries the usual inline suppression.
+    EXPECT_TRUE(lint_snippet("src/tensor/t.cpp",
+                             "// aero-lint: allow(arena-bypass)\n"
+                             "std::vector<float> to_vector() const;\n")
+                    .empty());
+}
+
 TEST(Rules, MetricNamingPattern) {
     EXPECT_TRUE(aero::lint::valid_metric_name("aero_serve_ok_total"));
     EXPECT_TRUE(aero::lint::valid_metric_name("aero_pool_queue_wait_ms"));
@@ -354,18 +382,20 @@ TEST(Fixtures, BadTreeTripsEveryRule) {
     EXPECT_TRUE(has_rule(findings, "unchecked-io"));
     EXPECT_TRUE(has_rule(findings, "stats-accounting"));
     EXPECT_TRUE(has_rule(findings, "overload-accounting"));
+    EXPECT_TRUE(has_rule(findings, "arena-bypass"));
     // Both unregistered points are reported with their names.
     int unregistered = 0;
     for (const auto& finding : findings) {
         if (finding.rule == "fault-registry") ++unregistered;
     }
     EXPECT_EQ(unregistered, 2);
-    // Both metric violations (pattern + undeclared) are reported.
+    // All three metric violations (bad pattern + two undeclared, one
+    // from the mem-layer families) are reported.
     int metric_findings = 0;
     for (const auto& finding : findings) {
         if (finding.rule == "metric-naming") ++metric_findings;
     }
-    EXPECT_EQ(metric_findings, 2);
+    EXPECT_EQ(metric_findings, 3);
 }
 
 }  // namespace

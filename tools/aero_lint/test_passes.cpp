@@ -505,7 +505,7 @@ TEST(Report, WriteRoundTripsAndFailsOnBadPath) {
 
 TEST(RuleTable, SortedUniqueAndComplete) {
     const auto& docs = aero::lint::rule_docs();
-    EXPECT_EQ(docs.size(), 17u);
+    EXPECT_EQ(docs.size(), 18u);
     std::set<std::string> names;
     for (std::size_t i = 0; i < docs.size(); ++i) {
         names.insert(docs[i].name);
@@ -516,7 +516,7 @@ TEST(RuleTable, SortedUniqueAndComplete) {
         }
     }
     for (const char* required :
-         {"det-random", "det-unordered-iter", "det-wallclock",
+         {"arena-bypass", "det-random", "det-unordered-iter", "det-wallclock",
           "fault-docs", "fault-registry", "layer-cycle", "layer-manifest",
           "layer-undeclared", "layer-violation", "lock-order",
           "metric-naming", "naked-new", "overload-accounting",
